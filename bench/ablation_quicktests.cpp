@@ -1,0 +1,68 @@
+//===- bench/ablation_quicktests.cpp - Experiment A4 -----------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Ablation: the Section 4.5 quick tests on vs. off, over the kernel
+// corpus. The quick screens must change only cost, never outcomes; this
+// harness verifies outcome equality and reports the whole-program
+// analysis time and the number of general kill tests with and without.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace omega;
+using namespace omega::analysis;
+
+int main() {
+  std::printf("== Experiment A4: Section 4.5 quick tests on vs. off ==\n\n");
+  std::printf("%-20s%12s%12s%14s%14s%10s\n", "kernel", "kills_on",
+              "kills_off", "on_msec", "off_msec", "same");
+
+  DriverOptions On, Off;
+  Off.QuickTests = false;
+
+  double TotalOn = 0, TotalOff = 0;
+  bool AllSame = true;
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+    if (!AP.ok())
+      continue;
+
+    auto T0 = std::chrono::steady_clock::now();
+    AnalysisResult ROn = analyzeProgram(AP, On);
+    auto T1 = std::chrono::steady_clock::now();
+    AnalysisResult ROff = analyzeProgram(AP, Off);
+    auto T2 = std::chrono::steady_clock::now();
+
+    double SecsOn = std::chrono::duration<double>(T1 - T0).count();
+    double SecsOff = std::chrono::duration<double>(T2 - T1).count();
+    TotalOn += SecsOn;
+    TotalOff += SecsOff;
+
+    unsigned GeneralOn = 0, GeneralOff = 0;
+    for (const KillRecord &R : ROn.Kills)
+      GeneralOn += R.UsedOmega;
+    for (const KillRecord &R : ROff.Kills)
+      GeneralOff += R.UsedOmega;
+
+    bool Same = ROn.Flow.size() == ROff.Flow.size();
+    for (unsigned I = 0; Same && I != ROn.Flow.size(); ++I)
+      Same = ROn.Flow[I].allDead() == ROff.Flow[I].allDead();
+    AllSame &= Same;
+
+    std::printf("%-20s%12u%12u%14.2f%14.2f%10s\n", K.Name, GeneralOn,
+                GeneralOff, SecsOn * 1e3, SecsOff * 1e3,
+                Same ? "yes" : "NO!");
+  }
+  std::printf("\ntotals: %.1f ms with quick tests, %.1f ms without "
+              "(%.2fx); outcomes %s\n",
+              TotalOn * 1e3, TotalOff * 1e3,
+              TotalOn > 0 ? TotalOff / TotalOn : 0.0,
+              AllSame ? "identical" : "DIFFER (bug!)");
+  return AllSame ? 0 : 1;
+}

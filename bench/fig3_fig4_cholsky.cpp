@@ -1,0 +1,75 @@
+//===- bench/fig3_fig4_cholsky.cpp - Experiments E1/E2 --------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Regenerates Figures 3 and 4: the live and dead flow dependences of the
+// CHOLSKY NAS kernel, with analysis wall-clock time. The row sets are the
+// reproduction target; absolute times are host-dependent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace omega;
+using namespace omega::analysis;
+
+static void printFigure(const AnalysisResult &R, bool Dead) {
+  std::printf("%-22s%-22s%-14s%s\n", "FROM", "TO", "dir/dist", "status");
+  for (const deps::Dependence &D : R.Flow)
+    for (const deps::DepSplit &S : D.Splits) {
+      if (S.Dead != Dead)
+        continue;
+      std::string From =
+          std::to_string(kernels::cholskyPaperLabel(D.Src->StmtLabel)) +
+          ": " + D.Src->Text;
+      std::string To =
+          std::to_string(kernels::cholskyPaperLabel(D.Dst->StmtLabel)) +
+          ": " + D.Dst->Text;
+      std::string Status;
+      if (D.Covers)
+        Status += 'C';
+      if (S.DeadReason == 'c')
+        Status += 'c';
+      if (S.DeadReason == 'k')
+        Status += 'k';
+      if (S.Refined)
+        Status += 'r';
+      std::printf("%-22s%-22s%-14s%s\n", From.c_str(), To.c_str(),
+                  S.dirToString().c_str(),
+                  Status.empty() ? "" : ("[" + Status + "]").c_str());
+    }
+}
+
+int main() {
+  ir::AnalyzedProgram AP = ir::analyzeSource(kernels::cholsky());
+  if (!AP.ok())
+    return 1;
+
+  auto Start = std::chrono::steady_clock::now();
+  AnalysisResult R = analyzeProgram(AP);
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  std::printf("== Experiment E1: Figure 3 (live flow dependences, "
+              "CHOLSKY) ==\n\n");
+  printFigure(R, /*Dead=*/false);
+  std::printf("\n== Experiment E2: Figure 4 (dead flow dependences, "
+              "CHOLSKY) ==\n\n");
+  printFigure(R, /*Dead=*/true);
+
+  unsigned Live = 0, Dead = 0;
+  for (const deps::Dependence &D : R.Flow)
+    for (const deps::DepSplit &S : D.Splits)
+      (S.Dead ? Dead : Live)++;
+  std::printf("\nsummary: %u live rows, %u dead rows, %zu write/read pairs, "
+              "%.1f ms total analysis\n",
+              Live, Dead, R.Pairs.size(), Secs * 1e3);
+  std::printf("paper:   21 live rows, 14 dead rows (our A(L,JJ,J)**2 "
+              "expansion adds one row to each)\n");
+  return 0;
+}

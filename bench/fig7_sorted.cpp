@@ -1,0 +1,50 @@
+//===- bench/fig7_sorted.cpp - Experiment E5 -------------------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Regenerates Figure 7: per-array-pair analysis time with and without the
+// extended analysis, sorted by extended-analysis time. The two series and
+// their widening gap in the expensive tail are the reproduction target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace omega;
+using namespace omega::analysis;
+using namespace omega::bench;
+
+int main() {
+  std::vector<KernelRun> Runs = runCorpus();
+
+  std::vector<const PairRecord *> Pairs;
+  for (const KernelRun &Run : Runs)
+    for (const PairRecord &P : Run.Result.Pairs)
+      Pairs.push_back(&P);
+  std::sort(Pairs.begin(), Pairs.end(),
+            [](const PairRecord *A, const PairRecord *B) {
+              return A->ExtendedSecs < B->ExtendedSecs;
+            });
+
+  std::printf("== Experiment E5: Figure 7 (sorted per-pair times) ==\n\n");
+  std::printf("%8s%14s%14s\n", "rank", "std_usec", "ext_usec");
+  double StdTotal = 0, ExtTotal = 0;
+  for (unsigned I = 0; I != Pairs.size(); ++I) {
+    StdTotal += Pairs[I]->StandardSecs;
+    ExtTotal += Pairs[I]->ExtendedSecs;
+    std::printf("%8u%14.1f%14.1f\n", I + 1, Pairs[I]->StandardSecs * 1e6,
+                Pairs[I]->ExtendedSecs * 1e6);
+  }
+  std::printf("\ntotals over %zu pairs: standard %.2f ms, extended %.2f ms "
+              "(%.2fx)\n",
+              Pairs.size(), StdTotal * 1e3, ExtTotal * 1e3,
+              StdTotal > 0 ? ExtTotal / StdTotal : 0.0);
+  std::printf("paper shape: both series span ~2 orders of magnitude; the "
+              "extended curve\nseparates from the standard one in the "
+              "expensive tail\n");
+  return 0;
+}

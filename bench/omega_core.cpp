@@ -1,0 +1,149 @@
+//===- bench/omega_core.cpp - Experiment A3 (google-benchmark micros) -----===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Micro-benchmarks of the Omega test core operations: satisfiability on
+// exact and dark-shadow paths, equality elimination via mod-hat,
+// projection, gist computation, and one end-to-end CHOLSKY dependence
+// pair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Driver.h"
+#include "deps/DependenceAnalysis.h"
+#include "kernels/Kernels.h"
+#include "omega/Gist.h"
+#include "omega/Projection.h"
+#include "omega/Satisfiability.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace omega;
+
+namespace {
+
+Problem darkShadowClassic() {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 11}, {Y, 13}}, -27);
+  P.addGEQ({{X, -11}, {Y, -13}}, 45);
+  P.addGEQ({{X, 7}, {Y, -9}}, 10);
+  P.addGEQ({{X, -7}, {Y, 9}}, 4);
+  return P;
+}
+
+Problem boxed4D() {
+  Problem P;
+  std::vector<VarId> V;
+  for (int I = 0; I != 4; ++I)
+    V.push_back(P.addVar("v" + std::to_string(I)));
+  for (VarId X : V) {
+    P.addGEQ({{X, 1}}, 100);
+    P.addGEQ({{X, -1}}, 100);
+  }
+  P.addGEQ({{V[0], 2}, {V[1], 3}, {V[2], -1}}, -7);
+  P.addGEQ({{V[1], -2}, {V[3], 5}}, 11);
+  P.addEQ({{V[0], 1}, {V[2], 1}, {V[3], -2}}, -1);
+  return P;
+}
+
+void BM_SatisfiabilityExactPath(benchmark::State &State) {
+  Problem P = boxed4D();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isSatisfiable(P));
+}
+BENCHMARK(BM_SatisfiabilityExactPath);
+
+void BM_SatisfiabilityDarkShadow(benchmark::State &State) {
+  Problem P = darkShadowClassic();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isSatisfiable(P));
+}
+BENCHMARK(BM_SatisfiabilityDarkShadow);
+
+void BM_EqualityModHatChain(benchmark::State &State) {
+  for (auto _ : State) {
+    Problem P;
+    VarId X = P.addVar("x");
+    VarId Y = P.addVar("y");
+    VarId Z = P.addVar("z");
+    P.addEQ({{X, 7}, {Y, 12}, {Z, 31}}, -17);
+    P.addGEQ({{X, 1}}, 100);
+    P.addGEQ({{X, -1}}, 100);
+    P.addGEQ({{Y, 1}}, 100);
+    P.addGEQ({{Z, -1}}, 100);
+    benchmark::DoNotOptimize(isSatisfiable(std::move(P)));
+  }
+}
+BENCHMARK(BM_EqualityModHatChain);
+
+void BM_ProjectionPaperExample(benchmark::State &State) {
+  Problem P;
+  VarId A = P.addVar("a");
+  VarId B = P.addVar("b");
+  P.addGEQ({{A, 1}}, 0);
+  P.addGEQ({{A, -1}}, 5);
+  P.addGEQ({{A, 1}, {B, -1}}, -1);
+  P.addGEQ({{A, -1}, {B, 5}}, 0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(projectOnto(P, {A}));
+}
+BENCHMARK(BM_ProjectionPaperExample);
+
+void BM_ProjectionWithSplinters(benchmark::State &State) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{Y, 3}, {X, -1}}, -5);
+  P.addGEQ({{Y, -3}, {X, 1}}, 6);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(projectOnto(P, {X}));
+}
+BENCHMARK(BM_ProjectionWithSplinters);
+
+void BM_GistWithFastChecks(benchmark::State &State) {
+  Problem Layout;
+  VarId X = Layout.addVar("x");
+  VarId Y = Layout.addVar("y");
+  Problem P = Layout.cloneLayout();
+  P.addGEQ({{X, 1}}, 0);
+  P.addGEQ({{X, 1}, {Y, 1}}, -2);
+  P.addGEQ({{X, -1}, {Y, 2}}, 30);
+  Problem Q = Layout.cloneLayout();
+  Q.addGEQ({{X, 1}}, -1);
+  Q.addGEQ({{Y, 1}}, -1);
+  Q.addGEQ({{X, -1}}, 40);
+  Q.addGEQ({{Y, -1}}, 40);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(gist(P, Q));
+}
+BENCHMARK(BM_GistWithFastChecks);
+
+void BM_CholskyOnePairStandard(benchmark::State &State) {
+  static ir::AnalyzedProgram AP = ir::analyzeSource(kernels::cholsky());
+  const ir::Access *W = nullptr, *R = nullptr;
+  for (const ir::Access &A : AP.Accesses) {
+    if (A.StmtLabel == 1 && A.IsWrite)
+      W = &A;
+    if (A.StmtLabel == 1 && !A.IsWrite && A.Text == "A(L,I,J)")
+      R = &A;
+  }
+  deps::DependenceAnalysis DA(AP);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        DA.computeDependence(*W, *R, deps::DepKind::Flow));
+}
+BENCHMARK(BM_CholskyOnePairStandard);
+
+void BM_CholskyWholeProgram(benchmark::State &State) {
+  static ir::AnalyzedProgram AP = ir::analyzeSource(kernels::cholsky());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(analysis::analyzeProgram(AP));
+}
+BENCHMARK(BM_CholskyWholeProgram);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+//===- examples/cholsky_kills.cpp - Figures 3 and 4 on CHOLSKY ------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Runs the Section 4 pipeline on the NAS CHOLSKY kernel (the paper's
+// Figure 2) and prints the live and dead flow dependences exactly in the
+// format of Figures 3 and 4, using the paper's FORTRAN statement labels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Driver.h"
+#include "kernels/Kernels.h"
+
+#include <cstdio>
+
+using namespace omega;
+using namespace omega::analysis;
+
+static void printRows(const AnalysisResult &R, bool Dead) {
+  std::printf("%-22s%-22s%-14s%s\n", "FROM", "TO", "dir/dist", "status");
+  for (const deps::Dependence &D : R.Flow) {
+    for (const deps::DepSplit &S : D.Splits) {
+      if (S.Dead != Dead)
+        continue;
+      std::string From =
+          std::to_string(kernels::cholskyPaperLabel(D.Src->StmtLabel)) +
+          ": " + D.Src->Text;
+      std::string To =
+          std::to_string(kernels::cholskyPaperLabel(D.Dst->StmtLabel)) +
+          ": " + D.Dst->Text;
+      std::string Status;
+      if (D.Covers)
+        Status += 'C';
+      if (S.DeadReason == 'c')
+        Status += 'c';
+      if (S.DeadReason == 'k')
+        Status += 'k';
+      if (S.Refined)
+        Status += 'r';
+      std::printf("%-22s%-22s%-14s%s\n", From.c_str(), To.c_str(),
+                  S.dirToString().c_str(),
+                  Status.empty() ? "" : ("[" + Status + "]").c_str());
+    }
+  }
+}
+
+int main() {
+  ir::AnalyzedProgram AP = ir::analyzeSource(kernels::cholsky());
+  if (!AP.ok()) {
+    for (const ir::Diagnostic &D : AP.Diags)
+      std::fprintf(stderr, "error: %s\n", D.toString().c_str());
+    return 1;
+  }
+
+  std::printf("CHOLSKY (Figure 2), %zu accesses in %zu loops\n",
+              AP.Accesses.size(), AP.Loops.size());
+
+  AnalysisResult R = analyzeProgram(AP);
+
+  std::printf("\nLive flow dependences (paper Figure 3):\n\n");
+  printRows(R, /*Dead=*/false);
+  std::printf("\nDead flow dependences (paper Figure 4):\n\n");
+  printRows(R, /*Dead=*/true);
+
+  std::printf("\nStatement labels are the FORTRAN DO-labels of Figure 2.\n"
+              "[C]=covers its read, [c]=covered, [k]=killed, [r]=refined.\n"
+              "A(L,JJ,J)**2 is expressed as a product, so its rows appear "
+              "twice.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- examples/refine_examples.cpp - The paper's Examples 1-6 ------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Walks through the six Section 4 examples -- killing, covering, and the
+// rectangular / trapezoidal / partial / coupled refinement cases -- and
+// prints the unrefined and analyzed dependences side by side.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Driver.h"
+#include "deps/DependenceAnalysis.h"
+#include "kernels/Kernels.h"
+
+#include <cstdio>
+
+using namespace omega;
+
+namespace {
+
+void show(const char *Title, const char *Source, const char *PaperNote) {
+  std::printf("==== %s ====\n%s\n", Title, Source);
+  ir::AnalyzedProgram AP = ir::analyzeSource(Source);
+  if (!AP.ok()) {
+    for (const ir::Diagnostic &D : AP.Diags)
+      std::printf("error: %s\n", D.toString().c_str());
+    return;
+  }
+
+  // Unrefined flow dependences first (what a standard analysis reports).
+  deps::DependenceAnalysis DA(AP);
+  std::printf("standard analysis:\n");
+  for (const deps::Dependence &D :
+       DA.computeDependences(deps::DepKind::Flow))
+    for (const deps::DepSplit &S : D.Splits)
+      std::printf("  %u: %-12s -> %u: %-12s %s\n", D.Src->StmtLabel,
+                  D.Src->Text.c_str(), D.Dst->StmtLabel,
+                  D.Dst->Text.c_str(), S.dirToString().c_str());
+
+  // Then the extended analysis.
+  analysis::AnalysisResult R = analysis::analyzeProgram(AP);
+  std::printf("extended analysis:\n");
+  for (const deps::Dependence &D : R.Flow)
+    for (const deps::DepSplit &S : D.Splits) {
+      std::string Status;
+      if (D.Covers)
+        Status += 'C';
+      if (S.DeadReason)
+        Status += S.DeadReason;
+      if (S.Refined)
+        Status += 'r';
+      std::printf("  %u: %-12s -> %u: %-12s %-10s %s%s\n", D.Src->StmtLabel,
+                  D.Src->Text.c_str(), D.Dst->StmtLabel,
+                  D.Dst->Text.c_str(), S.dirToString().c_str(),
+                  S.Dead ? "DEAD " : "live ",
+                  Status.empty() ? "" : ("[" + Status + "]").c_str());
+    }
+  std::printf("paper: %s\n\n", PaperNote);
+}
+
+} // namespace
+
+int main() {
+  show("Example 1: killed flow dependence", kernels::example1(),
+       "the flow from a(n) is killed by the write loop");
+  show("Example 2: covering and killed dependences", kernels::example2(),
+       "a(L2-1) covers the read; earlier writes die covered/killed");
+  show("Example 3: refinement", kernels::example3(),
+       "unrefined (0+,1) refines to (0,1)");
+  show("Example 4: trapezoidal refinement", kernels::example4(),
+       "unrefined (0+,1) refines to (0,1) despite the triangular bound");
+  show("Example 5: partial refinement", kernels::example5(),
+       "refines only to (0:1,1): diagonal iterations flow from (1,1)");
+  show("Example 6: coupled refinement", kernels::example6(),
+       "coupled distances (a,a), a>=1 refine to (1,1)");
+  return 0;
+}

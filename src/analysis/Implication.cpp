@@ -1,0 +1,41 @@
+//===- analysis/Implication.cpp -------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Implication.h"
+
+#include "omega/Gist.h"
+#include "omega/Satisfiability.h"
+
+#include <map>
+
+using namespace omega;
+using namespace omega::analysis;
+
+
+bool analysis::checkImplication(const Problem &LHS,
+                                std::vector<Problem> Pieces) {
+  if (!isSatisfiable(LHS))
+    return true; // vacuous
+
+  // Drop pieces disjoint from the left-hand side: they cannot help cover
+  // it, and every negation branch they would add slows the union check.
+  unsigned SharedVars = LHS.getNumVars();
+  std::vector<Problem> Relevant;
+  for (Problem &Piece : Pieces)
+    if (isSatisfiable(conjoinExtending(LHS, Piece, SharedVars)))
+      Relevant.push_back(std::move(Piece));
+  if (Relevant.empty())
+    return false;
+
+  // Fast path: one piece alone often suffices (the common case in the
+  // paper's examples).
+  for (const Problem &Piece : Relevant)
+    if (impliesUnion(LHS, {Piece}))
+      return true;
+  if (Relevant.size() == 1)
+    return false;
+  return impliesUnion(LHS, Relevant);
+}

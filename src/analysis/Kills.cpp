@@ -1,0 +1,169 @@
+//===- analysis/Kills.cpp -------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Kills.h"
+
+#include "analysis/Implication.h"
+#include "omega/Projection.h"
+#include "omega/Satisfiability.h"
+
+using namespace omega;
+using namespace omega::analysis;
+using omega::deps::DepSpace;
+
+namespace {
+
+/// Keep-mask over a DepSpace problem that drops the iteration variables of
+/// one instance (plus any extra columns the problem acquired).
+std::vector<bool> keepAllBut(const Problem &P, const DepSpace &Space,
+                             unsigned Inst) {
+  std::vector<bool> Keep(P.getNumVars(), true);
+  for (unsigned D = 0; D != Space.access(Inst).Loops.size(); ++D)
+    Keep[Space.iterVar(Inst, D)] = false;
+  return Keep;
+}
+
+/// Projects away instance \p Inst from each ordering case and returns the
+/// union of the resulting pieces. A poisoned (overflowed) projection
+/// yields the empty union: used on the right-hand side of the Section 4
+/// implications, that makes the proof fail -- the conservative outcome.
+std::vector<Problem> projectAwayInstance(std::vector<Problem> Cases,
+                                         const DepSpace &Space,
+                                         unsigned Inst) {
+  std::vector<Problem> Pieces;
+  for (Problem &Case : Cases) {
+    ProjectionResult R =
+        projectOntoMask(Case, keepAllBut(Case, Space, Inst),
+                        ProjectOptions{/*RemoveRedundant=*/false,
+                                       /*DropEmptyPieces=*/true});
+    if (R.Poisoned)
+      return {};
+    for (Problem &Piece : R.Pieces)
+      Pieces.push_back(std::move(Piece));
+  }
+  return Pieces;
+}
+
+} // namespace
+
+bool analysis::covers(const ir::AnalyzedProgram &AP, const ir::Access &A,
+                      const ir::Access &B, bool LoopIndependentOnly) {
+  assert(A.IsWrite && A.Array == B.Array && "cover needs a same-array write");
+  // Rank-mismatched references (a(x) vs. a(x,y)) only MAY alias; a cover
+  // claims the write definitely produces every element the read touches,
+  // which needs must-alias reasoning.
+  if (A.Subscripts.size() != B.Subscripts.size())
+    return false;
+  DepSpace Space(AP, {&A, &B});
+
+  // LHS: j in [B].
+  Problem LHS = Space.base();
+  Space.addIterationSpace(LHS, 1);
+
+  // RHS: exists i in [A] with A(i) << B(j) and equal subscripts.
+  Problem RHS = Space.base();
+  Space.addIterationSpace(RHS, 0);
+  Space.addSubscriptsEqual(RHS, 0, 1);
+  std::vector<Problem> Cases;
+  if (LoopIndependentOnly) {
+    if (!Space.textuallyBefore(0, 1))
+      return false;
+    Problem Case = RHS;
+    Space.addPrecedesAtLevel(Case, 0, 1, 0);
+    Cases.push_back(std::move(Case));
+  } else {
+    Cases = Space.precedesCases(RHS, 0, 1);
+  }
+  std::vector<Problem> Pieces =
+      projectAwayInstance(std::move(Cases), Space, 0);
+
+  return checkImplication(LHS, std::move(Pieces));
+}
+
+bool analysis::terminates(const ir::AnalyzedProgram &AP, const ir::Access &A,
+                          const ir::Access &B) {
+  assert(B.IsWrite && A.Array == B.Array &&
+         "termination needs a same-array write");
+  // Must-alias reasoning: see covers().
+  if (A.Subscripts.size() != B.Subscripts.size())
+    return false;
+  DepSpace Space(AP, {&A, &B});
+
+  // LHS: i in [A].
+  Problem LHS = Space.base();
+  Space.addIterationSpace(LHS, 0);
+
+  // RHS: exists j in [B] with A(i) << B(j) and equal subscripts.
+  Problem RHS = Space.base();
+  Space.addIterationSpace(RHS, 1);
+  Space.addSubscriptsEqual(RHS, 0, 1);
+  std::vector<Problem> Pieces =
+      projectAwayInstance(Space.precedesCases(RHS, 0, 1), Space, 1);
+
+  return checkImplication(LHS, std::move(Pieces));
+}
+
+bool analysis::kills(const ir::AnalyzedProgram &AP, const ir::Access &A,
+                     const ir::Access &B, const ir::Access &C,
+                     unsigned Level) {
+  assert(B.IsWrite && B.Array == A.Array && A.Array == C.Array &&
+         "killer must write the same array");
+  // The killer must DEFINITELY overwrite what flows from A to C, which
+  // needs must-alias reasoning: rank-mismatched references only may
+  // alias, so they cannot kill.
+  if (B.Subscripts.size() != C.Subscripts.size() ||
+      A.Subscripts.size() != C.Subscripts.size())
+    return false;
+  DepSpace Space(AP, {&A, &B, &C});
+
+  // LHS: i in [A], k in [C], A(i) << C(k) at the split's level, equal
+  // subscripts.
+  Problem LHS = Space.base();
+  Space.addIterationSpace(LHS, 0);
+  Space.addIterationSpace(LHS, 2);
+  Space.addSubscriptsEqual(LHS, 0, 2);
+  if (Level == 0 && !Space.textuallyBefore(0, 2))
+    return false; // no loop-independent dependence to kill
+  Space.addPrecedesAtLevel(LHS, 0, 2, Level);
+
+  // RHS: exists j in [B] with A(i) << B(j) << C(k) and B(j) =sub= C(k).
+  Problem RHS = Space.base();
+  Space.addIterationSpace(RHS, 1);
+  Space.addSubscriptsEqual(RHS, 1, 2);
+  std::vector<Problem> Pieces;
+  for (const Problem &Mid : Space.precedesCases(RHS, 0, 1)) {
+    std::vector<Problem> Full = Space.precedesCases(Mid, 1, 2);
+    std::vector<Problem> Projected =
+        projectAwayInstance(std::move(Full), Space, 1);
+    for (Problem &Piece : Projected)
+      Pieces.push_back(std::move(Piece));
+  }
+
+  return checkImplication(LHS, std::move(Pieces));
+}
+
+bool analysis::coverQuickTestPasses(const deps::Dependence &Dep) {
+  if (Dep.Splits.empty())
+    return false;
+  unsigned Common = Dep.Splits.front().Dir.size();
+  for (unsigned L = 0; L != Common; ++L) {
+    bool ZeroPossible = false;
+    for (const deps::DepSplit &S : Dep.Splits) {
+      const IntRange &R = S.Dir[L].Range;
+      if (R.Empty)
+        continue;
+      bool LoOk = !R.HasMin || R.Min <= 0;
+      bool HiOk = !R.HasMax || R.Max >= 0;
+      if (LoOk && HiOk) {
+        ZeroPossible = true;
+        break;
+      }
+    }
+    if (!ZeroPossible)
+      return false; // cannot cover the first trip of loop L
+  }
+  return true;
+}

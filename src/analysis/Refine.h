@@ -1,0 +1,47 @@
+//===- analysis/Refine.h - Dependence distance refinement (Section 4.4) --===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Refinement tightens the distance vector of a dependence from a write A
+/// to an access B: if every iteration of B that receives the dependence
+/// also receives it from a *more recent* iteration of A at distance D, the
+/// dependence can be refined to D. Candidates are generated the way the
+/// paper prescribes: fix each loop's distance to its minimum possible
+/// value over the unrefined dependence, outermost first, verifying each
+/// extension with the extended Omega test and stopping at the first
+/// failure. Refinement is a whole-dependence transformation -- it can move
+/// a dependence to a deeper carried level (Example 4's trapezoidal loop
+/// refines (0+,1) to (0,1)) -- so it rewrites the split list. The
+/// trapezoidal, partial, and coupled cases (Examples 3-6) that [Bra88] and
+/// [Rib90] cannot handle all work here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ANALYSIS_REFINE_H
+#define OMEGA_ANALYSIS_REFINE_H
+
+#include "deps/DependenceAnalysis.h"
+
+namespace omega {
+namespace analysis {
+
+struct RefineResult {
+  bool Refined = false;         ///< the split list was tightened
+  bool UsedGeneralTest = false; ///< the Omega test was consulted
+  unsigned LoopsFixed = 0;      ///< loops whose distance is now constant
+};
+
+/// Attempts to refine \p Dep (a dependence from write \p A to access
+/// \p B), rewriting its splits in place on success.
+RefineResult refineDependence(const ir::AnalyzedProgram &AP,
+                              const ir::Access &A, const ir::Access &B,
+                              deps::Dependence &Dep);
+
+} // namespace analysis
+} // namespace omega
+
+#endif // OMEGA_ANALYSIS_REFINE_H

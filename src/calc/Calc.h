@@ -1,0 +1,72 @@
+//===- calc/Calc.h - A small Omega calculator ------------------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual calculator over integer constraint sets, in the spirit of the
+/// Omega Calculator Pugh's group distributed with the Omega library. Sets
+/// are written
+///
+/// \code
+///   P := {[i,j] : 1 <= i <= n && i < j && exists w : (j = 2w)};
+///   sat P;
+///   solution P;
+///   project P onto [i];
+///   gist P given Q;
+///   R := P && Q;
+///   simplify R;
+///   print R;
+/// \endcode
+///
+/// Tuple variables are the set's dimensions; every other identifier is a
+/// free symbolic constant, shared across sets by name. `exists` introduces
+/// wildcard variables. The calculator is both a REPL backend
+/// (tools/omega-calc) and a scriptable test surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_CALC_CALC_H
+#define OMEGA_CALC_CALC_H
+
+#include "omega/Problem.h"
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+namespace calc {
+
+/// One named set: a Problem plus the names of its tuple variables.
+struct NamedSet {
+  Problem P;
+  std::vector<std::string> Tuple;
+};
+
+class Calculator {
+public:
+  /// Executes a whole script; returns everything the commands printed
+  /// (including error messages, which also set hadError()).
+  std::string run(std::string_view Script);
+
+  bool hadError() const { return HadError; }
+
+  /// Looks up a set defined by a previous run() call (tests use this).
+  const NamedSet *lookup(const std::string &Name) const {
+    auto It = Sets.find(Name);
+    return It == Sets.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::map<std::string, NamedSet> Sets;
+  bool HadError = false;
+};
+
+} // namespace calc
+} // namespace omega
+
+#endif // OMEGA_CALC_CALC_H

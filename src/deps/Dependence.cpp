@@ -1,0 +1,131 @@
+//===- deps/Dependence.cpp ------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/Dependence.h"
+
+using namespace omega;
+using namespace omega::deps;
+
+const char *deps::depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  }
+  return "?";
+}
+
+std::string DirectionElem::toString() const {
+  const IntRange &R = Range;
+  if (R.Empty)
+    return "!";
+  if (isConstant())
+    return std::to_string(R.Min);
+  if (R.HasMin && R.HasMax)
+    return std::to_string(R.Min) + ":" + std::to_string(R.Max);
+  if (R.HasMin) {
+    if (R.Min == 1)
+      return "+";
+    if (R.Min == 0)
+      return "0+";
+    if (R.Min > 1)
+      return std::to_string(R.Min) + "+";
+  }
+  if (R.HasMax) {
+    if (R.Max == -1)
+      return "-";
+    if (R.Max == 0)
+      return "0-";
+    if (R.Max < -1)
+      return std::to_string(R.Max) + "-";
+  }
+  return "*";
+}
+
+namespace {
+
+/// Can the two ranges be replaced by one contiguous interval equal to
+/// their union? (Adjacent or overlapping intervals qualify.)
+bool unionIsContiguous(const IntRange &A, const IntRange &B, IntRange &Out) {
+  if (A.Empty || B.Empty)
+    return false;
+  // Order by lower end; an open lower end sorts first.
+  const IntRange &Lo = (!A.HasMin || (B.HasMin && A.Min <= B.Min)) ? A : B;
+  const IntRange &Hi = (&Lo == &A) ? B : A;
+  // Contiguity: Lo reaches at least one below Hi's start.
+  if (Lo.HasMax && Hi.HasMin && Lo.Max + 1 < Hi.Min)
+    return false;
+  Out.Empty = false;
+  Out.HasMin = Lo.HasMin;
+  Out.Min = Lo.Min;
+  Out.HasMax = !(!Lo.HasMax || !Hi.HasMax);
+  if (Out.HasMax)
+    Out.Max = std::max(Lo.Max, Hi.Max);
+  return true;
+}
+
+/// Attempts to merge B into A: allowed when all components but one are
+/// identical and the differing one unions contiguously.
+bool tryMerge(DepSplit &A, const DepSplit &B) {
+  if (A.Dir.size() != B.Dir.size() || A.Dead != B.Dead ||
+      A.DeadReason != B.DeadReason || A.Refined != B.Refined)
+    return false;
+  int Differing = -1;
+  for (unsigned K = 0; K != A.Dir.size(); ++K) {
+    const IntRange &X = A.Dir[K].Range;
+    const IntRange &Y = B.Dir[K].Range;
+    bool Same = X.HasMin == Y.HasMin && X.HasMax == Y.HasMax &&
+                (!X.HasMin || X.Min == Y.Min) &&
+                (!X.HasMax || X.Max == Y.Max);
+    if (Same)
+      continue;
+    if (Differing >= 0)
+      return false; // more than one differing component
+    Differing = static_cast<int>(K);
+  }
+  if (Differing < 0)
+    return true; // identical rows collapse
+  IntRange Merged;
+  if (!unionIsContiguous(A.Dir[Differing].Range, B.Dir[Differing].Range,
+                         Merged))
+    return false;
+  A.Dir[Differing].Range = Merged;
+  // Display level: 0 if the merged row spans the loop-independent case,
+  // otherwise the outermost carrying loop.
+  A.Level = (A.Level == 0 || B.Level == 0) ? 0 : std::min(A.Level, B.Level);
+  return true;
+}
+
+} // namespace
+
+std::vector<DepSplit> deps::compressSplits(std::vector<DepSplit> Splits) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0; I != Splits.size() && !Changed; ++I)
+      for (unsigned J = I + 1; J != Splits.size() && !Changed; ++J)
+        if (tryMerge(Splits[I], Splits[J])) {
+          Splits.erase(Splits.begin() + J);
+          Changed = true;
+        }
+  }
+  return Splits;
+}
+
+std::string DepSplit::dirToString() const {
+  if (Dir.empty())
+    return "";
+  std::string Out = "(";
+  for (unsigned I = 0; I != Dir.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += Dir[I].toString();
+  }
+  return Out + ")";
+}

@@ -1,0 +1,92 @@
+//===- deps/Dependence.h - Dependence summaries ---------------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data dependence summaries: kind, per-level direction/distance vectors
+/// (in the paper's rendering: 0, 1, +, 0+, 0:1, *, ...), and status flags
+/// accumulated by the Section 4 analyses (refined, covering, covered,
+/// killed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_DEPS_DEPENDENCE_H
+#define OMEGA_DEPS_DEPENDENCE_H
+
+#include "ir/Sema.h"
+#include "omega/Projection.h"
+
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace deps {
+
+enum class DepKind : uint8_t { Flow, Anti, Output };
+
+const char *depKindName(DepKind K);
+
+/// The distance summary for one common loop of a dependence.
+struct DirectionElem {
+  IntRange Range;
+
+  bool isConstant() const {
+    return Range.HasMin && Range.HasMax && Range.Min == Range.Max;
+  }
+  /// Paper-style rendering: a constant distance prints as its value; small
+  /// finite ranges as "lo:hi"; otherwise a sign summary (+, 0+, -, 0-, *).
+  std::string toString() const;
+};
+
+/// One dependence split: either carried by a specific common loop or
+/// loop-independent. This is the granularity at which the Section 4
+/// analyses work (each split is conjunctive -- a natural restraint
+/// vector).
+struct DepSplit {
+  unsigned Level = 0; ///< 1-based carrying loop; 0 == loop-independent
+  std::vector<DirectionElem> Dir; ///< one entry per common loop
+  bool Dead = false;     ///< eliminated by a Section 4 analysis
+  char DeadReason = 0;   ///< 'k' killed, 'c' covered
+  bool Refined = false;  ///< distances tightened by refinement
+
+  std::string dirToString() const;
+};
+
+/// Compresses a split list into the paper's display form (Section 2.1.1):
+/// two rows merge when they differ in exactly one component and that
+/// component's ranges union into one contiguous interval -- so
+/// {(+,1),(0,1)} becomes (0+,1), while {(+,+),(0,0)} stays apart (the
+/// single vector (0+,0+) would falsely suggest (0,+) and (+,0)). Only rows
+/// with matching liveness/flags merge. Intended for presentation; the
+/// analyses keep the per-level splits.
+std::vector<DepSplit> compressSplits(std::vector<DepSplit> Splits);
+
+struct Dependence {
+  const ir::Access *Src = nullptr;
+  const ir::Access *Dst = nullptr;
+  DepKind Kind = DepKind::Flow;
+  std::vector<DepSplit> Splits;
+  bool Covers = false; ///< Src covers Dst ([C] in Figure 3)
+  bool CoverLoopIndependent = false; ///< the cover needs no carried source
+
+  bool allDead() const {
+    for (const DepSplit &S : Splits)
+      if (!S.Dead)
+        return false;
+    return true;
+  }
+  bool anyRefined() const {
+    for (const DepSplit &S : Splits)
+      if (S.Refined)
+        return true;
+    return false;
+  }
+};
+
+} // namespace deps
+} // namespace omega
+
+#endif // OMEGA_DEPS_DEPENDENCE_H

@@ -1,0 +1,102 @@
+//===- deps/DependenceAnalysis.cpp ----------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/DependenceAnalysis.h"
+
+#include "omega/Satisfiability.h"
+
+using namespace omega;
+using namespace omega::deps;
+
+Problem deps::buildPairProblem(const DepSpace &Space) {
+  Problem P = Space.base();
+  Space.addIterationSpace(P, 0);
+  Space.addIterationSpace(P, 1);
+  Space.addSubscriptsEqual(P, 0, 1);
+  return P;
+}
+
+std::optional<Dependence>
+DependenceAnalysis::computeDependence(const ir::Access &Src,
+                                      const ir::Access &Dst,
+                                      DepKind Kind) const {
+  DepSpace Space(AP, {&Src, &Dst});
+  Problem Pair = buildPairProblem(Space);
+  unsigned Common = Space.numCommonLoops(0, 1);
+
+  Dependence Dep;
+  Dep.Src = &Src;
+  Dep.Dst = &Dst;
+  Dep.Kind = Kind;
+
+  auto summarize = [&](const Problem &Case) {
+    // Distance ranges per common loop under this case's constraints.
+    Problem WithDeltas = Case;
+    std::vector<VarId> Deltas =
+        Space.addDistanceVars(WithDeltas, 0, 1);
+    DepSplit Split;
+    for (VarId Delta : Deltas) {
+      DirectionElem Elem;
+      Elem.Range = computeVarRange(WithDeltas, Delta);
+      Split.Dir.push_back(Elem);
+    }
+    return Split;
+  };
+
+  for (unsigned Level = 1; Level <= Common; ++Level) {
+    Problem Case = Pair;
+    Space.addPrecedesAtLevel(Case, 0, 1, Level);
+    if (!isSatisfiable(Case))
+      continue;
+    DepSplit Split = summarize(Case);
+    Split.Level = Level;
+    Dep.Splits.push_back(std::move(Split));
+  }
+  if (Space.textuallyBefore(0, 1)) {
+    Problem Case = Pair;
+    Space.addPrecedesAtLevel(Case, 0, 1, 0);
+    if (isSatisfiable(Case)) {
+      DepSplit Split = summarize(Case);
+      Split.Level = 0;
+      Dep.Splits.push_back(std::move(Split));
+    }
+  }
+
+  if (Dep.Splits.empty())
+    return std::nullopt;
+  return Dep;
+}
+
+std::vector<Dependence>
+DependenceAnalysis::computeDependences(DepKind Kind) const {
+  std::vector<Dependence> Out;
+  for (const ir::Access &Src : AP.Accesses) {
+    bool SrcIsWrite = Kind == DepKind::Flow || Kind == DepKind::Output;
+    if (Src.IsWrite != SrcIsWrite)
+      continue;
+    for (const ir::Access &Dst : AP.Accesses) {
+      bool DstIsWrite = Kind == DepKind::Anti || Kind == DepKind::Output;
+      if (Dst.IsWrite != DstIsWrite || Dst.Array != Src.Array)
+        continue;
+      if (&Src == &Dst && Kind != DepKind::Output)
+        continue; // a reference cannot flow to itself except write/write
+      if (std::optional<Dependence> Dep = computeDependence(Src, Dst, Kind))
+        Out.push_back(std::move(*Dep));
+    }
+  }
+  return Out;
+}
+
+std::vector<Dependence> DependenceAnalysis::computeAllDependences() const {
+  std::vector<Dependence> Out = computeDependences(DepKind::Flow);
+  std::vector<Dependence> Anti = computeDependences(DepKind::Anti);
+  std::vector<Dependence> Output = computeDependences(DepKind::Output);
+  Out.insert(Out.end(), std::make_move_iterator(Anti.begin()),
+             std::make_move_iterator(Anti.end()));
+  Out.insert(Out.end(), std::make_move_iterator(Output.begin()),
+             std::make_move_iterator(Output.end()));
+  return Out;
+}

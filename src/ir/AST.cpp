@@ -1,0 +1,226 @@
+//===- ir/AST.cpp ---------------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AST.h"
+
+#include <cassert>
+
+using namespace omega;
+using namespace omega::ir;
+
+Expr Expr::intLit(int64_t V, SourceLoc Loc) {
+  Expr E(Kind::IntLit);
+  E.IntValue = V;
+  E.Loc = Loc;
+  return E;
+}
+
+Expr Expr::varRef(std::string Name, SourceLoc Loc) {
+  Expr E(Kind::VarRef);
+  E.Name = std::move(Name);
+  E.Loc = Loc;
+  return E;
+}
+
+Expr Expr::read(std::string Array, std::vector<Expr> Subs, SourceLoc Loc) {
+  Expr E(Kind::Read);
+  E.Name = std::move(Array);
+  E.Args = std::move(Subs);
+  E.Loc = Loc;
+  return E;
+}
+
+Expr Expr::add(Expr L, Expr R) {
+  Expr E(Kind::Add);
+  E.Loc = L.Loc;
+  E.Args.push_back(std::move(L));
+  E.Args.push_back(std::move(R));
+  return E;
+}
+
+Expr Expr::sub(Expr L, Expr R) {
+  Expr E(Kind::Sub);
+  E.Loc = L.Loc;
+  E.Args.push_back(std::move(L));
+  E.Args.push_back(std::move(R));
+  return E;
+}
+
+Expr Expr::mul(Expr L, Expr R) {
+  Expr E(Kind::Mul);
+  E.Loc = L.Loc;
+  E.Args.push_back(std::move(L));
+  E.Args.push_back(std::move(R));
+  return E;
+}
+
+Expr Expr::neg(Expr Inner) {
+  Expr E(Kind::Neg);
+  E.Loc = Inner.Loc;
+  E.Args.push_back(std::move(Inner));
+  return E;
+}
+
+Expr Expr::min(std::vector<Expr> Args, SourceLoc Loc) {
+  assert(!Args.empty() && "min() needs arguments");
+  Expr E(Kind::Min);
+  E.Args = std::move(Args);
+  E.Loc = Loc;
+  return E;
+}
+
+Expr Expr::max(std::vector<Expr> Args, SourceLoc Loc) {
+  assert(!Args.empty() && "max() needs arguments");
+  Expr E(Kind::Max);
+  E.Args = std::move(Args);
+  E.Loc = Loc;
+  return E;
+}
+
+namespace {
+
+/// Operator precedence for parenthesization while printing.
+int precedenceOf(Expr::Kind K) {
+  switch (K) {
+  case Expr::Kind::Add:
+  case Expr::Kind::Sub:
+    return 1;
+  case Expr::Kind::Mul:
+    return 2;
+  case Expr::Kind::Neg:
+    return 3;
+  default:
+    return 4;
+  }
+}
+
+void printExpr(const Expr &E, int ParentPrec, std::string &Out) {
+  int Prec = precedenceOf(E.getKind());
+  bool Parens = Prec < ParentPrec;
+  if (Parens)
+    Out += "(";
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    Out += std::to_string(E.getIntValue());
+    break;
+  case Expr::Kind::VarRef:
+    Out += E.getName();
+    break;
+  case Expr::Kind::Read:
+  case Expr::Kind::Min:
+  case Expr::Kind::Max: {
+    if (E.getKind() == Expr::Kind::Min)
+      Out += "min";
+    else if (E.getKind() == Expr::Kind::Max)
+      Out += "max";
+    else
+      Out += E.getName();
+    if (E.getKind() == Expr::Kind::Read && E.args().empty())
+      break; // scalar read: just the name
+    Out += "(";
+    for (unsigned I = 0; I != E.args().size(); ++I) {
+      if (I)
+        Out += ",";
+      printExpr(E.args()[I], 0, Out);
+    }
+    Out += ")";
+    break;
+  }
+  case Expr::Kind::Add:
+  case Expr::Kind::Sub:
+    printExpr(E.args()[0], Prec, Out);
+    Out += E.getKind() == Expr::Kind::Add ? "+" : "-";
+    printExpr(E.args()[1], Prec + 1, Out);
+    break;
+  case Expr::Kind::Mul:
+    printExpr(E.args()[0], Prec, Out);
+    Out += "*";
+    printExpr(E.args()[1], Prec + 1, Out);
+    break;
+  case Expr::Kind::Neg:
+    Out += "-";
+    printExpr(E.args()[0], Prec, Out);
+    break;
+  }
+  if (Parens)
+    Out += ")";
+}
+
+void printStmt(const Stmt &S, unsigned Indent, std::string &Out) {
+  Out.append(Indent, ' ');
+  if (S.isFor()) {
+    const ForStmt &F = S.asFor();
+    Out += "for " + F.Var + " := " + F.Lo.toString() + " to " +
+           F.Hi.toString();
+    if (F.Step != 1)
+      Out += " step " + std::to_string(F.Step);
+    Out += " do\n";
+    for (const Stmt &Child : F.Body)
+      printStmt(Child, Indent + 2, Out);
+    Out.append(Indent, ' ');
+    Out += "endfor\n";
+    return;
+  }
+  Out += S.asAssign().toString() + "\n";
+}
+
+} // namespace
+
+std::string Expr::toString() const {
+  std::string Out;
+  printExpr(*this, 0, Out);
+  return Out;
+}
+
+std::string AssignStmt::lhsToString() const {
+  std::string Out = Array;
+  if (!Subscripts.empty()) {
+    Out += "(";
+    for (unsigned I = 0; I != Subscripts.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Subscripts[I].toString();
+    }
+    Out += ")";
+  }
+  return Out;
+}
+
+std::string AssignStmt::toString() const {
+  return lhsToString() + " := " + RHS.toString() + ";";
+}
+
+static void collectReadsPreOrder(const Expr &E,
+                                 std::vector<const Expr *> &Out) {
+  if (E.getKind() == Expr::Kind::Read)
+    Out.push_back(&E);
+  for (const Expr &Arg : E.args())
+    collectReadsPreOrder(Arg, Out);
+}
+
+std::vector<const Expr *> ir::readsInCanonicalOrder(const AssignStmt &A) {
+  std::vector<const Expr *> Out;
+  collectReadsPreOrder(A.RHS, Out);
+  for (const Expr &Sub : A.Subscripts)
+    collectReadsPreOrder(Sub, Out);
+  return Out;
+}
+
+std::string Program::toString() const {
+  std::string Out;
+  if (!SymbolicConsts.empty()) {
+    Out += "symbolic ";
+    for (unsigned I = 0; I != SymbolicConsts.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += SymbolicConsts[I];
+    }
+    Out += ";\n";
+  }
+  for (const Stmt &S : Body)
+    printStmt(S, 0, Out);
+  return Out;
+}

@@ -1,0 +1,138 @@
+//===- ir/AST.h - Syntax tree for the tiny-style loop language -----------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree for the loop language the analyses consume --
+/// a close cousin of Michael Wolfe's `tiny` tool, which the paper's
+/// implementation extended. Programs are nests of `for` loops with affine
+/// (min/max) bounds and constant steps around array assignments with
+/// affine subscripts; scalars are zero-dimensional arrays. Example:
+///
+/// \code
+///   symbolic n, m;
+///   for L1 := 1 to n do
+///     for L2 := 2 to m do
+///       a(L2) := a(L2 - 1);
+///     endfor
+///   endfor
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_IR_AST_H
+#define OMEGA_IR_AST_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace omega {
+namespace ir {
+
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// Expression tree with value semantics.
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLit, ///< integer literal
+    VarRef, ///< loop variable or symbolic constant
+    Read,   ///< array element read: Name(Args...)
+    Add,
+    Sub,
+    Mul,
+    Neg,
+    Min, ///< min(Args...)
+    Max, ///< max(Args...)
+  };
+
+  static Expr intLit(int64_t V, SourceLoc Loc = {});
+  static Expr varRef(std::string Name, SourceLoc Loc = {});
+  static Expr read(std::string Array, std::vector<Expr> Subs,
+                   SourceLoc Loc = {});
+  static Expr add(Expr L, Expr R);
+  static Expr sub(Expr L, Expr R);
+  static Expr mul(Expr L, Expr R);
+  static Expr neg(Expr E);
+  static Expr min(std::vector<Expr> Args, SourceLoc Loc = {});
+  static Expr max(std::vector<Expr> Args, SourceLoc Loc = {});
+
+  Kind getKind() const { return K; }
+  int64_t getIntValue() const { return IntValue; }
+  const std::string &getName() const { return Name; }
+  const std::vector<Expr> &args() const { return Args; }
+  std::vector<Expr> &mutableArgs() { return Args; }
+  SourceLoc getLoc() const { return Loc; }
+
+  std::string toString() const;
+
+private:
+  explicit Expr(Kind K) : K(K) {}
+
+  Kind K;
+  int64_t IntValue = 0;
+  std::string Name;       // VarRef / Read
+  std::vector<Expr> Args; // Read subscripts, operator operands, min/max args
+  SourceLoc Loc;
+};
+
+struct Stmt;
+
+/// `Array(Subscripts) := RHS;` -- Subscripts empty for a scalar.
+struct AssignStmt {
+  std::string Array;
+  std::vector<Expr> Subscripts;
+  Expr RHS = Expr::intLit(0);
+  unsigned Label = 0; ///< 1-based statement number in program order
+  SourceLoc Loc;
+
+  std::string lhsToString() const;
+  std::string toString() const;
+};
+
+/// `for Var := Lo to Hi [step K] do Body endfor`.
+struct ForStmt {
+  std::string Var;
+  Expr Lo = Expr::intLit(0);
+  Expr Hi = Expr::intLit(0);
+  int64_t Step = 1; ///< non-zero; negative steps count down
+  std::vector<Stmt> Body;
+  SourceLoc Loc;
+};
+
+struct Stmt {
+  std::variant<ForStmt, AssignStmt> Node;
+
+  bool isFor() const { return std::holds_alternative<ForStmt>(Node); }
+  const ForStmt &asFor() const { return std::get<ForStmt>(Node); }
+  ForStmt &asFor() { return std::get<ForStmt>(Node); }
+  const AssignStmt &asAssign() const { return std::get<AssignStmt>(Node); }
+  AssignStmt &asAssign() { return std::get<AssignStmt>(Node); }
+};
+
+/// `symbolic n, m;` introduces symbolic constants; array declarations are
+/// implicit (any name used with subscripts or assigned).
+struct Program {
+  std::vector<std::string> SymbolicConsts;
+  std::vector<Stmt> Body;
+
+  std::string toString() const;
+};
+
+/// The Read expressions of one assignment in canonical order (RHS first,
+/// then the LHS subscripts, each pre-order). Semantic lowering and the
+/// interpreter both use this, so trace entries line up with Access ids.
+std::vector<const Expr *> readsInCanonicalOrder(const AssignStmt &A);
+
+} // namespace ir
+} // namespace omega
+
+#endif // OMEGA_IR_AST_H

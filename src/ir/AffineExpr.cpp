@@ -1,0 +1,109 @@
+//===- ir/AffineExpr.cpp --------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AffineExpr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace omega;
+using namespace omega::ir;
+
+int64_t AffineExpr::coeffOf(SymId S) const {
+  for (const auto &[Sym, Coeff] : TermList)
+    if (Sym == S)
+      return Coeff;
+  return 0;
+}
+
+void AffineExpr::addTerm(SymId S, int64_t Coeff) {
+  if (Coeff == 0)
+    return;
+  auto It = std::lower_bound(
+      TermList.begin(), TermList.end(), S,
+      [](const std::pair<SymId, int64_t> &T, SymId V) { return T.first < V; });
+  if (It != TermList.end() && It->first == S) {
+    It->second = checkedAdd(It->second, Coeff);
+    if (It->second == 0)
+      TermList.erase(It);
+    return;
+  }
+  TermList.insert(It, {S, Coeff});
+}
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &O) {
+  for (const auto &[Sym, Coeff] : O.TermList)
+    addTerm(Sym, Coeff);
+  Const = checkedAdd(Const, O.Const);
+  return *this;
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &O) {
+  for (const auto &[Sym, Coeff] : O.TermList)
+    addTerm(Sym, checkedMul(Coeff, -1));
+  Const = checkedSub(Const, O.Const);
+  return *this;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &O) const {
+  AffineExpr R = *this;
+  R += O;
+  return R;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
+  AffineExpr R = *this;
+  R -= O;
+  return R;
+}
+
+AffineExpr AffineExpr::scaled(int64_t K) const {
+  AffineExpr R;
+  if (K == 0)
+    return R;
+  R.Const = checkedMul(Const, K);
+  R.TermList = TermList;
+  for (auto &[Sym, Coeff] : R.TermList)
+    Coeff = checkedMul(Coeff, K);
+  return R;
+}
+
+AffineExpr AffineExpr::substituted(SymId S,
+                                   const AffineExpr &Replacement) const {
+  int64_t C = coeffOf(S);
+  if (C == 0)
+    return *this;
+  AffineExpr R = *this;
+  R.addTerm(S, checkedMul(C, -1));
+  R += Replacement.scaled(C);
+  return R;
+}
+
+std::string AffineExpr::toString(
+    const std::vector<std::string> &SymNames) const {
+  std::string Out;
+  for (const auto &[Sym, Coeff] : TermList) {
+    assert(static_cast<size_t>(Sym) < SymNames.size());
+    if (Out.empty()) {
+      if (Coeff == -1)
+        Out += "-";
+      else if (Coeff != 1)
+        Out += std::to_string(Coeff) + "*";
+    } else {
+      Out += Coeff < 0 ? " - " : " + ";
+      if (Coeff != 1 && Coeff != -1)
+        Out += std::to_string(absVal(Coeff)) + "*";
+    }
+    Out += SymNames[Sym];
+  }
+  if (Const != 0 || Out.empty()) {
+    if (Out.empty())
+      Out = std::to_string(Const);
+    else
+      Out += (Const < 0 ? " - " : " + ") + std::to_string(absVal(Const));
+  }
+  return Out;
+}

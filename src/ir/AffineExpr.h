@@ -1,0 +1,88 @@
+//===- ir/AffineExpr.h - Affine forms over program symbols ----------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine expressions over the analysis symbols of a program: normalized
+/// loop iteration variables, symbolic constants, and uninterpreted terms
+/// (non-affine subexpressions and index-array reads, handled per Section 5
+/// of the paper as opaque symbols).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_IR_AFFINEEXPR_H
+#define OMEGA_IR_AFFINEEXPR_H
+
+#include "support/MathUtils.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace ir {
+
+/// Index into a SymbolTable.
+using SymId = int;
+
+enum class SymKind : uint8_t {
+  LoopIter, ///< normalized iteration variable of one loop
+  SymConst, ///< loop-invariant symbolic constant (paper's Sym)
+  Term,     ///< uninterpreted term: non-affine expression or index array read
+};
+
+class AffineExpr {
+public:
+  AffineExpr() = default;
+  explicit AffineExpr(int64_t Constant) : Const(Constant) {}
+  static AffineExpr symbol(SymId S, int64_t Coeff = 1) {
+    AffineExpr E;
+    if (Coeff != 0)
+      E.TermList.push_back({S, Coeff});
+    return E;
+  }
+
+  int64_t getConstant() const { return Const; }
+  void setConstant(int64_t C) { Const = C; }
+
+  /// (symbol, coefficient) pairs, sorted by symbol, no zero coefficients.
+  const std::vector<std::pair<SymId, int64_t>> &terms() const {
+    return TermList;
+  }
+
+  int64_t coeffOf(SymId S) const;
+  bool isConstant() const { return TermList.empty(); }
+  bool references(SymId S) const { return coeffOf(S) != 0; }
+
+  AffineExpr &operator+=(const AffineExpr &O);
+  AffineExpr &operator-=(const AffineExpr &O);
+  AffineExpr operator+(const AffineExpr &O) const;
+  AffineExpr operator-(const AffineExpr &O) const;
+  AffineExpr scaled(int64_t K) const;
+  AffineExpr negated() const { return scaled(-1); }
+
+  /// Replaces symbol \p S with \p Replacement.
+  AffineExpr substituted(SymId S, const AffineExpr &Replacement) const;
+
+  bool operator==(const AffineExpr &O) const {
+    return Const == O.Const && TermList == O.TermList;
+  }
+
+  /// Renders with a name lookup callback.
+  std::string toString(
+      const std::vector<std::string> &SymNames) const;
+
+private:
+  void addTerm(SymId S, int64_t Coeff);
+
+  std::vector<std::pair<SymId, int64_t>> TermList;
+  int64_t Const = 0;
+};
+
+} // namespace ir
+} // namespace omega
+
+#endif // OMEGA_IR_AFFINEEXPR_H

@@ -1,0 +1,221 @@
+//===- ir/Interp.cpp ------------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include "support/MathUtils.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace omega;
+using namespace omega::ir;
+
+namespace {
+
+// Numeric programs (CHOLSKY!) grow values exponentially; dependence
+// ground truth only needs values where they feed subscripts, so the
+// interpreter clamps arithmetic to a wide deterministic band instead of
+// trapping on overflow.
+constexpr int64_t ValueCap = int64_t(1) << 40;
+
+int64_t clampValue(__int128 V) {
+  if (V > ValueCap)
+    return ValueCap;
+  if (V < -ValueCap)
+    return -ValueCap;
+  return static_cast<int64_t>(V);
+}
+
+int64_t satAdd(int64_t A, int64_t B) { return clampValue(__int128(A) + B); }
+int64_t satSub(int64_t A, int64_t B) { return clampValue(__int128(A) - B); }
+int64_t satMul(int64_t A, int64_t B) { return clampValue(__int128(A) * B); }
+
+class Interpreter {
+public:
+  Interpreter(const Program &P, const ExecConfig &Config)
+      : Prog(P), Config(Config) {}
+
+  ExecResult run() {
+    execBody(Prog.Body);
+    // Final memory: only the elements some write produced (reads of
+    // never-written elements materialize default values in Arrays and
+    // are filtered out here).
+    for (const TraceEntry &T : Result.Trace)
+      if (T.IsWrite)
+        Result.FinalState[T.Array][T.Location] = Arrays[T.Array][T.Location];
+    return std::move(Result);
+  }
+
+private:
+  struct LoopFrame {
+    const ForStmt *Loop;
+    int64_t Value; ///< current source-variable value
+  };
+
+  void fail(const std::string &Message) {
+    if (!Result.Failed) {
+      Result.Failed = true;
+      Result.Error = Message;
+    }
+  }
+
+  bool done() const {
+    return Result.Failed || Result.Truncated;
+  }
+
+  /// Deterministic value for a never-written array element.
+  int64_t defaultValue(const std::string &Array,
+                       const std::vector<int64_t> &Loc) {
+    uint64_t H = std::hash<std::string>()(Array);
+    for (int64_t V : Loc)
+      H = H * 1099511628211ULL + static_cast<uint64_t>(V) + 0x9e3779b9;
+    return static_cast<int64_t>(H % 5) + 1; // small positive values
+  }
+
+  int64_t lookupVar(const std::string &Name) {
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It)
+      if (It->Loop->Var == Name)
+        return It->Value;
+    auto Sym = Config.Symbols.find(Name);
+    if (Sym != Config.Symbols.end())
+      return Sym->second;
+    fail("unbound symbol '" + Name + "'");
+    return 0;
+  }
+
+  int64_t readArray(const std::string &Array, std::vector<int64_t> Loc) {
+    auto &Store = Arrays[Array];
+    auto It = Store.find(Loc);
+    if (It != Store.end())
+      return It->second;
+    int64_t V = defaultValue(Array, Loc);
+    Store.emplace(std::move(Loc), V);
+    return V;
+  }
+
+  int64_t eval(const Expr &E) {
+    switch (E.getKind()) {
+    case Expr::Kind::IntLit:
+      return E.getIntValue();
+    case Expr::Kind::VarRef:
+      return lookupVar(E.getName());
+    case Expr::Kind::Read: {
+      std::vector<int64_t> Loc;
+      for (const Expr &Sub : E.args())
+        Loc.push_back(eval(Sub));
+      return readArray(E.getName(), std::move(Loc));
+    }
+    case Expr::Kind::Add:
+      return satAdd(eval(E.args()[0]), eval(E.args()[1]));
+    case Expr::Kind::Sub:
+      return satSub(eval(E.args()[0]), eval(E.args()[1]));
+    case Expr::Kind::Mul:
+      return satMul(eval(E.args()[0]), eval(E.args()[1]));
+    case Expr::Kind::Neg:
+      return satMul(eval(E.args()[0]), -1);
+    case Expr::Kind::Min:
+    case Expr::Kind::Max: {
+      int64_t Best = eval(E.args()[0]);
+      for (unsigned I = 1; I != E.args().size(); ++I) {
+        int64_t V = eval(E.args()[I]);
+        Best = E.getKind() == Expr::Kind::Min ? std::min(Best, V)
+                                              : std::max(Best, V);
+      }
+      return Best;
+    }
+    }
+    fail("unknown expression kind");
+    return 0;
+  }
+
+  std::vector<int64_t> currentIters() const {
+    std::vector<int64_t> Out;
+    for (const LoopFrame &F : Loops)
+      Out.push_back(F.Loop->Step < 0 ? -F.Value : F.Value);
+    return Out;
+  }
+
+  void execBody(const std::vector<Stmt> &Body) {
+    for (const Stmt &S : Body) {
+      if (done())
+        return;
+      if (S.isFor())
+        execFor(S.asFor());
+      else
+        execAssign(S.asAssign());
+    }
+  }
+
+  void execFor(const ForStmt &F) {
+    int64_t Lo = eval(F.Lo);
+    int64_t Hi = eval(F.Hi);
+    if (done())
+      return;
+    Loops.push_back(LoopFrame{&F, Lo});
+    for (int64_t V = Lo; F.Step > 0 ? V <= Hi : V >= Hi; V += F.Step) {
+      Loops.back().Value = V;
+      execBody(F.Body);
+      if (done())
+        break;
+    }
+    Loops.pop_back();
+  }
+
+  void execAssign(const AssignStmt &A) {
+    if (++Steps > Config.MaxSteps) {
+      Result.Truncated = true;
+      return;
+    }
+    std::vector<int64_t> Iters = currentIters();
+
+    // Record every read in the canonical order shared with Sema.
+    unsigned Ordinal = 0;
+    for (const Expr *Read : readsInCanonicalOrder(A)) {
+      TraceEntry T;
+      T.StmtLabel = A.Label;
+      T.IsWrite = false;
+      T.ReadOrdinal = Ordinal++;
+      T.Array = Read->getName();
+      for (const Expr &Sub : Read->args())
+        T.Location.push_back(eval(Sub));
+      T.Iters = Iters;
+      Result.Trace.push_back(std::move(T));
+      if (done())
+        return;
+    }
+
+    int64_t Value = eval(A.RHS);
+    std::vector<int64_t> Loc;
+    for (const Expr &Sub : A.Subscripts)
+      Loc.push_back(eval(Sub));
+    if (done())
+      return;
+
+    TraceEntry W;
+    W.StmtLabel = A.Label;
+    W.IsWrite = true;
+    W.Array = A.Array;
+    W.Location = Loc;
+    W.Iters = std::move(Iters);
+    Result.Trace.push_back(std::move(W));
+
+    Arrays[A.Array][std::move(Loc)] = Value;
+  }
+
+  const Program &Prog;
+  const ExecConfig &Config;
+  ExecResult Result;
+  std::vector<LoopFrame> Loops;
+  std::map<std::string, std::map<std::vector<int64_t>, int64_t>> Arrays;
+  uint64_t Steps = 0;
+};
+
+} // namespace
+
+ExecResult ir::interpret(const Program &P, const ExecConfig &Config) {
+  return Interpreter(P, Config).run();
+}

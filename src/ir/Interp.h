@@ -1,0 +1,68 @@
+//===- ir/Interp.h - Concrete interpreter for the tiny language ----------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reference interpreter: executes a program with concrete values for
+/// the symbolic constants and records the trace of array accesses. The
+/// trace is the ground truth the differential tests compare dependence
+/// analysis against -- a value-based flow dependence exists from W to R
+/// exactly when W is the last write to R's location before R executes.
+///
+/// Uninitialized array reads yield deterministic pseudo-random values, so
+/// index-array programs execute reproducibly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_IR_INTERP_H
+#define OMEGA_IR_INTERP_H
+
+#include "ir/AST.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace ir {
+
+/// One executed array access.
+struct TraceEntry {
+  unsigned StmtLabel = 0;
+  bool IsWrite = false;
+  /// 0-based position among the statement's reads (canonical order);
+  /// unused for writes.
+  unsigned ReadOrdinal = 0;
+  std::string Array;
+  std::vector<int64_t> Location; ///< concrete subscript values
+  /// Normalized iteration values of the enclosing loops, outermost first
+  /// (matches Access::Loops and the analysis' distance convention).
+  std::vector<int64_t> Iters;
+};
+
+struct ExecConfig {
+  std::map<std::string, int64_t> Symbols;
+  uint64_t MaxSteps = 1u << 20; ///< executed-assignment cap
+};
+
+struct ExecResult {
+  std::vector<TraceEntry> Trace;
+  /// Final memory: per array, the written elements and their values
+  /// (elements only ever read do not appear).
+  std::map<std::string, std::map<std::vector<int64_t>, int64_t>> FinalState;
+  bool Truncated = false; ///< MaxSteps was hit
+  bool Failed = false;    ///< unbound symbol or similar
+  std::string Error;
+};
+
+/// Runs \p P to completion (or the step cap) under \p Config.
+ExecResult interpret(const Program &P, const ExecConfig &Config);
+
+} // namespace ir
+} // namespace omega
+
+#endif // OMEGA_IR_INTERP_H

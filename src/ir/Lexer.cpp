@@ -1,0 +1,189 @@
+//===- ir/Lexer.cpp -------------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lexer.h"
+
+#include <cctype>
+
+using namespace omega;
+using namespace omega::ir;
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '#') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+namespace {
+
+std::string toLower(std::string S) {
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return S;
+}
+
+} // namespace
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Loc = SourceLoc{Line, Col};
+  if (Pos >= Source.size()) {
+    T.Kind = TokenKind::Eof;
+    return T;
+  }
+
+  char C = advance();
+  switch (C) {
+  case '(':
+    T.Kind = TokenKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokenKind::RParen;
+    return T;
+  case ',':
+    T.Kind = TokenKind::Comma;
+    return T;
+  case ';':
+    T.Kind = TokenKind::Semi;
+    return T;
+  case '+':
+    T.Kind = TokenKind::Plus;
+    return T;
+  case '-':
+    T.Kind = TokenKind::Minus;
+    return T;
+  case '*':
+    T.Kind = TokenKind::Star;
+    return T;
+  case ':':
+    if (peek() == '=') {
+      advance();
+      T.Kind = TokenKind::Assign;
+      return T;
+    }
+    T.Kind = TokenKind::Error;
+    T.Text = ":";
+    return T;
+  default:
+    break;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t V = C - '0';
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      V = V * 10 + (advance() - '0');
+    T.Kind = TokenKind::IntLit;
+    T.IntValue = V;
+    return T;
+  }
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Name(1, C);
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_'))
+      Name += advance();
+    std::string Lower = toLower(Name);
+    if (Lower == "for")
+      T.Kind = TokenKind::KwFor;
+    else if (Lower == "to")
+      T.Kind = TokenKind::KwTo;
+    else if (Lower == "do")
+      T.Kind = TokenKind::KwDo;
+    else if (Lower == "endfor")
+      T.Kind = TokenKind::KwEndfor;
+    else if (Lower == "step")
+      T.Kind = TokenKind::KwStep;
+    else if (Lower == "min")
+      T.Kind = TokenKind::KwMin;
+    else if (Lower == "max")
+      T.Kind = TokenKind::KwMax;
+    else if (Lower == "symbolic")
+      T.Kind = TokenKind::KwSymbolic;
+    else
+      T.Kind = TokenKind::Ident;
+    T.Text = std::move(Name);
+    return T;
+  }
+
+  T.Kind = TokenKind::Error;
+  T.Text = std::string(1, C);
+  return T;
+}
+
+const char *ir::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid character";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::IntLit:
+    return "integer literal";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwEndfor:
+    return "'endfor'";
+  case TokenKind::KwStep:
+    return "'step'";
+  case TokenKind::KwMin:
+    return "'min'";
+  case TokenKind::KwMax:
+    return "'max'";
+  case TokenKind::KwSymbolic:
+    return "'symbolic'";
+  }
+  return "token";
+}

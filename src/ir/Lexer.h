@@ -1,0 +1,75 @@
+//===- ir/Lexer.h - Tokenizer for the tiny-style loop language -----------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_IR_LEXER_H
+#define OMEGA_IR_LEXER_H
+
+#include "ir/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace omega {
+namespace ir {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  IntLit,
+  Assign, // :=
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Plus,
+  Minus,
+  Star,
+  KwFor,
+  KwTo,
+  KwDo,
+  KwEndfor,
+  KwStep,
+  KwMin,
+  KwMax,
+  KwSymbolic,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+};
+
+/// Hand-written scanner. Keywords are case-insensitive (the language has a
+/// FORTRAN heritage); identifiers keep their spelling. Comments run from
+/// "//" or "#" to end of line.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  Token next();
+
+private:
+  char peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+  char advance();
+  void skipTrivia();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+const char *tokenKindName(TokenKind K);
+
+} // namespace ir
+} // namespace omega
+
+#endif // OMEGA_IR_LEXER_H

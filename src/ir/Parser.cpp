@@ -1,0 +1,294 @@
+//===- ir/Parser.cpp ------------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Lexer.h"
+
+#include <functional>
+#include <optional>
+
+using namespace omega;
+using namespace omega::ir;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Lex(Source) { bump(); }
+
+  ParseResult run() {
+    ParseResult Result;
+    while (Tok.Kind != TokenKind::Eof) {
+      if (Tok.Kind == TokenKind::KwSymbolic) {
+        parseSymbolicDecl(Result.Prog);
+        continue;
+      }
+      if (Tok.Kind == TokenKind::KwEndfor) {
+        // Error recovery stops at 'endfor' so loop bodies can resync; at
+        // the top level it must be consumed or parsing cannot progress.
+        error("'endfor' without a matching 'for'");
+        bump();
+        continue;
+      }
+      if (auto S = parseStmt())
+        Result.Prog.Body.push_back(std::move(*S));
+    }
+    number(Result.Prog.Body);
+    Result.Diags = std::move(Diags);
+    return Result;
+  }
+
+private:
+  void bump() { Tok = Lex.next(); }
+
+  bool expect(TokenKind K, const char *What) {
+    if (Tok.Kind == K) {
+      bump();
+      return true;
+    }
+    error(std::string("expected ") + tokenKindName(K) + " " + What +
+          ", found " + tokenKindName(Tok.Kind));
+    return false;
+  }
+
+  void error(std::string Message) {
+    Diags.push_back(Diagnostic{Tok.Loc, std::move(Message)});
+  }
+
+  /// Panic-mode recovery: skip to just past the next ';' or to 'endfor'.
+  void recover() {
+    while (Tok.Kind != TokenKind::Eof && Tok.Kind != TokenKind::Semi &&
+           Tok.Kind != TokenKind::KwEndfor)
+      bump();
+    if (Tok.Kind == TokenKind::Semi)
+      bump();
+  }
+
+  void parseSymbolicDecl(Program &Prog) {
+    bump(); // 'symbolic'
+    while (true) {
+      if (Tok.Kind != TokenKind::Ident) {
+        error("expected identifier in symbolic declaration");
+        recover();
+        return;
+      }
+      Prog.SymbolicConsts.push_back(Tok.Text);
+      bump();
+      if (Tok.Kind == TokenKind::Comma) {
+        bump();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::Semi, "after symbolic declaration");
+  }
+
+  std::optional<Stmt> parseStmt() {
+    if (Tok.Kind == TokenKind::KwFor)
+      return parseFor();
+    if (Tok.Kind == TokenKind::Ident)
+      return parseAssign();
+    error(std::string("expected statement, found ") +
+          tokenKindName(Tok.Kind));
+    recover();
+    return std::nullopt;
+  }
+
+  std::optional<Stmt> parseFor() {
+    ForStmt F;
+    F.Loc = Tok.Loc;
+    bump(); // 'for'
+    if (Tok.Kind != TokenKind::Ident) {
+      error("expected loop variable after 'for'");
+      recover();
+      return std::nullopt;
+    }
+    F.Var = Tok.Text;
+    bump();
+    if (!expect(TokenKind::Assign, "after loop variable")) {
+      recover();
+      return std::nullopt;
+    }
+    F.Lo = parseExpr();
+    if (!expect(TokenKind::KwTo, "after loop lower bound")) {
+      recover();
+      return std::nullopt;
+    }
+    F.Hi = parseExpr();
+    if (Tok.Kind == TokenKind::KwStep) {
+      bump();
+      int64_t Sign = 1;
+      if (Tok.Kind == TokenKind::Minus) {
+        Sign = -1;
+        bump();
+      }
+      if (Tok.Kind != TokenKind::IntLit) {
+        error("expected integer step");
+        recover();
+        return std::nullopt;
+      }
+      F.Step = Sign * Tok.IntValue;
+      if (F.Step == 0) {
+        error("loop step must be non-zero");
+        F.Step = 1;
+      }
+      bump();
+    }
+    expect(TokenKind::KwDo, "after loop bounds");
+    while (Tok.Kind != TokenKind::KwEndfor && Tok.Kind != TokenKind::Eof) {
+      if (Tok.Kind == TokenKind::KwSymbolic) {
+        error("symbolic declarations must precede statements");
+        recover();
+        continue;
+      }
+      if (auto S = parseStmt())
+        F.Body.push_back(std::move(*S));
+    }
+    expect(TokenKind::KwEndfor, "to close loop body");
+    return Stmt{std::move(F)};
+  }
+
+  std::optional<Stmt> parseAssign() {
+    AssignStmt A;
+    A.Loc = Tok.Loc;
+    A.Array = Tok.Text;
+    bump();
+    if (Tok.Kind == TokenKind::LParen) {
+      bump();
+      while (true) {
+        A.Subscripts.push_back(parseExpr());
+        if (Tok.Kind == TokenKind::Comma) {
+          bump();
+          continue;
+        }
+        break;
+      }
+      if (!expect(TokenKind::RParen, "to close subscript list")) {
+        recover();
+        return std::nullopt;
+      }
+    }
+    if (!expect(TokenKind::Assign, "in assignment")) {
+      recover();
+      return std::nullopt;
+    }
+    A.RHS = parseExpr();
+    expect(TokenKind::Semi, "after assignment");
+    return Stmt{std::move(A)};
+  }
+
+  // expr := term (('+' | '-') term)*
+  Expr parseExpr() {
+    Expr E = parseTerm();
+    while (Tok.Kind == TokenKind::Plus || Tok.Kind == TokenKind::Minus) {
+      bool IsAdd = Tok.Kind == TokenKind::Plus;
+      bump();
+      Expr R = parseTerm();
+      E = IsAdd ? Expr::add(std::move(E), std::move(R))
+                : Expr::sub(std::move(E), std::move(R));
+    }
+    return E;
+  }
+
+  // term := factor ('*' factor)*
+  Expr parseTerm() {
+    Expr E = parseFactor();
+    while (Tok.Kind == TokenKind::Star) {
+      bump();
+      E = Expr::mul(std::move(E), parseFactor());
+    }
+    return E;
+  }
+
+  // factor := int | ident | ident '(' exprlist ')' | '-' factor
+  //         | '(' expr ')' | ('min' | 'max') '(' exprlist ')'
+  Expr parseFactor() {
+    SourceLoc Loc = Tok.Loc;
+    switch (Tok.Kind) {
+    case TokenKind::IntLit: {
+      int64_t V = Tok.IntValue;
+      bump();
+      return Expr::intLit(V, Loc);
+    }
+    case TokenKind::Minus:
+      bump();
+      return Expr::neg(parseFactor());
+    case TokenKind::LParen: {
+      bump();
+      Expr E = parseExpr();
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      return E;
+    }
+    case TokenKind::KwMin:
+    case TokenKind::KwMax: {
+      bool IsMin = Tok.Kind == TokenKind::KwMin;
+      bump();
+      expect(TokenKind::LParen, IsMin ? "after 'min'" : "after 'max'");
+      std::vector<Expr> Args;
+      while (true) {
+        Args.push_back(parseExpr());
+        if (Tok.Kind == TokenKind::Comma) {
+          bump();
+          continue;
+        }
+        break;
+      }
+      expect(TokenKind::RParen, "to close min/max");
+      return IsMin ? Expr::min(std::move(Args), Loc)
+                   : Expr::max(std::move(Args), Loc);
+    }
+    case TokenKind::Ident: {
+      std::string Name = Tok.Text;
+      bump();
+      if (Tok.Kind != TokenKind::LParen)
+        return Expr::varRef(std::move(Name), Loc);
+      bump();
+      std::vector<Expr> Subs;
+      while (true) {
+        Subs.push_back(parseExpr());
+        if (Tok.Kind == TokenKind::Comma) {
+          bump();
+          continue;
+        }
+        break;
+      }
+      expect(TokenKind::RParen, "to close array subscripts");
+      return Expr::read(std::move(Name), std::move(Subs), Loc);
+    }
+    default:
+      error(std::string("expected expression, found ") +
+            tokenKindName(Tok.Kind));
+      bump();
+      return Expr::intLit(0, Loc);
+    }
+  }
+
+  /// Assigns 1-based labels to assignments in program order.
+  void number(std::vector<Stmt> &Body) {
+    unsigned Next = 1;
+    std::function<void(std::vector<Stmt> &)> Walk =
+        [&](std::vector<Stmt> &Stmts) {
+          for (Stmt &S : Stmts) {
+            if (S.isFor())
+              Walk(S.asFor().Body);
+            else
+              S.asAssign().Label = Next++;
+          }
+        };
+    Walk(Body);
+  }
+
+  Lexer Lex;
+  Token Tok;
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace
+
+ParseResult ir::parseProgram(std::string_view Source) {
+  return Parser(Source).run();
+}

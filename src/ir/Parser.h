@@ -1,0 +1,45 @@
+//===- ir/Parser.h - Recursive-descent parser ------------------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_IR_PARSER_H
+#define OMEGA_IR_PARSER_H
+
+#include "ir/AST.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+namespace ir {
+
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string toString() const {
+    return std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col) + ": " +
+           Message;
+  }
+};
+
+struct ParseResult {
+  Program Prog;
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return Diags.empty(); }
+};
+
+/// Parses a whole tiny-style program. Parse errors are collected (with
+/// panic-mode recovery to the next ';' or 'endfor') rather than aborting,
+/// so a driver can report them all at once.
+ParseResult parseProgram(std::string_view Source);
+
+} // namespace ir
+} // namespace omega
+
+#endif // OMEGA_IR_PARSER_H

@@ -1,0 +1,415 @@
+//===- ir/Sema.cpp --------------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Sema.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+
+using namespace omega;
+using namespace omega::ir;
+
+SymId SymbolTable::create(SymbolInfo Info) {
+  SymId S = static_cast<SymId>(Syms.size());
+  // Only symbolic constants resolve by name; loop iterators are scoped
+  // dynamically (two sibling loops may reuse a variable name) and terms
+  // are per-occurrence.
+  if (Info.Kind == SymKind::SymConst)
+    ByName[Info.Name] = S;
+  Syms.push_back(std::move(Info));
+  return S;
+}
+
+SymId SymbolTable::lookup(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? -1 : It->second;
+}
+
+std::vector<std::string> SymbolTable::names() const {
+  std::vector<std::string> Out;
+  Out.reserve(Syms.size());
+  for (const SymbolInfo &S : Syms)
+    Out.push_back(S.Name);
+  return Out;
+}
+
+unsigned AnalyzedProgram::numCommonLoops(const Access &A, const Access &B) {
+  unsigned N = 0;
+  while (N < A.Loops.size() && N < B.Loops.size() &&
+         A.Loops[N] == B.Loops[N])
+    ++N;
+  return N;
+}
+
+bool AnalyzedProgram::textuallyBefore(const Access &A, const Access &B) {
+  // Lexicographic comparison of schedule paths. Equal paths cannot happen:
+  // the final path entry distinguishes reads from the write, and two reads
+  // of one statement are never compared (input dependences are ignored).
+  return A.Path < B.Path;
+}
+
+namespace {
+
+class Sema {
+public:
+  explicit Sema(Program P) { Out.Source = std::move(P); }
+
+  AnalyzedProgram run() {
+    normalizeScalarReads();
+    for (const std::string &Name : Out.Source.SymbolicConsts)
+      getOrCreateSymConst(Name);
+    std::vector<unsigned> Path;
+    std::vector<const LoopInfo *> LoopStack;
+    walk(Out.Source.Body, Path, LoopStack);
+    return std::move(Out);
+  }
+
+private:
+  void error(SourceLoc Loc, std::string Message) {
+    Out.Diags.push_back(Diagnostic{Loc, std::move(Message)});
+  }
+
+  /// A name assigned as a scalar ("k := k + j") denotes a mutable
+  /// zero-dimensional array, so bare references to it are reads, not
+  /// symbolic constants. Rewrite VarRef(k) into Read(k, {}) throughout
+  /// (the interpreter and access collection then agree on the program).
+  void normalizeScalarReads() {
+    std::set<std::string> Scalars;
+    std::function<void(const std::vector<Stmt> &)> Collect =
+        [&](const std::vector<Stmt> &Body) {
+          for (const Stmt &S : Body) {
+            if (S.isFor())
+              Collect(S.asFor().Body);
+            else if (S.asAssign().Subscripts.empty())
+              Scalars.insert(S.asAssign().Array);
+          }
+        };
+    Collect(Out.Source.Body);
+    if (Scalars.empty())
+      return;
+
+    std::function<void(Expr &)> Rewrite = [&](Expr &E) {
+      if (E.getKind() == Expr::Kind::VarRef && Scalars.count(E.getName())) {
+        E = Expr::read(E.getName(), {}, E.getLoc());
+        return;
+      }
+      for (Expr &Arg : E.mutableArgs())
+        Rewrite(Arg);
+    };
+    std::function<void(std::vector<Stmt> &)> Walk =
+        [&](std::vector<Stmt> &Body) {
+          for (Stmt &S : Body) {
+            if (S.isFor()) {
+              ForStmt &F = S.asFor();
+              if (Scalars.count(F.Var))
+                error(F.Loc, "loop variable '" + F.Var +
+                                 "' collides with an assigned scalar");
+              Rewrite(F.Lo);
+              Rewrite(F.Hi);
+              Walk(F.Body);
+            } else {
+              AssignStmt &A = S.asAssign();
+              for (Expr &Sub : A.Subscripts)
+                Rewrite(Sub);
+              Rewrite(A.RHS);
+            }
+          }
+        };
+    Walk(Out.Source.Body);
+  }
+
+  SymId getOrCreateSymConst(const std::string &Name) {
+    SymId S = Out.Symbols.lookup(Name);
+    if (S >= 0)
+      return S;
+    SymbolInfo Info;
+    Info.Name = Name;
+    Info.Kind = SymKind::SymConst;
+    return Out.Symbols.create(std::move(Info));
+  }
+
+  const LoopInfo *findLoop(const std::string &Var,
+                           const std::vector<const LoopInfo *> &Stack) {
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+      if ((*It)->SourceVar == Var)
+        return *It;
+    return nullptr;
+  }
+
+  /// Creates a Term symbol for a non-affine or index-array expression.
+  SymId makeTerm(const Expr &E, const std::vector<const LoopInfo *> &Stack) {
+    SymbolInfo Info;
+    Info.Kind = SymKind::Term;
+    Info.SourceText = E.toString();
+    Info.Name = "_t" + std::to_string(NextTermId++) + "<" + Info.SourceText +
+                ">";
+    // Record which loop iterators parameterize the term.
+    std::set<SymId> Params;
+    collectLoopParams(E, Stack, Params);
+    Info.LoopParams.assign(Params.begin(), Params.end());
+    if (E.getKind() == Expr::Kind::Read) {
+      Info.IsIndexArrayRead = true;
+      Info.IndexArray = E.getName();
+      for (const Expr &Sub : E.args())
+        Info.IndexSubs.push_back(lowerExpr(Sub, Stack));
+    }
+    return Out.Symbols.create(std::move(Info));
+  }
+
+  void collectLoopParams(const Expr &E,
+                         const std::vector<const LoopInfo *> &Stack,
+                         std::set<SymId> &Params) {
+    if (E.getKind() == Expr::Kind::VarRef) {
+      if (const LoopInfo *L = findLoop(E.getName(), Stack))
+        Params.insert(L->IterSym);
+      return;
+    }
+    for (const Expr &Arg : E.args())
+      collectLoopParams(Arg, Stack, Params);
+  }
+
+  /// Lowers an expression to an affine form. Non-affine subexpressions
+  /// become Term symbols (Section 5 of the paper).
+  AffineExpr lowerExpr(const Expr &E,
+                       const std::vector<const LoopInfo *> &Stack) {
+    switch (E.getKind()) {
+    case Expr::Kind::IntLit:
+      return AffineExpr(E.getIntValue());
+    case Expr::Kind::VarRef: {
+      if (const LoopInfo *L = findLoop(E.getName(), Stack))
+        return L->sourceVarExpr();
+      return AffineExpr::symbol(getOrCreateSymConst(E.getName()));
+    }
+    case Expr::Kind::Add:
+      return lowerExpr(E.args()[0], Stack) + lowerExpr(E.args()[1], Stack);
+    case Expr::Kind::Sub:
+      return lowerExpr(E.args()[0], Stack) - lowerExpr(E.args()[1], Stack);
+    case Expr::Kind::Neg:
+      return lowerExpr(E.args()[0], Stack).negated();
+    case Expr::Kind::Mul: {
+      AffineExpr L = lowerExpr(E.args()[0], Stack);
+      AffineExpr R = lowerExpr(E.args()[1], Stack);
+      if (L.isConstant())
+        return R.scaled(L.getConstant());
+      if (R.isConstant())
+        return L.scaled(R.getConstant());
+      // Non-linear: an uninterpreted term (e.g. i*j, Example 10).
+      return AffineExpr::symbol(makeTerm(E, Stack));
+    }
+    case Expr::Kind::Read:
+      // An array value used as data: an uninterpreted term (Example 8).
+      return AffineExpr::symbol(makeTerm(E, Stack));
+    case Expr::Kind::Min:
+    case Expr::Kind::Max:
+      // min/max outside a loop-bound position is opaque.
+      return AffineExpr::symbol(makeTerm(E, Stack));
+    }
+    assert(false && "unknown expression kind");
+    return AffineExpr();
+  }
+
+  /// Decomposes a bound expression into the list of affine pieces whose
+  /// max (WantMax) or min (!WantMax) it denotes, distributing arithmetic
+  /// over min/max: max(a,b)+c == max(a+c,b+c), -max(a,b) == min(-a,-b),
+  /// and so on. The wrong combinator for the position (a min inside a
+  /// max-decomposition) is not conjunctively expressible and is an error.
+  bool flattenBound(const Expr &E, bool WantMax,
+                    const std::vector<const LoopInfo *> &Stack,
+                    std::vector<AffineExpr> &Out) {
+    switch (E.getKind()) {
+    case Expr::Kind::Max:
+    case Expr::Kind::Min: {
+      bool IsMax = E.getKind() == Expr::Kind::Max;
+      if (IsMax != WantMax) {
+        error(E.getLoc(), WantMax
+                              ? "min() is not expressible in this bound "
+                                "position (lower bounds take max)"
+                              : "max() is not expressible in this bound "
+                                "position (upper bounds take min)");
+        return false;
+      }
+      for (const Expr &Arg : E.args())
+        if (!flattenBound(Arg, WantMax, Stack, Out))
+          return false;
+      return true;
+    }
+    case Expr::Kind::Neg: {
+      std::vector<AffineExpr> Inner;
+      if (!flattenBound(E.args()[0], !WantMax, Stack, Inner))
+        return false;
+      for (const AffineExpr &A : Inner)
+        Out.push_back(A.negated());
+      return true;
+    }
+    case Expr::Kind::Add:
+    case Expr::Kind::Sub: {
+      bool IsAdd = E.getKind() == Expr::Kind::Add;
+      std::vector<AffineExpr> L, R;
+      if (!flattenBound(E.args()[0], WantMax, Stack, L) ||
+          !flattenBound(E.args()[1], IsAdd ? WantMax : !WantMax, Stack, R))
+        return false;
+      for (const AffineExpr &A : L)
+        for (const AffineExpr &B : R)
+          Out.push_back(IsAdd ? A + B : A - B);
+      return true;
+    }
+    case Expr::Kind::Mul: {
+      // Constant scaling distributes, flipping polarity for negatives.
+      const Expr *Lit = nullptr, *Other = nullptr;
+      if (E.args()[0].getKind() == Expr::Kind::IntLit) {
+        Lit = &E.args()[0];
+        Other = &E.args()[1];
+      } else if (E.args()[1].getKind() == Expr::Kind::IntLit) {
+        Lit = &E.args()[1];
+        Other = &E.args()[0];
+      }
+      if (Lit) {
+        int64_t K = Lit->getIntValue();
+        if (K == 0) {
+          Out.push_back(AffineExpr(0));
+          return true;
+        }
+        std::vector<AffineExpr> Inner;
+        if (!flattenBound(*Other, K > 0 ? WantMax : !WantMax, Stack, Inner))
+          return false;
+        for (const AffineExpr &A : Inner)
+          Out.push_back(A.scaled(K));
+        return true;
+      }
+      Out.push_back(lowerExpr(E, Stack));
+      return true;
+    }
+    default:
+      Out.push_back(lowerExpr(E, Stack));
+      return true;
+    }
+  }
+
+  void lowerBoundList(const Expr &E, bool IsLower,
+                      const std::vector<const LoopInfo *> &Stack,
+                      std::vector<AffineExpr> &Bounds) {
+    if (!flattenBound(E, /*WantMax=*/IsLower, Stack, Bounds) &&
+        Bounds.empty())
+      Bounds.push_back(AffineExpr(0)); // recovery placeholder after error
+  }
+
+  void walk(const std::vector<Stmt> &Body, std::vector<unsigned> &Path,
+            std::vector<const LoopInfo *> &Stack) {
+    for (unsigned I = 0; I != Body.size(); ++I) {
+      Path.push_back(I);
+      const Stmt &S = Body[I];
+      if (S.isFor())
+        handleFor(S.asFor(), Path, Stack);
+      else
+        handleAssign(S.asAssign(), Path, Stack);
+      Path.pop_back();
+    }
+  }
+
+  void handleFor(const ForStmt &F, std::vector<unsigned> &Path,
+                 std::vector<const LoopInfo *> &Stack) {
+    if (findLoop(F.Var, Stack))
+      error(F.Loc, "loop variable '" + F.Var + "' shadows an outer loop");
+    if (Out.Symbols.lookup(F.Var) >= 0)
+      error(F.Loc,
+            "loop variable '" + F.Var + "' collides with a symbolic name");
+
+    auto L = std::make_unique<LoopInfo>();
+    L->SourceVar = F.Var;
+    L->Reversed = F.Step < 0;
+    L->Stride = F.Step < 0 ? -F.Step : F.Step;
+    L->Depth = Stack.size();
+    L->Path = Path;
+
+    SymbolInfo IterInfo;
+    IterInfo.Kind = SymKind::LoopIter;
+    IterInfo.Name = L->Reversed ? F.Var + "'" : F.Var;
+    L->IterSym = Out.Symbols.create(std::move(IterInfo));
+
+    // Normalize: for Var := Lo to Hi step S. With S > 0 the iteration
+    // symbol is Var itself; with S < 0 let n := -Var so that n ascends
+    // from -Lo (stride |S|) to -Hi... i.e. lower bound -Lo, upper -Hi.
+    if (!L->Reversed) {
+      lowerBoundList(F.Lo, /*IsLower=*/true, Stack, L->Lower);
+      lowerBoundList(F.Hi, /*IsLower=*/false, Stack, L->Upper);
+    } else {
+      // n >= -Lo: Lo was the (largest) starting value. A max() starting
+      // point becomes min() after negation, which is not conjunctive.
+      if (F.Lo.getKind() == Expr::Kind::Max ||
+          F.Lo.getKind() == Expr::Kind::Min ||
+          F.Hi.getKind() == Expr::Kind::Max ||
+          F.Hi.getKind() == Expr::Kind::Min)
+        error(F.Loc, "min/max bounds are not supported on downward loops; "
+                     "normalize the loop first");
+      L->Lower.push_back(lowerExpr(F.Lo, Stack).negated());
+      L->Upper.push_back(lowerExpr(F.Hi, Stack).negated());
+    }
+    if (L->Stride != 1 && L->Lower.size() != 1)
+      error(F.Loc, "a stride requires a single lower bound");
+
+    Stack.push_back(L.get());
+    Out.Loops.push_back(std::move(L));
+    walk(F.Body, Path, Stack);
+    Stack.pop_back();
+  }
+
+  void handleAssign(const AssignStmt &A, std::vector<unsigned> &Path,
+                    std::vector<const LoopInfo *> &Stack) {
+    // Reads first (they execute before the write of the same instance),
+    // in the canonical order shared with the interpreter.
+    for (const Expr *Read : readsInCanonicalOrder(A))
+      addReadAccess(*Read, A, Path, Stack);
+
+    Access W;
+    W.StmtLabel = A.Label;
+    W.Array = A.Array;
+    W.IsWrite = true;
+    for (const Expr &Sub : A.Subscripts)
+      W.Subscripts.push_back(lowerExpr(Sub, Stack));
+    W.Loops.assign(Stack.begin(), Stack.end());
+    W.Path = Path;
+    W.Path.push_back(1); // the write follows the statement's reads
+    W.Text = A.lhsToString();
+    W.Id = Out.Accesses.size();
+    Out.Accesses.push_back(std::move(W));
+  }
+
+  /// Adds one Read node as a read access (reads nested inside subscripts
+  /// of other reads are separate accesses, per Example 8).
+  void addReadAccess(const Expr &E, const AssignStmt &Stmt,
+                     std::vector<unsigned> &Path,
+                     const std::vector<const LoopInfo *> &Stack) {
+    assert(E.getKind() == Expr::Kind::Read && "read access expected");
+    Access R;
+    R.StmtLabel = Stmt.Label;
+    R.Array = E.getName();
+    R.IsWrite = false;
+    for (const Expr &Sub : E.args())
+      R.Subscripts.push_back(lowerExpr(Sub, Stack));
+    R.Loops.assign(Stack.begin(), Stack.end());
+    R.Path = Path;
+    R.Path.push_back(0); // reads precede the statement's write
+    R.Text = E.toString();
+    R.Id = Out.Accesses.size();
+    Out.Accesses.push_back(std::move(R));
+  }
+
+  AnalyzedProgram Out;
+  unsigned NextTermId = 0;
+};
+
+} // namespace
+
+AnalyzedProgram ir::analyze(Program P) { return Sema(std::move(P)).run(); }
+
+AnalyzedProgram ir::analyzeSource(std::string_view Source) {
+  ParseResult PR = parseProgram(Source);
+  AnalyzedProgram AP = analyze(std::move(PR.Prog));
+  AP.Diags.insert(AP.Diags.begin(), PR.Diags.begin(), PR.Diags.end());
+  return AP;
+}

@@ -1,0 +1,122 @@
+//===- ir/Sema.h - Semantic analysis and access collection ----------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed program into the analysis model:
+///
+///  * every loop is normalized to an ascending iteration variable with
+///    step 1 (negative steps are reversed, the way the paper's authors
+///    hand-normalized CHOLSKY; strides > 1 carry an existential stride),
+///  * loop bounds become conjunctions of affine lower/upper bounds
+///    (max(...) lower bounds and min(...) upper bounds),
+///  * every array reference becomes an Access with affine subscripts over
+///    the program's symbols; non-affine subexpressions and index-array
+///    reads become uninterpreted Term symbols (Section 5),
+///  * each access records its enclosing loops and a schedule path that
+///    decides textual execution order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_IR_SEMA_H
+#define OMEGA_IR_SEMA_H
+
+#include "ir/AST.h"
+#include "ir/AffineExpr.h"
+#include "ir/Parser.h"
+
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace omega {
+namespace ir {
+
+struct SymbolInfo {
+  std::string Name;
+  SymKind Kind = SymKind::SymConst;
+  /// Term symbols: source rendering for user dialogs ("i*j", "Q(L1+1)").
+  std::string SourceText;
+  /// Term symbols: loop iteration symbols the term's value depends on.
+  std::vector<SymId> LoopParams;
+  /// Term symbols that are index-array reads: the array and its subscripts.
+  bool IsIndexArrayRead = false;
+  std::string IndexArray;
+  std::vector<AffineExpr> IndexSubs;
+};
+
+class SymbolTable {
+public:
+  SymId create(SymbolInfo Info);
+  /// Finds a LoopIter/SymConst by name; -1 if absent.
+  SymId lookup(const std::string &Name) const;
+  const SymbolInfo &info(SymId S) const { return Syms[S]; }
+  unsigned size() const { return Syms.size(); }
+  /// Names indexed by SymId (for AffineExpr::toString).
+  std::vector<std::string> names() const;
+
+private:
+  std::vector<SymbolInfo> Syms;
+  std::map<std::string, SymId> ByName;
+};
+
+struct LoopInfo {
+  std::string SourceVar; ///< variable name in the source
+  SymId IterSym = -1;    ///< normalized ascending iteration symbol
+  bool Reversed = false; ///< source variable == -IterSym (negative step)
+  std::vector<AffineExpr> Lower; ///< IterSym >= each (max semantics)
+  std::vector<AffineExpr> Upper; ///< IterSym <= each (min semantics)
+  int64_t Stride = 1; ///< >1: IterSym == Lower[0] + Stride * q, q >= 0
+  unsigned Depth = 0; ///< 0-based nesting depth
+  std::vector<unsigned> Path; ///< body indices from the program root
+
+  /// The source variable as an affine expression of IterSym.
+  AffineExpr sourceVarExpr() const {
+    return AffineExpr::symbol(IterSym, Reversed ? -1 : 1);
+  }
+};
+
+struct Access {
+  unsigned Id = 0;        ///< dense index into AnalyzedProgram::Accesses
+  unsigned StmtLabel = 0; ///< 1-based statement number
+  std::string Array;
+  bool IsWrite = false;
+  std::vector<AffineExpr> Subscripts;
+  std::vector<const LoopInfo *> Loops; ///< enclosing, outermost first
+  /// Schedule: body indices from the root to the statement, with a final
+  /// entry ordering accesses within the statement (reads 0, write 1).
+  std::vector<unsigned> Path;
+  std::string Text; ///< source rendering, e.g. "A(L,I+JJ,J)"
+
+  unsigned depth() const { return Loops.size(); }
+};
+
+struct AnalyzedProgram {
+  Program Source;
+  SymbolTable Symbols;
+  std::vector<std::unique_ptr<LoopInfo>> Loops;
+  std::vector<Access> Accesses;
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return Diags.empty(); }
+
+  /// Number of loops enclosing both accesses (shared ancestors).
+  static unsigned numCommonLoops(const Access &A, const Access &B);
+  /// True if A executes before B when all common loop variables are equal.
+  static bool textuallyBefore(const Access &A, const Access &B);
+};
+
+/// Lowers a parsed program. Errors are appended to the result's Diags.
+AnalyzedProgram analyze(Program P);
+
+/// Parses and lowers in one step; parse errors carry over into Diags.
+AnalyzedProgram analyzeSource(std::string_view Source);
+
+} // namespace ir
+} // namespace omega
+
+#endif // OMEGA_IR_SEMA_H

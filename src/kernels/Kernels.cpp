@@ -1,0 +1,487 @@
+//===- kernels/Kernels.cpp ------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/Kernels.h"
+
+#include <cassert>
+
+using namespace omega;
+using namespace omega::kernels;
+
+const char *kernels::cholsky() {
+  // Figure 2 of the paper: the NAS CHOLSKY kernel after the authors'
+  // forward substitution of MAX(-M,-J) and normalization of the
+  // negative-step K loop. SQRT/ABS/division do not affect dependences and
+  // are dropped; A(L,JJ,J)**2 reads A(L,JJ,J) once more via a product.
+  return R"(
+symbolic N, M, NMAT, NRHS, EPS;
+
+# Cholesky decomposition
+for J := 0 to N do
+  # off-diagonal elements
+  for I := max(-M, -J) to -1 do
+    for JJ := max(-M, -J) - I to -1 do
+      for L := 0 to NMAT do
+        A(L,I,J) := A(L,I,J) - A(L,JJ,I+J) * A(L,I+JJ,J);   # paper stmt 3
+      endfor
+    endfor
+    for L := 0 to NMAT do
+      A(L,I,J) := A(L,I,J) * A(L,0,I+J);                    # paper stmt 2
+    endfor
+  endfor
+  # store inverse of diagonal elements
+  for L := 0 to NMAT do
+    EPSS(L) := EPS * A(L,0,J);                              # paper stmt 4
+  endfor
+  for JJ := max(-M, -J) to -1 do
+    for L := 0 to NMAT do
+      A(L,0,J) := A(L,0,J) - A(L,JJ,J) * A(L,JJ,J);         # paper stmt 5
+    endfor
+  endfor
+  for L := 0 to NMAT do
+    A(L,0,J) := EPSS(L) + A(L,0,J);                         # paper stmt 1
+  endfor
+endfor
+
+# solution
+for I := 0 to NRHS do
+  for K := 0 to N do
+    for L := 0 to NMAT do
+      B(I,L,K) := B(I,L,K) * A(L,0,K);                      # paper stmt 8
+    endfor
+    for JJ := 1 to min(M, N-K) do
+      for L := 0 to NMAT do
+        B(I,L,K+JJ) := B(I,L,K+JJ) - A(L,-JJ,K+JJ) * B(I,L,K); # paper stmt 7
+      endfor
+    endfor
+  endfor
+  for K := 0 to N do
+    for L := 0 to NMAT do
+      B(I,L,N-K) := B(I,L,N-K) * A(L,0,N-K);                # paper stmt 9
+    endfor
+    for JJ := 1 to min(M, N-K) do
+      for L := 0 to NMAT do
+        B(I,L,N-K-JJ) := B(I,L,N-K-JJ) - A(L,-JJ,N-K) * B(I,L,N-K); # paper stmt 6
+      endfor
+    endfor
+  endfor
+endfor
+)";
+}
+
+unsigned kernels::cholskyPaperLabel(unsigned StmtNumber) {
+  // Program order -> FORTRAN DO-label used in Figures 3 and 4.
+  static const unsigned Map[] = {0, 3, 2, 4, 5, 1, 8, 7, 9, 6};
+  assert(StmtNumber >= 1 && StmtNumber <= 9 && "CHOLSKY has 9 statements");
+  return Map[StmtNumber];
+}
+
+const char *kernels::example1() {
+  return R"(
+symbolic n;
+a(n) := 0;
+for L1 := n to n+10 do
+  a(L1) := 0;
+endfor
+for L1 := n to n+20 do
+  x(L1) := a(L1);
+endfor
+)";
+}
+
+const char *kernels::example2() {
+  return R"(
+symbolic n, m;
+a(m) := 0;
+for L1 := 1 to 100 do
+  a(L1) := 0;
+  for L2 := 1 to n do
+    a(L2) := 0;
+    a(L2-1) := 0;
+  endfor
+  for L2 := 2 to n-1 do
+    x(L2) := a(L2);
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example3() {
+  return R"(
+symbolic n, m;
+for L1 := 1 to n do
+  for L2 := 2 to m do
+    a(L2) := a(L2-1);
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example4() {
+  return R"(
+symbolic n, m;
+for L1 := 1 to n do
+  for L2 := n+2-L1 to m do
+    a(L2) := a(L2-1);
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example5() {
+  return R"(
+symbolic n, m;
+for L1 := 1 to n do
+  for L2 := L1 to m do
+    a(L2) := a(L2-1);
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example6() {
+  return R"(
+symbolic n, m;
+for L1 := 1 to n do
+  for L2 := 2 to m do
+    a(L1-L2) := a(L1-L2);
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example7() {
+  return R"(
+symbolic n, m, x, y;
+for L1 := x to n do
+  for L2 := 1 to m do
+    A(L1,L2) := A(L1-x,y) + C(L1,L2);
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example8() {
+  return R"(
+symbolic n;
+for L1 := 1 to n do
+  A(Q(L1)) := A(Q(L1+1)-1) + C(L1);
+endfor
+)";
+}
+
+const char *kernels::exampleIndexBounds() {
+  // Example 9: array values appear in loop bounds.
+  return R"(
+symbolic maxB;
+for i := 1 to maxB do
+  for j := B(i) to B(i+1)-1 do
+    A(i,j) := 0;
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example10() {
+  return R"(
+symbolic n;
+for i := 1 to n do
+  for j := 1 to n do
+    A(i*j) := 0;
+  endfor
+endfor
+)";
+}
+
+const char *kernels::example11() {
+  // From program s141 of [LCD91]: k accumulates j, a scalar recurrence
+  // feeding a subscript.
+  return R"(
+symbolic n;
+for i := 1 to n do
+  for j := i to n do
+    a(k) := a(k) + bb(i,j);
+    k := k + j;
+  endfor
+endfor
+)";
+}
+
+namespace {
+
+const char *luDecomposition() {
+  return R"(
+symbolic n;
+for k := 1 to n do
+  for i := k+1 to n do
+    a(i,k) := a(i,k) + a(k,k);
+  endfor
+  for i := k+1 to n do
+    for j := k+1 to n do
+      a(i,j) := a(i,j) - a(i,k) * a(k,j);
+    endfor
+  endfor
+endfor
+)";
+}
+
+const char *wavefront() {
+  return R"(
+symbolic n, m;
+for i := 2 to n do
+  for j := 2 to m do
+    a(i,j) := a(i-1,j) + a(i,j-1);
+  endfor
+endfor
+)";
+}
+
+const char *skewedWavefront() {
+  return R"(
+symbolic n;
+for i := 2 to n do
+  for j := i to n do
+    a(i,j) := a(i-1,j-1) + a(i-1,j);
+  endfor
+endfor
+)";
+}
+
+const char *choleskySmall() {
+  // A dense Cholesky in the style of the tiny distribution.
+  return R"(
+symbolic n;
+for k := 1 to n do
+  a(k,k) := a(k,k);
+  for i := k+1 to n do
+    a(i,k) := a(i,k) + a(k,k);
+  endfor
+  for j := k+1 to n do
+    for i := j to n do
+      a(i,j) := a(i,j) - a(i,k) * a(j,k);
+    endfor
+  endfor
+endfor
+)";
+}
+
+const char *privatizable() {
+  // t is privatizable: every read is covered by the write in the same
+  // iteration. A classic motivating case for kill analysis.
+  return R"(
+symbolic n;
+for i := 1 to n do
+  t(0) := a(i);
+  b(i) := t(0) + t(0);
+endfor
+)";
+}
+
+const char *inPlaceStencil() {
+  return R"(
+symbolic n;
+for t := 1 to 100 do
+  for i := 2 to n-1 do
+    a(i) := a(i-1) + a(i+1);
+  endfor
+endfor
+)";
+}
+
+const char *reductionChain() {
+  return R"(
+symbolic n;
+s(0) := 0;
+for i := 1 to n do
+  s(0) := s(0) + a(i);
+endfor
+x(1) := s(0);
+)";
+}
+
+const char *doubleBuffer() {
+  return R"(
+symbolic n;
+for t := 1 to 50 do
+  for i := 1 to n do
+    b(i) := a(i);
+  endfor
+  for i := 1 to n do
+    a(i) := b(i) + 1;
+  endfor
+endfor
+)";
+}
+
+const char *trianglesAndStrides() {
+  return R"(
+symbolic n;
+for i := 1 to n step 2 do
+  a(i) := a(i-2);
+endfor
+for i := 1 to n do
+  for j := 1 to i do
+    c(i) := c(i) + a(j);
+  endfor
+endfor
+)";
+}
+
+const char *matmul() {
+  return R"(
+symbolic n, m, p;
+for i := 1 to n do
+  for j := 1 to m do
+    c(i,j) := 0;
+    for k := 1 to p do
+      c(i,j) := c(i,j) + a(i,k) * b(k,j);
+    endfor
+  endfor
+endfor
+)";
+}
+
+const char *transposeCopy() {
+  return R"(
+symbolic n;
+for i := 1 to n do
+  for j := 1 to n do
+    b(j,i) := a(i,j);
+  endfor
+endfor
+for i := 1 to n do
+  for j := 1 to n do
+    a(i,j) := b(i,j);
+  endfor
+endfor
+)";
+}
+
+const char *gaussSeidel() {
+  return R"(
+symbolic n, m;
+for t := 1 to 10 do
+  for i := 2 to n-1 do
+    for j := 2 to m-1 do
+      u(i,j) := u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1);
+    endfor
+  endfor
+endfor
+)";
+}
+
+const char *jacobiTwoArray() {
+  return R"(
+symbolic n;
+for t := 1 to 10 do
+  for i := 2 to n-1 do
+    v(i) := u(i-1) + u(i+1);
+  endfor
+  for i := 2 to n-1 do
+    u(i) := v(i);
+  endfor
+endfor
+)";
+}
+
+const char *prefixSums() {
+  return R"(
+symbolic n;
+s(0) := 0;
+for i := 1 to n do
+  s(i) := s(i-1) + a(i);
+endfor
+for i := 1 to n do
+  b(i) := s(i) - s(i-1);
+endfor
+)";
+}
+
+const char *bandedSolve() {
+  return R"(
+symbolic n, w;
+for i := 2 to n do
+  for j := max(1, i-w) to i-1 do
+    x(i) := x(i) - l(i,j) * x(j);
+  endfor
+endfor
+)";
+}
+
+const char *convolution() {
+  return R"(
+symbolic n, k;
+for i := k+1 to n-k do
+  out(i) := 0;
+  for j := 0-k to k do
+    out(i) := out(i) + in(i+j) * w(j+k);
+  endfor
+endfor
+)";
+}
+
+const char *oddEvenPhases() {
+  return R"(
+symbolic n;
+for t := 1 to 8 do
+  for i := 1 to n step 2 do
+    a(i) := a(i) + a(i+1);
+  endfor
+  for i := 2 to n step 2 do
+    a(i) := a(i) + a(i+1);
+  endfor
+endfor
+)";
+}
+
+const char *diagonalSweep() {
+  return R"(
+symbolic n;
+for d := 2 to 2*n do
+  for i := max(1, d-n) to min(n, d-1) do
+    a(i, d-i) := a(i-1, d-i) + a(i, d-i-1);
+  endfor
+endfor
+)";
+}
+
+} // namespace
+
+const std::vector<Kernel> &kernels::corpus() {
+  static const std::vector<Kernel> Corpus = {
+      {"cholsky", cholsky()},
+      {"example1", example1()},
+      {"example2", example2()},
+      {"example3", example3()},
+      {"example4", example4()},
+      {"example5", example5()},
+      {"example6", example6()},
+      {"example7", example7()},
+      {"example8", example8()},
+      {"example9", exampleIndexBounds()},
+      {"example10", example10()},
+      {"example11", example11()},
+      {"lu", luDecomposition()},
+      {"wavefront", wavefront()},
+      {"skewed_wavefront", skewedWavefront()},
+      {"cholesky_dense", choleskySmall()},
+      {"privatizable", privatizable()},
+      {"inplace_stencil", inPlaceStencil()},
+      {"reduction_chain", reductionChain()},
+      {"double_buffer", doubleBuffer()},
+      {"triangles_strides", trianglesAndStrides()},
+      {"matmul", matmul()},
+      {"transpose_copy", transposeCopy()},
+      {"gauss_seidel", gaussSeidel()},
+      {"jacobi_two_array", jacobiTwoArray()},
+      {"prefix_sums", prefixSums()},
+      {"banded_solve", bandedSolve()},
+      {"convolution", convolution()},
+      {"odd_even_phases", oddEvenPhases()},
+      {"diagonal_sweep", diagonalSweep()},
+  };
+  return Corpus;
+}

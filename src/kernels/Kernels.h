@@ -1,0 +1,63 @@
+//===- kernels/Kernels.h - The evaluation workload corpus ----------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny-language sources the evaluation runs on: the CHOLSKY kernel of
+/// Figure 2 (hand-translated, as the paper's authors did for the NAS
+/// kernels), the paper's running Examples 1-11 where expressible, and a
+/// suite of kernels in the spirit of the tiny distribution (Cholesky, LU,
+/// wavefronts, and some contrived stress cases).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_KERNELS_KERNELS_H
+#define OMEGA_KERNELS_KERNELS_H
+
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace kernels {
+
+struct Kernel {
+  const char *Name;
+  const char *Source;
+};
+
+/// The CHOLSKY kernel of Figure 2 in tiny form. Statement labels: the
+/// paper uses the FORTRAN DO-labels; see cholskyPaperLabel() for the
+/// mapping from our sequential statement numbers.
+const char *cholsky();
+
+/// Maps our 1-based statement number (program order) to the paper's
+/// FORTRAN statement label in Figure 2.
+unsigned cholskyPaperLabel(unsigned StmtNumber);
+
+/// The paper's standalone Examples 1-6 (Section 4).
+const char *example1();
+const char *example2();
+const char *example3();
+const char *example4();
+const char *example5();
+const char *example6();
+
+/// The paper's symbolic Examples 7, 8, 10, 11 (Section 5). Example 9
+/// (array values in loop bounds) is exampleIndexBounds().
+const char *example7();
+const char *example8();
+const char *exampleIndexBounds(); // Example 9
+const char *example10();
+const char *example11();
+
+/// The whole corpus used by the Figure 6/7 style measurements: CHOLSKY
+/// plus tiny-suite-style kernels and the paper examples.
+const std::vector<Kernel> &corpus();
+
+} // namespace kernels
+} // namespace omega
+
+#endif // OMEGA_KERNELS_KERNELS_H

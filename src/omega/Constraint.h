@@ -1,0 +1,142 @@
+//===- omega/Constraint.h - Linear equality/inequality rows --------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Constraint is a single row of a Problem: an integer linear equality
+/// (sum a_i x_i + c == 0) or inequality (sum a_i x_i + c >= 0) over the
+/// owning Problem's variable space. Constraints carry a red/black tag used
+/// by the combined projection+gist computation of Section 3.3.2 of the
+/// paper ("red" rows are the new information p, "black" rows the context q).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_CONSTRAINT_H
+#define OMEGA_OMEGA_CONSTRAINT_H
+
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace omega {
+
+/// Index of a variable within its owning Problem.
+using VarId = int;
+
+/// Whether a constraint row is an equality or a (>= 0) inequality.
+enum class ConstraintKind : uint8_t { EQ, GEQ };
+
+class Constraint {
+public:
+  Constraint(ConstraintKind Kind, unsigned NumVars)
+      : Coeffs(NumVars, 0), Kind(Kind) {}
+
+  ConstraintKind getKind() const { return Kind; }
+  void setKind(ConstraintKind K) { Kind = K; }
+  bool isEquality() const { return Kind == ConstraintKind::EQ; }
+  bool isInequality() const { return Kind == ConstraintKind::GEQ; }
+
+  unsigned getNumVars() const { return Coeffs.size(); }
+  void resizeVars(unsigned NumVars) { Coeffs.resize(NumVars, 0); }
+
+  int64_t getCoeff(VarId V) const {
+    assert(V >= 0 && static_cast<unsigned>(V) < Coeffs.size());
+    return Coeffs[V];
+  }
+  void setCoeff(VarId V, int64_t C) {
+    assert(V >= 0 && static_cast<unsigned>(V) < Coeffs.size());
+    Coeffs[V] = C;
+  }
+  void addToCoeff(VarId V, int64_t C) { setCoeff(V, checkedAdd(getCoeff(V), C)); }
+
+  int64_t getConstant() const { return Constant; }
+  void setConstant(int64_t C) { Constant = C; }
+  void addToConstant(int64_t C) { Constant = checkedAdd(Constant, C); }
+
+  bool isRed() const { return Red; }
+  void setRed(bool R) { Red = R; }
+
+  /// Returns true if variable \p V appears with a non-zero coefficient.
+  bool involves(VarId V) const { return getCoeff(V) != 0; }
+
+  /// Returns true if every variable coefficient is zero.
+  bool isConstantRow() const {
+    for (int64_t C : Coeffs)
+      if (C != 0)
+        return false;
+    return true;
+  }
+
+  /// Returns the number of variables with non-zero coefficients.
+  unsigned getNumActiveVars() const {
+    unsigned N = 0;
+    for (int64_t C : Coeffs)
+      if (C != 0)
+        ++N;
+    return N;
+  }
+
+  /// Adds \p Scale times \p Other into this row (affine form included).
+  /// Both rows must live in the same variable space.
+  void addScaled(const Constraint &Other, int64_t Scale) {
+    assert(Other.Coeffs.size() == Coeffs.size() && "variable space mismatch");
+    for (unsigned I = 0, E = Coeffs.size(); I != E; ++I)
+      Coeffs[I] = checkedAdd(Coeffs[I], checkedMul(Scale, Other.Coeffs[I]));
+    Constant = checkedAdd(Constant, checkedMul(Scale, Other.Constant));
+  }
+
+  /// Multiplies the whole row (coefficients and constant) by \p Scale.
+  void scale(int64_t Scale) {
+    for (int64_t &C : Coeffs)
+      C = checkedMul(C, Scale);
+    Constant = checkedMul(Constant, Scale);
+  }
+
+  /// Negates the affine form. For a GEQ this yields the form of the negated
+  /// half-space *before* the strictness adjustment; use negateGEQ() for the
+  /// logical negation of an inequality.
+  void negateForm() { scale(-1); }
+
+  /// Replaces an inequality (f >= 0) with its logical negation
+  /// (f <= -1, i.e. -f - 1 >= 0). Only valid on inequalities.
+  void negateGEQ() {
+    assert(isInequality() && "negateGEQ on equality");
+    negateForm();
+    Constant = checkedSub(Constant, 1);
+  }
+
+  /// GCD of all variable coefficients (0 for a constant row).
+  int64_t coeffGCD() const {
+    int64_t G = 0;
+    for (int64_t C : Coeffs)
+      G = gcd64(G, C);
+    return G;
+  }
+
+  /// True if the affine forms (coefficients and constant) are identical.
+  bool sameForm(const Constraint &Other) const {
+    return Coeffs == Other.Coeffs && Constant == Other.Constant;
+  }
+
+  /// True if the variable coefficient vectors are identical.
+  bool sameCoeffs(const Constraint &Other) const {
+    return Coeffs == Other.Coeffs;
+  }
+
+  const std::vector<int64_t> &coeffs() const { return Coeffs; }
+
+private:
+  std::vector<int64_t> Coeffs;
+  int64_t Constant = 0;
+  ConstraintKind Kind;
+  bool Red = false;
+};
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_CONSTRAINT_H

@@ -1,0 +1,155 @@
+//===- omega/EqElimination.cpp --------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/EqElimination.h"
+
+#include "omega/OmegaStats.h"
+
+#include <algorithm>
+
+using namespace omega;
+
+namespace {
+
+/// Builds the definition row `x_Target := Def` (Def has a zero coefficient
+/// for Target) from an equality `Row` in which Target has coefficient +/-1:
+///   a_T x_T + sum a_i x_i + c == 0  with  a_T == s (s in {+1,-1})
+///   =>  x_T == -s * (sum a_i x_i + c)
+Constraint makeUnitDefinition(const Constraint &Row, VarId Target) {
+  int64_t S = Row.getCoeff(Target);
+  assert((S == 1 || S == -1) && "target coefficient must be a unit");
+  Constraint Def(ConstraintKind::EQ, Row.getNumVars());
+  for (VarId V = 0, E = Row.getNumVars(); V != E; ++V)
+    if (V != Target)
+      Def.setCoeff(V, checkedMul(-S, Row.getCoeff(V)));
+  Def.setConstant(checkedMul(-S, Row.getConstant()));
+  Def.setRed(Row.isRed());
+  return Def;
+}
+
+/// Classifies one elimination step to perform, found by scanning the
+/// equality rows.
+struct Step {
+  enum KindTy { None, Unit, ModHat } Kind = None;
+  unsigned RowIdx = 0;
+  VarId Var = -1;
+};
+
+Step findStep(const Problem &P,
+              const std::function<bool(VarId)> &MayEliminate) {
+  Step Fallback;
+  const std::vector<Constraint> &Rows = P.constraints();
+  for (unsigned I = 0, E = Rows.size(); I != E; ++I) {
+    const Constraint &Row = Rows[I];
+    if (!Row.isEquality())
+      continue;
+
+    VarId MinVar = -1;
+    int64_t MinAbs = 0;
+    bool AllEliminable = true;
+    bool AnyVar = false;
+    unsigned NumEliminable = 0;
+    Step UnitStep;
+    for (VarId V = 0, VE = P.getNumVars(); V != VE; ++V) {
+      int64_t C = Row.getCoeff(V);
+      if (C == 0)
+        continue;
+      AnyVar = true;
+      if (!MayEliminate(V)) {
+        AllEliminable = false;
+        continue;
+      }
+      ++NumEliminable;
+      int64_t A = absVal(C);
+      if (A == 1 && UnitStep.Kind == Step::None)
+        UnitStep = Step{Step::Unit, I, V};
+      if (MinVar < 0 || A < MinAbs) {
+        MinVar = V;
+        MinAbs = A;
+      }
+    }
+    // A unit-coefficient eliminable variable gives a direct substitution;
+    // take it immediately.
+    if (UnitStep.Kind == Step::Unit)
+      return UnitStep;
+    // Mod-hat can always make progress when the equality is entirely over
+    // eliminable variables (choosing the smallest coefficient guarantees
+    // termination [Pug91]), and also when at least two eliminable
+    // variables are present (the substitution shrinks coefficients until a
+    // unit appears). Remember the first such opportunity but keep scanning
+    // for a cheaper unit step.
+    if (((AnyVar && AllEliminable) || NumEliminable >= 2) && MinVar >= 0 &&
+        Fallback.Kind == Step::None)
+      Fallback = Step{Step::ModHat, I, MinVar};
+    // Equalities with exactly one non-unit eliminable variable among
+    // protected ones are left as residual stride constraints; Projection
+    // isolates them.
+  }
+  return Fallback;
+}
+
+} // namespace
+
+SolveResult
+omega::solveEqualities(Problem &P,
+                       const std::function<bool(VarId)> &MayEliminate) {
+  if (P.normalize() == Problem::NormalizeResult::False)
+    return SolveResult::False;
+
+  [[maybe_unused]] unsigned Iterations = 0;
+  while (true) {
+    assert(++Iterations < 100000 && "equality elimination failed to converge");
+    // Saturated arithmetic: stop making progress; callers consult the
+    // sticky flag and fall back conservatively.
+    if (arithOverflowFlag())
+      return SolveResult::Ok;
+    Step S = findStep(P, MayEliminate);
+    if (S.Kind == Step::None)
+      return SolveResult::Ok;
+
+    // Work on a copy of the row: substitution rewrites the row list.
+    Constraint Row = P.constraints()[S.RowIdx];
+
+    if (S.Kind == Step::Unit) {
+      // Remove the defining row, then substitute the definition everywhere.
+      P.constraints().erase(P.constraints().begin() + S.RowIdx);
+      P.substitute(S.Var, makeUnitDefinition(Row, S.Var));
+    } else {
+      // Mod-hat substitution [Pug91]: let k be the variable with the
+      // smallest |a_k| and m = |a_k| + 1. With ahat = modHat(., m),
+      // introduce a fresh wildcard Sigma such that
+      //   x_k = sign(a_k) * (sum_{i != k} ahat(a_i) x_i + ahat(c) - m*Sigma).
+      // Substituting (including into the defining equality, whose terms all
+      // become divisible by m) shrinks the equality's coefficients; iterate.
+      ++stats().ModHatSubstitutions;
+      int64_t AK = Row.getCoeff(S.Var);
+      int64_t M = checkedAdd(absVal(AK), 1);
+      int64_t Sign = signOf(AK);
+
+      VarId Sigma = P.addWildcard();
+      Row.resizeVars(P.getNumVars());
+
+      Constraint Def(ConstraintKind::EQ, P.getNumVars());
+      for (VarId V = 0, E = P.getNumVars(); V != E; ++V) {
+        if (V == S.Var || V == Sigma)
+          continue;
+        Def.setCoeff(V, checkedMul(Sign, modHat(Row.getCoeff(V), M)));
+      }
+      Def.setCoeff(Sigma, checkedMul(-Sign, M));
+      Def.setConstant(checkedMul(Sign, modHat(Row.getConstant(), M)));
+      Def.setRed(Row.isRed());
+
+      P.substitute(S.Var, Def);
+    }
+
+    if (P.normalize() == Problem::NormalizeResult::False)
+      return SolveResult::False;
+  }
+}
+
+SolveResult omega::solveEqualities(Problem &P) {
+  return solveEqualities(P, [](VarId) { return true; });
+}

@@ -1,0 +1,45 @@
+//===- omega/EqElimination.h - Remove equalities by substitution ---------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equality elimination from the Omega test [Pug91]. Each equality that
+/// mentions an eliminable variable is removed by back-substitution: directly
+/// when some eliminable variable has a unit coefficient, and otherwise via
+/// the "mod-hat" substitution, which introduces a fresh wildcard and
+/// strictly shrinks coefficients until a unit coefficient appears.
+/// Equalities that mention no eliminable variable are left in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_EQELIMINATION_H
+#define OMEGA_OMEGA_EQELIMINATION_H
+
+#include "omega/Problem.h"
+
+#include <functional>
+
+namespace omega {
+
+enum class SolveResult { Ok, False };
+
+/// Repeatedly removes equalities that involve at least one variable for
+/// which \p MayEliminate returns true. The problem is normalized on entry
+/// and after each substitution. Returns SolveResult::False if the system is
+/// detected to be unsatisfiable along the way.
+///
+/// On success every remaining equality involves only non-eliminable
+/// variables.
+SolveResult solveEqualities(Problem &P,
+                            const std::function<bool(VarId)> &MayEliminate);
+
+/// Convenience overload: every variable may be eliminated (used by the
+/// satisfiability test, where no variable needs to survive).
+SolveResult solveEqualities(Problem &P);
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_EQELIMINATION_H

@@ -1,0 +1,172 @@
+//===- omega/FourierMotzkin.cpp -------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/FourierMotzkin.h"
+
+#include <algorithm>
+
+using namespace omega;
+
+namespace {
+
+struct Partition {
+  std::vector<const Constraint *> Keep;   // rows not involving Z
+  std::vector<const Constraint *> Lowers; // coeff(Z) > 0: b z >= -L
+  std::vector<const Constraint *> Uppers; // coeff(Z) < 0: a z <= U
+};
+
+Partition partitionRows(const Problem &P, VarId Z) {
+  Partition Part;
+  for (const Constraint &Row : P.constraints()) {
+    assert(!(Row.isEquality() && Row.involves(Z)) &&
+           "eliminate equalities before Fourier-Motzkin");
+    int64_t C = Row.getCoeff(Z);
+    if (C == 0)
+      Part.Keep.push_back(&Row);
+    else if (C > 0)
+      Part.Lowers.push_back(&Row);
+    else
+      Part.Uppers.push_back(&Row);
+  }
+  return Part;
+}
+
+bool allUnit(const std::vector<const Constraint *> &Rows, VarId Z) {
+  for (const Constraint *Row : Rows)
+    if (absVal(Row->getCoeff(Z)) != 1)
+      return false;
+  return true;
+}
+
+/// The combination of a lower bound (b z + L >= 0) and an upper bound
+/// (-a z + U >= 0): a*L + b*U >= Slack, i.e. the row a*Lower + b*Upper with
+/// the constant reduced by Slack (0 for the real shadow, (a-1)(b-1) for the
+/// dark shadow).
+Constraint combine(const Constraint &Lower, const Constraint &Upper, VarId Z,
+                   int64_t Slack) {
+  int64_t B = Lower.getCoeff(Z);
+  int64_t A = -Upper.getCoeff(Z);
+  assert(B > 0 && A > 0 && "bound orientation mismatch");
+  Constraint Row(ConstraintKind::GEQ, Lower.getNumVars());
+  Row.addScaled(Lower, A);
+  Row.addScaled(Upper, B);
+  assert(Row.getCoeff(Z) == 0 && "Z must cancel in the combination");
+  Row.addToConstant(-Slack);
+  Row.setRed(Lower.isRed() || Upper.isRed());
+  return Row;
+}
+
+} // namespace
+
+FMResult omega::fourierMotzkinEliminate(const Problem &P, VarId Z) {
+  Partition Part = partitionRows(P, Z);
+
+  FMResult Result;
+  Result.RealShadow = P.cloneLayout();
+  Result.RealShadow.markDead(Z);
+
+  // Unbounded on one side: the projection is exactly the other rows.
+  if (Part.Lowers.empty() || Part.Uppers.empty()) {
+    for (const Constraint *Row : Part.Keep)
+      Result.RealShadow.addConstraint(*Row);
+    Result.DarkShadow = Result.RealShadow;
+    Result.Exact = true;
+    return Result;
+  }
+
+  // Every (lower, upper) pair is exact iff all lower coefficients are 1 or
+  // all upper coefficients are 1.
+  Result.Exact = allUnit(Part.Lowers, Z) || allUnit(Part.Uppers, Z);
+
+  Result.DarkShadow = Result.RealShadow;
+  for (const Constraint *Row : Part.Keep) {
+    Result.RealShadow.addConstraint(*Row);
+    Result.DarkShadow.addConstraint(*Row);
+  }
+
+  for (const Constraint *Lower : Part.Lowers) {
+    for (const Constraint *Upper : Part.Uppers) {
+      int64_t B = Lower->getCoeff(Z);
+      int64_t A = -Upper->getCoeff(Z);
+      Result.RealShadow.addConstraint(combine(*Lower, *Upper, Z, 0));
+      int64_t Slack = checkedMul(A - 1, B - 1);
+      Result.DarkShadow.addConstraint(combine(*Lower, *Upper, Z, Slack));
+    }
+  }
+
+  if (Result.Exact)
+    return Result;
+
+  // Splinters [Pug91]: if an integer solution exists outside the dark
+  // shadow, then for some lower bound (b z >= beta) it satisfies
+  // b z == beta + i with 0 <= i <= (amax*b - amax - b) / amax, where amax is
+  // the largest upper-bound coefficient of Z.
+  int64_t AMax = 0;
+  for (const Constraint *Upper : Part.Uppers)
+    AMax = std::max(AMax, -Upper->getCoeff(Z));
+
+  // Splinter enumeration is proportional to the lower-bound coefficients;
+  // saturated or degenerate coefficient growth would make it astronomical.
+  // Give up exactness instead (the sticky flag makes every caller fall
+  // back to its conservative answer).
+  constexpr int64_t SplinterCap = 1 << 16;
+  for (const Constraint *Lower : Part.Lowers) {
+    if (arithOverflowFlag())
+      break;
+    int64_t B = Lower->getCoeff(Z);
+    int64_t MaxI = floorDiv(
+        checkedSub(checkedMul(AMax, B), checkedAdd(AMax, B)), AMax);
+    if (MaxI >= SplinterCap) {
+      arithOverflowFlag() = true;
+      break;
+    }
+    for (int64_t I = 0; I <= MaxI; ++I) {
+      Problem Splinter(P);
+      Constraint Eq = *Lower;
+      Eq.setKind(ConstraintKind::EQ);
+      Eq.addToConstant(-I);
+      Splinter.addConstraint(Eq);
+      Result.Splinters.push_back(std::move(Splinter));
+    }
+  }
+  return Result;
+}
+
+FMCost omega::estimateEliminationCost(const Problem &P, VarId Z) {
+  long NumLowers = 0, NumUppers = 0;
+  int64_t AMax = 0;
+  std::vector<int64_t> LowerCoeffs;
+  bool LowersUnit = true, UppersUnit = true;
+  for (const Constraint &Row : P.constraints()) {
+    int64_t C = Row.getCoeff(Z);
+    if (C == 0)
+      continue;
+    if (C > 0) {
+      ++NumLowers;
+      LowerCoeffs.push_back(C);
+      LowersUnit &= (C == 1);
+    } else {
+      ++NumUppers;
+      AMax = std::max(AMax, -C);
+      UppersUnit &= (C == -1);
+    }
+  }
+
+  FMCost Cost;
+  if (NumLowers == 0 || NumUppers == 0) {
+    Cost.ResultSize = -(NumLowers + NumUppers);
+    return Cost;
+  }
+  Cost.Inexact = !(LowersUnit || UppersUnit);
+  Cost.ResultSize = NumLowers * NumUppers - NumLowers - NumUppers;
+  if (Cost.Inexact)
+    for (int64_t B : LowerCoeffs) {
+      int64_t MaxI = floorDiv(
+          checkedSub(checkedMul(AMax, B), checkedAdd(AMax, B)), AMax);
+      Cost.SplinterCount += std::max<int64_t>(0, MaxI + 1);
+    }
+  return Cost;
+}

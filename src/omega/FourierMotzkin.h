@@ -1,0 +1,76 @@
+//===- omega/FourierMotzkin.h - Variable elimination with dark shadows ---===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inequality-elimination step of the Omega test (Section 3.1 of the
+/// paper, detailed in [Pug91]). Eliminating a variable z from a conjunction
+/// of inequalities produces:
+///
+///  * the *real shadow*: for each lower bound (b z >= beta) and upper bound
+///    (a z <= alpha), the constraint (a beta <= b alpha) -- a conservative
+///    over-approximation of the integer projection;
+///  * the *dark shadow*: (a beta + (a-1)(b-1) <= b alpha) -- a pessimistic
+///    under-approximation (any point of the dark shadow has an integer z);
+///  * *splinters*: when real and dark differ, problems formed by adding
+///    (b z == beta + i) for each lower bound and each
+///    i in [0, (amax*b - amax - b)/amax], whose union with the dark shadow
+///    is exactly the integer projection.
+///
+/// When every (lower, upper) pair has a unit coefficient the three coincide
+/// and the elimination is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_FOURIERMOTZKIN_H
+#define OMEGA_OMEGA_FOURIERMOTZKIN_H
+
+#include "omega/Problem.h"
+
+#include <vector>
+
+namespace omega {
+
+struct FMResult {
+  /// Over-approximation of the integer projection (z eliminated).
+  Problem RealShadow;
+  /// Under-approximation (z eliminated). Equal to RealShadow when Exact.
+  Problem DarkShadow;
+  /// Residual problems still containing z, each with one added equality
+  /// that makes z exactly eliminable. DarkShadow union the projections of
+  /// the splinters is exactly the integer projection.
+  std::vector<Problem> Splinters;
+  /// True when real shadow == dark shadow == integer projection.
+  bool Exact = false;
+};
+
+/// Eliminates \p Z (which must not appear in any equality) from \p P.
+/// Constraints not involving Z are copied through; Z is marked dead in the
+/// shadows. Red/black tags propagate: a combined row is red iff either
+/// parent is red.
+FMResult fourierMotzkinEliminate(const Problem &P, VarId Z);
+
+/// Estimated cost of eliminating \p Z: an (exactness, work) pair used to
+/// choose elimination order. Lower compares better.
+struct FMCost {
+  bool Inexact = false;       // prefer exact eliminations
+  long ResultSize = 0;        // pairs produced minus rows removed
+  long SplinterCount = 0;     // estimated splinter problems if inexact
+
+  bool operator<(const FMCost &O) const {
+    if (Inexact != O.Inexact)
+      return !Inexact;
+    if (Inexact && SplinterCount != O.SplinterCount)
+      return SplinterCount < O.SplinterCount;
+    return ResultSize < O.ResultSize;
+  }
+};
+
+FMCost estimateEliminationCost(const Problem &P, VarId Z);
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_FOURIERMOTZKIN_H

@@ -1,0 +1,43 @@
+//===- omega/OmegaStats.h - Counters for the evaluation harness ----------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight global counters recording how hard the Omega test had to
+/// work. The benchmark harness uses them to classify analysis costs the way
+/// Figure 6 of the paper does (no-Omega-needed vs. general test vs. split).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_OMEGASTATS_H
+#define OMEGA_OMEGA_OMEGASTATS_H
+
+#include <cstdint>
+
+namespace omega {
+
+struct OmegaStats {
+  uint64_t SatisfiabilityCalls = 0;
+  uint64_t ExactEliminations = 0;
+  uint64_t InexactEliminations = 0;
+  uint64_t SplintersExplored = 0;
+  uint64_t DarkShadowDecided = 0;   // dark shadow satisfiable => sat
+  uint64_t RealShadowDecided = 0;   // real shadow unsatisfiable => unsat
+  uint64_t ModHatSubstitutions = 0;
+  uint64_t GistFastDrops = 0;       // constraints dropped by fast checks
+  uint64_t GistFastKeeps = 0;       // constraints kept by fast checks
+  uint64_t GistSatTests = 0;        // satisfiability tests in gist loop
+
+  void reset() { *this = OmegaStats(); }
+};
+
+/// Global statistics instance (single-threaded analysis assumed, as in the
+/// original tool).
+OmegaStats &stats();
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_OMEGASTATS_H

@@ -1,0 +1,294 @@
+//===- omega/Problem.cpp --------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Problem.h"
+
+#include <limits>
+#include <map>
+#include <string>
+
+using namespace omega;
+
+VarId Problem::addVar(std::string Name, bool Protected) {
+  Vars.push_back(VarInfo{std::move(Name), Protected});
+  VarId V = static_cast<VarId>(Vars.size() - 1);
+  for (Constraint &Row : Rows)
+    Row.resizeVars(Vars.size());
+  return V;
+}
+
+VarId Problem::addWildcard() {
+  return addVar("__w" + std::to_string(NextWildcardId++), /*Protected=*/false);
+}
+
+bool Problem::involves(VarId V) const {
+  for (const Constraint &Row : Rows)
+    if (Row.involves(V))
+      return true;
+  return false;
+}
+
+Constraint &Problem::addRow(ConstraintKind Kind, bool Red) {
+  Rows.emplace_back(Kind, Vars.size());
+  Rows.back().setRed(Red);
+  return Rows.back();
+}
+
+static void fillRow(Constraint &Row, const Term *Begin, const Term *End,
+                    int64_t C) {
+  for (const Term *T = Begin; T != End; ++T)
+    Row.addToCoeff(T->first, T->second);
+  Row.setConstant(C);
+}
+
+void Problem::addEQ(std::initializer_list<Term> Terms, int64_t C, bool Red) {
+  fillRow(addRow(ConstraintKind::EQ, Red), Terms.begin(), Terms.end(), C);
+}
+
+void Problem::addEQ(const std::vector<Term> &Terms, int64_t C, bool Red) {
+  fillRow(addRow(ConstraintKind::EQ, Red), Terms.data(),
+          Terms.data() + Terms.size(), C);
+}
+
+void Problem::addGEQ(std::initializer_list<Term> Terms, int64_t C, bool Red) {
+  fillRow(addRow(ConstraintKind::GEQ, Red), Terms.begin(), Terms.end(), C);
+}
+
+void Problem::addGEQ(const std::vector<Term> &Terms, int64_t C, bool Red) {
+  fillRow(addRow(ConstraintKind::GEQ, Red), Terms.data(),
+          Terms.data() + Terms.size(), C);
+}
+
+void Problem::addConstraint(const Constraint &Row) {
+  assert(Row.getNumVars() == Vars.size() && "variable space mismatch");
+  Rows.push_back(Row);
+}
+
+unsigned Problem::getNumEQs() const {
+  unsigned N = 0;
+  for (const Constraint &Row : Rows)
+    if (Row.isEquality())
+      ++N;
+  return N;
+}
+
+unsigned Problem::getNumGEQs() const {
+  unsigned N = 0;
+  for (const Constraint &Row : Rows)
+    if (Row.isInequality())
+      ++N;
+  return N;
+}
+
+bool Problem::hasRedConstraints() const {
+  for (const Constraint &Row : Rows)
+    if (Row.isRed())
+      return true;
+  return false;
+}
+
+Problem Problem::cloneLayout() const {
+  Problem P(*this);
+  P.Rows.clear();
+  return P;
+}
+
+void Problem::substitute(VarId Target, const Constraint &Def) {
+  assert(Def.getCoeff(Target) == 0 && "definition must not mention target");
+  for (Constraint &Row : Rows) {
+    int64_t C = Row.getCoeff(Target);
+    if (C == 0)
+      continue;
+    Row.setCoeff(Target, 0);
+    Row.addScaled(Def, C);
+    // A definition derived from a red row injects red information into
+    // everything it rewrites (Section 3.3.2's red/black bookkeeping).
+    if (Def.isRed())
+      Row.setRed(true);
+  }
+  markDead(Target);
+}
+
+namespace {
+
+/// Accumulates all rows sharing one canonical coefficient vector. The
+/// canonical orientation makes the leading non-zero coefficient positive;
+/// rows with the opposite orientation become "Hi" (upper) bounds.
+struct MergeBucket {
+  bool HasEQ = false;
+  int64_t EQConst = 0; // canonical-orientation equality constant
+  bool EQRed = false;
+  bool HasLo = false;
+  int64_t LoConst = 0; // tightest constant of canonical-orientation GEQs
+  bool LoRed = false;
+  bool HasHi = false;
+  int64_t HiConst = 0; // tightest constant of flipped-orientation GEQs
+  bool HiRed = false;
+  bool Contradiction = false;
+
+  void addEQ(int64_t C, bool Red) {
+    if (HasEQ && EQConst != C) {
+      Contradiction = true;
+      return;
+    }
+    if (HasEQ)
+      EQRed = EQRed && Red;
+    else {
+      HasEQ = true;
+      EQConst = C;
+      EQRed = Red;
+    }
+  }
+
+  static void addBound(bool &Has, int64_t &Const, bool &IsRed, int64_t C,
+                       bool Red) {
+    if (!Has || C < Const) {
+      Has = true;
+      Const = C;
+      IsRed = Red;
+    } else if (C == Const) {
+      IsRed = IsRed && Red;
+    }
+  }
+};
+
+} // namespace
+
+Problem::NormalizeResult Problem::normalize() {
+  // Phase 1: per-row gcd reduction and trivial-row handling.
+  std::vector<Constraint> Reduced;
+  Reduced.reserve(Rows.size());
+  for (Constraint &Row : Rows) {
+    int64_t G = Row.coeffGCD();
+    if (G == 0) {
+      // Constant row: either trivially true or trivially false.
+      if (Row.isEquality() ? Row.getConstant() != 0 : Row.getConstant() < 0)
+        return NormalizeResult::False;
+      continue;
+    }
+    if (G != 1) {
+      if (Row.isEquality()) {
+        if (Row.getConstant() % G != 0)
+          return NormalizeResult::False;
+        for (VarId V = 0, E = getNumVars(); V != E; ++V)
+          Row.setCoeff(V, Row.getCoeff(V) / G);
+        Row.setConstant(Row.getConstant() / G);
+      } else {
+        for (VarId V = 0, E = getNumVars(); V != E; ++V)
+          Row.setCoeff(V, Row.getCoeff(V) / G);
+        Row.setConstant(floorDiv(Row.getConstant(), G));
+      }
+    }
+    Reduced.push_back(Row);
+  }
+
+  // Phase 2: merge rows with identical (up to sign) coefficient vectors.
+  std::map<std::vector<int64_t>, MergeBucket> Buckets;
+  for (const Constraint &Row : Reduced) {
+    // Canonical orientation: leading non-zero coefficient positive.
+    int Sign = 0;
+    for (int64_t C : Row.coeffs())
+      if (C != 0) {
+        Sign = signOf(C);
+        break;
+      }
+    assert(Sign != 0 && "constant rows were removed in phase 1");
+
+    std::vector<int64_t> Key = Row.coeffs();
+    if (Sign < 0)
+      for (int64_t &C : Key)
+        C = -C;
+
+    MergeBucket &B = Buckets[std::move(Key)];
+    if (Row.isEquality())
+      B.addEQ(Sign > 0 ? Row.getConstant() : -Row.getConstant(), Row.isRed());
+    else if (Sign > 0)
+      MergeBucket::addBound(B.HasLo, B.LoConst, B.LoRed, Row.getConstant(),
+                            Row.isRed());
+    else
+      MergeBucket::addBound(B.HasHi, B.HiConst, B.HiRed, Row.getConstant(),
+                            Row.isRed());
+  }
+
+  // Phase 3: rebuild the row list from the merged buckets.
+  Rows.clear();
+  for (const auto &[Coeffs, B] : Buckets) {
+    if (B.Contradiction)
+      return NormalizeResult::False;
+
+    auto emit = [&](ConstraintKind Kind, int Sign, int64_t C, bool Red) {
+      Constraint &Row = addRow(Kind, Red);
+      for (VarId V = 0, E = getNumVars(); V != E; ++V)
+        Row.setCoeff(V, Sign > 0 ? Coeffs[V] : -Coeffs[V]);
+      Row.setConstant(C);
+    };
+
+    if (B.HasEQ) {
+      // The equality pins u.x == -EQConst; bounds are either implied or
+      // contradictory.
+      if (B.HasLo && B.LoConst < B.EQConst)
+        return NormalizeResult::False;
+      if (B.HasHi && B.HiConst < -B.EQConst)
+        return NormalizeResult::False;
+      emit(ConstraintKind::EQ, +1, B.EQConst, B.EQRed);
+      continue;
+    }
+    if (B.HasLo && B.HasHi) {
+      // -LoConst <= u.x <= HiConst.
+      if (checkedAdd(B.LoConst, B.HiConst) < 0)
+        return NormalizeResult::False;
+      if (checkedAdd(B.LoConst, B.HiConst) == 0) {
+        emit(ConstraintKind::EQ, +1, B.LoConst, B.LoRed || B.HiRed);
+        continue;
+      }
+    }
+    if (B.HasLo)
+      emit(ConstraintKind::GEQ, +1, B.LoConst, B.LoRed);
+    if (B.HasHi)
+      emit(ConstraintKind::GEQ, -1, B.HiConst, B.HiRed);
+  }
+  return NormalizeResult::Ok;
+}
+
+std::string Problem::constraintToString(const Constraint &Row) const {
+  std::string LHS;
+  for (VarId V = 0, E = getNumVars(); V != E; ++V) {
+    int64_t C = Row.getCoeff(V);
+    if (C == 0)
+      continue;
+    if (LHS.empty()) {
+      if (C == -1)
+        LHS += "-";
+      else if (C != 1)
+        LHS += std::to_string(C) + "*";
+    } else {
+      LHS += C < 0 ? " - " : " + ";
+      if (C != 1 && C != -1)
+        LHS += std::to_string(absVal(C)) + "*";
+    }
+    LHS += getVarName(V);
+  }
+  if (LHS.empty())
+    LHS = "0";
+  int64_t RHS = -Row.getConstant();
+  std::string Out = LHS + (Row.isEquality() ? " = " : " >= ") +
+                    std::to_string(RHS);
+  if (Row.isRed())
+    Out = "[red] " + Out;
+  return Out;
+}
+
+std::string Problem::toString() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const Constraint &Row : Rows) {
+    Out += First ? " " : "; ";
+    First = false;
+    Out += constraintToString(Row);
+  }
+  Out += Rows.empty() ? " TRUE }" : " }";
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===- omega/Problem.h - Conjunctions of linear integer constraints ------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Problem is a conjunction of integer linear equalities and inequalities
+/// over a table of named variables. It is the unit the Omega test operates
+/// on: satisfiability, projection, and gist computation all consume and
+/// produce Problems.
+///
+/// Variables are either *protected* (they name something the client cares
+/// about: loop variables, dependence distances, symbolic constants) or
+/// *wildcards* (existentially quantified helpers introduced by equality
+/// elimination and stride constraints). Eliminated variables stay in the
+/// table as dead columns so that VarIds remain stable across copies; this
+/// keeps client code that holds VarIds simple.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_PROBLEM_H
+#define OMEGA_OMEGA_PROBLEM_H
+
+#include "omega/Constraint.h"
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omega {
+
+/// A (variable, coefficient) pair for the constraint-building helpers.
+using Term = std::pair<VarId, int64_t>;
+
+class Problem {
+public:
+  Problem() = default;
+
+  /// Creates a named variable. \p Protected variables survive projection;
+  /// unprotected ones are existential helpers.
+  VarId addVar(std::string Name, bool Protected = true);
+
+  /// Creates a fresh unprotected wildcard variable with a generated name.
+  VarId addWildcard();
+
+  unsigned getNumVars() const { return Vars.size(); }
+  const std::string &getVarName(VarId V) const { return Vars[V].Name; }
+  void setVarName(VarId V, std::string Name) {
+    Vars[V].Name = std::move(Name);
+  }
+  bool isProtected(VarId V) const { return Vars[V].Protected; }
+  void setProtected(VarId V, bool P) { Vars[V].Protected = P; }
+  bool isDead(VarId V) const { return Vars[V].Dead; }
+  void markDead(VarId V) { Vars[V].Dead = true; }
+
+  /// Returns true if \p V appears with non-zero coefficient in any row.
+  bool involves(VarId V) const;
+
+  /// Appends a blank constraint row and returns a reference to it. The
+  /// reference is invalidated by any subsequent row addition.
+  Constraint &addRow(ConstraintKind Kind, bool Red = false);
+
+  /// Adds `sum Terms + C == 0`.
+  void addEQ(std::initializer_list<Term> Terms, int64_t C, bool Red = false);
+  void addEQ(const std::vector<Term> &Terms, int64_t C, bool Red = false);
+
+  /// Adds `sum Terms + C >= 0`.
+  void addGEQ(std::initializer_list<Term> Terms, int64_t C, bool Red = false);
+  void addGEQ(const std::vector<Term> &Terms, int64_t C, bool Red = false);
+
+  /// Copies \p Row (from a Problem with an identical variable layout) into
+  /// this problem.
+  void addConstraint(const Constraint &Row);
+
+  const std::vector<Constraint> &constraints() const { return Rows; }
+  std::vector<Constraint> &constraints() { return Rows; }
+  unsigned getNumConstraints() const { return Rows.size(); }
+  unsigned getNumEQs() const;
+  unsigned getNumGEQs() const;
+  bool hasRedConstraints() const;
+
+  /// Removes every constraint but keeps the variable table.
+  void clearConstraints() { Rows.clear(); }
+
+  /// Returns a Problem with the same variable table and no constraints.
+  Problem cloneLayout() const;
+
+  /// Result of normalize(): the problem is either consistent so far or has
+  /// been detected to be trivially unsatisfiable.
+  enum class NormalizeResult { Ok, False };
+
+  /// Canonicalizes the constraint system:
+  ///  * gcd-reduces every row (tightening inequality constants, detecting
+  ///    unsatisfiable equalities),
+  ///  * drops trivially true rows and detects trivially false ones,
+  ///  * merges duplicate rows, keeping the tightest constant,
+  ///  * turns opposed inequality pairs into equalities (or detects
+  ///    contradictions),
+  ///  * drops inequalities directly implied by an equality with the same
+  ///    coefficient vector.
+  NormalizeResult normalize();
+
+  /// Substitutes `x_Target := sum Def.coeffs * x + Def.constant` into every
+  /// row and marks \p Target dead. \p Def must have a zero coefficient for
+  /// \p Target itself.
+  void substitute(VarId Target, const Constraint &Def);
+
+  /// Renders the problem for debugging/tests, e.g. "{ x - 2 >= 0; x <= 5 }".
+  std::string toString() const;
+
+  /// Renders one row using this problem's variable names.
+  std::string constraintToString(const Constraint &Row) const;
+
+private:
+  struct VarInfo {
+    std::string Name;
+    bool Protected;
+    bool Dead = false;
+  };
+
+  std::vector<VarInfo> Vars;
+  std::vector<Constraint> Rows;
+  unsigned NextWildcardId = 0;
+};
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_PROBLEM_H

@@ -1,0 +1,429 @@
+//===- omega/Projection.cpp -----------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Projection.h"
+
+#include "omega/EqElimination.h"
+#include "omega/FourierMotzkin.h"
+#include "omega/OmegaStats.h"
+#include "omega/Satisfiability.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <string>
+
+using namespace omega;
+
+namespace {
+
+/// Uses the pivot equality to zero variable \p V out of \p Row. For
+/// inequalities the row is scaled by the positive factor |pivot coeff| so
+/// the direction is preserved.
+void clearVarWithPivot(Constraint &Row, const Constraint &Pivot, VarId V) {
+  int64_t PC = Pivot.getCoeff(V);
+  int64_t RC = Row.getCoeff(V);
+  assert(PC != 0 && "pivot must involve the variable");
+  if (RC == 0)
+    return;
+  // Row := |PC| * Row - sign(PC) * RC * Pivot.
+  Row.scale(absVal(PC));
+  Row.addScaled(Pivot, checkedMul(-signOf(PC), RC));
+  if (Pivot.isRed())
+    Row.setRed(true);
+  assert(Row.getCoeff(V) == 0 && "pivot combination must cancel V");
+}
+
+/// Gaussian-style isolation of eliminable variables that remain in mixed
+/// equalities after solveEqualities(): each such variable is confined to a
+/// single frozen pivot equality and removed from every other row. The
+/// pivot variable then represents an existential stride and is kept alive
+/// as a wildcard.
+void isolateResidualStrides(Problem &P,
+                            const std::function<bool(VarId)> &MayEliminate,
+                            std::vector<bool> &IsStrideVar) {
+  std::vector<Constraint> &Rows = P.constraints();
+  std::vector<bool> Frozen(Rows.size(), false);
+
+  for (unsigned I = 0; I != Rows.size(); ++I) {
+    if (!Rows[I].isEquality() || Frozen[I])
+      continue;
+    // Choose the eliminable, not-yet-pivoted variable with the smallest
+    // coefficient magnitude.
+    VarId Pivot = -1;
+    int64_t PivotAbs = 0;
+    for (VarId V = 0, E = P.getNumVars(); V != E; ++V) {
+      int64_t C = Rows[I].getCoeff(V);
+      if (C == 0 || !MayEliminate(V) || IsStrideVar[V])
+        continue;
+      if (Pivot < 0 || absVal(C) < PivotAbs) {
+        Pivot = V;
+        PivotAbs = absVal(C);
+      }
+    }
+    if (Pivot < 0)
+      continue;
+
+    for (unsigned J = 0; J != Rows.size(); ++J)
+      if (J != I && !Frozen[J])
+        clearVarWithPivot(Rows[J], Rows[I], Pivot);
+    Frozen[I] = true;
+    IsStrideVar[Pivot] = true;
+    P.setProtected(Pivot, false); // becomes an existential stride variable
+  }
+}
+
+struct Projector {
+  const std::function<bool(VarId)> MayEliminate;
+  const ProjectOptions &Opts;
+  std::vector<Problem> Pieces;
+  bool SawInexact = false;
+
+  Projector(std::function<bool(VarId)> MayEliminate,
+            const ProjectOptions &Opts)
+      : MayEliminate(std::move(MayEliminate)), Opts(Opts) {}
+
+  /// Finds an eliminable variable (not a stride residual) that still
+  /// appears in some constraint, preferring cheap/exact eliminations.
+  VarId chooseVariable(const Problem &P, const std::vector<bool> &IsStride) {
+    VarId Best = -1;
+    FMCost BestCost;
+    for (VarId V = 0, E = P.getNumVars(); V != E; ++V) {
+      if (!MayEliminate(V) || IsStride[V] || !P.involves(V))
+        continue;
+      FMCost Cost = estimateEliminationCost(P, V);
+      if (Best < 0 || Cost < BestCost) {
+        Best = V;
+        BestCost = Cost;
+      }
+    }
+    return Best;
+  }
+
+  /// Phase A of the elimination loop: run equality substitution, stride
+  /// isolation, and normalization to a fixpoint, so that afterwards no
+  /// eliminable non-stride variable appears in any equality. Returns false
+  /// if the problem is detected unsatisfiable. normalize() can synthesize
+  /// fresh equalities from opposed inequality pairs, which is why this
+  /// must iterate.
+  bool settleEqualities(Problem &P, std::vector<bool> &IsStride) {
+    auto Eliminable = [&](VarId V) {
+      return MayEliminate(V) &&
+             (static_cast<unsigned>(V) >= IsStride.size() || !IsStride[V]);
+    };
+    [[maybe_unused]] unsigned Iterations = 0;
+    while (true) {
+      assert(++Iterations < 1000 && "equality settling failed to converge");
+      if (solveEqualities(P, Eliminable) == SolveResult::False)
+        return false;
+      IsStride.resize(P.getNumVars(), false);
+      isolateResidualStrides(P, Eliminable, IsStride);
+      if (P.normalize() == Problem::NormalizeResult::False)
+        return false;
+      // normalize() may have merged opposed inequalities into equalities
+      // that mention eliminable variables; if so, go around again.
+      bool Unsettled = false;
+      for (const Constraint &Row : P.constraints()) {
+        if (!Row.isEquality())
+          continue;
+        for (VarId V = 0, E = P.getNumVars(); V != E && !Unsettled; ++V)
+          if (Row.involves(V) && Eliminable(V))
+            Unsettled = true;
+        if (Unsettled)
+          break;
+      }
+      if (!Unsettled)
+        return true;
+    }
+  }
+
+  void run(Problem P, std::vector<bool> IsStride, unsigned Depth) {
+    assert(Depth < 512 && "runaway projection recursion");
+    // Strides already isolated in parent problems keep their status (the
+    // IsStride vector travels into splinter copies).
+    while (true) {
+      if (arithOverflowFlag())
+        return; // abandon the piece; the wrapper marks the result poisoned
+      if (!settleEqualities(P, IsStride))
+        return;
+
+      VarId Z = chooseVariable(P, IsStride);
+      if (Z < 0) {
+        finishPiece(std::move(P));
+        return;
+      }
+      // Z appears only in inequalities now: settleEqualities() guarantees
+      // no equality mentions an eliminable non-stride variable.
+      FMResult R = fourierMotzkinEliminate(P, Z);
+      if (R.Exact) {
+        P = std::move(R.RealShadow);
+        continue;
+      }
+      SawInexact = true;
+      // Exact union: dark shadow plus the projections of the splinters.
+      for (Problem &Splinter : R.Splinters) {
+        ++stats().SplintersExplored;
+        run(std::move(Splinter), IsStride, Depth + 1);
+      }
+      P = std::move(R.DarkShadow);
+    }
+  }
+
+  void finishPiece(Problem P) {
+    if (Opts.DropEmptyPieces && !isSatisfiable(P))
+      return;
+    if (Opts.RemoveRedundant)
+      removeRedundantConstraints(P);
+    Pieces.push_back(std::move(P));
+  }
+};
+
+/// Real-shadow-only projection: a single conjunction over-approximating the
+/// integer projection (and equal to it when every step was exact).
+Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
+                      bool &Exact) {
+  Exact = true;
+  std::vector<bool> IsStride(P.getNumVars(), false);
+  auto Eliminable = [&](VarId V) {
+    return MayEliminate(V) &&
+           (static_cast<unsigned>(V) >= IsStride.size() || !IsStride[V]);
+  };
+  auto makeFalse = [&P]() {
+    Problem F = P.cloneLayout();
+    F.addGEQ({}, -1); // canonical "false": 0 >= 1
+    return F;
+  };
+
+  // Equality fixpoint, then one real-shadow FM step, repeated. See
+  // Projector::settleEqualities for why the inner loop must iterate.
+  while (true) {
+    if (arithOverflowFlag())
+      return P; // unreliable; the wrapper marks the result poisoned
+    [[maybe_unused]] unsigned Iterations = 0;
+    while (true) {
+      assert(++Iterations < 1000 && "equality settling failed to converge");
+      if (solveEqualities(P, Eliminable) == SolveResult::False)
+        return makeFalse();
+      IsStride.resize(P.getNumVars(), false);
+      isolateResidualStrides(P, Eliminable, IsStride);
+      if (P.normalize() == Problem::NormalizeResult::False)
+        return makeFalse();
+      bool Unsettled = false;
+      for (const Constraint &Row : P.constraints()) {
+        if (!Row.isEquality())
+          continue;
+        for (VarId V = 0, E = P.getNumVars(); V != E && !Unsettled; ++V)
+          if (Row.involves(V) && Eliminable(V))
+            Unsettled = true;
+        if (Unsettled)
+          break;
+      }
+      if (!Unsettled)
+        break;
+    }
+
+    VarId Z = -1;
+    FMCost BestCost;
+    for (VarId V = 0, E = P.getNumVars(); V != E; ++V) {
+      if (!Eliminable(V) || !P.involves(V))
+        continue;
+      FMCost Cost = estimateEliminationCost(P, V);
+      if (Z < 0 || Cost < BestCost) {
+        Z = V;
+        BestCost = Cost;
+      }
+    }
+    if (Z < 0)
+      return P;
+
+    FMResult R = fourierMotzkinEliminate(P, Z);
+    if (!R.Exact)
+      Exact = false;
+    P = std::move(R.RealShadow);
+  }
+}
+
+} // namespace
+
+ProjectionResult omega::projectOntoMask(const Problem &P,
+                                        const std::vector<bool> &Keep,
+                                        const ProjectOptions &Opts) {
+  assert(Keep.size() == P.getNumVars() && "mask size mismatch");
+  // Snapshot the mask and protection bits: elimination mints fresh
+  // wildcards beyond the original variable count, and those are always
+  // eliminable.
+  std::vector<bool> Protected(P.getNumVars());
+  for (VarId V = 0, E = P.getNumVars(); V != E; ++V)
+    Protected[V] = P.isProtected(V);
+  std::vector<bool> Mask = Keep;
+  auto MayEliminate = [Mask, Protected](VarId V) {
+    if (static_cast<unsigned>(V) >= Mask.size())
+      return true;
+    return !Mask[V] || !Protected[V];
+  };
+
+  ProjectionResult Result;
+  OverflowScope Scope;
+  Projector Proj(MayEliminate, Opts);
+  Proj.run(P, std::vector<bool>(P.getNumVars(), false), 0);
+  Result.Pieces = std::move(Proj.Pieces);
+
+  bool ApproxExact = true;
+  Result.Approx = projectApprox(P, MayEliminate, ApproxExact);
+  Result.ApproxIsExact = ApproxExact && !Proj.SawInexact;
+  if (Opts.RemoveRedundant)
+    removeRedundantConstraints(Result.Approx);
+  if (Scope.overflowed()) {
+    Result.Poisoned = true;
+    Result.ApproxIsExact = false;
+  }
+  return Result;
+}
+
+ProjectionResult omega::projectOnto(const Problem &P,
+                                    const std::vector<VarId> &Keep,
+                                    const ProjectOptions &Opts) {
+  std::vector<bool> Mask(P.getNumVars(), false);
+  for (VarId V : Keep)
+    Mask[V] = true;
+  return projectOntoMask(P, Mask, Opts);
+}
+
+ProjectionResult omega::projectAway(const Problem &P, VarId X,
+                                    const ProjectOptions &Opts) {
+  std::vector<bool> Mask(P.getNumVars(), true);
+  Mask[X] = false;
+  return projectOntoMask(P, Mask, Opts);
+}
+
+void omega::removeRedundantConstraints(Problem &P) {
+  std::vector<Constraint> &Rows = P.constraints();
+  for (unsigned I = 0; I < Rows.size();) {
+    if (!Rows[I].isInequality()) {
+      ++I;
+      continue;
+    }
+    Problem Test = P.cloneLayout();
+    for (unsigned J = 0; J != Rows.size(); ++J) {
+      if (J == I)
+        continue;
+      Test.addConstraint(Rows[J]);
+    }
+    Constraint Neg = Rows[I];
+    Neg.negateGEQ();
+    Test.addConstraint(Neg);
+    if (!isSatisfiable(std::move(Test)))
+      Rows.erase(Rows.begin() + I); // implied by the others
+    else
+      ++I;
+  }
+}
+
+void IntRange::include(const IntRange &O) {
+  if (O.Empty)
+    return;
+  if (Empty) {
+    *this = O;
+    return;
+  }
+  if (!O.HasMin)
+    HasMin = false;
+  else if (HasMin)
+    Min = std::min(Min, O.Min);
+  if (!O.HasMax)
+    HasMax = false;
+  else if (HasMax)
+    Max = std::max(Max, O.Max);
+}
+
+std::string IntRange::toString() const {
+  if (Empty)
+    return "empty";
+  std::string Lo = HasMin ? std::to_string(Min) : "-inf";
+  std::string Hi = HasMax ? std::to_string(Max) : "+inf";
+  return "[" + Lo + ", " + Hi + "]";
+}
+
+IntRange omega::computeVarRange(const Problem &P, VarId V) {
+  OverflowScope Scope;
+  ProjectionResult R = projectOnto(P, {V});
+  IntRange Range = computeVarRange(R.Pieces, V);
+  if (R.Poisoned || Scope.overflowed()) {
+    // Unreliable: the only sound range is the fully open one.
+    Range.Empty = false;
+    Range.HasMin = Range.HasMax = false;
+  }
+  return Range;
+}
+
+IntRange omega::computeVarRange(const std::vector<Problem> &Pieces, VarId V) {
+  IntRange Range;
+  for (const Problem &P : Pieces) {
+    IntRange Piece;
+    Piece.Empty = false;
+    // After projection onto {V} each row is over V alone, possibly plus
+    // stride wildcards bound in residual equalities.
+    bool HasStride = false;
+    bool Pinned = false;
+    for (const Constraint &Row : P.constraints()) {
+      int64_t C = Row.getCoeff(V);
+      if (C == 0)
+        continue;
+      if (Row.getNumActiveVars() != 1) {
+        HasStride = true; // coupled with a stride wildcard
+        continue;
+      }
+      int64_t K = Row.getConstant();
+      if (Row.isEquality()) {
+        // C*V + K == 0; normalize() guarantees divisibility was checked.
+        int64_t Val = -K / C;
+        Piece.HasMin = Piece.HasMax = true;
+        Piece.Min = Piece.Max = Val;
+        Pinned = true;
+        break;
+      }
+      if (C > 0) {
+        int64_t B = ceilDiv(-K, C);
+        if (!Piece.HasMin || B > Piece.Min) {
+          Piece.HasMin = true;
+          Piece.Min = B;
+        }
+      } else {
+        int64_t B = floorDiv(K, -C);
+        if (!Piece.HasMax || B < Piece.Max) {
+          Piece.HasMax = true;
+          Piece.Max = B;
+        }
+      }
+    }
+    // When V is coupled to a stride, the boundary values derived from the
+    // inequalities may miss the lattice; probe inward to the first value
+    // the piece actually contains. Pieces are non-empty (the projection
+    // drops empty ones), so the probes terminate within one stride period.
+    if (HasStride && !Pinned) {
+      auto contains = [&](int64_t Val) {
+        Problem Test = P;
+        Test.addEQ({{V, 1}}, -Val);
+        return isSatisfiable(std::move(Test));
+      };
+      const int ProbeCap = 1 << 12;
+      if (Piece.HasMin) {
+        int Probes = 0;
+        while (!contains(Piece.Min) && ++Probes < ProbeCap)
+          ++Piece.Min;
+        assert(Probes < ProbeCap && "stride period beyond probe cap");
+      }
+      if (Piece.HasMax) {
+        int Probes = 0;
+        while (!contains(Piece.Max) && ++Probes < ProbeCap)
+          --Piece.Max;
+        assert(Probes < ProbeCap && "stride period beyond probe cap");
+      }
+    }
+    Range.include(Piece);
+  }
+  return Range;
+}

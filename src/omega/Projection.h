@@ -1,0 +1,99 @@
+//===- omega/Projection.h - Exact integer projection ----------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Projection is the basic operation of the extended Omega test (Section 3
+/// of the paper): pi_{V}(S) is the set of constraints over the kept
+/// variables V that has the same integer solutions for V as S. Because the
+/// Omega test computes *integer* shadows, a projection may "splinter" into
+/// a union of conjunctions: a dark shadow S0 plus residual pieces
+/// S1..Sp, with the real shadow T as an over-approximation
+/// (union S_i == pi(S) subseteq T).
+///
+/// Eliminated variables that survive only inside residual equalities (e.g.
+/// strides: "exists w: x == 2w") are retained as unprotected wildcards;
+/// this keeps the projection exact in the presence of non-unit
+/// coefficients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_PROJECTION_H
+#define OMEGA_OMEGA_PROJECTION_H
+
+#include "omega/Problem.h"
+
+#include <vector>
+
+namespace omega {
+
+struct ProjectOptions {
+  /// Remove constraints implied by the rest of each output piece (exact
+  /// satisfiability-based redundancy elimination). Makes results canonical
+  /// and readable; costs one satisfiability test per row.
+  bool RemoveRedundant = true;
+  /// Drop output pieces that have no integer solutions.
+  bool DropEmptyPieces = true;
+};
+
+struct ProjectionResult {
+  /// Exact disjunction: the union of the pieces is exactly the integer
+  /// projection. Pieces may overlap. Eliminated variables are dead except
+  /// for wildcards bound in residual stride equalities.
+  std::vector<Problem> Pieces;
+  /// Real-shadow-only over-approximation as a single conjunction.
+  Problem Approx;
+  /// True when no inexact elimination occurred, i.e. Approx is itself the
+  /// exact projection (and Pieces has at most one element).
+  bool ApproxIsExact = true;
+  /// Coefficient overflow occurred: the pieces are NOT trustworthy and
+  /// clients must fall back to their conservative path.
+  bool Poisoned = false;
+
+  bool isSinglePiece() const { return Pieces.size() == 1; }
+  /// True when the projection is known to contain no integer points.
+  bool isEmpty() const { return Pieces.empty(); }
+};
+
+/// Projects \p P onto the variables marked true in \p Keep (which must have
+/// one entry per variable of \p P). Unprotected variables are always
+/// eliminated regardless of the mask.
+ProjectionResult projectOntoMask(const Problem &P, const std::vector<bool> &Keep,
+                                 const ProjectOptions &Opts = ProjectOptions());
+
+/// Convenience wrapper: keeps exactly the listed variables.
+ProjectionResult projectOnto(const Problem &P, const std::vector<VarId> &Keep,
+                             const ProjectOptions &Opts = ProjectOptions());
+
+/// Projects away a single variable (the paper's pi_{not x}).
+ProjectionResult projectAway(const Problem &P, VarId X,
+                             const ProjectOptions &Opts = ProjectOptions());
+
+/// Removes constraints of \p P implied by the remaining ones (exact,
+/// satisfiability-based). Inequalities only; equalities are kept.
+void removeRedundantConstraints(Problem &P);
+
+/// The inclusive integer range a variable can take; open ends are
+/// represented by HasMin/HasMax == false.
+struct IntRange {
+  bool HasMin = false, HasMax = false;
+  int64_t Min = 0, Max = 0;
+  bool Empty = true; // no integer point at all
+
+  void include(const IntRange &O);
+  std::string toString() const;
+};
+
+/// Computes the range of \p V over the integer solutions of \p P by
+/// projecting onto {V}.
+IntRange computeVarRange(const Problem &P, VarId V);
+
+/// Computes the range of \p V over a union of pieces.
+IntRange computeVarRange(const std::vector<Problem> &Pieces, VarId V);
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_PROJECTION_H

@@ -1,0 +1,188 @@
+//===- omega/Satisfiability.cpp -------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Satisfiability.h"
+
+#include "omega/EqElimination.h"
+#include "omega/FourierMotzkin.h"
+#include "omega/OmegaStats.h"
+#include "omega/Projection.h"
+
+#include <limits>
+#include <optional>
+
+using namespace omega;
+
+OmegaStats &omega::stats() {
+  static OmegaStats S;
+  return S;
+}
+
+namespace {
+
+/// Direct integer check when at most one variable remains: the tightest
+/// integer lower bound must not exceed the tightest integer upper bound.
+bool checkSingleVar(const Problem &P, VarId V) {
+  bool HasLo = false, HasHi = false;
+  int64_t Lo = 0, Hi = 0;
+  for (const Constraint &Row : P.constraints()) {
+    assert(Row.isInequality() && "equalities must be eliminated first");
+    int64_t C = Row.getCoeff(V);
+    int64_t K = Row.getConstant();
+    if (C > 0) {
+      // C*V + K >= 0  =>  V >= ceil(-K / C)
+      int64_t Bound = ceilDiv(-K, C);
+      if (!HasLo || Bound > Lo)
+        Lo = Bound;
+      HasLo = true;
+    } else if (C < 0) {
+      // C*V + K >= 0  =>  V <= floor(K / -C)
+      int64_t Bound = floorDiv(K, -C);
+      if (!HasHi || Bound < Hi)
+        Hi = Bound;
+      HasHi = true;
+    }
+  }
+  return !HasLo || !HasHi || Lo <= Hi;
+}
+
+/// Returns the variable whose elimination looks cheapest, or -1 if no
+/// variable appears in any constraint.
+VarId chooseVariable(const Problem &P) {
+  VarId Best = -1;
+  FMCost BestCost;
+  for (VarId V = 0, E = P.getNumVars(); V != E; ++V) {
+    if (!P.involves(V))
+      continue;
+    FMCost Cost = estimateEliminationCost(P, V);
+    if (Best < 0 || Cost < BestCost) {
+      Best = V;
+      BestCost = Cost;
+    }
+  }
+  return Best;
+}
+
+unsigned countActiveVars(const Problem &P, VarId &OnlyVar) {
+  unsigned N = 0;
+  OnlyVar = -1;
+  for (VarId V = 0, E = P.getNumVars(); V != E; ++V)
+    if (P.involves(V)) {
+      ++N;
+      OnlyVar = V;
+    }
+  return N;
+}
+
+bool isSatImpl(Problem &P, const SatOptions &Opts, unsigned Depth) {
+  assert(Depth < 512 && "runaway Omega test recursion");
+
+  // Once arithmetic has saturated this computation is unreliable; unwind
+  // immediately (the wrapper reports the conservative answer).
+  if (arithOverflowFlag())
+    return true;
+
+  if (solveEqualities(P) == SolveResult::False)
+    return false;
+
+  while (true) {
+    if (arithOverflowFlag())
+      return true;
+    VarId OnlyVar;
+    unsigned Active = countActiveVars(P, OnlyVar);
+    if (Active == 0)
+      return true; // normalize() removed all rows consistently
+    if (Active == 1)
+      return checkSingleVar(P, OnlyVar);
+
+    VarId Z = chooseVariable(P);
+    FMResult R = fourierMotzkinEliminate(P, Z);
+
+    if (R.Exact || Opts.Mode == SatMode::RealShadowOnly) {
+      ++stats().ExactEliminations;
+      P = std::move(R.RealShadow);
+      if (P.normalize() == Problem::NormalizeResult::False)
+        return false;
+      // normalize() may synthesize equalities from opposed inequalities.
+      if (P.getNumEQs() != 0 && solveEqualities(P) == SolveResult::False)
+        return false;
+      continue;
+    }
+
+    ++stats().InexactEliminations;
+    if (!isSatImpl(R.RealShadow, Opts, Depth + 1)) {
+      ++stats().RealShadowDecided;
+      return false;
+    }
+    if (isSatImpl(R.DarkShadow, Opts, Depth + 1)) {
+      ++stats().DarkShadowDecided;
+      return true;
+    }
+    for (Problem &Splinter : R.Splinters) {
+      ++stats().SplintersExplored;
+      if (isSatImpl(Splinter, Opts, Depth + 1))
+        return true;
+    }
+    return false;
+  }
+}
+
+} // namespace
+
+bool omega::isSatisfiable(Problem P, const SatOptions &Opts) {
+  ++stats().SatisfiabilityCalls;
+  OverflowScope Scope;
+  bool Result = isSatImpl(P, Opts, 0);
+  // Coefficient blowup: the computation is unreliable, so answer with the
+  // conservative "maybe satisfiable" every client treats as the safe
+  // direction (dependences assumed, implications unproven).
+  if (Scope.overflowed())
+    return true;
+  return Result;
+}
+
+std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P) {
+  if (!isSatisfiable(P))
+    return std::nullopt;
+
+  Problem Work = P;
+  std::vector<int64_t> Point(P.getNumVars(), 0);
+  for (VarId V = 0, E = P.getNumVars(); V != static_cast<VarId>(E); ++V) {
+    if (!Work.involves(V))
+      continue; // unconstrained given earlier pins: 0 works
+    // The exact projected range of V; its closed endpoints are members,
+    // so pinning one cannot lose satisfiability.
+    IntRange R = computeVarRange(Work, V);
+    assert(!R.Empty && "satisfiable problem has a value for every var");
+    int64_t Value = 0;
+    if (R.HasMin)
+      Value = R.Min;
+    else if (R.HasMax)
+      Value = R.Max;
+    else {
+      // Unbounded both ways: probe small magnitudes (a stride can make 0
+      // a non-member, but some small multiple is one).
+      bool Found = false;
+      for (int64_t Probe = 0; Probe < 4096 && !Found; ++Probe) {
+        for (int64_t Candidate : {Probe, -Probe}) {
+          Problem Pinned = Work;
+          Pinned.addEQ({{V, 1}}, -Candidate);
+          if (isSatisfiable(std::move(Pinned))) {
+            Value = Candidate;
+            Found = true;
+            break;
+          }
+        }
+      }
+      assert(Found && "no small value in a doubly-unbounded exact range");
+      if (!Found)
+        return std::nullopt;
+    }
+    Point[V] = Value;
+    Work.addEQ({{V, 1}}, -Value);
+  }
+  return Point;
+}

@@ -1,0 +1,218 @@
+//===- presburger/Formula.cpp ---------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "presburger/Formula.h"
+
+#include <algorithm>
+
+using namespace omega;
+using namespace omega::pres;
+
+Constraint pres::Atom::toConstraint(const Problem &P) const {
+  Constraint Row(Kind, P.getNumVars());
+  for (const Term &T : Terms)
+    Row.addToCoeff(T.first, T.second);
+  Row.setConstant(Constant);
+  return Row;
+}
+
+Formula Formula::geq(std::vector<Term> Terms, int64_t C) {
+  Formula F(Kind::AtomK);
+  F.A.Terms = std::move(Terms);
+  F.A.Constant = C;
+  F.A.Kind = ConstraintKind::GEQ;
+  return F;
+}
+
+Formula Formula::eq(std::vector<Term> Terms, int64_t C) {
+  Formula F(Kind::AtomK);
+  F.A.Terms = std::move(Terms);
+  F.A.Constant = C;
+  F.A.Kind = ConstraintKind::EQ;
+  return F;
+}
+
+Formula Formula::leq(std::vector<Term> Terms, int64_t C) {
+  // f <= 0  <=>  -f >= 0.
+  for (Term &T : Terms)
+    T.second = checkedMul(T.second, -1);
+  return geq(std::move(Terms), checkedMul(C, -1));
+}
+
+Formula Formula::gt(std::vector<Term> Terms, int64_t C) {
+  // f > 0  <=>  f - 1 >= 0.
+  return geq(std::move(Terms), checkedSub(C, 1));
+}
+
+Formula Formula::lt(std::vector<Term> Terms, int64_t C) {
+  // f < 0  <=>  -f - 1 >= 0.
+  for (Term &T : Terms)
+    T.second = checkedMul(T.second, -1);
+  return geq(std::move(Terms), checkedSub(checkedMul(C, -1), 1));
+}
+
+Formula Formula::neq(std::vector<Term> Terms, int64_t C) {
+  Formula Neg = lt(Terms, C);
+  Formula Pos = gt(std::move(Terms), C);
+  return disj({std::move(Pos), std::move(Neg)});
+}
+
+Formula Formula::conj(std::vector<Formula> Fs) {
+  if (Fs.empty())
+    return trueF();
+  if (Fs.size() == 1)
+    return std::move(Fs.front());
+  Formula F(Kind::And);
+  F.Children = std::move(Fs);
+  return F;
+}
+
+Formula Formula::disj(std::vector<Formula> Fs) {
+  if (Fs.empty())
+    return falseF();
+  if (Fs.size() == 1)
+    return std::move(Fs.front());
+  Formula F(Kind::Or);
+  F.Children = std::move(Fs);
+  return F;
+}
+
+Formula Formula::negate(Formula Inner) {
+  Formula F(Kind::Not);
+  F.Children.push_back(std::move(Inner));
+  return F;
+}
+
+Formula Formula::implies(Formula P, Formula Q) {
+  return disj({negate(std::move(P)), std::move(Q)});
+}
+
+Formula Formula::exists(std::vector<VarId> Vars, Formula Body) {
+  if (Vars.empty())
+    return Body;
+  Formula F(Kind::Exists);
+  F.Bound = std::move(Vars);
+  F.Children.push_back(std::move(Body));
+  return F;
+}
+
+Formula Formula::forall(std::vector<VarId> Vars, Formula Body) {
+  if (Vars.empty())
+    return Body;
+  Formula F(Kind::Forall);
+  F.Bound = std::move(Vars);
+  F.Children.push_back(std::move(Body));
+  return F;
+}
+
+Formula Formula::toNNF() const { return nnfImpl(/*Negated=*/false); }
+
+Formula Formula::nnfImpl(bool Negated) const {
+  switch (K) {
+  case Kind::True:
+    return Negated ? falseF() : trueF();
+  case Kind::False:
+    return Negated ? trueF() : falseF();
+  case Kind::AtomK: {
+    if (!Negated)
+      return *this;
+    if (A.Kind == ConstraintKind::GEQ) {
+      // not (f >= 0)  <=>  -f - 1 >= 0.
+      std::vector<Term> Terms = A.Terms;
+      for (Term &T : Terms)
+        T.second = checkedMul(T.second, -1);
+      return geq(std::move(Terms), checkedSub(checkedMul(A.Constant, -1), 1));
+    }
+    // not (f == 0)  <=>  (f - 1 >= 0) or (-f - 1 >= 0).
+    std::vector<Term> Pos = A.Terms;
+    std::vector<Term> Neg = A.Terms;
+    for (Term &T : Neg)
+      T.second = checkedMul(T.second, -1);
+    return disj({geq(std::move(Pos), checkedSub(A.Constant, 1)),
+                 geq(std::move(Neg),
+                     checkedSub(checkedMul(A.Constant, -1), 1))});
+  }
+  case Kind::And:
+  case Kind::Or: {
+    std::vector<Formula> Kids;
+    Kids.reserve(Children.size());
+    for (const Formula &C : Children)
+      Kids.push_back(C.nnfImpl(Negated));
+    bool IsAnd = (K == Kind::And) != Negated;
+    return IsAnd ? conj(std::move(Kids)) : disj(std::move(Kids));
+  }
+  case Kind::Not:
+    return Children.front().nnfImpl(!Negated);
+  case Kind::Exists:
+  case Kind::Forall: {
+    Formula Body = Children.front().nnfImpl(Negated);
+    bool IsExists = (K == Kind::Exists) != Negated;
+    return IsExists ? exists(Bound, std::move(Body))
+                    : forall(Bound, std::move(Body));
+  }
+  }
+  assert(false && "unknown formula kind");
+  return falseF();
+}
+
+std::string Formula::toString(const FormulaContext &Ctx) const {
+  auto renderAtom = [&]() {
+    std::string LHS;
+    for (const Term &T : A.Terms) {
+      if (T.second == 0)
+        continue;
+      if (LHS.empty()) {
+        if (T.second == -1)
+          LHS += "-";
+        else if (T.second != 1)
+          LHS += std::to_string(T.second) + "*";
+      } else {
+        LHS += T.second < 0 ? " - " : " + ";
+        if (T.second != 1 && T.second != -1)
+          LHS += std::to_string(absVal(T.second)) + "*";
+      }
+      LHS += Ctx.getVarName(T.first);
+    }
+    if (LHS.empty())
+      LHS = "0";
+    return LHS + (A.Kind == ConstraintKind::EQ ? " = " : " >= ") +
+           std::to_string(-A.Constant);
+  };
+
+  switch (K) {
+  case Kind::True:
+    return "TRUE";
+  case Kind::False:
+    return "FALSE";
+  case Kind::AtomK:
+    return renderAtom();
+  case Kind::And:
+  case Kind::Or: {
+    std::string Sep = K == Kind::And ? " && " : " || ";
+    std::string Out = "(";
+    for (unsigned I = 0; I != Children.size(); ++I) {
+      if (I)
+        Out += Sep;
+      Out += Children[I].toString(Ctx);
+    }
+    return Out + ")";
+  }
+  case Kind::Not:
+    return "!" + Children.front().toString(Ctx);
+  case Kind::Exists:
+  case Kind::Forall: {
+    std::string Out = K == Kind::Exists ? "exists " : "forall ";
+    for (unsigned I = 0; I != Bound.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Ctx.getVarName(Bound[I]);
+    }
+    return Out + ": " + Children.front().toString(Ctx);
+  }
+  }
+  assert(false && "unknown formula kind");
+  return "";
+}

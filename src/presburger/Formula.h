@@ -1,0 +1,124 @@
+//===- presburger/Formula.h - Presburger formula AST ----------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Presburger formulas (Section 3.2 of the paper): formulas built from
+/// integer affine atoms with and/or/not and exists/forall. The decision
+/// procedure (Decision.h) handles the subclass the extended Omega test can
+/// answer: quantifiers are eliminated by exact projection, and negation is
+/// supported whenever the projected pieces have simple stride structure.
+///
+/// Variables live in a FormulaContext, which is just a Problem variable
+/// layout; every atom and every piece produced by the decision procedure
+/// extends that layout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_PRESBURGER_FORMULA_H
+#define OMEGA_PRESBURGER_FORMULA_H
+
+#include "omega/Problem.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace pres {
+
+/// Owns the variable layout shared by a formula's atoms.
+class FormulaContext {
+public:
+  VarId addVar(std::string Name) { return Layout.addVar(std::move(Name)); }
+  unsigned getNumVars() const { return Layout.getNumVars(); }
+  const std::string &getVarName(VarId V) const { return Layout.getVarName(V); }
+
+  /// An empty problem with this context's variable layout.
+  Problem makeProblem() const { return Layout.cloneLayout(); }
+
+private:
+  Problem Layout;
+};
+
+/// One affine atom: sum Terms + Constant (== 0 | >= 0).
+struct Atom {
+  std::vector<Term> Terms;
+  int64_t Constant = 0;
+  ConstraintKind Kind = ConstraintKind::GEQ;
+
+  /// Materializes the atom as a row of \p P (which must extend the
+  /// formula's context layout).
+  Constraint toConstraint(const Problem &P) const;
+};
+
+/// An immutable formula tree with value semantics.
+class Formula {
+public:
+  enum class Kind : uint8_t {
+    True,
+    False,
+    AtomK,
+    And,
+    Or,
+    Not,
+    Exists,
+    Forall,
+  };
+
+  static Formula trueF() { return Formula(Kind::True); }
+  static Formula falseF() { return Formula(Kind::False); }
+
+  /// sum Terms + C >= 0.
+  static Formula geq(std::vector<Term> Terms, int64_t C);
+  /// sum Terms + C == 0.
+  static Formula eq(std::vector<Term> Terms, int64_t C);
+  /// sum Terms + C <= 0 (normalized to a GEQ).
+  static Formula leq(std::vector<Term> Terms, int64_t C);
+  /// sum Terms + C > 0 (normalized to a GEQ).
+  static Formula gt(std::vector<Term> Terms, int64_t C);
+  /// sum Terms + C < 0 (normalized to a GEQ).
+  static Formula lt(std::vector<Term> Terms, int64_t C);
+  /// sum Terms + C != 0 (an Or of two strict sides).
+  static Formula neq(std::vector<Term> Terms, int64_t C);
+
+  static Formula conj(std::vector<Formula> Fs);
+  static Formula disj(std::vector<Formula> Fs);
+  static Formula negate(Formula F);
+  static Formula implies(Formula P, Formula Q);
+  static Formula exists(std::vector<VarId> Vars, Formula Body);
+  static Formula forall(std::vector<VarId> Vars, Formula Body);
+
+  Kind getKind() const { return K; }
+  const Atom &getAtom() const {
+    assert(K == Kind::AtomK);
+    return A;
+  }
+  const std::vector<Formula> &children() const { return Children; }
+  const std::vector<VarId> &boundVars() const { return Bound; }
+
+  /// Negation-normal form: Not appears only directly above atoms, and is
+  /// then folded into the atom itself, so the result contains no Not nodes
+  /// at all.
+  Formula toNNF() const;
+
+  std::string toString(const FormulaContext &Ctx) const;
+
+private:
+  explicit Formula(Kind K) : K(K) {}
+
+  Kind K;
+  Atom A;                        // valid iff K == AtomK
+  std::vector<Formula> Children; // And/Or (n), Not (1), Exists/Forall (1)
+  std::vector<VarId> Bound;      // Exists/Forall
+
+  Formula nnfImpl(bool Negated) const;
+};
+
+} // namespace pres
+} // namespace omega
+
+#endif // OMEGA_PRESBURGER_FORMULA_H

@@ -1,0 +1,27 @@
+//===- support/MathUtils.cpp ----------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+
+using namespace omega;
+
+int64_t omega::gcd64(int64_t A, int64_t B) {
+  A = absVal(A);
+  B = absVal(B);
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t omega::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  int64_t G = gcd64(A, B);
+  return checkedMul(absVal(A) / G, absVal(B));
+}

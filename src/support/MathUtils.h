@@ -1,0 +1,123 @@
+//===- support/MathUtils.h - Checked integer arithmetic helpers ----------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact integer arithmetic primitives used throughout the Omega test:
+/// gcd/lcm, floor/ceiling division, the symmetric ("mod-hat") remainder used
+/// by equality elimination, and overflow-checked add/mul.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_MATHUTILS_H
+#define OMEGA_SUPPORT_MATHUTILS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace omega {
+
+/// Returns the sign of \p A as -1, 0, or +1.
+inline int signOf(int64_t A) { return (A > 0) - (A < 0); }
+
+/// Returns |A|, asserting that the value is representable (A != INT64_MIN).
+inline int64_t absVal(int64_t A) {
+  assert(A != INT64_MIN && "absVal overflow");
+  return A < 0 ? -A : A;
+}
+
+/// Fourier-Motzkin chains can blow coefficients up doubly exponentially.
+/// Rather than aborting, arithmetic saturates at +/-CoeffCap and raises a
+/// sticky per-thread flag; every decision procedure checks the flag and
+/// falls back to its conservative answer ("maybe satisfiable", "cannot
+/// prove the implication", "unbounded range") -- the same containment the
+/// original Omega library's "too big" guards provide.
+constexpr int64_t CoeffCap = int64_t(1) << 62;
+
+/// Sticky overflow flag for the current thread. Callers that need a
+/// per-computation verdict save/clear/restore it around the computation.
+inline bool &arithOverflowFlag() {
+  thread_local bool Flag = false;
+  return Flag;
+}
+
+inline int64_t clampCoeff(__int128 V) {
+  if (V > CoeffCap) {
+    arithOverflowFlag() = true;
+    return CoeffCap;
+  }
+  if (V < -CoeffCap) {
+    arithOverflowFlag() = true;
+    return -CoeffCap;
+  }
+  return static_cast<int64_t>(V);
+}
+
+/// Saturating addition; overflow raises arithOverflowFlag().
+inline int64_t checkedAdd(int64_t A, int64_t B) {
+  return clampCoeff(static_cast<__int128>(A) + B);
+}
+
+/// Saturating subtraction; overflow raises arithOverflowFlag().
+inline int64_t checkedSub(int64_t A, int64_t B) {
+  return clampCoeff(static_cast<__int128>(A) - B);
+}
+
+/// Saturating multiplication; overflow raises arithOverflowFlag().
+inline int64_t checkedMul(int64_t A, int64_t B) {
+  return clampCoeff(static_cast<__int128>(A) * B);
+}
+
+/// RAII helper: clears the overflow flag on entry; on destruction, ORs
+/// whatever happened back into the surrounding scope's view.
+class OverflowScope {
+public:
+  OverflowScope() : Saved(arithOverflowFlag()) {
+    arithOverflowFlag() = false;
+  }
+  ~OverflowScope() { arithOverflowFlag() |= Saved; }
+  bool overflowed() const { return arithOverflowFlag(); }
+
+private:
+  bool Saved;
+};
+
+/// Greatest common divisor; result is non-negative. gcd(0, 0) == 0.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple; result is non-negative. Asserts on overflow.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// Floor division: largest Q with Q * B <= A. Requires B > 0.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "floorDiv requires positive divisor");
+  int64_t Q = A / B;
+  if ((A % B) != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+/// Ceiling division: smallest Q with Q * B >= A. Requires B > 0.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  assert(B > 0 && "ceilDiv requires positive divisor");
+  int64_t Q = A / B;
+  if ((A % B) != 0 && A > 0)
+    ++Q;
+  return Q;
+}
+
+/// The symmetric remainder "a mod-hat b" from [Pug91]:
+///   modHat(A, B) = A - B * floor(A / B + 1 / 2)
+/// The result R satisfies |R| <= B/2 and R == A (mod B). Requires B > 0.
+inline int64_t modHat(int64_t A, int64_t B) {
+  assert(B > 0 && "modHat requires positive modulus");
+  return A - checkedMul(B, floorDiv(checkedAdd(checkedMul(2, A), B),
+                                    checkedMul(2, B)));
+}
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_MATHUTILS_H

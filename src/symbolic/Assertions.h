@@ -1,0 +1,122 @@
+//===- symbolic/Assertions.h - User assertion database (Section 5) -------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertions a user can supply to sharpen symbolic dependence analysis:
+/// linear relations among symbolic constants ("50 <= n <= 100"), array
+/// bounds ("all references to A are in bounds"), and properties of index
+/// arrays ("Q is injective", "Q is strictly increasing") -- the kinds of
+/// answers Section 5's dialog solicits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SYMBOLIC_ASSERTIONS_H
+#define OMEGA_SYMBOLIC_ASSERTIONS_H
+
+#include "omega/Constraint.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace symbolic {
+
+/// A linear expression over *named* symbolic constants, used to state
+/// assertions independent of any particular problem layout.
+struct SymExpr {
+  std::vector<std::pair<std::string, int64_t>> Terms;
+  int64_t Const = 0;
+
+  static SymExpr constant(int64_t C) {
+    SymExpr E;
+    E.Const = C;
+    return E;
+  }
+  static SymExpr name(std::string N, int64_t Coeff = 1) {
+    SymExpr E;
+    E.Terms.push_back({std::move(N), Coeff});
+    return E;
+  }
+  SymExpr plus(int64_t C) const {
+    SymExpr E = *this;
+    E.Const += C;
+    return E;
+  }
+};
+
+/// One asserted linear relation: Lhs REL Rhs.
+struct SymRelation {
+  enum class Rel : uint8_t { LE, LT, EQ, GE, GT };
+  SymExpr Lhs;
+  Rel Relation = Rel::LE;
+  SymExpr Rhs;
+};
+
+/// Per-dimension array bounds, e.g. A[1:n, 1:m].
+struct ArrayBounds {
+  std::vector<std::pair<SymExpr, SymExpr>> Dims; // (lower, upper)
+};
+
+class AssertionDB {
+public:
+  /// Asserts Lhs REL Rhs among symbolic constants.
+  void assertRelation(SymExpr Lhs, SymRelation::Rel Rel, SymExpr Rhs) {
+    Relations.push_back(SymRelation{std::move(Lhs), Rel, std::move(Rhs)});
+  }
+
+  /// Declares the bounds of an array; combined with assumeInBounds(),
+  /// every reference contributes "lo <= subscript <= hi" facts.
+  void declareArrayBounds(const std::string &Array, ArrayBounds Bounds) {
+    BoundsByArray[Array] = std::move(Bounds);
+  }
+
+  /// "All array references are in bounds" (the standing assumption in the
+  /// paper's Section 5 examples).
+  void assumeInBounds(bool V = true) { InBounds = V; }
+  bool inBoundsAssumed() const { return InBounds; }
+
+  const ArrayBounds *boundsOf(const std::string &Array) const {
+    auto It = BoundsByArray.find(Array);
+    return It == BoundsByArray.end() ? nullptr : &It->second;
+  }
+
+  /// Index-array properties.
+  void assertInjective(const std::string &Array) { Injective.insert(Array); }
+  void assertStrictlyIncreasing(const std::string &Array) {
+    Increasing.insert(Array);
+    Injective.insert(Array); // strictly increasing implies injective
+  }
+  /// A permutation array is injective (onto-ness adds nothing the pairwise
+  /// machinery can use).
+  void assertPermutation(const std::string &Array) {
+    Injective.insert(Array);
+  }
+
+  bool isInjective(const std::string &Array) const {
+    return Injective.count(Array) != 0;
+  }
+  bool isStrictlyIncreasing(const std::string &Array) const {
+    return Increasing.count(Array) != 0;
+  }
+
+  const std::vector<SymRelation> &relations() const { return Relations; }
+
+private:
+  std::vector<SymRelation> Relations;
+  std::map<std::string, ArrayBounds> BoundsByArray;
+  std::set<std::string> Injective;
+  std::set<std::string> Increasing;
+  bool InBounds = false;
+};
+
+} // namespace symbolic
+} // namespace omega
+
+#endif // OMEGA_SYMBOLIC_ASSERTIONS_H

@@ -1,0 +1,135 @@
+//===- transform/Apply.cpp ------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Apply.h"
+
+#include "analysis/Transforms.h"
+
+#include <functional>
+
+using namespace omega;
+using namespace omega::transform;
+
+const char *transform::applyResultName(ApplyResult R) {
+  switch (R) {
+  case ApplyResult::Applied:
+    return "applied";
+  case ApplyResult::NotPerfectlyNested:
+    return "not perfectly nested";
+  case ApplyResult::BoundsDependOnOuter:
+    return "bounds depend on the outer variable";
+  case ApplyResult::NoSuchLoops:
+    return "no such loop pair";
+  }
+  return "?";
+}
+
+namespace {
+
+bool referencesVar(const ir::Expr &E, const std::string &Var) {
+  if (E.getKind() == ir::Expr::Kind::VarRef && E.getName() == Var)
+    return true;
+  for (const ir::Expr &Arg : E.args())
+    if (referencesVar(Arg, Var))
+      return true;
+  return false;
+}
+
+ir::ForStmt *findLoop(std::vector<ir::Stmt> &Body, const std::string &Var) {
+  for (ir::Stmt &S : Body) {
+    if (!S.isFor())
+      continue;
+    if (S.asFor().Var == Var)
+      return &S.asFor();
+    if (ir::ForStmt *Found = findLoop(S.asFor().Body, Var))
+      return Found;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+ApplyResult transform::interchange(ir::Program &P,
+                                   const std::string &OuterVar,
+                                   const std::string &InnerVar) {
+  ir::ForStmt *Outer = findLoop(P.Body, OuterVar);
+  if (!Outer)
+    return ApplyResult::NoSuchLoops;
+  if (Outer->Body.size() != 1 || !Outer->Body.front().isFor() ||
+      Outer->Body.front().asFor().Var != InnerVar)
+    return ApplyResult::NotPerfectlyNested;
+  ir::ForStmt &Inner = Outer->Body.front().asFor();
+
+  // A pure header swap is only correct when neither loop's bounds
+  // reference the other's variable (rectangular nests). Triangular
+  // interchange needs bound rewriting, which we do not attempt.
+  if (referencesVar(Inner.Lo, OuterVar) || referencesVar(Inner.Hi, OuterVar) ||
+      referencesVar(Outer->Lo, InnerVar) || referencesVar(Outer->Hi, InnerVar))
+    return ApplyResult::BoundsDependOnOuter;
+
+  std::swap(Outer->Var, Inner.Var);
+  std::swap(Outer->Lo, Inner.Lo);
+  std::swap(Outer->Hi, Inner.Hi);
+  std::swap(Outer->Step, Inner.Step);
+  return ApplyResult::Applied;
+}
+
+std::string
+transform::renderParallelSchedule(const ir::AnalyzedProgram &AP,
+                                  const analysis::AnalysisResult &R) {
+  std::vector<analysis::LoopFacts> Facts = analysis::analyzeLoops(AP, R);
+  enum class Verdict { Serial, Parallel, FlowParallel };
+  auto parallel = [&](const std::string &Var,
+                      const std::vector<unsigned> &Path) {
+    for (const analysis::LoopFacts &F : Facts)
+      if (F.Loop->SourceVar == Var && F.Loop->Path == Path) {
+        if (F.Parallelizable)
+          return Verdict::Parallel;
+        if (F.FlowParallelizable)
+          return Verdict::FlowParallel;
+        return Verdict::Serial;
+      }
+    return Verdict::Serial;
+  };
+
+  std::string Out;
+  std::vector<unsigned> Path;
+  std::function<void(const std::vector<ir::Stmt> &, unsigned)> Walk =
+      [&](const std::vector<ir::Stmt> &Body, unsigned Indent) {
+        for (unsigned I = 0; I != Body.size(); ++I) {
+          Path.push_back(I);
+          const ir::Stmt &S = Body[I];
+          if (S.isFor()) {
+            const ir::ForStmt &F = S.asFor();
+            Out.append(Indent, ' ');
+            switch (parallel(F.Var, Path)) {
+            case Verdict::Parallel:
+              Out += "parallel ";
+              break;
+            case Verdict::FlowParallel:
+              Out += "parallel(after renaming) ";
+              break;
+            case Verdict::Serial:
+              break;
+            }
+            Out += "for " + F.Var + " := " + F.Lo.toString() + " to " +
+                   F.Hi.toString();
+            if (F.Step != 1)
+              Out += " step " + std::to_string(F.Step);
+            Out += " do\n";
+            Walk(F.Body, Indent + 2);
+            Out.append(Indent, ' ');
+            Out += "endfor\n";
+          } else {
+            Out.append(Indent, ' ');
+            Out += S.asAssign().toString() + "\n";
+          }
+          Path.pop_back();
+        }
+      };
+  Walk(AP.Source.Body, 0);
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- transform/Apply.h - Applying loop transformations ------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "apply" side of the transformations Section 1 motivates: given the
+/// legality verdicts from analysis/Transforms.h, actually rewrite the AST
+/// (loop interchange) or render the parallel schedule. The test suite
+/// verifies semantic preservation by interpreting the program before and
+/// after and comparing final memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_TRANSFORM_APPLY_H
+#define OMEGA_TRANSFORM_APPLY_H
+
+#include "analysis/Driver.h"
+#include "ir/AST.h"
+
+#include <string>
+
+namespace omega {
+namespace transform {
+
+/// Result of attempting an AST rewrite.
+enum class ApplyResult {
+  Applied,
+  NotPerfectlyNested, ///< the outer loop's body is not exactly the inner
+  BoundsDependOnOuter, ///< triangular bounds: a pure header swap is wrong
+  NoSuchLoops,
+};
+
+const char *applyResultName(ApplyResult R);
+
+/// Swaps the headers of the perfectly nested pair (OuterVar directly
+/// containing InnerVar). Rectangular bounds only; legality (dependence
+/// directions) is the caller's job -- pair with
+/// analysis::canInterchange().
+ApplyResult interchange(ir::Program &P, const std::string &OuterVar,
+                        const std::string &InnerVar);
+
+/// Renders the program with "parallel for" on every loop the analysis
+/// proves carries no live dependence (the DOALL schedule).
+std::string renderParallelSchedule(const ir::AnalyzedProgram &AP,
+                                   const analysis::AnalysisResult &R);
+
+} // namespace transform
+} // namespace omega
+
+#endif // OMEGA_TRANSFORM_APPLY_H

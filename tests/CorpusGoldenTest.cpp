@@ -1,0 +1,119 @@
+//===- tests/CorpusGoldenTest.cpp -----------------------------------------===//
+//
+// Golden-number regression over the whole kernel corpus: live/dead flow
+// split counts, refinements, covers, and anti/output split counts per
+// kernel. Any behavioral drift anywhere in the stack (front end,
+// dependence computation, Section 4 analyses) shows up here first.
+//
+// When a change intentionally improves precision, regenerate the table
+// and explain the delta in the commit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Driver.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+namespace {
+
+struct Golden {
+  const char *Name;
+  unsigned LiveFlow;
+  unsigned DeadFlow;
+  unsigned RefinedSplits;
+  unsigned Covers;
+  unsigned AntiSplits;
+  unsigned OutputSplits;
+};
+
+const Golden Expected[] = {
+    {"cholsky", 22, 15, 9, 13, 25, 13},
+    {"example1", 1, 1, 0, 0, 0, 1},
+    {"example2", 1, 4, 2, 2, 3, 15},
+    {"example3", 1, 0, 1, 0, 1, 1},
+    {"example4", 1, 0, 1, 0, 1, 1},
+    {"example5", 2, 0, 2, 0, 1, 1},
+    {"example6", 1, 0, 1, 0, 2, 1},
+    {"example7", 2, 0, 0, 0, 3, 0},
+    {"example8", 1, 0, 0, 0, 2, 1},
+    {"example9", 0, 0, 0, 0, 0, 0},
+    {"example10", 0, 0, 0, 0, 0, 2},
+    {"example11", 8, 0, 6, 0, 12, 4},
+    {"lu", 5, 1, 5, 1, 4, 2},
+    {"wavefront", 2, 0, 0, 0, 0, 0},
+    {"skewed_wavefront", 2, 0, 0, 0, 0, 0},
+    {"cholesky_dense", 6, 3, 6, 3, 6, 3},
+    {"privatizable", 2, 0, 2, 2, 2, 1},
+    {"inplace_stencil", 2, 0, 2, 0, 3, 1},
+    {"reduction_chain", 4, 0, 1, 2, 2, 2},
+    {"double_buffer", 2, 0, 2, 1, 3, 2},
+    {"triangles_strides", 3, 0, 1, 0, 2, 1},
+    {"matmul", 2, 0, 1, 1, 2, 2},
+    {"transpose_copy", 1, 0, 0, 1, 1, 0},
+    {"gauss_seidel", 4, 0, 4, 0, 6, 1},
+    {"jacobi_two_array", 3, 0, 3, 1, 5, 2},
+    {"prefix_sums", 5, 0, 0, 1, 0, 0},
+    {"banded_solve", 2, 0, 1, 0, 2, 1},
+    {"convolution", 2, 0, 1, 1, 2, 2},
+    {"odd_even_phases", 4, 0, 4, 0, 7, 2},
+    {"diagonal_sweep", 2, 0, 0, 0, 0, 0},
+};
+
+} // namespace
+
+TEST(CorpusGolden, AnalysisCountsStable) {
+  const std::vector<kernels::Kernel> &Corpus = kernels::corpus();
+  ASSERT_EQ(Corpus.size(), std::size(Expected));
+
+  for (unsigned I = 0; I != Corpus.size(); ++I) {
+    const kernels::Kernel &K = Corpus[I];
+    const Golden &G = Expected[I];
+    ASSERT_STREQ(K.Name, G.Name);
+
+    ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+    ASSERT_TRUE(AP.ok()) << K.Name;
+    analysis::AnalysisResult R = analysis::analyzeProgram(AP);
+
+    unsigned Live = 0, Dead = 0, Refined = 0, Covers = 0;
+    for (const deps::Dependence &D : R.Flow) {
+      Covers += D.Covers;
+      for (const deps::DepSplit &S : D.Splits) {
+        (S.Dead ? Dead : Live)++;
+        Refined += S.Refined;
+      }
+    }
+    unsigned Anti = 0, Output = 0;
+    for (const deps::Dependence &D : R.Anti)
+      Anti += D.Splits.size();
+    for (const deps::Dependence &D : R.Output)
+      Output += D.Splits.size();
+
+    EXPECT_EQ(Live, G.LiveFlow) << K.Name;
+    EXPECT_EQ(Dead, G.DeadFlow) << K.Name;
+    EXPECT_EQ(Refined, G.RefinedSplits) << K.Name;
+    EXPECT_EQ(Covers, G.Covers) << K.Name;
+    EXPECT_EQ(Anti, G.AntiSplits) << K.Name;
+    EXPECT_EQ(Output, G.OutputSplits) << K.Name;
+  }
+}
+
+TEST(CorpusGolden, QuickTestsPreserveOutcomes) {
+  // Disabling the Section 4.5 quick screens may only change cost, never
+  // liveness.
+  analysis::DriverOptions Slow;
+  Slow.QuickTests = false;
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+    ASSERT_TRUE(AP.ok()) << K.Name;
+    analysis::AnalysisResult Fast = analysis::analyzeProgram(AP);
+    analysis::AnalysisResult Full = analysis::analyzeProgram(AP, Slow);
+    ASSERT_EQ(Fast.Flow.size(), Full.Flow.size()) << K.Name;
+    for (unsigned I = 0; I != Fast.Flow.size(); ++I)
+      EXPECT_EQ(Fast.Flow[I].allDead(), Full.Flow[I].allDead())
+          << K.Name << " " << Fast.Flow[I].Src->Text << " -> "
+          << Fast.Flow[I].Dst->Text;
+  }
+}

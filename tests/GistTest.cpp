@@ -1,0 +1,369 @@
+//===- tests/GistTest.cpp -------------------------------------------------===//
+//
+// Unit and property tests for gist computation and implication checks
+// (Section 3.3 of the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Gist.h"
+
+#include "omega/Projection.h"
+#include "omega/Satisfiability.h"
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::testutil;
+
+namespace {
+
+/// Shared two-variable layout for p and q.
+struct Space {
+  Problem Layout;
+  VarId X, Y;
+  Space() {
+    X = Layout.addVar("x");
+    Y = Layout.addVar("y");
+  }
+  Problem fresh() const { return Layout.cloneLayout(); }
+};
+
+} // namespace
+
+TEST(Gist, TrueWhenImplied) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, 0); // x >= 0
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}}, -5); // x >= 5
+  Problem G = gist(P, Q);
+  EXPECT_EQ(G.getNumConstraints(), 0u) << G.toString();
+  EXPECT_TRUE(implies(Q, P));
+}
+
+TEST(Gist, KeepsNewInformation) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, -5); // x >= 5
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}}, 0); // x >= 0
+  Problem G = gist(P, Q);
+  ASSERT_EQ(G.getNumConstraints(), 1u);
+  EXPECT_EQ(G.toString(), "{ x >= 5 }");
+  EXPECT_FALSE(implies(Q, P));
+}
+
+TEST(Gist, DropsOnlyRedundantParts) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, 0);  // x >= 0 (implied by q)
+  P.addGEQ({{S.Y, -1}}, 9); // y <= 9 (new)
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}}, -3); // x >= 3
+  Problem G = gist(P, Q);
+  ASSERT_EQ(G.getNumConstraints(), 1u);
+  EXPECT_EQ(G.toString(), "{ -y >= -9 }");
+}
+
+TEST(Gist, EqualitySplitAndRemerged) {
+  Space S;
+  Problem P = S.fresh();
+  P.addEQ({{S.X, 1}, {S.Y, -1}}, 0); // x == y
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}, {S.Y, -1}}, 0); // x >= y
+  Problem G = gist(P, Q);
+  // Only the half "x <= y" is new; together with q it restores x == y.
+  ASSERT_EQ(G.getNumConstraints(), 1u);
+  EXPECT_TRUE(G.constraints().front().isInequality());
+
+  Problem Check = Q;
+  for (const Constraint &Row : G.constraints())
+    Check.addConstraint(Row);
+  ASSERT_EQ(Check.normalize(), Problem::NormalizeResult::Ok);
+  EXPECT_EQ(Check.getNumEQs(), 1u);
+}
+
+TEST(Gist, InconsistentCombinationIsFalse) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, -5); // x >= 5
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, -1}}, 2); // x <= 2
+  Problem G = gist(P, Q);
+  // p && q is unsatisfiable: the gist is False.
+  EXPECT_FALSE(isSatisfiable(G));
+}
+
+TEST(Gist, PairImpliedConstraintDropped) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}, {S.Y, 1}}, -2); // x + y >= 2: implied by pair below
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}}, -1); // x >= 1
+  Q.addGEQ({{S.Y, 1}}, -1); // y >= 1
+  Problem G = gist(P, Q);
+  EXPECT_EQ(G.getNumConstraints(), 0u) << G.toString();
+}
+
+TEST(Gist, FastChecksMatchNaive) {
+  // The fast checks are an optimization only: results must agree.
+  std::mt19937 Rng(77);
+  RandomProblemConfig Cfg;
+  Cfg.NumVars = 2;
+  Cfg.NumEQs = 0;
+  Cfg.NumGEQs = 3;
+  for (unsigned T = 0; T != 100; ++T) {
+    Problem P = randomProblem(Rng, Cfg);
+    Problem Q = P.cloneLayout();
+    // Reuse half of P's rows as q, the rest as p.
+    Problem PPart = P.cloneLayout();
+    unsigned I = 0;
+    for (const Constraint &Row : P.constraints())
+      ((I++ % 2) ? Q : PPart).addConstraint(Row);
+
+    GistOptions Fast, Slow;
+    Slow.UseFastChecks = false;
+    Problem GFast = gist(PPart, Q, Fast);
+    Problem GSlow = gist(PPart, Q, Slow);
+    // Both must satisfy the gist equation; sizes may differ only if both
+    // are minimal in different ways, so compare semantics, not syntax.
+    for (int64_t X = -8; X <= 8; ++X)
+      for (int64_t Y = -8; Y <= 8; ++Y) {
+        std::vector<int64_t> Pt = {X, Y};
+        bool QV = evalProblem(Q, Pt);
+        if (!QV)
+          continue;
+        EXPECT_EQ(evalProblem(GFast, Pt), evalProblem(PPart, Pt))
+            << "fast gist broke the gist equation";
+        EXPECT_EQ(evalProblem(GSlow, Pt), evalProblem(PPart, Pt))
+            << "naive gist broke the gist equation";
+      }
+  }
+}
+
+TEST(Implies, BasicDirections) {
+  Space S;
+  Problem Narrow = S.fresh();
+  Narrow.addGEQ({{S.X, 1}}, -2);
+  Narrow.addGEQ({{S.X, -1}}, 4); // 2 <= x <= 4
+  Problem Wide = S.fresh();
+  Wide.addGEQ({{S.X, 1}}, 0);
+  Wide.addGEQ({{S.X, -1}}, 10); // 0 <= x <= 10
+  EXPECT_TRUE(implies(Narrow, Wide));
+  EXPECT_FALSE(implies(Wide, Narrow));
+}
+
+TEST(Implies, WithEqualityOnRight) {
+  Space S;
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}, {S.Y, -1}}, 0);  // x >= y
+  Q.addGEQ({{S.X, -1}, {S.Y, 1}}, 0);  // x <= y
+  Problem P = S.fresh();
+  P.addEQ({{S.X, 1}, {S.Y, -1}}, 0);   // x == y
+  EXPECT_TRUE(implies(Q, P));
+}
+
+TEST(Implies, UnsatisfiableLeftImpliesAnything) {
+  Space S;
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.X, 1}}, -5);
+  Q.addGEQ({{S.X, -1}}, 2); // empty
+  Problem P = S.fresh();
+  P.addEQ({{S.Y, 1}}, -77);
+  EXPECT_TRUE(implies(Q, P));
+}
+
+TEST(Implies, IntegerReasoningRequired) {
+  Space S;
+  // q: x == 2y (x even). p: x != 1 is not expressible; instead check
+  // q => {0 <= x - 2y <= 0} trivially and a parity-sensitive case:
+  // q2: 2 <= 2y <= 4 implies 1 <= y <= 2.
+  Problem Q = S.fresh();
+  Q.addGEQ({{S.Y, 2}}, -2);
+  Q.addGEQ({{S.Y, -2}}, 4);
+  Problem P = S.fresh();
+  P.addGEQ({{S.Y, 1}}, -1);
+  P.addGEQ({{S.Y, -1}}, 2);
+  EXPECT_TRUE(implies(Q, P));
+}
+
+TEST(ImpliesUnion, CoversByCases) {
+  Space S;
+  // p: 0 <= x <= 5. q1: x <= 2. q2: x >= 3. Union covers p.
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, 0);
+  P.addGEQ({{S.X, -1}}, 5);
+  Problem Q1 = S.fresh();
+  Q1.addGEQ({{S.X, -1}}, 2);
+  Problem Q2 = S.fresh();
+  Q2.addGEQ({{S.X, 1}}, -3);
+  EXPECT_TRUE(impliesUnion(P, {Q1, Q2}));
+  // Neither disjunct alone suffices.
+  EXPECT_FALSE(impliesUnion(P, {Q1}));
+  EXPECT_FALSE(impliesUnion(P, {Q2}));
+}
+
+TEST(ImpliesUnion, GapBreaksCover) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, 0);
+  P.addGEQ({{S.X, -1}}, 5);
+  Problem Q1 = S.fresh();
+  Q1.addGEQ({{S.X, -1}}, 1); // x <= 1
+  Problem Q2 = S.fresh();
+  Q2.addGEQ({{S.X, 1}}, -3); // x >= 3; x == 2 uncovered
+  EXPECT_FALSE(impliesUnion(P, {Q1, Q2}));
+}
+
+TEST(ImpliesUnion, EmptyUnionOnlyFromFalse) {
+  Space S;
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, 0);
+  EXPECT_FALSE(impliesUnion(P, {}));
+  Problem Empty = S.fresh();
+  Empty.addGEQ({}, -1); // 0 >= 1
+  EXPECT_TRUE(impliesUnion(Empty, {}));
+}
+
+TEST(ImpliesUnion, EqualityDisjuncts) {
+  Space S;
+  // p: 1 <= x <= 2 implies (x == 1 or x == 2).
+  Problem P = S.fresh();
+  P.addGEQ({{S.X, 1}}, -1);
+  P.addGEQ({{S.X, -1}}, 2);
+  Problem Q1 = S.fresh();
+  Q1.addEQ({{S.X, 1}}, -1);
+  Problem Q2 = S.fresh();
+  Q2.addEQ({{S.X, 1}}, -2);
+  EXPECT_TRUE(impliesUnion(P, {Q1, Q2}));
+}
+
+TEST(ProjectAndGist, CombinedRedBlack) {
+  // Red: 1 <= x <= 10 && y == x. Black: 3 <= x && exists y' context.
+  // After projecting y away, the red news relative to black x >= 3 is
+  // x >= 1 dropped, x <= 10 kept.
+  Problem C;
+  VarId X = C.addVar("x");
+  VarId Y = C.addVar("y");
+  C.addGEQ({{X, 1}}, -1, /*Red=*/true);
+  C.addGEQ({{X, -1}}, 10, /*Red=*/true);
+  C.addEQ({{Y, 1}, {X, -1}}, 0, /*Red=*/true);
+  C.addGEQ({{X, 1}}, -3, /*Red=*/false);
+
+  std::vector<bool> Keep(C.getNumVars(), false);
+  Keep[X] = true;
+  RedGistResult R = projectAndGist(C, Keep);
+  EXPECT_TRUE(R.Exact);
+  EXPECT_EQ(R.Gist.toString(), "{ [red] -x >= -10 }");
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: the defining equation (gist p given q) && q == p && q.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct GistPropertyParam {
+  RandomProblemConfig Cfg;
+  unsigned Trials;
+  unsigned Seed;
+};
+
+class GistProperty : public ::testing::TestWithParam<GistPropertyParam> {};
+
+} // namespace
+
+TEST_P(GistProperty, GistEquationHolds) {
+  const GistPropertyParam &Param = GetParam();
+  std::mt19937 Rng(Param.Seed);
+  for (unsigned T = 0; T != Param.Trials; ++T) {
+    Problem P = randomProblem(Rng, Param.Cfg);
+    Problem Q = randomProblem(Rng, Param.Cfg);
+    // Rebuild q in p's layout (randomProblem uses fresh layouts of the
+    // same shape, so rows carry over directly).
+    Problem QShared = P.cloneLayout();
+    for (const Constraint &Row : Q.constraints())
+      QShared.addConstraint(Row);
+
+    Problem G = gist(P, QShared);
+
+    std::vector<VarId> Vars;
+    for (VarId V = 0; V != static_cast<VarId>(Param.Cfg.NumVars); ++V)
+      Vars.push_back(V);
+    bool Failed = forEachPoint(
+        P.getNumVars(), Vars, -Param.Cfg.Box, Param.Cfg.Box,
+        [&](const std::vector<int64_t> &Pt) {
+          if (!evalProblem(QShared, Pt))
+            return false;
+          if (evalProblem(G, Pt) != evalProblem(P, Pt)) {
+            ADD_FAILURE() << "gist equation violated at trial " << T
+                          << "\n p = " << P.toString()
+                          << "\n q = " << QShared.toString()
+                          << "\n g = " << G.toString();
+            return true;
+          }
+          return false;
+        });
+    if (Failed)
+      return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBoxes, GistProperty,
+    ::testing::Values(
+        GistPropertyParam{{/*NumVars=*/2, /*NumEQs=*/0, /*NumGEQs=*/3,
+                           /*CoeffRange=*/3, /*ConstRange=*/8, /*Box=*/6},
+                          100, 31},
+        GistPropertyParam{{/*NumVars=*/2, /*NumEQs=*/1, /*NumGEQs=*/2,
+                           /*CoeffRange=*/3, /*ConstRange=*/6, /*Box=*/5},
+                          100, 32},
+        GistPropertyParam{{/*NumVars=*/3, /*NumEQs=*/1, /*NumGEQs=*/3,
+                           /*CoeffRange=*/2, /*ConstRange=*/6, /*Box=*/4},
+                          60, 33}));
+
+namespace {
+
+class ImpliesProperty : public ::testing::TestWithParam<GistPropertyParam> {};
+
+} // namespace
+
+TEST_P(ImpliesProperty, AgreesWithBruteForce) {
+  const GistPropertyParam &Param = GetParam();
+  std::mt19937 Rng(Param.Seed);
+  for (unsigned T = 0; T != Param.Trials; ++T) {
+    Problem Q = randomProblem(Rng, Param.Cfg);
+    Problem P0 = randomProblem(Rng, Param.Cfg);
+    Problem P = Q.cloneLayout();
+    // Use a weaker p half the time so both outcomes occur.
+    unsigned I = 0;
+    for (const Constraint &Row : P0.constraints())
+      if (T % 2 == 0 || (I++ % 2) == 0)
+        P.addConstraint(Row);
+
+    bool Actual = implies(Q, P);
+
+    std::vector<VarId> Vars;
+    for (VarId V = 0; V != static_cast<VarId>(Param.Cfg.NumVars); ++V)
+      Vars.push_back(V);
+    bool Counterexample = forEachPoint(
+        Q.getNumVars(), Vars, -Param.Cfg.Box, Param.Cfg.Box,
+        [&](const std::vector<int64_t> &Pt) {
+          return evalProblem(Q, Pt) && !evalProblem(P, Pt);
+        });
+    ASSERT_EQ(Actual, !Counterexample)
+        << "trial " << T << "\n q = " << Q.toString()
+        << "\n p = " << P.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBoxes, ImpliesProperty,
+    ::testing::Values(
+        GistPropertyParam{{/*NumVars=*/2, /*NumEQs=*/0, /*NumGEQs=*/3,
+                           /*CoeffRange=*/3, /*ConstRange=*/8, /*Box=*/6},
+                          100, 41},
+        GistPropertyParam{{/*NumVars=*/3, /*NumEQs=*/1, /*NumGEQs=*/2,
+                           /*CoeffRange=*/2, /*ConstRange=*/6, /*Box=*/4},
+                          60, 42}));

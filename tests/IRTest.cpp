@@ -1,0 +1,365 @@
+//===- tests/IRTest.cpp ---------------------------------------------------===//
+//
+// Unit tests for the tiny-style front end: lexer, parser, and semantic
+// lowering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Sema.h"
+
+#include "ir/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::ir;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) {
+  Lexer L(Src);
+  std::vector<Token> Out;
+  while (true) {
+    Token T = L.next();
+    Out.push_back(T);
+    if (T.Kind == TokenKind::Eof)
+      break;
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, BasicTokens) {
+  auto Toks = lexAll("for L1 := 1 to n do a(L1) := 0; endfor");
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFor,   TokenKind::Ident,  TokenKind::Assign,
+      TokenKind::IntLit,  TokenKind::KwTo,   TokenKind::Ident,
+      TokenKind::KwDo,    TokenKind::Ident,  TokenKind::LParen,
+      TokenKind::Ident,   TokenKind::RParen, TokenKind::Assign,
+      TokenKind::IntLit,  TokenKind::Semi,   TokenKind::KwEndfor,
+      TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  auto Toks = lexAll("FOR For for ENDFOR MiN");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwFor);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::KwFor);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwFor);
+  EXPECT_EQ(Toks[3].Kind, TokenKind::KwEndfor);
+  EXPECT_EQ(Toks[4].Kind, TokenKind::KwMin);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto Toks = lexAll("x // trailing\n# whole line\ny");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "x");
+  EXPECT_EQ(Toks[1].Text, "y");
+}
+
+TEST(Lexer, LocationsTracked) {
+  auto Toks = lexAll("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, ErrorToken) {
+  auto Toks = lexAll("a ? b");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, RoundTripSimpleLoop) {
+  const char *Src = "symbolic n, m;\n"
+                    "for L1 := 1 to n do\n"
+                    "  for L2 := 2 to m do\n"
+                    "    a(L2) := a(L2-1);\n"
+                    "  endfor\n"
+                    "endfor\n";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok()) << R.Diags.front().toString();
+  EXPECT_EQ(R.Prog.toString(), "symbolic n, m;\n"
+                               "for L1 := 1 to n do\n"
+                               "  for L2 := 2 to m do\n"
+                               "    a(L2) := a(L2-1);\n"
+                               "  endfor\n"
+                               "endfor\n");
+}
+
+TEST(Parser, StatementLabelsInProgramOrder) {
+  const char *Src = "a(1) := 0;\n"
+                    "for i := 1 to 10 do\n"
+                    "  b(i) := a(i);\n"
+                    "  c(i) := b(i);\n"
+                    "endfor\n"
+                    "d(2) := 1;\n";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Prog.Body[0].asAssign().Label, 1u);
+  const ForStmt &F = R.Prog.Body[1].asFor();
+  EXPECT_EQ(F.Body[0].asAssign().Label, 2u);
+  EXPECT_EQ(F.Body[1].asAssign().Label, 3u);
+  EXPECT_EQ(R.Prog.Body[2].asAssign().Label, 4u);
+}
+
+TEST(Parser, MinMaxBounds) {
+  const char *Src = "for i := max(1, n-2) to min(m, 100) do\n"
+                    "  a(i) := 0;\n"
+                    "endfor\n";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok());
+  const ForStmt &F = R.Prog.Body[0].asFor();
+  EXPECT_EQ(F.Lo.getKind(), Expr::Kind::Max);
+  EXPECT_EQ(F.Hi.getKind(), Expr::Kind::Min);
+}
+
+TEST(Parser, NegativeStep) {
+  ParseResult R = parseProgram("for k := n to 1 step -1 do a(k) := 0; endfor");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Prog.Body[0].asFor().Step, -1);
+}
+
+TEST(Parser, ScalarAssignment) {
+  ParseResult R = parseProgram("k := k + j;");
+  ASSERT_TRUE(R.ok());
+  const AssignStmt &A = R.Prog.Body[0].asAssign();
+  EXPECT_EQ(A.Array, "k");
+  EXPECT_TRUE(A.Subscripts.empty());
+}
+
+TEST(Parser, PrecedenceAndParens) {
+  ParseResult R = parseProgram("x := 2*i + j*(k - 1);");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Prog.Body[0].asAssign().RHS.toString(), "2*i+j*(k-1)");
+}
+
+TEST(Parser, ErrorRecovery) {
+  // The bad statement is reported and skipped; the next parses fine.
+  ParseResult R = parseProgram("a( := 1;\nb(1) := 2;\n");
+  EXPECT_FALSE(R.ok());
+  ASSERT_EQ(R.Prog.Body.size(), 1u);
+  EXPECT_EQ(R.Prog.Body[0].asAssign().Array, "b");
+}
+
+TEST(Parser, MissingEndforDiagnosed) {
+  ParseResult R = parseProgram("for i := 1 to 10 do a(i) := 0;");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Parser, NestedReads) {
+  ParseResult R = parseProgram("a(Q(L1)) := a(Q(L1+1)-1) + c(L1);");
+  ASSERT_TRUE(R.ok());
+  const AssignStmt &A = R.Prog.Body[0].asAssign();
+  EXPECT_EQ(A.Subscripts[0].getKind(), Expr::Kind::Read);
+}
+
+//===----------------------------------------------------------------------===//
+// AffineExpr
+//===----------------------------------------------------------------------===//
+
+TEST(AffineExpr, Arithmetic) {
+  AffineExpr A = AffineExpr::symbol(0, 2) + AffineExpr(3); // 2*s0 + 3
+  AffineExpr B = AffineExpr::symbol(0, -2) + AffineExpr::symbol(1);
+  AffineExpr C = A + B; // s1 + 3
+  EXPECT_EQ(C.coeffOf(0), 0);
+  EXPECT_EQ(C.coeffOf(1), 1);
+  EXPECT_EQ(C.getConstant(), 3);
+  EXPECT_EQ(C.toString({"a", "b"}), "b + 3");
+}
+
+TEST(AffineExpr, SubstituteAndScale) {
+  // E = 3*s0 + s1; substitute s0 := s2 - 1 => 3*s2 + s1 - 3.
+  AffineExpr E = AffineExpr::symbol(0, 3) + AffineExpr::symbol(1);
+  AffineExpr R = AffineExpr::symbol(2) + AffineExpr(-1);
+  AffineExpr S = E.substituted(0, R);
+  EXPECT_EQ(S.coeffOf(0), 0);
+  EXPECT_EQ(S.coeffOf(1), 1);
+  EXPECT_EQ(S.coeffOf(2), 3);
+  EXPECT_EQ(S.getConstant(), -3);
+  EXPECT_EQ(S.scaled(-2).coeffOf(2), -6);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema
+//===----------------------------------------------------------------------===//
+
+TEST(Sema, CollectsAccessesInOrder) {
+  AnalyzedProgram AP = analyzeSource("symbolic n;\n"
+                                     "for i := 1 to n do\n"
+                                     "  a(i) := a(i-1) + b(i);\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  ASSERT_EQ(AP.Accesses.size(), 3u);
+  // Reads first, then the write.
+  EXPECT_FALSE(AP.Accesses[0].IsWrite);
+  EXPECT_EQ(AP.Accesses[0].Text, "a(i-1)");
+  EXPECT_FALSE(AP.Accesses[1].IsWrite);
+  EXPECT_EQ(AP.Accesses[1].Text, "b(i)");
+  EXPECT_TRUE(AP.Accesses[2].IsWrite);
+  EXPECT_EQ(AP.Accesses[2].Text, "a(i)");
+  EXPECT_EQ(AP.Accesses[2].Loops.size(), 1u);
+}
+
+TEST(Sema, SubscriptAffineForm) {
+  AnalyzedProgram AP = analyzeSource("for i := 1 to 10 do\n"
+                                     "  a(2*i - 3) := 0;\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  const Access &W = AP.Accesses.front();
+  SymId Iter = AP.Loops.front()->IterSym;
+  EXPECT_EQ(W.Subscripts[0].coeffOf(Iter), 2);
+  EXPECT_EQ(W.Subscripts[0].getConstant(), -3);
+}
+
+TEST(Sema, MaxLowerBoundBecomesTwoBounds) {
+  AnalyzedProgram AP = analyzeSource("symbolic n, m;\n"
+                                     "for i := max(1, n-2) to m do\n"
+                                     "  a(i) := 0;\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  EXPECT_EQ(AP.Loops.front()->Lower.size(), 2u);
+  EXPECT_EQ(AP.Loops.front()->Upper.size(), 1u);
+}
+
+TEST(Sema, NegativeStepNormalized) {
+  AnalyzedProgram AP = analyzeSource("symbolic n;\n"
+                                     "for k := n to 1 step -1 do\n"
+                                     "  a(k) := 0;\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  const LoopInfo &L = *AP.Loops.front();
+  EXPECT_TRUE(L.Reversed);
+  EXPECT_EQ(L.Stride, 1);
+  // Normalized iterator n' runs from -n to -1; the source variable is -n'.
+  SymId N = AP.Symbols.lookup("n");
+  EXPECT_EQ(L.Lower.front().coeffOf(N), -1);
+  EXPECT_EQ(L.Upper.front().getConstant(), -1);
+  const Access &W = AP.Accesses.front();
+  EXPECT_EQ(W.Subscripts[0].coeffOf(L.IterSym), -1);
+}
+
+TEST(Sema, StrideLoop) {
+  AnalyzedProgram AP = analyzeSource("for i := 1 to 100 step 3 do\n"
+                                     "  a(i) := 0;\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  EXPECT_EQ(AP.Loops.front()->Stride, 3);
+}
+
+TEST(Sema, ImplicitSymbolicConstants) {
+  AnalyzedProgram AP = analyzeSource("for i := x to y do a(i) := 0; endfor");
+  ASSERT_TRUE(AP.ok());
+  EXPECT_GE(AP.Symbols.lookup("x"), 0);
+  EXPECT_GE(AP.Symbols.lookup("y"), 0);
+}
+
+TEST(Sema, NonAffineSubscriptBecomesTerm) {
+  AnalyzedProgram AP = analyzeSource("for i := 1 to n do\n"
+                                     "  for j := 1 to n do\n"
+                                     "    a(i*j) := 0;\n"
+                                     "  endfor\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  const Access &W = AP.Accesses.front();
+  ASSERT_EQ(W.Subscripts[0].terms().size(), 1u);
+  SymId T = W.Subscripts[0].terms().front().first;
+  EXPECT_EQ(AP.Symbols.info(T).Kind, SymKind::Term);
+  EXPECT_EQ(AP.Symbols.info(T).SourceText, "i*j");
+  EXPECT_EQ(AP.Symbols.info(T).LoopParams.size(), 2u);
+}
+
+TEST(Sema, IndexArrayReadsAreAccessesAndTerms) {
+  AnalyzedProgram AP = analyzeSource("symbolic n;\n"
+                                     "for i := 1 to n do\n"
+                                     "  a(Q(i)) := a(Q(i+1)-1) + c(i);\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  // Accesses: reads a(Q(i+1)-1), Q(i+1), c(i), Q(i); write a(Q(i)).
+  unsigned QReads = 0, AReads = 0, Writes = 0;
+  for (const Access &A : AP.Accesses) {
+    if (A.Array == "Q" && !A.IsWrite)
+      ++QReads;
+    if (A.Array == "a" && !A.IsWrite)
+      ++AReads;
+    Writes += A.IsWrite;
+  }
+  EXPECT_EQ(QReads, 2u);
+  EXPECT_EQ(AReads, 1u);
+  EXPECT_EQ(Writes, 1u);
+
+  // The write's subscript is a Term symbol wrapping Q(i).
+  const Access *W = nullptr;
+  for (const Access &A : AP.Accesses)
+    if (A.IsWrite)
+      W = &A;
+  ASSERT_NE(W, nullptr);
+  ASSERT_EQ(W->Subscripts[0].terms().size(), 1u);
+  const SymbolInfo &T =
+      AP.Symbols.info(W->Subscripts[0].terms().front().first);
+  EXPECT_TRUE(T.IsIndexArrayRead);
+  EXPECT_EQ(T.IndexArray, "Q");
+}
+
+TEST(Sema, CommonLoopsAndTextualOrder) {
+  AnalyzedProgram AP = analyzeSource("symbolic n;\n"
+                                     "for i := 1 to n do\n"
+                                     "  a(i) := 0;\n"
+                                     "  for j := 1 to n do\n"
+                                     "    b(j) := a(i);\n"
+                                     "  endfor\n"
+                                     "endfor\n"
+                                     "for k := 1 to n do\n"
+                                     "  c(k) := a(k);\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  const Access *WriteA = nullptr, *ReadA1 = nullptr, *ReadA2 = nullptr;
+  for (const Access &A : AP.Accesses) {
+    if (A.Array == "a" && A.IsWrite)
+      WriteA = &A;
+    else if (A.Array == "a" && A.StmtLabel == 2)
+      ReadA1 = &A;
+    else if (A.Array == "a" && A.StmtLabel == 3)
+      ReadA2 = &A;
+  }
+  ASSERT_TRUE(WriteA && ReadA1 && ReadA2);
+  EXPECT_EQ(AnalyzedProgram::numCommonLoops(*WriteA, *ReadA1), 1u);
+  EXPECT_EQ(AnalyzedProgram::numCommonLoops(*WriteA, *ReadA2), 0u);
+  EXPECT_TRUE(AnalyzedProgram::textuallyBefore(*WriteA, *ReadA1));
+  EXPECT_FALSE(AnalyzedProgram::textuallyBefore(*ReadA1, *WriteA));
+  EXPECT_TRUE(AnalyzedProgram::textuallyBefore(*WriteA, *ReadA2));
+}
+
+TEST(Sema, ShadowingDiagnosed) {
+  AnalyzedProgram AP = analyzeSource("for i := 1 to 9 do\n"
+                                     "  for i := 1 to 9 do\n"
+                                     "    a(i) := 0;\n"
+                                     "  endfor\n"
+                                     "endfor\n");
+  EXPECT_FALSE(AP.ok());
+}
+
+TEST(Sema, SiblingLoopsMayReuseNames) {
+  AnalyzedProgram AP = analyzeSource("for i := 1 to 9 do a(i) := 0; endfor\n"
+                                     "for i := 1 to 9 do b(i) := a(i); endfor\n");
+  EXPECT_TRUE(AP.ok());
+  EXPECT_EQ(AP.Loops.size(), 2u);
+  EXPECT_NE(AP.Loops[0]->IterSym, AP.Loops[1]->IterSym);
+}
+
+TEST(Sema, DownwardLoopWithMaxBoundDiagnosed) {
+  AnalyzedProgram AP = analyzeSource(
+      "for i := max(1, n) to 1 step -1 do a(i) := 0; endfor");
+  EXPECT_FALSE(AP.ok());
+}

@@ -1,0 +1,129 @@
+//===- tests/InterpTest.cpp -----------------------------------------------===//
+//
+// Unit tests for the reference interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::ir;
+
+namespace {
+
+ExecResult run(const char *Src, std::map<std::string, int64_t> Syms = {}) {
+  ParseResult PR = parseProgram(Src);
+  EXPECT_TRUE(PR.ok());
+  ExecConfig Config;
+  Config.Symbols = std::move(Syms);
+  return interpret(PR.Prog, Config);
+}
+
+} // namespace
+
+TEST(Interp, TraceOrderAndLocations) {
+  ExecResult R = run("for i := 1 to 3 do\n"
+                     "  a(i) := a(i-1);\n"
+                     "endfor\n");
+  ASSERT_FALSE(R.Failed);
+  // Per iteration: one read, one write.
+  ASSERT_EQ(R.Trace.size(), 6u);
+  EXPECT_FALSE(R.Trace[0].IsWrite);
+  EXPECT_EQ(R.Trace[0].Location, std::vector<int64_t>({0}));
+  EXPECT_TRUE(R.Trace[1].IsWrite);
+  EXPECT_EQ(R.Trace[1].Location, std::vector<int64_t>({1}));
+  EXPECT_EQ(R.Trace[5].Location, std::vector<int64_t>({3}));
+  EXPECT_EQ(R.Trace[4].Iters, std::vector<int64_t>({3}));
+}
+
+TEST(Interp, SymbolicConstantsBound) {
+  ExecResult R = run("for i := 1 to n do a(i) := 0; endfor", {{"n", 4}});
+  ASSERT_FALSE(R.Failed);
+  EXPECT_EQ(R.Trace.size(), 4u);
+
+  ExecResult Bad = run("for i := 1 to n do a(i) := 0; endfor");
+  EXPECT_TRUE(Bad.Failed);
+}
+
+TEST(Interp, ValuesFlowThroughArrays) {
+  // a(1)=7; a(2)=a(1)+1; b read of a(2) sees 8.
+  ExecResult R = run("a(1) := 7;\n"
+                     "a(2) := a(1) + 1;\n"
+                     "b(0) := a(2);\n");
+  ASSERT_FALSE(R.Failed);
+  // Entries: write a(1); read a(1), write a(2); read a(2), write b(0).
+  ASSERT_EQ(R.Trace.size(), 5u);
+  EXPECT_TRUE(R.Trace[0].IsWrite);
+  EXPECT_EQ(R.Trace[3].Array, "a");
+  EXPECT_EQ(R.Trace[3].Location, std::vector<int64_t>({2}));
+}
+
+TEST(Interp, MinMaxBoundsEvaluate) {
+  ExecResult R = run("for i := max(2, 0) to min(4, 9) do a(i) := 0; endfor");
+  ASSERT_FALSE(R.Failed);
+  EXPECT_EQ(R.Trace.size(), 3u); // i = 2, 3, 4
+}
+
+TEST(Interp, NegativeStepNormalizedIters) {
+  ExecResult R = run("for k := 3 to 1 step -1 do a(k) := 0; endfor");
+  ASSERT_FALSE(R.Failed);
+  ASSERT_EQ(R.Trace.size(), 3u);
+  // Source values 3,2,1; normalized (ascending) -3,-2,-1.
+  EXPECT_EQ(R.Trace[0].Iters, std::vector<int64_t>({-3}));
+  EXPECT_EQ(R.Trace[0].Location, std::vector<int64_t>({3}));
+  EXPECT_EQ(R.Trace[2].Iters, std::vector<int64_t>({-1}));
+}
+
+TEST(Interp, StrideLoop) {
+  ExecResult R = run("for i := 1 to 9 step 3 do a(i) := 0; endfor");
+  ASSERT_FALSE(R.Failed);
+  ASSERT_EQ(R.Trace.size(), 3u); // 1, 4, 7
+  EXPECT_EQ(R.Trace[1].Location, std::vector<int64_t>({4}));
+}
+
+TEST(Interp, IndexArrayReadsRecorded) {
+  ExecResult R = run("a(Q(1)) := 0;\n");
+  ASSERT_FALSE(R.Failed);
+  // One read of Q (inside the LHS subscript), one write of a.
+  ASSERT_EQ(R.Trace.size(), 2u);
+  EXPECT_EQ(R.Trace[0].Array, "Q");
+  EXPECT_FALSE(R.Trace[0].IsWrite);
+  EXPECT_TRUE(R.Trace[1].IsWrite);
+  // The write location is Q(1)'s (deterministic) value.
+  ASSERT_EQ(R.Trace[1].Location.size(), 1u);
+}
+
+TEST(Interp, DeterministicDefaultValues) {
+  ExecResult R1 = run("x(0) := Q(7);\n");
+  ExecResult R2 = run("x(0) := Q(7);\n");
+  ASSERT_FALSE(R1.Failed);
+  // Same program, same trace (the default-value function is a pure hash).
+  ASSERT_EQ(R1.Trace.size(), R2.Trace.size());
+}
+
+TEST(Interp, StepCapTruncates) {
+  ParseResult PR = parseProgram("for i := 1 to 1000 do a(i) := 0; endfor");
+  ASSERT_TRUE(PR.ok());
+  ExecConfig Config;
+  Config.MaxSteps = 10;
+  ExecResult R = interpret(PR.Prog, Config);
+  EXPECT_TRUE(R.Truncated);
+  EXPECT_LE(R.Trace.size(), 2 * 10u);
+}
+
+TEST(Interp, EmptyLoopRuns) {
+  ExecResult R = run("for i := 5 to 1 do a(i) := 0; endfor");
+  ASSERT_FALSE(R.Failed);
+  EXPECT_TRUE(R.Trace.empty());
+}
+
+TEST(Interp, ScalarAccumulation) {
+  // k := k + 1 three times starting from the hash default.
+  ExecResult R = run("for i := 1 to 3 do k(0) := k(0) + 1; endfor");
+  ASSERT_FALSE(R.Failed);
+  EXPECT_EQ(R.Trace.size(), 6u);
+}

@@ -1,0 +1,85 @@
+//===- tests/MathUtilsTest.cpp --------------------------------------------===//
+//
+// Unit tests for the arithmetic primitives in support/MathUtils.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+TEST(MathUtils, GcdBasics) {
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(-12, -18), 6);
+  EXPECT_EQ(gcd64(1, 999999937), 1);
+}
+
+TEST(MathUtils, LcmBasics) {
+  EXPECT_EQ(lcm64(0, 5), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+  EXPECT_EQ(lcm64(7, 13), 91);
+}
+
+TEST(MathUtils, FloorDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+  EXPECT_EQ(floorDiv(0, 5), 0);
+}
+
+TEST(MathUtils, CeilDiv) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+  EXPECT_EQ(ceilDiv(-6, 3), -2);
+  EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(MathUtils, FloorCeilDivAgreeOnExact) {
+  for (int64_t A = -20; A <= 20; ++A)
+    for (int64_t B = 1; B <= 7; ++B)
+      if (A % B == 0) {
+        EXPECT_EQ(floorDiv(A, B), ceilDiv(A, B)) << A << "/" << B;
+      }
+}
+
+TEST(MathUtils, ModHatCongruentAndSmall) {
+  for (int64_t A = -50; A <= 50; ++A) {
+    for (int64_t B = 1; B <= 12; ++B) {
+      int64_t R = modHat(A, B);
+      // R == A (mod B).
+      EXPECT_EQ(((A - R) % B + B) % B, 0) << "A=" << A << " B=" << B;
+      // |R| <= B / 2.
+      EXPECT_LE(2 * absVal(R), B) << "A=" << A << " B=" << B;
+    }
+  }
+}
+
+TEST(MathUtils, ModHatKeyIdentity) {
+  // The equality-elimination step relies on modHat(a, |a|+1) == -sign(a).
+  for (int64_t A : {2, 3, 5, 17, -2, -3, -5, -17}) {
+    int64_t M = absVal(A) + 1;
+    EXPECT_EQ(modHat(A, M), -signOf(A)) << "A=" << A;
+  }
+}
+
+TEST(MathUtils, SignOf) {
+  EXPECT_EQ(signOf(5), 1);
+  EXPECT_EQ(signOf(-5), -1);
+  EXPECT_EQ(signOf(0), 0);
+}
+
+TEST(MathUtils, CheckedOpsPassThrough) {
+  EXPECT_EQ(checkedAdd(2, 3), 5);
+  EXPECT_EQ(checkedSub(2, 3), -1);
+  EXPECT_EQ(checkedMul(-4, 5), -20);
+}

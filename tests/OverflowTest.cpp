@@ -1,0 +1,122 @@
+//===- tests/OverflowTest.cpp ---------------------------------------------===//
+//
+// Tests for the coefficient-overflow containment: saturating arithmetic
+// raises the sticky flag, and every decision procedure degrades to its
+// conservative answer instead of crashing or lying.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Gist.h"
+#include "omega/Projection.h"
+#include "omega/Satisfiability.h"
+#include "support/MathUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+namespace {
+
+/// Clears the flag for a fresh test.
+struct FlagReset {
+  FlagReset() { arithOverflowFlag() = false; }
+  ~FlagReset() { arithOverflowFlag() = false; }
+};
+
+/// A problem whose Fourier-Motzkin elimination chain saturates: large
+/// pairwise-coprime coefficients force repeated cross-multiplications.
+Problem blowupProblem() {
+  Problem P;
+  std::vector<VarId> V;
+  for (int I = 0; I != 6; ++I)
+    V.push_back(P.addVar("v" + std::to_string(I)));
+  // Dense rows with large coprime coefficients.
+  const int64_t Coeffs[6][6] = {
+      {999999937, -888888883, 777777777, -666666667, 555555557, -444444443},
+      {-333333333, 999999937, -777777777, 888888883, -555555557, 666666667},
+      {123456789, -987654321, 999999937, -111111113, 222222227, -333333331},
+      {-444444449, 555555559, -666666671, 999999937, -777777781, 888888893},
+      {987654323, -123456791, 345678917, -765432113, 999999937, -135791357},
+      {-246813579, 975318643, -864209753, 753197531, -642086421, 999999937},
+  };
+  for (int R = 0; R != 6; ++R) {
+    Constraint &Row = P.addRow(ConstraintKind::GEQ);
+    for (int C = 0; C != 6; ++C)
+      Row.setCoeff(V[C], Coeffs[R][C]);
+    Row.setConstant((R % 2) ? -99999989 : 99999989);
+    Constraint &Opp = P.addRow(ConstraintKind::GEQ);
+    for (int C = 0; C != 6; ++C)
+      Opp.setCoeff(V[C], -Coeffs[R][C] + (C == R ? 3 : 1));
+    Opp.setConstant(99999989);
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(Overflow, SaturatingArithmeticSetsFlag) {
+  FlagReset Reset;
+  int64_t Big = CoeffCap - 1;
+  EXPECT_EQ(checkedAdd(Big, Big), CoeffCap);
+  EXPECT_TRUE(arithOverflowFlag());
+  arithOverflowFlag() = false;
+  EXPECT_EQ(checkedMul(Big, -4), -CoeffCap);
+  EXPECT_TRUE(arithOverflowFlag());
+  arithOverflowFlag() = false;
+  EXPECT_EQ(checkedAdd(3, 4), 7);
+  EXPECT_FALSE(arithOverflowFlag());
+}
+
+TEST(Overflow, OverflowScopeRestoresOuterState) {
+  FlagReset Reset;
+  arithOverflowFlag() = true; // outer context already overflowed
+  {
+    OverflowScope Scope;
+    EXPECT_FALSE(arithOverflowFlag()); // cleared for the inner computation
+    checkedAdd(CoeffCap, CoeffCap);
+    EXPECT_TRUE(Scope.overflowed());
+  }
+  EXPECT_TRUE(arithOverflowFlag()); // outer state preserved
+
+  arithOverflowFlag() = false;
+  {
+    OverflowScope Scope;
+    EXPECT_FALSE(Scope.overflowed());
+  }
+  EXPECT_FALSE(arithOverflowFlag());
+}
+
+TEST(Overflow, SatisfiabilityConservativeOnBlowup) {
+  FlagReset Reset;
+  Problem P = blowupProblem();
+  // Whatever the true answer, the call must terminate and must not leak
+  // the flag into the caller's clean scope as a crash.
+  EXPECT_TRUE(isSatisfiable(P)); // conservative "maybe" (or genuinely sat)
+}
+
+TEST(Overflow, ProjectionPoisonReported) {
+  FlagReset Reset;
+  Problem P = blowupProblem();
+  ProjectionResult R = projectOnto(P, {0});
+  if (R.Poisoned)
+    EXPECT_FALSE(R.ApproxIsExact);
+  // Either way the range of v0 is sound: when poisoned it must be open.
+  IntRange Range = computeVarRange(P, 0);
+  if (R.Poisoned) {
+    EXPECT_FALSE(Range.HasMin);
+    EXPECT_FALSE(Range.HasMax);
+  }
+}
+
+TEST(Overflow, NormalOperationsDoNotPoison) {
+  FlagReset Reset;
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 3}, {Y, 5}}, -7);
+  P.addGEQ({{X, -2}, {Y, 9}}, 11);
+  P.addGEQ({{Y, -1}}, 30);
+  ProjectionResult R = projectOnto(P, {X});
+  EXPECT_FALSE(R.Poisoned);
+  EXPECT_FALSE(arithOverflowFlag());
+}

@@ -1,0 +1,205 @@
+//===- tests/ProblemTest.cpp ----------------------------------------------===//
+//
+// Unit tests for the Problem representation and its normalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Problem.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+
+namespace {
+
+Problem makeXY(VarId &X, VarId &Y) {
+  Problem P;
+  X = P.addVar("x");
+  Y = P.addVar("y");
+  return P;
+}
+
+} // namespace
+
+TEST(Problem, AddVarResizesRows) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, -2);
+  VarId Y = P.addVar("y");
+  EXPECT_EQ(P.constraints().front().getNumVars(), 2u);
+  EXPECT_EQ(P.constraints().front().getCoeff(Y), 0);
+}
+
+TEST(Problem, ToStringRendersReadably) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}, {Y, 2}}, -3);
+  P.addEQ({{X, 1}, {Y, -1}}, 0);
+  EXPECT_EQ(P.toString(), "{ x + 2*y >= 3; x - y = 0 }");
+}
+
+TEST(Problem, ToStringEmptyIsTrue) {
+  Problem P;
+  P.addVar("x");
+  EXPECT_EQ(P.toString(), "{ TRUE }");
+}
+
+TEST(Problem, NormalizeGcdReducesInequalityTightly) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  // 2x >= 3  =>  x >= 2 (integer tightening).
+  P.addGEQ({{X, 2}}, -3);
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  ASSERT_EQ(P.getNumConstraints(), 1u);
+  const Constraint &Row = P.constraints().front();
+  EXPECT_EQ(Row.getCoeff(X), 1);
+  EXPECT_EQ(Row.getConstant(), -2);
+}
+
+TEST(Problem, NormalizeDetectsUnsatisfiableEquality) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  // 2x == 3 has no integer solution.
+  P.addEQ({{X, 2}}, -3);
+  EXPECT_EQ(P.normalize(), Problem::NormalizeResult::False);
+}
+
+TEST(Problem, NormalizeDropsTrivialRows) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({}, 5); // 0 >= -5, trivially true
+  P.addEQ({}, 0);  // 0 == 0
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  EXPECT_EQ(P.getNumConstraints(), 0u);
+}
+
+TEST(Problem, NormalizeDetectsConstantContradictions) {
+  Problem P;
+  P.addVar("x");
+  P.addGEQ({}, -1); // 0 >= 1
+  EXPECT_EQ(P.normalize(), Problem::NormalizeResult::False);
+
+  Problem Q;
+  Q.addVar("x");
+  Q.addEQ({}, 2); // 0 == -2
+  EXPECT_EQ(Q.normalize(), Problem::NormalizeResult::False);
+}
+
+TEST(Problem, NormalizeMergesDuplicateInequalities) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}}, -2); // x >= 2
+  P.addGEQ({{X, 1}}, -5); // x >= 5 (tighter)
+  P.addGEQ({{X, 1}}, 0);  // x >= 0 (looser)
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  ASSERT_EQ(P.getNumConstraints(), 1u);
+  EXPECT_EQ(P.constraints().front().getConstant(), -5);
+}
+
+TEST(Problem, NormalizeFormsEqualityFromOpposedPair) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}, {Y, 1}}, -4); // x + y >= 4
+  P.addGEQ({{X, -1}, {Y, -1}}, 4); // x + y <= 4
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  ASSERT_EQ(P.getNumConstraints(), 1u);
+  EXPECT_TRUE(P.constraints().front().isEquality());
+}
+
+TEST(Problem, NormalizeDetectsOpposedContradiction) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}}, -5); // x >= 5
+  P.addGEQ({{X, -1}}, 4); // x <= 4
+  EXPECT_EQ(P.normalize(), Problem::NormalizeResult::False);
+}
+
+TEST(Problem, NormalizeEqualityAbsorbsImpliedInequality) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addEQ({{X, 1}}, -3);  // x == 3
+  P.addGEQ({{X, 1}}, -1); // x >= 1, implied
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  ASSERT_EQ(P.getNumConstraints(), 1u);
+  EXPECT_TRUE(P.constraints().front().isEquality());
+}
+
+TEST(Problem, NormalizeEqualityVsContradictingInequality) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addEQ({{X, 1}}, -3);  // x == 3
+  P.addGEQ({{X, 1}}, -7); // x >= 7
+  EXPECT_EQ(P.normalize(), Problem::NormalizeResult::False);
+}
+
+TEST(Problem, NormalizeConflictingEqualities) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addEQ({{X, 1}, {Y, 1}}, -3);
+  P.addEQ({{X, 1}, {Y, 1}}, -4);
+  EXPECT_EQ(P.normalize(), Problem::NormalizeResult::False);
+
+  // Same equality written with both orientations is consistent.
+  Problem Q = makeXY(X, Y);
+  Q.addEQ({{X, 1}, {Y, 1}}, -3);
+  Q.addEQ({{X, -1}, {Y, -1}}, 3);
+  ASSERT_EQ(Q.normalize(), Problem::NormalizeResult::Ok);
+  EXPECT_EQ(Q.getNumConstraints(), 1u);
+}
+
+TEST(Problem, SubstituteReplacesVariable) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 2}, {Y, 1}}, -1); // 2x + y >= 1
+  // x := y + 3.
+  Constraint Def(ConstraintKind::EQ, P.getNumVars());
+  Def.setCoeff(Y, 1);
+  Def.setConstant(3);
+  P.substitute(X, Def);
+  ASSERT_EQ(P.getNumConstraints(), 1u);
+  const Constraint &Row = P.constraints().front();
+  EXPECT_EQ(Row.getCoeff(X), 0);
+  EXPECT_EQ(Row.getCoeff(Y), 3);  // 2*1 + 1
+  EXPECT_EQ(Row.getConstant(), 5); // 2*3 - 1
+  EXPECT_TRUE(P.isDead(X));
+}
+
+TEST(Problem, CloneLayoutSharesVariables) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}}, 0);
+  Problem Q = P.cloneLayout();
+  EXPECT_EQ(Q.getNumVars(), 2u);
+  EXPECT_EQ(Q.getNumConstraints(), 0u);
+  EXPECT_EQ(Q.getVarName(Y), "y");
+}
+
+TEST(Problem, RedFlagSurvivesNormalize) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}}, 0, /*Red=*/true);
+  P.addGEQ({{Y, 1}}, 0, /*Red=*/false);
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  unsigned RedCount = 0;
+  for (const Constraint &Row : P.constraints())
+    RedCount += Row.isRed();
+  EXPECT_EQ(RedCount, 1u);
+}
+
+TEST(Problem, RedDuplicateOfBlackBecomesBlack) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}}, -2, /*Red=*/true);  // x >= 2 (red)
+  P.addGEQ({{X, 1}}, -2, /*Red=*/false); // x >= 2 (black)
+  ASSERT_EQ(P.normalize(), Problem::NormalizeResult::Ok);
+  ASSERT_EQ(P.getNumConstraints(), 1u);
+  EXPECT_FALSE(P.constraints().front().isRed());
+}
+
+TEST(Problem, WildcardsAreUnprotected) {
+  Problem P;
+  VarId W = P.addWildcard();
+  EXPECT_FALSE(P.isProtected(W));
+  VarId X = P.addVar("x");
+  EXPECT_TRUE(P.isProtected(X));
+}

@@ -1,0 +1,324 @@
+//===- tests/ProjectionTest.cpp -------------------------------------------===//
+//
+// Unit and property tests for exact integer projection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Projection.h"
+
+#include "omega/Satisfiability.h"
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::testutil;
+
+namespace {
+
+/// Membership of a partial point (over kept variables) in a projected
+/// piece: pin the kept variables and ask for satisfiability (stride
+/// wildcards remain existential).
+bool pieceContains(const Problem &Piece, const std::vector<VarId> &Kept,
+                   const std::vector<int64_t> &Point) {
+  Problem Pinned = Piece;
+  for (VarId V : Kept)
+    Pinned.addEQ({{V, 1}}, -Point[V]);
+  return isSatisfiable(std::move(Pinned));
+}
+
+bool unionContains(const ProjectionResult &R, const std::vector<VarId> &Kept,
+                   const std::vector<int64_t> &Point) {
+  for (const Problem &Piece : R.Pieces)
+    if (pieceContains(Piece, Kept, Point))
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Projection, PaperSectionThreeExample) {
+  // Projecting {0 <= a <= 5; b < a <= 5b} onto a gives {2 <= a <= 5}.
+  Problem P;
+  VarId A = P.addVar("a");
+  VarId B = P.addVar("b");
+  P.addGEQ({{A, 1}}, 0);
+  P.addGEQ({{A, -1}}, 5);
+  P.addGEQ({{A, 1}, {B, -1}}, -1); // a >= b + 1
+  P.addGEQ({{A, -1}, {B, 5}}, 0);  // a <= 5b
+
+  ProjectionResult R = projectOnto(P, {A});
+  ASSERT_EQ(R.Pieces.size(), 1u);
+  const Problem &Piece = R.Pieces.front();
+  EXPECT_EQ(Piece.toString(), "{ a >= 2; -a >= -5 }");
+}
+
+TEST(Projection, UnconstrainedVariableDrops) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 1}}, 0);
+  ProjectionResult R = projectOnto(P, {X});
+  ASSERT_EQ(R.Pieces.size(), 1u);
+  EXPECT_FALSE(R.Pieces.front().involves(Y));
+  EXPECT_TRUE(R.ApproxIsExact);
+}
+
+TEST(Projection, EmptyProjectionOfInfeasible) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{Y, 1}}, -3); // y >= 3
+  P.addGEQ({{Y, -1}}, 1); // y <= 1
+  (void)X;
+  ProjectionResult R = projectOnto(P, {X});
+  EXPECT_TRUE(R.isEmpty());
+}
+
+TEST(Projection, StrideSurvivesAsWildcardEquality) {
+  // project {x == 2y} onto x: x must be even.
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addEQ({{X, 1}, {Y, -2}}, 0);
+  ProjectionResult R = projectOnto(P, {X});
+  ASSERT_EQ(R.Pieces.size(), 1u);
+  const Problem &Piece = R.Pieces.front();
+  EXPECT_EQ(Piece.getNumEQs(), 1u);
+  EXPECT_TRUE(pieceContains(Piece, {X}, {2, 0}));
+  EXPECT_TRUE(pieceContains(Piece, {X}, {-4, 0}));
+  EXPECT_FALSE(pieceContains(Piece, {X}, {3, 0}));
+}
+
+TEST(Projection, StrideWithCoupledInequality) {
+  // project {2x + 3y == 0, y >= 0} onto x: x <= 0 and x == 0 (mod 3).
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addEQ({{X, 2}, {Y, 3}}, 0);
+  P.addGEQ({{Y, 1}}, 0);
+  ProjectionResult R = projectOnto(P, {X});
+  ASSERT_FALSE(R.isEmpty());
+  for (int64_t V = -12; V <= 12; ++V) {
+    bool Expected = V <= 0 && V % 3 == 0;
+    EXPECT_EQ(unionContains(R, {X}, {V, 0}), Expected) << "x = " << V;
+  }
+}
+
+TEST(Projection, SplinteringExample) {
+  // project {1 <= x, 5 <= 3y - x <= 7} onto ... eliminate y:
+  // 3y in [x+5, x+7]; an integer y exists iff the window [x+5, x+7]
+  // contains a multiple of 3, which is always true (window width 3). So
+  // the projection onto x is just {x >= 1}.
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 1}}, -1);
+  P.addGEQ({{Y, 3}, {X, -1}}, -5);
+  P.addGEQ({{Y, -3}, {X, 1}}, 7);
+  ProjectionResult R = projectOnto(P, {X});
+  for (int64_t V = -3; V <= 10; ++V)
+    EXPECT_EQ(unionContains(R, {X}, {V, 0}), V >= 1) << "x = " << V;
+}
+
+TEST(Projection, SplinteringNarrowWindow) {
+  // 3y in [x+5, x+6]: a multiple of 3 exists iff x == 0 or 1 (mod 3).
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{Y, 3}, {X, -1}}, -5);
+  P.addGEQ({{Y, -3}, {X, 1}}, 6);
+  ProjectionResult R = projectOnto(P, {X});
+  EXPECT_FALSE(R.ApproxIsExact);
+  for (int64_t V = -9; V <= 9; ++V) {
+    bool Expected = ((V % 3) + 3) % 3 != 2;
+    EXPECT_EQ(unionContains(R, {X}, {V, 0}), Expected) << "x = " << V;
+  }
+}
+
+TEST(Projection, ComputeVarRangeSimple) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 1}, {Y, -1}}, 0);  // x >= y
+  P.addGEQ({{Y, 1}}, -2);          // y >= 2
+  P.addGEQ({{X, -1}}, 9);          // x <= 9
+  IntRange RX = computeVarRange(P, X);
+  EXPECT_TRUE(RX.HasMin);
+  EXPECT_TRUE(RX.HasMax);
+  EXPECT_EQ(RX.Min, 2);
+  EXPECT_EQ(RX.Max, 9);
+
+  IntRange RY = computeVarRange(P, Y);
+  EXPECT_EQ(RY.Min, 2);
+  EXPECT_EQ(RY.Max, 9);
+}
+
+TEST(Projection, ComputeVarRangeOpenEnds) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, -4); // x >= 4
+  IntRange R = computeVarRange(P, X);
+  EXPECT_TRUE(R.HasMin);
+  EXPECT_FALSE(R.HasMax);
+  EXPECT_EQ(R.Min, 4);
+  EXPECT_EQ(R.toString(), "[4, +inf]");
+}
+
+TEST(Projection, ComputeVarRangeEmpty) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, -4);
+  P.addGEQ({{X, -1}}, 2);
+  IntRange R = computeVarRange(P, X);
+  EXPECT_TRUE(R.Empty);
+}
+
+TEST(Projection, RemoveRedundantConstraints) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, -2); // x >= 2
+  P.addGEQ({{X, 1}}, 0);  // x >= 0, redundant
+  // normalize would also catch that; make a multi-variable case instead.
+  VarId Y = P.addVar("y");
+  P.addGEQ({{Y, 1}}, -1);          // y >= 1
+  P.addGEQ({{X, 1}, {Y, 1}}, -2);  // x + y >= 2, implied by x>=2, y>=1
+  removeRedundantConstraints(P);
+  EXPECT_EQ(P.getNumConstraints(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: a point is in the projection iff the original problem has
+// an extension, and the union of pieces is contained in the approximation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ProjPropertyParam {
+  RandomProblemConfig Cfg;
+  unsigned KeepCount;
+  unsigned Trials;
+  unsigned Seed;
+};
+
+class ProjectionProperty : public ::testing::TestWithParam<ProjPropertyParam> {
+};
+
+} // namespace
+
+TEST_P(ProjectionProperty, MatchesBruteForce) {
+  const ProjPropertyParam &Param = GetParam();
+  std::mt19937 Rng(Param.Seed);
+  for (unsigned T = 0; T != Param.Trials; ++T) {
+    Problem P = randomProblem(Rng, Param.Cfg);
+    std::vector<VarId> Kept, Dropped;
+    for (VarId V = 0; V != static_cast<VarId>(Param.Cfg.NumVars); ++V)
+      (static_cast<unsigned>(V) < Param.KeepCount ? Kept : Dropped)
+          .push_back(V);
+
+    ProjectionResult R = projectOnto(P, Kept);
+
+    // For every point over the kept variables within the box, membership
+    // in the union of pieces must equal existence of an extension, and
+    // membership must imply membership in the approximation.
+    bool OK = true;
+    forEachPoint(P.getNumVars(), Kept, -Param.Cfg.Box, Param.Cfg.Box,
+                 [&](const std::vector<int64_t> &Point) {
+                   bool Expected = forEachPointFrom(
+                       Point, Dropped, -Param.Cfg.Box, Param.Cfg.Box,
+                       [&](const std::vector<int64_t> &Full) {
+                         return evalProblem(P, Full);
+                       });
+                   bool Actual = unionContains(R, Kept, Point);
+                   if (Actual != Expected) {
+                     ADD_FAILURE()
+                         << "projection mismatch at trial " << T << " for "
+                         << P.toString();
+                     OK = false;
+                     return true;
+                   }
+                   if (Actual && !pieceContains(R.Approx, Kept, Point)) {
+                     ADD_FAILURE() << "approximation not a superset, trial "
+                                   << T << " for " << P.toString();
+                     OK = false;
+                     return true;
+                   }
+                   return false;
+                 });
+    if (!OK)
+      return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBoxes, ProjectionProperty,
+    ::testing::Values(
+        ProjPropertyParam{{/*NumVars=*/2, /*NumEQs=*/0, /*NumGEQs=*/3,
+                           /*CoeffRange=*/4, /*ConstRange=*/8, /*Box=*/5},
+                          /*KeepCount=*/1, 60, 11},
+        ProjPropertyParam{{/*NumVars=*/2, /*NumEQs=*/1, /*NumGEQs=*/2,
+                           /*CoeffRange=*/3, /*ConstRange=*/6, /*Box=*/5},
+                          /*KeepCount=*/1, 60, 12},
+        ProjPropertyParam{{/*NumVars=*/3, /*NumEQs=*/0, /*NumGEQs=*/4,
+                           /*CoeffRange=*/3, /*ConstRange=*/6, /*Box=*/4},
+                          /*KeepCount=*/1, 40, 13},
+        ProjPropertyParam{{/*NumVars=*/3, /*NumEQs=*/1, /*NumGEQs=*/3,
+                           /*CoeffRange=*/2, /*ConstRange=*/6, /*Box=*/4},
+                          /*KeepCount=*/2, 40, 14},
+        ProjPropertyParam{{/*NumVars=*/4, /*NumEQs=*/1, /*NumGEQs=*/3,
+                           /*CoeffRange=*/2, /*ConstRange=*/5, /*Box=*/3},
+                          /*KeepCount=*/2, 25, 15}));
+
+namespace {
+
+class VarRangeProperty : public ::testing::TestWithParam<ProjPropertyParam> {};
+
+} // namespace
+
+TEST_P(VarRangeProperty, RangeMatchesBruteForce) {
+  const ProjPropertyParam &Param = GetParam();
+  std::mt19937 Rng(Param.Seed + 1000);
+  for (unsigned T = 0; T != Param.Trials; ++T) {
+    Problem P = randomProblem(Rng, Param.Cfg);
+    std::vector<VarId> All;
+    for (VarId V = 0; V != static_cast<VarId>(Param.Cfg.NumVars); ++V)
+      All.push_back(V);
+
+    VarId Target = 0;
+    IntRange R = computeVarRange(P, Target);
+
+    bool Any = false;
+    int64_t Min = 0, Max = 0;
+    forEachPoint(P.getNumVars(), All, -Param.Cfg.Box, Param.Cfg.Box,
+                 [&](const std::vector<int64_t> &Pt) {
+                   if (!evalProblem(P, Pt))
+                     return false;
+                   if (!Any) {
+                     Min = Max = Pt[Target];
+                     Any = true;
+                   } else {
+                     Min = std::min(Min, Pt[Target]);
+                     Max = std::max(Max, Pt[Target]);
+                   }
+                   return false;
+                 });
+
+    ASSERT_EQ(!R.Empty, Any) << "trial " << T << ": " << P.toString();
+    if (!Any)
+      continue;
+    // The generated problems box every variable, so both ends are closed.
+    ASSERT_TRUE(R.HasMin && R.HasMax) << P.toString();
+    EXPECT_EQ(R.Min, Min) << "trial " << T << ": " << P.toString();
+    EXPECT_EQ(R.Max, Max) << "trial " << T << ": " << P.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBoxes, VarRangeProperty,
+    ::testing::Values(
+        ProjPropertyParam{{/*NumVars=*/2, /*NumEQs=*/0, /*NumGEQs=*/3,
+                           /*CoeffRange=*/3, /*ConstRange=*/6, /*Box=*/5},
+                          1, 60, 21},
+        ProjPropertyParam{{/*NumVars=*/3, /*NumEQs=*/1, /*NumGEQs=*/2,
+                           /*CoeffRange=*/2, /*ConstRange=*/5, /*Box=*/4},
+                          1, 40, 22}));

@@ -1,0 +1,97 @@
+//===- tests/RoundTripTest.cpp --------------------------------------------===//
+//
+// Printer/parser round-trip properties over the whole kernel corpus, and
+// negative syntax coverage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Sema.h"
+#include "kernels/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::ir;
+
+TEST(RoundTrip, CorpusPrintParseFixpoint) {
+  // parse -> print -> parse -> print must reach a fixpoint after one
+  // round (the printer's output is canonical).
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    ParseResult First = parseProgram(K.Source);
+    ASSERT_TRUE(First.ok()) << K.Name;
+    std::string Printed = First.Prog.toString();
+    ParseResult Second = parseProgram(Printed);
+    ASSERT_TRUE(Second.ok()) << K.Name << "\n" << Printed;
+    EXPECT_EQ(Second.Prog.toString(), Printed) << K.Name;
+  }
+}
+
+TEST(RoundTrip, ReparsedProgramsAnalyzeIdentically) {
+  // The canonical form must carry the same accesses and loops.
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    AnalyzedProgram A = analyzeSource(K.Source);
+    ASSERT_TRUE(A.ok()) << K.Name;
+    AnalyzedProgram B = analyzeSource(A.Source.toString());
+    ASSERT_TRUE(B.ok()) << K.Name;
+    ASSERT_EQ(A.Accesses.size(), B.Accesses.size()) << K.Name;
+    ASSERT_EQ(A.Loops.size(), B.Loops.size()) << K.Name;
+    for (unsigned I = 0; I != A.Accesses.size(); ++I) {
+      EXPECT_EQ(A.Accesses[I].Array, B.Accesses[I].Array) << K.Name;
+      EXPECT_EQ(A.Accesses[I].IsWrite, B.Accesses[I].IsWrite) << K.Name;
+      EXPECT_EQ(A.Accesses[I].StmtLabel, B.Accesses[I].StmtLabel) << K.Name;
+      EXPECT_EQ(A.Accesses[I].Subscripts.size(),
+                B.Accesses[I].Subscripts.size())
+          << K.Name;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Negative syntax coverage.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parses(const char *Src) { return parseProgram(Src).ok(); }
+
+} // namespace
+
+TEST(RoundTrip, RejectsMalformedSyntax) {
+  EXPECT_FALSE(parses("for := 1 to 2 do a(1) := 0; endfor"));
+  EXPECT_FALSE(parses("for i = 1 to 2 do a(1) := 0; endfor")); // '=' not ':='
+  EXPECT_FALSE(parses("for i := 1 2 do a(1) := 0; endfor"));   // missing to
+  EXPECT_FALSE(parses("a(1) := ;"));
+  EXPECT_FALSE(parses("a(1) := 0"));    // missing ';'
+  EXPECT_FALSE(parses("a(1 := 0;"));    // unclosed subscripts
+  EXPECT_FALSE(parses("symbolic ;"));
+  EXPECT_FALSE(parses("a(1) := (2 + ;"));
+  EXPECT_FALSE(parses("for i := 1 to 2 step 0 do a(i) := 0; endfor"));
+  EXPECT_FALSE(parses("endfor"));
+  EXPECT_FALSE(parses("a(1) := 0; ?"));
+}
+
+TEST(RoundTrip, AcceptsEdgeSyntax) {
+  EXPECT_TRUE(parses(""));
+  EXPECT_TRUE(parses("# just a comment\n"));
+  EXPECT_TRUE(parses("symbolic a, b, c;"));
+  EXPECT_TRUE(parses("x := 1;")); // scalar, no parens
+  EXPECT_TRUE(parses("a(0-1) := 0-2;"));
+  EXPECT_TRUE(parses("a(-1) := -2;")); // unary minus
+  EXPECT_TRUE(parses("for i := -3 to -1 do a(i) := 0; endfor"));
+  EXPECT_TRUE(parses("a(((1))) := ((2));"));
+  EXPECT_TRUE(parses("for i := min(1, 2) to max(3, n, m) do\n"
+                     "  a(i) := 0;\nendfor"));
+}
+
+TEST(RoundTrip, SemaDiagnosticsCarryLocations) {
+  AnalyzedProgram AP = analyzeSource("for i := 1 to 3 do\n"
+                                     "  for i := 1 to 3 do\n"
+                                     "    a(i) := 0;\n"
+                                     "  endfor\n"
+                                     "endfor\n");
+  ASSERT_FALSE(AP.ok());
+  EXPECT_EQ(AP.Diags.front().Loc.Line, 2u);
+  EXPECT_NE(AP.Diags.front().toString().find("2:"), std::string::npos);
+}

@@ -1,0 +1,187 @@
+//===- tests/UnionImplicationTest.cpp -------------------------------------===//
+//
+// Property tests for the disjunctive-implication machinery the Section 4
+// analyses ride on: negateProblem and impliesUnion, checked against
+// brute-force enumeration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Gist.h"
+
+#include "omega/Projection.h"
+#include "omega/Satisfiability.h"
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::testutil;
+
+namespace {
+
+/// Membership of a full point in a problem with existential wildcards:
+/// pin the protected variables, leave the rest to the solver.
+bool containsPoint(const Problem &P, const std::vector<int64_t> &Point) {
+  Problem Pinned = P;
+  for (VarId V = 0; V != static_cast<VarId>(Point.size()); ++V) {
+    if (static_cast<unsigned>(V) >= P.getNumVars() || !P.isProtected(V))
+      continue;
+    Pinned.addEQ({{V, 1}}, -Point[V]);
+  }
+  return isSatisfiable(std::move(Pinned));
+}
+
+} // namespace
+
+TEST(NegateProblem, PlainRows) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, -2); // x >= 2
+  P.addGEQ({{X, -1}}, 5); // x <= 5
+  auto Neg = negateProblem(P);
+  ASSERT_TRUE(Neg.has_value());
+  // not (2 <= x <= 5) == (x <= 1) or (x >= 6).
+  for (int64_t V = -3; V <= 9; ++V) {
+    bool In = false;
+    for (const Problem &Piece : *Neg)
+      In |= containsPoint(Piece, {V});
+    EXPECT_EQ(In, V < 2 || V > 5) << "x = " << V;
+  }
+}
+
+TEST(NegateProblem, StrideRow) {
+  // exists w: x == 3w  --> negation: x % 3 != 0.
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId W = P.addVar("w", /*Protected=*/false);
+  P.addEQ({{X, 1}, {W, -3}}, 0);
+  auto Neg = negateProblem(P);
+  ASSERT_TRUE(Neg.has_value());
+  for (int64_t V = -7; V <= 7; ++V) {
+    bool In = false;
+    for (const Problem &Piece : *Neg)
+      In |= containsPoint(Piece, {V});
+    EXPECT_EQ(In, ((V % 3) + 3) % 3 != 0) << "x = " << V;
+  }
+}
+
+TEST(NegateProblem, UnsupportedWildcardShape) {
+  // The wildcard appears in an inequality: not a simple stride.
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId W = P.addVar("w", /*Protected=*/false);
+  P.addGEQ({{X, 1}, {W, -2}}, 0);
+  EXPECT_FALSE(negateProblem(P).has_value());
+}
+
+TEST(NegateProblem, UnitWildcardEqualityIsVacuous) {
+  // exists w: x + w == 0 is always true; its negation is empty (False).
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId W = P.addVar("w", /*Protected=*/false);
+  P.addEQ({{X, 1}, {W, 1}}, 0);
+  auto Neg = negateProblem(P);
+  ASSERT_TRUE(Neg.has_value());
+  EXPECT_TRUE(Neg->empty());
+}
+
+//===----------------------------------------------------------------------===//
+// impliesUnion property: agreement with pointwise evaluation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct UnionParam {
+  unsigned Trials;
+  unsigned Seed;
+  unsigned NumDisjuncts;
+};
+
+class UnionImplicationProperty
+    : public ::testing::TestWithParam<UnionParam> {};
+
+} // namespace
+
+TEST_P(UnionImplicationProperty, AgreesWithBruteForce) {
+  const UnionParam &Param = GetParam();
+  std::mt19937 Rng(Param.Seed);
+  RandomProblemConfig Cfg;
+  Cfg.NumVars = 2;
+  Cfg.NumEQs = 0;
+  Cfg.NumGEQs = 2;
+  Cfg.Box = 5;
+
+  for (unsigned T = 0; T != Param.Trials; ++T) {
+    Problem P = randomProblem(Rng, Cfg);
+    std::vector<Problem> Qs;
+    for (unsigned I = 0; I != Param.NumDisjuncts; ++I) {
+      // Build each disjunct in P's layout from random rows (without the
+      // box bounds so the union is usually a strict subset).
+      Problem Raw = randomProblem(Rng, Cfg);
+      Problem Q = P.cloneLayout();
+      unsigned Count = 0;
+      for (const Constraint &Row : Raw.constraints())
+        if (Count++ < Cfg.NumGEQs)
+          Q.addConstraint(Row);
+      Qs.push_back(std::move(Q));
+    }
+
+    bool Actual = impliesUnion(P, Qs);
+    bool Expected = true;
+    for (int64_t X = -Cfg.Box; X <= Cfg.Box && Expected; ++X)
+      for (int64_t Y = -Cfg.Box; Y <= Cfg.Box && Expected; ++Y) {
+        std::vector<int64_t> Pt = {X, Y};
+        if (!evalProblem(P, Pt))
+          continue;
+        bool InUnion = false;
+        for (const Problem &Q : Qs)
+          InUnion |= evalProblem(Q, Pt);
+        Expected = InUnion;
+      }
+    ASSERT_EQ(Actual, Expected) << "trial " << T << " p=" << P.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUnions, UnionImplicationProperty,
+                         ::testing::Values(UnionParam{120, 51, 1},
+                                           UnionParam{120, 52, 2},
+                                           UnionParam{80, 53, 3}));
+
+//===----------------------------------------------------------------------===//
+// conjoinExtending
+//===----------------------------------------------------------------------===//
+
+TEST(ConjoinExtending, RemapsWildcardsApart) {
+  Problem Layout;
+  VarId X = Layout.addVar("x");
+
+  // A: exists w: x == 2w (x even). B: exists w: x == 2w + 1 (x odd).
+  Problem A = Layout.cloneLayout();
+  {
+    VarId W = A.addWildcard();
+    A.addEQ({{X, 1}, {W, -2}}, 0);
+  }
+  Problem B = Layout.cloneLayout();
+  {
+    VarId W = B.addWildcard();
+    B.addEQ({{X, 1}, {W, -2}}, -1);
+  }
+  // Without remapping the two wildcards would conflate and the result
+  // would wrongly be satisfiable.
+  Problem Both = conjoinExtending(A, B, Layout.getNumVars());
+  EXPECT_FALSE(isSatisfiable(Both));
+}
+
+TEST(ConjoinExtending, SharedProtectedColumnsJoin) {
+  Problem Layout;
+  VarId X = Layout.addVar("x");
+  Problem A = Layout.cloneLayout();
+  A.addGEQ({{X, 1}}, -3); // x >= 3
+  Problem B = Layout.cloneLayout();
+  B.addGEQ({{X, -1}}, 2); // x <= 2
+  EXPECT_FALSE(isSatisfiable(conjoinExtending(A, B, 1)));
+
+  Problem C = Layout.cloneLayout();
+  C.addGEQ({{X, -1}}, 9); // x <= 9
+  EXPECT_TRUE(isSatisfiable(conjoinExtending(A, C, 1)));
+}

@@ -1,0 +1,169 @@
+//===- tests/WitnessTest.cpp ----------------------------------------------===//
+//
+// Tests for solution extraction (findSolution) and direction-vector
+// compression (compressSplits).
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/Dependence.h"
+#include "omega/Satisfiability.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace omega;
+using namespace omega::testutil;
+
+TEST(FindSolution, SimpleBox) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 1}}, -2);
+  P.addGEQ({{X, -1}}, 7);
+  P.addGEQ({{Y, 1}, {X, -1}}, 0); // y >= x
+  auto Sol = findSolution(P);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(evalProblem(P, *Sol));
+  EXPECT_EQ((*Sol)[X], 2); // pinned to the minimum
+}
+
+TEST(FindSolution, UnsatisfiableReturnsNothing) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, -5);
+  P.addGEQ({{X, -1}}, 2);
+  EXPECT_FALSE(findSolution(P).has_value());
+}
+
+TEST(FindSolution, RespectsStrides) {
+  // 3x == y, 7 <= y <= 8: only y == ... 3x in [7,8] has no multiple of
+  // 3... adjust: 6 <= y <= 8 gives y == 6, x == 2.
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addEQ({{X, 3}, {Y, -1}}, 0);
+  P.addGEQ({{Y, 1}}, -6);
+  P.addGEQ({{Y, -1}}, 8);
+  auto Sol = findSolution(P);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(evalProblem(P, *Sol));
+  EXPECT_EQ((*Sol)[Y] % 3, 0);
+}
+
+TEST(FindSolution, UnboundedDirections) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addEQ({{X, 1}, {Y, -2}}, -1); // x == 2y + 1: no finite bounds at all
+  auto Sol = findSolution(P);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(evalProblem(P, *Sol));
+}
+
+TEST(FindSolution, EqualityChain) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  VarId Z = P.addVar("z");
+  P.addEQ({{X, 1}, {Y, 1}, {Z, 1}}, -10);
+  P.addGEQ({{X, 1}}, 0);
+  P.addGEQ({{Y, 1}}, 0);
+  P.addGEQ({{Z, 1}}, 0);
+  P.addGEQ({{X, -1}}, 4);
+  P.addGEQ({{Y, -1}}, 4);
+  P.addGEQ({{Z, -1}}, 4);
+  auto Sol = findSolution(P);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(evalProblem(P, *Sol));
+  EXPECT_EQ((*Sol)[X] + (*Sol)[Y] + (*Sol)[Z], 10);
+}
+
+TEST(FindSolutionProperty, AgreesWithEvaluation) {
+  std::mt19937 Rng(404);
+  RandomProblemConfig Cfg;
+  Cfg.NumVars = 3;
+  Cfg.NumEQs = 1;
+  Cfg.NumGEQs = 3;
+  for (unsigned T = 0; T != 150; ++T) {
+    Problem P = randomProblem(Rng, Cfg);
+    auto Sol = findSolution(P);
+    bool Sat = isSatisfiable(P);
+    ASSERT_EQ(Sol.has_value(), Sat) << P.toString();
+    if (Sol)
+      EXPECT_TRUE(evalProblem(P, *Sol)) << P.toString();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// compressSplits
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+deps::DepSplit makeSplit(unsigned Level,
+                         std::vector<std::pair<int64_t, int64_t>> Ranges) {
+  deps::DepSplit S;
+  S.Level = Level;
+  for (auto [Lo, Hi] : Ranges) {
+    deps::DirectionElem E;
+    E.Range.Empty = false;
+    E.Range.HasMin = Lo != INT64_MIN;
+    E.Range.HasMax = Hi != INT64_MAX;
+    E.Range.Min = Lo;
+    E.Range.Max = Hi;
+    S.Dir.push_back(E);
+  }
+  return S;
+}
+
+} // namespace
+
+TEST(CompressSplits, PaperExampleZeroPlusOne) {
+  // {(+,1), (0,1)} compresses to (0+,1).
+  auto Out = deps::compressSplits(
+      {makeSplit(1, {{1, INT64_MAX}, {1, 1}}),
+       makeSplit(2, {{0, 0}, {1, 1}})});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].dirToString(), "(0+,1)");
+}
+
+TEST(CompressSplits, CoupledVectorsStayApart) {
+  // {(+,+), (0,0)}: compressing to (0+,0+) would invent (0,+) and (+,0).
+  auto Out = deps::compressSplits(
+      {makeSplit(1, {{1, INT64_MAX}, {1, INT64_MAX}}),
+       makeSplit(0, {{0, 0}, {0, 0}})});
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(CompressSplits, NonAdjacentRangesStayApart) {
+  // {(0,1), (3,1)}: a gap at 1..2 blocks the merge.
+  auto Out = deps::compressSplits(
+      {makeSplit(1, {{0, 0}, {1, 1}}), makeSplit(1, {{3, 3}, {1, 1}})});
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(CompressSplits, AdjacentRangesMerge) {
+  // {(0:1,1), (2:4,1)} -> (0:4,1).
+  auto Out = deps::compressSplits(
+      {makeSplit(1, {{0, 1}, {1, 1}}), makeSplit(1, {{2, 4}, {1, 1}})});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].dirToString(), "(0:4,1)");
+}
+
+TEST(CompressSplits, MixedFlagsDoNotMerge) {
+  deps::DepSplit Dead = makeSplit(1, {{1, 1}});
+  Dead.Dead = true;
+  Dead.DeadReason = 'k';
+  auto Out = deps::compressSplits({makeSplit(2, {{0, 0}}), Dead});
+  EXPECT_EQ(Out.size(), 2u);
+}
+
+TEST(CompressSplits, TransitiveMerging) {
+  // Three unit ranges chain into one.
+  auto Out = deps::compressSplits({makeSplit(1, {{0, 0}}),
+                                   makeSplit(1, {{1, 1}}),
+                                   makeSplit(1, {{2, 2}})});
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].dirToString(), "(0:2)");
+}

@@ -1,0 +1,238 @@
+//===- tools/omega_analyze.cpp - Command-line dependence analyzer ---------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// A command-line front door to the analysis, in the spirit of the
+// augmented `tiny` tool the paper describes:
+//
+//   omega-analyze [options] [file.tiny]     (stdin when no file)
+//
+//   --all          also print anti and output dependences
+//   --compress     compress split rows into the paper's display vectors
+//   --no-refine / --no-cover / --no-kill / --no-quick
+//                  disable parts of the Section 4 pipeline
+//   --terminate    enable the terminating-write extension
+//   --stats        per-pair cost classes and timings (Figure 6 style)
+//   --run          interpret the program (needs every symbol bound)
+//   --sym name=v   bind a symbolic constant (repeatable; with --run)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Driver.h"
+#include "analysis/Transforms.h"
+#include "deps/DepSpace.h"
+#include "ir/Interp.h"
+#include "transform/Apply.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace omega;
+
+namespace {
+
+struct Options {
+  bool All = false;
+  bool Compress = false;
+  bool Stats = false;
+  bool Run = false;
+  bool Transforms = false;
+  bool Restraints = false;
+  bool Schedule = false;
+  analysis::DriverOptions Driver;
+  std::map<std::string, int64_t> Symbols;
+  std::string File;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--all] [--compress] [--stats] [--transforms] [--schedule] "
+               "[--restraints]\n"
+               "          [--no-refine] [--no-cover] [--no-kill] "
+               "[--no-quick] [--terminate]\n"
+               "          [--run] [--sym name=value]... [file]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--all")
+      Opts.All = true;
+    else if (Arg == "--compress")
+      Opts.Compress = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else if (Arg == "--run")
+      Opts.Run = true;
+    else if (Arg == "--transforms")
+      Opts.Transforms = true;
+    else if (Arg == "--restraints")
+      Opts.Restraints = true;
+    else if (Arg == "--schedule")
+      Opts.Schedule = true;
+    else if (Arg == "--no-refine")
+      Opts.Driver.Refine = false;
+    else if (Arg == "--no-cover")
+      Opts.Driver.Cover = false;
+    else if (Arg == "--no-kill")
+      Opts.Driver.Kill = false;
+    else if (Arg == "--no-quick")
+      Opts.Driver.QuickTests = false;
+    else if (Arg == "--terminate")
+      Opts.Driver.Terminate = true;
+    else if (Arg == "--sym") {
+      if (I + 1 == Argc)
+        return false;
+      std::string Binding = Argv[++I];
+      size_t Eq = Binding.find('=');
+      if (Eq == std::string::npos)
+        return false;
+      Opts.Symbols[Binding.substr(0, Eq)] =
+          std::stoll(Binding.substr(Eq + 1));
+    } else if (Arg != "-" && !Arg.empty() && Arg[0] == '-') {
+      return false;
+    } else if (Opts.File.empty()) {
+      Opts.File = Arg;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void printDeps(const std::vector<deps::Dependence> &Deps, const char *Title,
+               bool Dead, bool Compress) {
+  std::printf("\n%s:\n%-24s%-24s%-14s%s\n", Title, "FROM", "TO", "dir/dist",
+              "status");
+  for (const deps::Dependence &D : Deps) {
+    std::vector<deps::DepSplit> Rows =
+        Compress ? deps::compressSplits(D.Splits) : D.Splits;
+    for (const deps::DepSplit &S : Rows) {
+      if (S.Dead != Dead)
+        continue;
+      std::string From =
+          std::to_string(D.Src->StmtLabel) + ": " + D.Src->Text;
+      std::string To = std::to_string(D.Dst->StmtLabel) + ": " + D.Dst->Text;
+      std::string Status;
+      if (D.Covers)
+        Status += 'C';
+      if (S.DeadReason)
+        Status += S.DeadReason;
+      if (S.Refined)
+        Status += 'r';
+      std::printf("%-24s%-24s%-14s%s\n", From.c_str(), To.c_str(),
+                  S.dirToString().c_str(),
+                  Status.empty() ? "" : ("[" + Status + "]").c_str());
+    }
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  std::string Source;
+  if (Opts.File.empty() || Opts.File == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Source = SS.str();
+  } else {
+    std::ifstream In(Opts.File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+      return 1;
+    }
+    Source.assign(std::istreambuf_iterator<char>(In),
+                  std::istreambuf_iterator<char>());
+  }
+
+  ir::AnalyzedProgram AP = ir::analyzeSource(Source);
+  if (!AP.ok()) {
+    for (const ir::Diagnostic &D : AP.Diags)
+      std::fprintf(stderr, "error: %s\n", D.toString().c_str());
+    return 1;
+  }
+
+  if (Opts.Run) {
+    ir::ExecConfig Config;
+    Config.Symbols = Opts.Symbols;
+    ir::ExecResult R = ir::interpret(AP.Source, Config);
+    if (R.Failed) {
+      std::fprintf(stderr, "run error: %s (bind symbols with --sym)\n",
+                   R.Error.c_str());
+      return 1;
+    }
+    std::printf("executed %zu accesses%s\n", R.Trace.size(),
+                R.Truncated ? " (truncated)" : "");
+    for (const ir::TraceEntry &T : R.Trace) {
+      std::printf("  %u: %-6s %s(", T.StmtLabel,
+                  T.IsWrite ? "write" : "read", T.Array.c_str());
+      for (unsigned I = 0; I != T.Location.size(); ++I)
+        std::printf("%s%lld", I ? "," : "",
+                    static_cast<long long>(T.Location[I]));
+      std::printf(")\n");
+    }
+    return 0;
+  }
+
+  std::printf("%s", AP.Source.toString().c_str());
+  analysis::AnalysisResult R = analysis::analyzeProgram(AP, Opts.Driver);
+
+  printDeps(R.Flow, "live flow dependences", /*Dead=*/false, Opts.Compress);
+  printDeps(R.Flow, "dead flow dependences", /*Dead=*/true, Opts.Compress);
+  if (Opts.All) {
+    printDeps(R.Anti, "anti dependences", false, Opts.Compress);
+    printDeps(R.Output, "output dependences", false, Opts.Compress);
+  }
+
+  if (Opts.Transforms)
+    std::printf("\ntransformation opportunities:\n%s",
+                analysis::transformReport(AP, R).c_str());
+
+  if (Opts.Schedule)
+    std::printf("\nparallel schedule:\n%s",
+                transform::renderParallelSchedule(AP, R).c_str());
+
+  if (Opts.Restraints) {
+    std::printf("\nrestraint vectors (Section 2.1.2):\n");
+    for (const deps::Dependence &D : R.Flow) {
+      deps::DepSpace Space(AP, {D.Src, D.Dst});
+      Problem Pair = deps::buildPairProblem(Space);
+      std::string Vectors;
+      for (const deps::DepSpace::RestraintVector &V :
+           Space.computeRestraintVectors(Pair, 0, 1)) {
+        if (!Vectors.empty())
+          Vectors += " ";
+        Vectors += V.toString();
+      }
+      std::printf("  %s -> %s: %s\n", D.Src->Text.c_str(),
+                  D.Dst->Text.c_str(),
+                  Vectors.empty() ? "(none)" : Vectors.c_str());
+    }
+  }
+
+  if (Opts.Stats) {
+    std::printf("\nper-pair analysis costs:\n%-24s%-24s%12s%12s%10s\n",
+                "write", "read", "std_usec", "ext_usec", "class");
+    for (const analysis::PairRecord &P : R.Pairs) {
+      const char *Class = !P.UsedGeneralTest ? "fast"
+                          : P.SplitVectors    ? "split"
+                                              : "general";
+      std::printf("%-24s%-24s%12.1f%12.1f%10s\n", P.Write->Text.c_str(),
+                  P.Read->Text.c_str(), P.StandardSecs * 1e6,
+                  P.ExtendedSecs * 1e6, Class);
+    }
+  }
+  return 0;
+}

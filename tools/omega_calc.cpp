@@ -1,0 +1,72 @@
+//===- tools/omega_calc.cpp - Interactive Omega calculator ---------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// An interactive (or scripted) calculator over integer constraint sets,
+// in the spirit of the Omega Calculator:
+//
+//   $ omega-calc
+//   > P := {[i,j] : 1 <= i <= n && i < j && j <= 10};
+//   > sat P;
+//   P is satisfiable
+//   > project P onto [i];
+//   projection: { i >= 1; -i >= -9; ... }
+//
+// With a file argument (or piped stdin) the whole script runs at once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "calc/Calc.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+using namespace omega;
+
+int main(int Argc, char **Argv) {
+  calc::Calculator Calc;
+
+  if (Argc > 2) {
+    std::fprintf(stderr, "usage: %s [script]\n", Argv[0]);
+    return 2;
+  }
+  if (Argc == 2) {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::fputs(Calc.run(SS.str()).c_str(), stdout);
+    return Calc.hadError() ? 1 : 0;
+  }
+
+  bool Interactive = isatty(STDIN_FILENO);
+  if (Interactive)
+    std::fputs("omega-calc (sat / solution / project / gist / simplify / "
+               "print; ctrl-d quits)\n",
+               stdout);
+  std::string Line;
+  std::string Pending;
+  while (true) {
+    if (Interactive)
+      std::fputs("> ", stdout), std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+    Pending += Line + "\n";
+    // Execute once the statement is closed by a ';'.
+    if (Line.find(';') == std::string::npos)
+      continue;
+    std::fputs(Calc.run(Pending).c_str(), stdout);
+    Pending.clear();
+  }
+  if (!Pending.empty())
+    std::fputs(Calc.run(Pending).c_str(), stdout);
+  return Calc.hadError() ? 1 : 0;
+}
