@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_darkshadow.dir/ablation_darkshadow.cpp.o"
+  "CMakeFiles/ablation_darkshadow.dir/ablation_darkshadow.cpp.o.d"
+  "ablation_darkshadow"
+  "ablation_darkshadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_darkshadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

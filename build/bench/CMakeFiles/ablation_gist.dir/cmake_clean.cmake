@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gist.dir/ablation_gist.cpp.o"
+  "CMakeFiles/ablation_gist.dir/ablation_gist.cpp.o.d"
+  "ablation_gist"
+  "ablation_gist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

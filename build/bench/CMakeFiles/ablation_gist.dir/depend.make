@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gist.
+# This may be replaced when dependencies are built.

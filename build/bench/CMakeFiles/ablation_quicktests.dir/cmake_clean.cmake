@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quicktests.dir/ablation_quicktests.cpp.o"
+  "CMakeFiles/ablation_quicktests.dir/ablation_quicktests.cpp.o.d"
+  "ablation_quicktests"
+  "ablation_quicktests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quicktests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/examples_section4.dir/examples_section4.cpp.o"
+  "CMakeFiles/examples_section4.dir/examples_section4.cpp.o.d"
+  "examples_section4"
+  "examples_section4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/examples_section4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

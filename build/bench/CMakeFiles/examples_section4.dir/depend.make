@@ -1,0 +1,2 @@
+# Empty dependencies file for examples_section4.
+# This may be replaced when dependencies are built.

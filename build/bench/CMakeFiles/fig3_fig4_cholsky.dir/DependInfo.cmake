@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_fig4_cholsky.cpp" "bench/CMakeFiles/fig3_fig4_cholsky.dir/fig3_fig4_cholsky.cpp.o" "gcc" "bench/CMakeFiles/fig3_fig4_cholsky.dir/fig3_fig4_cholsky.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/omega_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/omega_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/omega_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/omega_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/omega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/omega_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

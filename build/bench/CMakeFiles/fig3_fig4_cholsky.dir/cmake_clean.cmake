@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig4_cholsky.dir/fig3_fig4_cholsky.cpp.o"
+  "CMakeFiles/fig3_fig4_cholsky.dir/fig3_fig4_cholsky.cpp.o.d"
+  "fig3_fig4_cholsky"
+  "fig3_fig4_cholsky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig4_cholsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

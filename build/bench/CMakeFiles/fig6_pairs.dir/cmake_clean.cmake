@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pairs.dir/fig6_pairs.cpp.o"
+  "CMakeFiles/fig6_pairs.dir/fig6_pairs.cpp.o.d"
+  "fig6_pairs"
+  "fig6_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sorted.dir/fig7_sorted.cpp.o"
+  "CMakeFiles/fig7_sorted.dir/fig7_sorted.cpp.o.d"
+  "fig7_sorted"
+  "fig7_sorted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sorted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

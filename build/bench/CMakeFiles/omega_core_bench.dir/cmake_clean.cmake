@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_core_bench.dir/omega_core.cpp.o"
+  "CMakeFiles/omega_core_bench.dir/omega_core.cpp.o.d"
+  "omega_core_bench"
+  "omega_core_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_core_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_section5.dir/symbolic_section5.cpp.o"
+  "CMakeFiles/symbolic_section5.dir/symbolic_section5.cpp.o.d"
+  "symbolic_section5"
+  "symbolic_section5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_section5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for symbolic_section5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholsky_kills.dir/cholsky_kills.cpp.o"
+  "CMakeFiles/cholsky_kills.dir/cholsky_kills.cpp.o.d"
+  "cholsky_kills"
+  "cholsky_kills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholsky_kills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

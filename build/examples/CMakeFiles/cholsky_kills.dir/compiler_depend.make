@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cholsky_kills.
+# This may be replaced when dependencies are built.

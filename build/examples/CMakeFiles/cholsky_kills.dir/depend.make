@@ -1,0 +1,2 @@
+# Empty dependencies file for cholsky_kills.
+# This may be replaced when dependencies are built.

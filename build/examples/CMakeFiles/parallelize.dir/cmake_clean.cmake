@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize.dir/parallelize.cpp.o"
+  "CMakeFiles/parallelize.dir/parallelize.cpp.o.d"
+  "parallelize"
+  "parallelize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refine_examples.dir/refine_examples.cpp.o"
+  "CMakeFiles/refine_examples.dir/refine_examples.cpp.o.d"
+  "refine_examples"
+  "refine_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refine_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

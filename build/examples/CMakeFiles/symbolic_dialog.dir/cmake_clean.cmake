@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_dialog.dir/symbolic_dialog.cpp.o"
+  "CMakeFiles/symbolic_dialog.dir/symbolic_dialog.cpp.o.d"
+  "symbolic_dialog"
+  "symbolic_dialog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_dialog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

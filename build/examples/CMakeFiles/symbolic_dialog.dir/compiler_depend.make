@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for symbolic_dialog.
+# This may be replaced when dependencies are built.

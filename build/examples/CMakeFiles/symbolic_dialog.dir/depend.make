@@ -1,0 +1,2 @@
+# Empty dependencies file for symbolic_dialog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Driver.cpp" "src/analysis/CMakeFiles/omega_analysis.dir/Driver.cpp.o" "gcc" "src/analysis/CMakeFiles/omega_analysis.dir/Driver.cpp.o.d"
+  "/root/repo/src/analysis/Implication.cpp" "src/analysis/CMakeFiles/omega_analysis.dir/Implication.cpp.o" "gcc" "src/analysis/CMakeFiles/omega_analysis.dir/Implication.cpp.o.d"
+  "/root/repo/src/analysis/Kills.cpp" "src/analysis/CMakeFiles/omega_analysis.dir/Kills.cpp.o" "gcc" "src/analysis/CMakeFiles/omega_analysis.dir/Kills.cpp.o.d"
+  "/root/repo/src/analysis/Refine.cpp" "src/analysis/CMakeFiles/omega_analysis.dir/Refine.cpp.o" "gcc" "src/analysis/CMakeFiles/omega_analysis.dir/Refine.cpp.o.d"
+  "/root/repo/src/analysis/Transforms.cpp" "src/analysis/CMakeFiles/omega_analysis.dir/Transforms.cpp.o" "gcc" "src/analysis/CMakeFiles/omega_analysis.dir/Transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deps/CMakeFiles/omega_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/omega/CMakeFiles/omega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/omega_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_analysis.dir/Driver.cpp.o"
+  "CMakeFiles/omega_analysis.dir/Driver.cpp.o.d"
+  "CMakeFiles/omega_analysis.dir/Implication.cpp.o"
+  "CMakeFiles/omega_analysis.dir/Implication.cpp.o.d"
+  "CMakeFiles/omega_analysis.dir/Kills.cpp.o"
+  "CMakeFiles/omega_analysis.dir/Kills.cpp.o.d"
+  "CMakeFiles/omega_analysis.dir/Refine.cpp.o"
+  "CMakeFiles/omega_analysis.dir/Refine.cpp.o.d"
+  "CMakeFiles/omega_analysis.dir/Transforms.cpp.o"
+  "CMakeFiles/omega_analysis.dir/Transforms.cpp.o.d"
+  "libomega_analysis.a"
+  "libomega_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

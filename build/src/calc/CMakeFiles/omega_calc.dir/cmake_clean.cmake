@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_calc.dir/Calc.cpp.o"
+  "CMakeFiles/omega_calc.dir/Calc.cpp.o.d"
+  "libomega_calc.a"
+  "libomega_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_deps.dir/DepSpace.cpp.o"
+  "CMakeFiles/omega_deps.dir/DepSpace.cpp.o.d"
+  "CMakeFiles/omega_deps.dir/Dependence.cpp.o"
+  "CMakeFiles/omega_deps.dir/Dependence.cpp.o.d"
+  "CMakeFiles/omega_deps.dir/DependenceAnalysis.cpp.o"
+  "CMakeFiles/omega_deps.dir/DependenceAnalysis.cpp.o.d"
+  "libomega_deps.a"
+  "libomega_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AST.cpp" "src/ir/CMakeFiles/omega_ir.dir/AST.cpp.o" "gcc" "src/ir/CMakeFiles/omega_ir.dir/AST.cpp.o.d"
+  "/root/repo/src/ir/AffineExpr.cpp" "src/ir/CMakeFiles/omega_ir.dir/AffineExpr.cpp.o" "gcc" "src/ir/CMakeFiles/omega_ir.dir/AffineExpr.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/ir/CMakeFiles/omega_ir.dir/Interp.cpp.o" "gcc" "src/ir/CMakeFiles/omega_ir.dir/Interp.cpp.o.d"
+  "/root/repo/src/ir/Lexer.cpp" "src/ir/CMakeFiles/omega_ir.dir/Lexer.cpp.o" "gcc" "src/ir/CMakeFiles/omega_ir.dir/Lexer.cpp.o.d"
+  "/root/repo/src/ir/Parser.cpp" "src/ir/CMakeFiles/omega_ir.dir/Parser.cpp.o" "gcc" "src/ir/CMakeFiles/omega_ir.dir/Parser.cpp.o.d"
+  "/root/repo/src/ir/Sema.cpp" "src/ir/CMakeFiles/omega_ir.dir/Sema.cpp.o" "gcc" "src/ir/CMakeFiles/omega_ir.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

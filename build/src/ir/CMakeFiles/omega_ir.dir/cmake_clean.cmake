@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_ir.dir/AST.cpp.o"
+  "CMakeFiles/omega_ir.dir/AST.cpp.o.d"
+  "CMakeFiles/omega_ir.dir/AffineExpr.cpp.o"
+  "CMakeFiles/omega_ir.dir/AffineExpr.cpp.o.d"
+  "CMakeFiles/omega_ir.dir/Interp.cpp.o"
+  "CMakeFiles/omega_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/omega_ir.dir/Lexer.cpp.o"
+  "CMakeFiles/omega_ir.dir/Lexer.cpp.o.d"
+  "CMakeFiles/omega_ir.dir/Parser.cpp.o"
+  "CMakeFiles/omega_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/omega_ir.dir/Sema.cpp.o"
+  "CMakeFiles/omega_ir.dir/Sema.cpp.o.d"
+  "libomega_ir.a"
+  "libomega_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

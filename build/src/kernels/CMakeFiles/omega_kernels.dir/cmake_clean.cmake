@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_kernels.dir/Kernels.cpp.o"
+  "CMakeFiles/omega_kernels.dir/Kernels.cpp.o.d"
+  "libomega_kernels.a"
+  "libomega_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/omega/EqElimination.cpp" "src/omega/CMakeFiles/omega_core.dir/EqElimination.cpp.o" "gcc" "src/omega/CMakeFiles/omega_core.dir/EqElimination.cpp.o.d"
+  "/root/repo/src/omega/FourierMotzkin.cpp" "src/omega/CMakeFiles/omega_core.dir/FourierMotzkin.cpp.o" "gcc" "src/omega/CMakeFiles/omega_core.dir/FourierMotzkin.cpp.o.d"
+  "/root/repo/src/omega/Gist.cpp" "src/omega/CMakeFiles/omega_core.dir/Gist.cpp.o" "gcc" "src/omega/CMakeFiles/omega_core.dir/Gist.cpp.o.d"
+  "/root/repo/src/omega/Problem.cpp" "src/omega/CMakeFiles/omega_core.dir/Problem.cpp.o" "gcc" "src/omega/CMakeFiles/omega_core.dir/Problem.cpp.o.d"
+  "/root/repo/src/omega/Projection.cpp" "src/omega/CMakeFiles/omega_core.dir/Projection.cpp.o" "gcc" "src/omega/CMakeFiles/omega_core.dir/Projection.cpp.o.d"
+  "/root/repo/src/omega/Satisfiability.cpp" "src/omega/CMakeFiles/omega_core.dir/Satisfiability.cpp.o" "gcc" "src/omega/CMakeFiles/omega_core.dir/Satisfiability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_core.dir/EqElimination.cpp.o"
+  "CMakeFiles/omega_core.dir/EqElimination.cpp.o.d"
+  "CMakeFiles/omega_core.dir/FourierMotzkin.cpp.o"
+  "CMakeFiles/omega_core.dir/FourierMotzkin.cpp.o.d"
+  "CMakeFiles/omega_core.dir/Gist.cpp.o"
+  "CMakeFiles/omega_core.dir/Gist.cpp.o.d"
+  "CMakeFiles/omega_core.dir/Problem.cpp.o"
+  "CMakeFiles/omega_core.dir/Problem.cpp.o.d"
+  "CMakeFiles/omega_core.dir/Projection.cpp.o"
+  "CMakeFiles/omega_core.dir/Projection.cpp.o.d"
+  "CMakeFiles/omega_core.dir/Satisfiability.cpp.o"
+  "CMakeFiles/omega_core.dir/Satisfiability.cpp.o.d"
+  "libomega_core.a"
+  "libomega_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

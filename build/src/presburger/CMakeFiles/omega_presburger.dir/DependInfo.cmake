@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presburger/Decision.cpp" "src/presburger/CMakeFiles/omega_presburger.dir/Decision.cpp.o" "gcc" "src/presburger/CMakeFiles/omega_presburger.dir/Decision.cpp.o.d"
+  "/root/repo/src/presburger/Formula.cpp" "src/presburger/CMakeFiles/omega_presburger.dir/Formula.cpp.o" "gcc" "src/presburger/CMakeFiles/omega_presburger.dir/Formula.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omega/CMakeFiles/omega_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/omega_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_presburger.dir/Decision.cpp.o"
+  "CMakeFiles/omega_presburger.dir/Decision.cpp.o.d"
+  "CMakeFiles/omega_presburger.dir/Formula.cpp.o"
+  "CMakeFiles/omega_presburger.dir/Formula.cpp.o.d"
+  "libomega_presburger.a"
+  "libomega_presburger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomega_presburger.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_symbolic.dir/Induction.cpp.o"
+  "CMakeFiles/omega_symbolic.dir/Induction.cpp.o.d"
+  "CMakeFiles/omega_symbolic.dir/SymbolicAnalysis.cpp.o"
+  "CMakeFiles/omega_symbolic.dir/SymbolicAnalysis.cpp.o.d"
+  "libomega_symbolic.a"
+  "libomega_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

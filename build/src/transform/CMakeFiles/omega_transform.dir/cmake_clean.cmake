@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_transform.dir/Apply.cpp.o"
+  "CMakeFiles/omega_transform.dir/Apply.cpp.o.d"
+  "libomega_transform.a"
+  "libomega_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apply.dir/ApplyTest.cpp.o"
+  "CMakeFiles/test_apply.dir/ApplyTest.cpp.o.d"
+  "test_apply"
+  "test_apply.pdb"
+  "test_apply[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calc.dir/CalcTest.cpp.o"
+  "CMakeFiles/test_calc.dir/CalcTest.cpp.o.d"
+  "test_calc"
+  "test_calc.pdb"
+  "test_calc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cholsky.dir/CholskyTest.cpp.o"
+  "CMakeFiles/test_cholsky.dir/CholskyTest.cpp.o.d"
+  "test_cholsky"
+  "test_cholsky.pdb"
+  "test_cholsky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cholsky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_golden.dir/CorpusGoldenTest.cpp.o"
+  "CMakeFiles/test_corpus_golden.dir/CorpusGoldenTest.cpp.o.d"
+  "test_corpus_golden"
+  "test_corpus_golden.pdb"
+  "test_corpus_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depspace.dir/DepSpaceTest.cpp.o"
+  "CMakeFiles/test_depspace.dir/DepSpaceTest.cpp.o.d"
+  "test_depspace"
+  "test_depspace.pdb"
+  "test_depspace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver.dir/DriverTest.cpp.o"
+  "CMakeFiles/test_driver.dir/DriverTest.cpp.o.d"
+  "test_driver"
+  "test_driver.pdb"
+  "test_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

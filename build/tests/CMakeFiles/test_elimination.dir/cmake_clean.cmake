@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elimination.dir/EliminationTest.cpp.o"
+  "CMakeFiles/test_elimination.dir/EliminationTest.cpp.o.d"
+  "test_elimination"
+  "test_elimination.pdb"
+  "test_elimination[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

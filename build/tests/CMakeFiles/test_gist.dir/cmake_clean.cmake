@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gist.dir/GistTest.cpp.o"
+  "CMakeFiles/test_gist.dir/GistTest.cpp.o.d"
+  "test_gist"
+  "test_gist.pdb"
+  "test_gist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

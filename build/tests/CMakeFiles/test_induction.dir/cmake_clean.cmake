@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_induction.dir/InductionTest.cpp.o"
+  "CMakeFiles/test_induction.dir/InductionTest.cpp.o.d"
+  "test_induction"
+  "test_induction.pdb"
+  "test_induction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

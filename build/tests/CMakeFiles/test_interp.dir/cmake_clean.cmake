@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp.dir/InterpTest.cpp.o"
+  "CMakeFiles/test_interp.dir/InterpTest.cpp.o.d"
+  "test_interp"
+  "test_interp.pdb"
+  "test_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

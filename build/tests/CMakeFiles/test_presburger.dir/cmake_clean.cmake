@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presburger.dir/PresburgerTest.cpp.o"
+  "CMakeFiles/test_presburger.dir/PresburgerTest.cpp.o.d"
+  "test_presburger"
+  "test_presburger.pdb"
+  "test_presburger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presburger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

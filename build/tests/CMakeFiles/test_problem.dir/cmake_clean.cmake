@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problem.dir/ProblemTest.cpp.o"
+  "CMakeFiles/test_problem.dir/ProblemTest.cpp.o.d"
+  "test_problem"
+  "test_problem.pdb"
+  "test_problem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

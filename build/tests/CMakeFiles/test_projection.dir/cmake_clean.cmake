@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_projection.dir/ProjectionTest.cpp.o"
+  "CMakeFiles/test_projection.dir/ProjectionTest.cpp.o.d"
+  "test_projection"
+  "test_projection.pdb"
+  "test_projection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

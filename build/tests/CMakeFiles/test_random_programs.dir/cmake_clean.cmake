@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_programs.dir/RandomProgramTest.cpp.o"
+  "CMakeFiles/test_random_programs.dir/RandomProgramTest.cpp.o.d"
+  "test_random_programs"
+  "test_random_programs.pdb"
+  "test_random_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_restraints.dir/RestraintTest.cpp.o"
+  "CMakeFiles/test_restraints.dir/RestraintTest.cpp.o.d"
+  "test_restraints"
+  "test_restraints.pdb"
+  "test_restraints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_restraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

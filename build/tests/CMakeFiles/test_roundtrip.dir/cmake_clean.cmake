@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roundtrip.dir/RoundTripTest.cpp.o"
+  "CMakeFiles/test_roundtrip.dir/RoundTripTest.cpp.o.d"
+  "test_roundtrip"
+  "test_roundtrip.pdb"
+  "test_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

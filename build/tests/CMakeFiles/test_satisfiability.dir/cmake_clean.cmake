@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_satisfiability.dir/SatisfiabilityTest.cpp.o"
+  "CMakeFiles/test_satisfiability.dir/SatisfiabilityTest.cpp.o.d"
+  "test_satisfiability"
+  "test_satisfiability.pdb"
+  "test_satisfiability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_satisfiability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transforms.dir/TransformsTest.cpp.o"
+  "CMakeFiles/test_transforms.dir/TransformsTest.cpp.o.d"
+  "test_transforms"
+  "test_transforms.pdb"
+  "test_transforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_union.dir/UnionImplicationTest.cpp.o"
+  "CMakeFiles/test_union.dir/UnionImplicationTest.cpp.o.d"
+  "test_union"
+  "test_union.pdb"
+  "test_union[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

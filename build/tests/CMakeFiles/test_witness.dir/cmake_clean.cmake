@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_witness.dir/WitnessTest.cpp.o"
+  "CMakeFiles/test_witness.dir/WitnessTest.cpp.o.d"
+  "test_witness"
+  "test_witness.pdb"
+  "test_witness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_problem[1]_include.cmake")
+include("/root/repo/build/tests/test_satisfiability[1]_include.cmake")
+include("/root/repo/build/tests/test_projection[1]_include.cmake")
+include("/root/repo/build/tests/test_gist[1]_include.cmake")
+include("/root/repo/build/tests/test_presburger[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_deps[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build/tests/test_cholsky[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_induction[1]_include.cmake")
+include("/root/repo/build/tests/test_witness[1]_include.cmake")
+include("/root/repo/build/tests/test_union[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_calc[1]_include.cmake")
+include("/root/repo/build/tests/test_elimination[1]_include.cmake")
+include("/root/repo/build/tests/test_random_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_overflow[1]_include.cmake")
+include("/root/repo/build/tests/test_restraints[1]_include.cmake")
+include("/root/repo/build/tests/test_apply[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_depspace[1]_include.cmake")
+include("/root/repo/build/tests/test_roundtrip[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega-analyze.dir/omega_analyze.cpp.o"
+  "CMakeFiles/omega-analyze.dir/omega_analyze.cpp.o.d"
+  "omega-analyze"
+  "omega-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega-calc.dir/omega_calc.cpp.o"
+  "CMakeFiles/omega-calc.dir/omega_calc.cpp.o.d"
+  "omega-calc"
+  "omega-calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega-calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
