@@ -15,7 +15,7 @@
 #ifndef OMEGA_BENCH_BENCHUTILS_H
 #define OMEGA_BENCH_BENCHUTILS_H
 
-#include "analysis/Driver.h"
+#include "engine/DependenceEngine.h"
 #include "kernels/Kernels.h"
 
 #include <cstdio>
@@ -30,13 +30,21 @@ struct KernelRun {
   std::string Name;
   /// Owns the program the Result's Access pointers refer into.
   std::unique_ptr<ir::AnalyzedProgram> AP;
-  analysis::AnalysisResult Result;
+  engine::AnalysisResult Result;
 };
 
 /// Analyzes every kernel in the corpus (skipping any that fail to lower,
-/// which only happens if a kernel uses unsupported syntax).
-inline std::vector<KernelRun>
-runCorpus(const analysis::DriverOptions &Opts = analysis::DriverOptions()) {
+/// which only happens if a kernel uses unsupported syntax). One engine --
+/// and so one query cache -- serves the whole corpus. Timing benchmarks
+/// should keep the default serial, uncached request so their figures
+/// measure the solver, not the cache.
+inline std::vector<KernelRun> runCorpus(engine::AnalysisRequest Req = [] {
+  engine::AnalysisRequest R;
+  R.Jobs = 1;
+  R.UseQueryCache = false;
+  return R;
+}()) {
+  engine::DependenceEngine Engine(Req);
   std::vector<KernelRun> Runs;
   for (const kernels::Kernel &K : kernels::corpus()) {
     auto AP = std::make_unique<ir::AnalyzedProgram>(
@@ -49,7 +57,7 @@ runCorpus(const analysis::DriverOptions &Opts = analysis::DriverOptions()) {
     }
     KernelRun Run;
     Run.Name = K.Name;
-    Run.Result = analysis::analyzeProgram(*AP, Opts);
+    Run.Result = Engine.analyze(*AP);
     Run.AP = std::move(AP);
     Runs.push_back(std::move(Run));
   }

@@ -11,7 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "omega/Gist.h"
-#include "omega/OmegaStats.h"
+#include "omega/OmegaContext.h"
 #include "omega/Satisfiability.h"
 
 #include <chrono>
@@ -45,6 +45,7 @@ int main() {
               "sat_tests_on", "sat_tests_off", "on_usec", "off_usec");
 
   std::mt19937 Rng(777);
+  OmegaContext Ctx; // experiment-local stats; never the process default
   for (unsigned NumVars : {2u, 3u}) {
     for (unsigned Rows : {3u, 5u, 8u}) {
       Problem Layout;
@@ -67,17 +68,17 @@ int main() {
         GistOptions On, Off;
         Off.UseFastChecks = false;
 
-        stats().reset();
+        Ctx.Stats.reset();
         auto T0 = std::chrono::steady_clock::now();
-        Problem GOn = gist(P, Q, On);
+        Problem GOn = gist(P, Q, On, Ctx);
         auto T1 = std::chrono::steady_clock::now();
-        TestsOn += stats().GistSatTests;
+        TestsOn += Ctx.Stats.GistSatTests;
 
-        stats().reset();
+        Ctx.Stats.reset();
         auto T2 = std::chrono::steady_clock::now();
-        Problem GOff = gist(P, Q, Off);
+        Problem GOff = gist(P, Q, Off, Ctx);
         auto T3 = std::chrono::steady_clock::now();
-        TestsOff += stats().GistSatTests;
+        TestsOff += Ctx.Stats.GistSatTests;
 
         SecsOn += std::chrono::duration<double>(T1 - T0).count();
         SecsOff += std::chrono::duration<double>(T3 - T2).count();

@@ -2,234 +2,18 @@
 //
 // Part of the omega-deps project.
 //
+// The Section 4 pipeline itself lives in engine/DependenceEngine.cpp
+// (analyzeProgram is implemented there on top of the DependenceEngine);
+// this file only renders result tables.
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Driver.h"
 
-#include "analysis/Kills.h"
-#include "analysis/Refine.h"
-
-#include <chrono>
-#include <map>
-
 using namespace omega;
 using namespace omega::analysis;
-using omega::deps::DepKind;
 using omega::deps::Dependence;
-using omega::deps::DependenceAnalysis;
 using omega::deps::DepSplit;
-
-namespace {
-
-double secondsSince(std::chrono::steady_clock::time_point Start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       Start)
-      .count();
-}
-
-/// Quick-test database built from the output dependences.
-struct OutputDepInfo {
-  /// Pairs of write access ids with an output dependence.
-  std::map<std::pair<unsigned, unsigned>, bool> HasOutputDep;
-  /// Writes with a self-output dependence carried by some loop.
-  std::map<unsigned, bool> HasCarriedSelfOutput;
-
-  bool outputDep(const ir::Access &A, const ir::Access &B) const {
-    auto It = HasOutputDep.find({A.Id, B.Id});
-    return It != HasOutputDep.end() && It->second;
-  }
-  bool carriedSelfOutput(const ir::Access &A) const {
-    auto It = HasCarriedSelfOutput.find(A.Id);
-    return It != HasCarriedSelfOutput.end() && It->second;
-  }
-};
-
-OutputDepInfo buildOutputInfo(const std::vector<Dependence> &Output) {
-  OutputDepInfo Info;
-  for (const Dependence &Dep : Output) {
-    Info.HasOutputDep[{Dep.Src->Id, Dep.Dst->Id}] = true;
-    if (Dep.Src == Dep.Dst)
-      for (const DepSplit &S : Dep.Splits)
-        if (S.Level != 0)
-          Info.HasCarriedSelfOutput[Dep.Src->Id] = true;
-  }
-  return Info;
-}
-
-/// "W completely precedes the cover A": every execution of W that can
-/// source the covered read runs before the covering instance. Two sound
-/// syntactic cases (Section 4.2):
-///  * W is textually before A and shares no loops with it (it runs wholly
-///    before A's nest), or
-///  * the cover is loop-independent (the covering instance shares the
-///    common A/B iteration) and W is textually before A without being
-///    nested more deeply with A than B is -- otherwise W could run after
-///    the covering instance inside the extra shared loops, and the
-///    general pairwise kill test must decide.
-bool completelyPrecedesCover(const ir::Access &W, const Dependence &Cover) {
-  const ir::Access &A = *Cover.Src;
-  if (!ir::AnalyzedProgram::textuallyBefore(W, A))
-    return false;
-  unsigned CommonWA = ir::AnalyzedProgram::numCommonLoops(W, A);
-  if (CommonWA == 0)
-    return true;
-  return Cover.CoverLoopIndependent &&
-         CommonWA <= ir::AnalyzedProgram::numCommonLoops(A, *Cover.Dst);
-}
-
-} // namespace
-
-AnalysisResult analysis::analyzeProgram(const ir::AnalyzedProgram &AP,
-                                        const DriverOptions &Opts) {
-  AnalysisResult Result;
-  DependenceAnalysis DA(AP);
-
-  // Step 1: output and anti dependences (unrefined).
-  Result.Output = DA.computeDependences(DepKind::Output);
-  Result.Anti = DA.computeDependences(DepKind::Anti);
-  OutputDepInfo OutInfo = buildOutputInfo(Result.Output);
-
-  // Step 2: per read, the flow dependences with refinement and coverage.
-  std::vector<const ir::Access *> Writes, Reads;
-  for (const ir::Access &A : AP.Accesses)
-    (A.IsWrite ? Writes : Reads).push_back(&A);
-
-  std::map<unsigned, std::vector<unsigned>> FlowByRead; // read id -> indices
-  for (const ir::Access *Read : Reads) {
-    for (const ir::Access *Write : Writes) {
-      if (Write->Array != Read->Array)
-        continue;
-      PairRecord Record;
-      Record.Write = Write;
-      Record.Read = Read;
-
-      auto StdStart = std::chrono::steady_clock::now();
-      std::optional<Dependence> Dep =
-          DA.computeDependence(*Write, *Read, DepKind::Flow);
-      Record.StandardSecs = secondsSince(StdStart);
-
-      auto ExtStart = std::chrono::steady_clock::now();
-      if (Dep) {
-        Record.HasFlow = true;
-        // Refinement first (Section 4.4); a quick screen: refinement can
-        // only help when the write has a carried self-output dependence.
-        if (Opts.Refine &&
-            (!Opts.QuickTests || OutInfo.carriedSelfOutput(*Write))) {
-          RefineResult RR = refineDependence(AP, *Write, *Read, *Dep);
-          Record.UsedGeneralTest |= RR.UsedGeneralTest;
-          Record.SplitVectors |= Dep->Splits.size() > 1 && RR.UsedGeneralTest;
-        }
-        // Coverage next (Section 4.2).
-        if (Opts.Cover &&
-            (!Opts.QuickTests || coverQuickTestPasses(*Dep))) {
-          Record.UsedGeneralTest = true;
-          Record.SplitVectors |= Dep->Splits.size() > 1;
-          if (covers(AP, *Write, *Read)) {
-            Dep->Covers = true;
-            Dep->CoverLoopIndependent =
-                covers(AP, *Write, *Read, /*LoopIndependentOnly=*/true);
-          }
-        }
-        FlowByRead[Read->Id].push_back(Result.Flow.size());
-        Result.Flow.push_back(std::move(*Dep));
-      }
-      Record.ExtendedSecs = Record.StandardSecs + secondsSince(ExtStart);
-      Result.Pairs.push_back(Record);
-    }
-  }
-
-  // Step 3: covers kill dependences from writes that completely precede
-  // them; Step 4: pairwise kill tests on what remains.
-  if (Opts.Kill) {
-    for (auto &[ReadId, DepIndices] : FlowByRead) {
-      (void)ReadId;
-      // Kill by cover.
-      for (unsigned CoverIdx : DepIndices) {
-        const Dependence &Cover = Result.Flow[CoverIdx];
-        if (!Cover.Covers)
-          continue;
-        for (unsigned Idx : DepIndices) {
-          if (Idx == CoverIdx)
-            continue;
-          Dependence &Victim = Result.Flow[Idx];
-          if (!completelyPrecedesCover(*Victim.Src, Cover))
-            continue;
-          for (DepSplit &S : Victim.Splits)
-            if (!S.Dead) {
-              S.Dead = true;
-              S.DeadReason = 'c';
-            }
-        }
-      }
-      // Pairwise killing.
-      for (unsigned VictimIdx : DepIndices) {
-        Dependence &Victim = Result.Flow[VictimIdx];
-        for (unsigned KillerIdx : DepIndices) {
-          if (KillerIdx == VictimIdx || Victim.allDead())
-            continue;
-          const Dependence &KillerDep = Result.Flow[KillerIdx];
-          const ir::Access &Killer = *KillerDep.Src;
-          if (&Killer == Victim.Src)
-            continue;
-          KillRecord KR;
-          KR.From = Victim.Src;
-          KR.Killer = &Killer;
-          KR.To = Victim.Dst;
-          auto Start = std::chrono::steady_clock::now();
-          // Quick test: the killer must overwrite what the victim wrote,
-          // i.e. there must be an output dependence victim -> killer.
-          bool Plausible =
-              !Opts.QuickTests || OutInfo.outputDep(*Victim.Src, Killer);
-          if (Plausible) {
-            KR.UsedOmega = true;
-            for (DepSplit &S : Victim.Splits) {
-              if (S.Dead)
-                continue;
-              if (kills(AP, *Victim.Src, Killer, *Victim.Dst, S.Level)) {
-                S.Dead = true;
-                S.DeadReason = 'k';
-                KR.Killed = true;
-              }
-            }
-          }
-          KR.Secs = secondsSince(Start);
-          Result.Kills.push_back(KR);
-        }
-      }
-    }
-  }
-
-  // Optional extension: terminating analysis (Section 4.3). If some write
-  // B overwrites everything A wrote (B terminates A) and every execution
-  // of B precedes every execution of the destination, nothing can flow
-  // from A past B, so the dependence is dead.
-  if (Opts.Terminate) {
-    for (Dependence &Dep : Result.Flow) {
-      if (Dep.allDead())
-        continue;
-      for (const ir::Access *B : Writes) {
-        if (B == Dep.Src || B->Array != Dep.Src->Array)
-          continue;
-        // Sound syntactic "wholly before the read" case.
-        if (ir::AnalyzedProgram::numCommonLoops(*B, *Dep.Dst) != 0 ||
-            !ir::AnalyzedProgram::textuallyBefore(*B, *Dep.Dst))
-          continue;
-        if (Opts.QuickTests && !OutInfo.outputDep(*Dep.Src, *B))
-          continue;
-        if (!terminates(AP, *Dep.Src, *B))
-          continue;
-        for (DepSplit &S : Dep.Splits)
-          if (!S.Dead) {
-            S.Dead = true;
-            S.DeadReason = 'k';
-          }
-        break;
-      }
-    }
-  }
-
-  return Result;
-}
 
 namespace {
 

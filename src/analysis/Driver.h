@@ -73,6 +73,11 @@ struct AnalysisResult {
   std::string deadFlowTable() const;
 };
 
+/// Legacy serial entry point, implemented in the engine library on top of
+/// engine::DependenceEngine (link omega_engine to use it). Runs with one
+/// job and no query cache, and merges the run's Omega stats into the
+/// calling thread's current context. New code should construct a
+/// DependenceEngine and pass an engine::AnalysisRequest instead.
 AnalysisResult analyzeProgram(const ir::AnalyzedProgram &AP,
                               const DriverOptions &Opts = DriverOptions());
 

@@ -781,6 +781,7 @@ private:
 } // namespace
 
 std::string Calculator::run(std::string_view Script) {
+  OmegaContextScope Scope(Ctx); // route every Omega call to this calculator
   Interpreter I(Sets, Script);
   std::string Out = I.run();
   HadError = I.hadError();

@@ -31,7 +31,9 @@
 #ifndef OMEGA_CALC_CALC_H
 #define OMEGA_CALC_CALC_H
 
+#include "omega/OmegaContext.h"
 #include "omega/Problem.h"
+#include "omega/QueryCache.h"
 
 #include <map>
 #include <string>
@@ -49,11 +51,18 @@ struct NamedSet {
 
 class Calculator {
 public:
+  Calculator() : Ctx(&Cache) {}
+
   /// Executes a whole script; returns everything the commands printed
-  /// (including error messages, which also set hadError()).
+  /// (including error messages, which also set hadError()). Runs under
+  /// the calculator's own OmegaContext, so stats and memoized queries
+  /// accumulate per calculator and never touch the process default.
   std::string run(std::string_view Script);
 
   bool hadError() const { return HadError; }
+
+  /// The calculator's private context (stats sink + query cache).
+  OmegaContext &context() { return Ctx; }
 
   /// Looks up a set defined by a previous run() call (tests use this).
   const NamedSet *lookup(const std::string &Name) const {
@@ -63,6 +72,8 @@ public:
 
 private:
   std::map<std::string, NamedSet> Sets;
+  QueryCache Cache;
+  OmegaContext Ctx;
   bool HadError = false;
 };
 

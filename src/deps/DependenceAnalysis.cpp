@@ -6,6 +6,7 @@
 
 #include "deps/DependenceAnalysis.h"
 
+#include "omega/Projection.h"
 #include "omega/Satisfiability.h"
 
 using namespace omega;
@@ -40,7 +41,7 @@ DependenceAnalysis::computeDependence(const ir::Access &Src,
     DepSplit Split;
     for (VarId Delta : Deltas) {
       DirectionElem Elem;
-      Elem.Range = computeVarRange(WithDeltas, Delta);
+      Elem.Range = computeVarRange(WithDeltas, Delta, Ctx);
       Split.Dir.push_back(Elem);
     }
     return Split;
@@ -49,7 +50,7 @@ DependenceAnalysis::computeDependence(const ir::Access &Src,
   for (unsigned Level = 1; Level <= Common; ++Level) {
     Problem Case = Pair;
     Space.addPrecedesAtLevel(Case, 0, 1, Level);
-    if (!isSatisfiable(Case))
+    if (!isSatisfiable(Case, SatOptions(), Ctx))
       continue;
     DepSplit Split = summarize(Case);
     Split.Level = Level;
@@ -58,7 +59,7 @@ DependenceAnalysis::computeDependence(const ir::Access &Src,
   if (Space.textuallyBefore(0, 1)) {
     Problem Case = Pair;
     Space.addPrecedesAtLevel(Case, 0, 1, 0);
-    if (isSatisfiable(Case)) {
+    if (isSatisfiable(Case, SatOptions(), Ctx)) {
       DepSplit Split = summarize(Case);
       Split.Level = 0;
       Dep.Splits.push_back(std::move(Split));

@@ -28,7 +28,12 @@ namespace deps {
 
 class DependenceAnalysis {
 public:
-  explicit DependenceAnalysis(const ir::AnalyzedProgram &AP) : AP(AP) {}
+  /// Analyses run against \p Ctx: its stats record the work, its cache (if
+  /// any) memoizes the Omega queries. Defaults to the calling thread's
+  /// current context; the parallel engine passes each worker's own.
+  explicit DependenceAnalysis(const ir::AnalyzedProgram &AP,
+                              OmegaContext &Ctx = OmegaContext::current())
+      : AP(AP), Ctx(Ctx) {}
 
   /// The dependence of kind \p Kind from \p Src to \p Dst (references to
   /// the same array), or nullopt when no level is feasible.
@@ -44,6 +49,7 @@ public:
 
 private:
   const ir::AnalyzedProgram &AP;
+  OmegaContext &Ctx;
 };
 
 /// Builds the base problem for an ordered pair: iteration spaces of both

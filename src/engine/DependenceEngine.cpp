@@ -1,0 +1,347 @@
+//===- engine/DependenceEngine.cpp ----------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/DependenceEngine.h"
+
+#include "analysis/Kills.h"
+#include "analysis/Refine.h"
+#include "engine/WorkerPool.h"
+
+#include <chrono>
+#include <map>
+#include <optional>
+
+using namespace omega;
+using namespace omega::engine;
+using omega::deps::DepKind;
+using omega::deps::Dependence;
+using omega::deps::DependenceAnalysis;
+using omega::deps::DepSplit;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Quick-test database built from the output dependences.
+struct OutputDepInfo {
+  /// Pairs of write access ids with an output dependence.
+  std::map<std::pair<unsigned, unsigned>, bool> HasOutputDep;
+  /// Writes with a self-output dependence carried by some loop.
+  std::map<unsigned, bool> HasCarriedSelfOutput;
+
+  bool outputDep(const ir::Access &A, const ir::Access &B) const {
+    auto It = HasOutputDep.find({A.Id, B.Id});
+    return It != HasOutputDep.end() && It->second;
+  }
+  bool carriedSelfOutput(const ir::Access &A) const {
+    auto It = HasCarriedSelfOutput.find(A.Id);
+    return It != HasCarriedSelfOutput.end() && It->second;
+  }
+};
+
+OutputDepInfo buildOutputInfo(const std::vector<Dependence> &Output) {
+  OutputDepInfo Info;
+  for (const Dependence &Dep : Output) {
+    Info.HasOutputDep[{Dep.Src->Id, Dep.Dst->Id}] = true;
+    if (Dep.Src == Dep.Dst)
+      for (const DepSplit &S : Dep.Splits)
+        if (S.Level != 0)
+          Info.HasCarriedSelfOutput[Dep.Src->Id] = true;
+  }
+  return Info;
+}
+
+/// "W completely precedes the cover A": every execution of W that can
+/// source the covered read runs before the covering instance. Two sound
+/// syntactic cases (Section 4.2):
+///  * W is textually before A and shares no loops with it (it runs wholly
+///    before A's nest), or
+///  * the cover is loop-independent (the covering instance shares the
+///    common A/B iteration) and W is textually before A without being
+///    nested more deeply with A than B is -- otherwise W could run after
+///    the covering instance inside the extra shared loops, and the
+///    general pairwise kill test must decide.
+bool completelyPrecedesCover(const ir::Access &W, const Dependence &Cover) {
+  const ir::Access &A = *Cover.Src;
+  if (!ir::AnalyzedProgram::textuallyBefore(W, A))
+    return false;
+  unsigned CommonWA = ir::AnalyzedProgram::numCommonLoops(W, A);
+  if (CommonWA == 0)
+    return true;
+  return Cover.CoverLoopIndependent &&
+         CommonWA <= ir::AnalyzedProgram::numCommonLoops(A, *Cover.Dst);
+}
+
+} // namespace
+
+DependenceEngine::DependenceEngine(const AnalysisRequest &Req) : Req(Req) {
+  if (Req.UseQueryCache)
+    Cache = std::make_unique<QueryCache>();
+  Pool = std::make_unique<WorkerPool>(Req.Jobs, Cache.get());
+}
+
+DependenceEngine::~DependenceEngine() = default;
+
+unsigned DependenceEngine::jobs() const { return Pool->jobs(); }
+
+AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
+  AnalysisResult Result;
+  Pool->resetStats();
+  QueryCacheStats CacheBefore = Cache ? Cache->stats() : QueryCacheStats();
+
+  // Phase 1: output and anti dependences (unrefined). One task per
+  // candidate pair, enumerated exactly as the serial analysis does;
+  // results land in index-addressed slots and merge in index order.
+  struct PairTask {
+    const ir::Access *Src;
+    const ir::Access *Dst;
+    DepKind Kind;
+  };
+  std::vector<PairTask> PairTasks;
+  auto enumeratePairs = [&](DepKind Kind) {
+    for (const ir::Access &Src : AP.Accesses) {
+      bool SrcIsWrite = Kind == DepKind::Flow || Kind == DepKind::Output;
+      if (Src.IsWrite != SrcIsWrite)
+        continue;
+      for (const ir::Access &Dst : AP.Accesses) {
+        bool DstIsWrite = Kind == DepKind::Anti || Kind == DepKind::Output;
+        if (Dst.IsWrite != DstIsWrite || Dst.Array != Src.Array)
+          continue;
+        if (&Src == &Dst && Kind != DepKind::Output)
+          continue; // a reference cannot flow to itself except write/write
+        PairTasks.push_back({&Src, &Dst, Kind});
+      }
+    }
+  };
+  enumeratePairs(DepKind::Output);
+  std::size_t NumOutputTasks = PairTasks.size();
+  enumeratePairs(DepKind::Anti);
+
+  std::vector<std::optional<Dependence>> PairDeps(PairTasks.size());
+  Pool->parallelFor(PairTasks.size(), [&](std::size_t I, OmegaContext &Ctx) {
+    const PairTask &T = PairTasks[I];
+    PairDeps[I] = DependenceAnalysis(AP, Ctx).computeDependence(*T.Src, *T.Dst,
+                                                                T.Kind);
+  });
+  for (std::size_t I = 0; I != PairDeps.size(); ++I)
+    if (PairDeps[I])
+      (I < NumOutputTasks ? Result.Output : Result.Anti)
+          .push_back(std::move(*PairDeps[I]));
+  OutputDepInfo OutInfo = buildOutputInfo(Result.Output);
+
+  // Phase 2: per (read, write) pair, the flow dependence with refinement
+  // and coverage. Tasks enumerate read-major/write-minor like the serial
+  // driver; each touches only its own slot.
+  std::vector<const ir::Access *> Writes, Reads;
+  for (const ir::Access &A : AP.Accesses)
+    (A.IsWrite ? Writes : Reads).push_back(&A);
+
+  struct FlowTask {
+    const ir::Access *Write;
+    const ir::Access *Read;
+  };
+  std::vector<FlowTask> FlowTasks;
+  for (const ir::Access *Read : Reads)
+    for (const ir::Access *Write : Writes)
+      if (Write->Array == Read->Array)
+        FlowTasks.push_back({Write, Read});
+
+  struct FlowSlot {
+    analysis::PairRecord Record;
+    std::optional<Dependence> Dep;
+  };
+  std::vector<FlowSlot> Slots(FlowTasks.size());
+  Pool->parallelFor(FlowTasks.size(), [&](std::size_t I, OmegaContext &Ctx) {
+    const ir::Access *Write = FlowTasks[I].Write;
+    const ir::Access *Read = FlowTasks[I].Read;
+    FlowSlot &Slot = Slots[I];
+    Slot.Record.Write = Write;
+    Slot.Record.Read = Read;
+    DependenceAnalysis DA(AP, Ctx);
+
+    auto StdStart = std::chrono::steady_clock::now();
+    Slot.Dep = DA.computeDependence(*Write, *Read, DepKind::Flow);
+    Slot.Record.StandardSecs = secondsSince(StdStart);
+
+    auto ExtStart = std::chrono::steady_clock::now();
+    if (Slot.Dep) {
+      Slot.Record.HasFlow = true;
+      // Refinement first (Section 4.4); a quick screen: refinement can
+      // only help when the write has a carried self-output dependence.
+      if (Req.Refine &&
+          (!Req.QuickTests || OutInfo.carriedSelfOutput(*Write))) {
+        analysis::RefineResult RR =
+            analysis::refineDependence(AP, *Write, *Read, *Slot.Dep);
+        Slot.Record.UsedGeneralTest |= RR.UsedGeneralTest;
+        Slot.Record.SplitVectors |=
+            Slot.Dep->Splits.size() > 1 && RR.UsedGeneralTest;
+      }
+      // Coverage next (Section 4.2).
+      if (Req.Cover &&
+          (!Req.QuickTests || analysis::coverQuickTestPasses(*Slot.Dep))) {
+        Slot.Record.UsedGeneralTest = true;
+        Slot.Record.SplitVectors |= Slot.Dep->Splits.size() > 1;
+        if (analysis::covers(AP, *Write, *Read)) {
+          Slot.Dep->Covers = true;
+          Slot.Dep->CoverLoopIndependent =
+              analysis::covers(AP, *Write, *Read, /*LoopIndependentOnly=*/true);
+        }
+      }
+    }
+    Slot.Record.ExtendedSecs = Slot.Record.StandardSecs + secondsSince(ExtStart);
+  });
+
+  std::map<unsigned, std::vector<unsigned>> FlowByRead; // read id -> indices
+  for (FlowSlot &Slot : Slots) {
+    if (Slot.Dep) {
+      FlowByRead[Slot.Record.Read->Id].push_back(Result.Flow.size());
+      Result.Flow.push_back(std::move(*Slot.Dep));
+    }
+    Result.Pairs.push_back(Slot.Record);
+  }
+
+  // Phase 3: covers kill dependences from writes that completely precede
+  // them, then pairwise kill tests on what remains. Kill groups (one per
+  // read) touch disjoint Flow entries, so they shard cleanly; each
+  // group's records merge back in FlowByRead (read-id) order.
+  if (Req.Kill) {
+    struct KillGroup {
+      const std::vector<unsigned> *DepIndices;
+      std::vector<analysis::KillRecord> Records;
+    };
+    std::vector<KillGroup> Groups;
+    Groups.reserve(FlowByRead.size());
+    for (auto &[ReadId, DepIndices] : FlowByRead) {
+      (void)ReadId;
+      Groups.push_back({&DepIndices, {}});
+    }
+    Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &Ctx) {
+      (void)Ctx; // kills()/covers() reach the worker context implicitly
+      KillGroup &G = Groups[GI];
+      const std::vector<unsigned> &DepIndices = *G.DepIndices;
+      // Kill by cover.
+      for (unsigned CoverIdx : DepIndices) {
+        const Dependence &Cover = Result.Flow[CoverIdx];
+        if (!Cover.Covers)
+          continue;
+        for (unsigned Idx : DepIndices) {
+          if (Idx == CoverIdx)
+            continue;
+          Dependence &Victim = Result.Flow[Idx];
+          if (!completelyPrecedesCover(*Victim.Src, Cover))
+            continue;
+          for (DepSplit &S : Victim.Splits)
+            if (!S.Dead) {
+              S.Dead = true;
+              S.DeadReason = 'c';
+            }
+        }
+      }
+      // Pairwise killing.
+      for (unsigned VictimIdx : DepIndices) {
+        Dependence &Victim = Result.Flow[VictimIdx];
+        for (unsigned KillerIdx : DepIndices) {
+          if (KillerIdx == VictimIdx || Victim.allDead())
+            continue;
+          const Dependence &KillerDep = Result.Flow[KillerIdx];
+          const ir::Access &Killer = *KillerDep.Src;
+          if (&Killer == Victim.Src)
+            continue;
+          analysis::KillRecord KR;
+          KR.From = Victim.Src;
+          KR.Killer = &Killer;
+          KR.To = Victim.Dst;
+          auto Start = std::chrono::steady_clock::now();
+          // Quick test: the killer must overwrite what the victim wrote,
+          // i.e. there must be an output dependence victim -> killer.
+          bool Plausible =
+              !Req.QuickTests || OutInfo.outputDep(*Victim.Src, Killer);
+          if (Plausible) {
+            KR.UsedOmega = true;
+            for (DepSplit &S : Victim.Splits) {
+              if (S.Dead)
+                continue;
+              if (analysis::kills(AP, *Victim.Src, Killer, *Victim.Dst,
+                                  S.Level)) {
+                S.Dead = true;
+                S.DeadReason = 'k';
+                KR.Killed = true;
+              }
+            }
+          }
+          KR.Secs = secondsSince(Start);
+          G.Records.push_back(KR);
+        }
+      }
+    });
+    for (KillGroup &G : Groups)
+      for (analysis::KillRecord &KR : G.Records)
+        Result.Kills.push_back(KR);
+  }
+
+  // Phase 4 (optional extension): terminating analysis (Section 4.3). If
+  // some write B overwrites everything A wrote (B terminates A) and every
+  // execution of B precedes every execution of the destination, nothing
+  // can flow from A past B, so the dependence is dead. Each dependence is
+  // independent of the others.
+  if (Req.Terminate) {
+    Pool->parallelFor(Result.Flow.size(), [&](std::size_t I,
+                                              OmegaContext &Ctx) {
+      (void)Ctx; // terminates() reaches the worker context implicitly
+      Dependence &Dep = Result.Flow[I];
+      if (Dep.allDead())
+        return;
+      for (const ir::Access *B : Writes) {
+        if (B == Dep.Src || B->Array != Dep.Src->Array)
+          continue;
+        // Sound syntactic "wholly before the read" case.
+        if (ir::AnalyzedProgram::numCommonLoops(*B, *Dep.Dst) != 0 ||
+            !ir::AnalyzedProgram::textuallyBefore(*B, *Dep.Dst))
+          continue;
+        if (Req.QuickTests && !OutInfo.outputDep(*Dep.Src, *B))
+          continue;
+        if (!analysis::terminates(AP, *Dep.Src, *B))
+          continue;
+        for (DepSplit &S : Dep.Splits)
+          if (!S.Dead) {
+            S.Dead = true;
+            S.DeadReason = 'k';
+          }
+        break;
+      }
+    });
+  }
+
+  Result.Stats = Pool->mergedStats();
+  if (Cache) {
+    QueryCacheStats After = Cache->stats();
+    Result.Cache.SatHits = After.SatHits - CacheBefore.SatHits;
+    Result.Cache.SatMisses = After.SatMisses - CacheBefore.SatMisses;
+    Result.Cache.GistHits = After.GistHits - CacheBefore.GistHits;
+    Result.Cache.GistMisses = After.GistMisses - CacheBefore.GistMisses;
+    Result.CacheEntries = Cache->size();
+  }
+  return Result;
+}
+
+// Legacy entry point, preserved on top of the engine: serial, uncached,
+// stats merged into the caller's current context so code (and tests) that
+// watch the old global counters keep seeing them advance.
+analysis::AnalysisResult
+analysis::analyzeProgram(const ir::AnalyzedProgram &AP,
+                         const DriverOptions &Opts) {
+  AnalysisRequest Req = AnalysisRequest::fromDriverOptions(Opts);
+  Req.Jobs = 1;
+  Req.UseQueryCache = false;
+  DependenceEngine Engine(Req);
+  engine::AnalysisResult R = Engine.analyze(AP);
+  OmegaContext::current().Stats.merge(R.Stats);
+  return std::move(static_cast<analysis::AnalysisResult &>(R));
+}

@@ -1,0 +1,105 @@
+//===- engine/DependenceEngine.h - Parallel, cached analysis facade ------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DependenceEngine is the public entry point for whole-program
+/// dependence analysis. It runs the paper's Section 4 pipeline --
+/// pairwise dependences, refinement, coverage, kill analysis -- sharded
+/// across a fixed worker pool, with Omega satisfiability and gist answers
+/// memoized in a shared QueryCache.
+///
+/// Determinism guarantee: for a given program and AnalysisRequest flags,
+/// the structural content of the AnalysisResult (dependences, splits,
+/// pair/kill record fields other than timings) is identical for every
+/// Jobs value and cache setting. Work is enumerated in the serial
+/// driver's order into index-addressed slots and merged in index order;
+/// the cache only ever returns answers the solver would have computed.
+/// Timings, and stats counters when the cache elides work, are the only
+/// run-to-run variation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ENGINE_DEPENDENCEENGINE_H
+#define OMEGA_ENGINE_DEPENDENCEENGINE_H
+
+#include "analysis/Driver.h"
+#include "omega/QueryCache.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace omega {
+namespace engine {
+
+class WorkerPool;
+
+/// What analyzeProgram-style runs should do and how to execute them.
+struct AnalysisRequest {
+  bool QuickTests = true; ///< Section 4.5 screens
+  bool Refine = true;     ///< Section 4.4 distance refinement
+  bool Cover = true;      ///< Section 4.2 coverage
+  bool Kill = true;       ///< Section 4.1/4.2 kill analysis
+  /// Section 4.3 terminating analysis (an extension the paper describes
+  /// but its implementation did not enable).
+  bool Terminate = false;
+  /// Worker threads; 1 runs inline on the caller, 0 asks the hardware.
+  unsigned Jobs = 1;
+  /// Memoize satisfiability and gist queries across the whole engine
+  /// lifetime (repeat analyses reuse earlier answers).
+  bool UseQueryCache = true;
+
+  static AnalysisRequest fromDriverOptions(const analysis::DriverOptions &O) {
+    AnalysisRequest R;
+    R.QuickTests = O.QuickTests;
+    R.Refine = O.Refine;
+    R.Cover = O.Cover;
+    R.Kill = O.Kill;
+    R.Terminate = O.Terminate;
+    return R;
+  }
+};
+
+/// The legacy result plus per-run execution metrics.
+struct AnalysisResult : analysis::AnalysisResult {
+  /// Omega work done by this run, merged over the worker contexts.
+  OmegaStats Stats;
+  /// Cache traffic of this run alone (all zero when the cache is off).
+  QueryCacheStats Cache;
+  /// Entries resident in the engine's cache after the run.
+  std::uint64_t CacheEntries = 0;
+};
+
+class DependenceEngine {
+public:
+  explicit DependenceEngine(const AnalysisRequest &Req = AnalysisRequest());
+  ~DependenceEngine();
+
+  DependenceEngine(const DependenceEngine &) = delete;
+  DependenceEngine &operator=(const DependenceEngine &) = delete;
+
+  /// Runs the full pipeline over \p AP. May be called repeatedly; the
+  /// query cache persists across calls, so re-analyses hit it.
+  AnalysisResult analyze(const ir::AnalyzedProgram &AP);
+
+  /// Effective worker count (after resolving Jobs == 0).
+  unsigned jobs() const;
+
+  const AnalysisRequest &request() const { return Req; }
+
+  /// The engine's cache, or null when UseQueryCache is false.
+  QueryCache *cache() { return Cache.get(); }
+
+private:
+  AnalysisRequest Req;
+  std::unique_ptr<QueryCache> Cache;
+  std::unique_ptr<WorkerPool> Pool;
+};
+
+} // namespace engine
+} // namespace omega
+
+#endif // OMEGA_ENGINE_DEPENDENCEENGINE_H

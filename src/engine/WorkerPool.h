@@ -1,0 +1,96 @@
+//===- engine/WorkerPool.h - Fixed worker pool with Omega contexts -------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed pool of worker threads for the dependence engine. Each worker
+/// owns a persistent OmegaContext (stats sink plus a handle on the shared
+/// QueryCache) and installs it as the thread's current context for its
+/// whole lifetime, so arbitrarily deep Omega call chains reached from a
+/// task default to the right context without explicit plumbing.
+///
+/// Scheduling is dynamic (workers claim task indices from an atomic
+/// counter) but the engine stays deterministic because tasks write into
+/// pre-sized, index-addressed result slots that the caller merges in task
+/// order -- which worker ran which task never shows in the output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ENGINE_WORKERPOOL_H
+#define OMEGA_ENGINE_WORKERPOOL_H
+
+#include "omega/OmegaContext.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omega {
+
+class QueryCache;
+
+namespace engine {
+
+class WorkerPool {
+public:
+  /// A task body: called with the task index and the claiming worker's
+  /// context. Bodies for distinct indices must touch disjoint state.
+  using TaskFn = std::function<void(std::size_t, OmegaContext &)>;
+
+  /// Spawns \p Jobs workers (0 means the hardware concurrency). Jobs <= 1
+  /// spawns no thread at all: parallelFor then runs inline on the caller,
+  /// still under a pool-owned context. \p Cache (may be null) is shared by
+  /// every worker context.
+  explicit WorkerPool(unsigned Jobs, QueryCache *Cache = nullptr);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Effective parallelism (1 for the inline pool).
+  unsigned jobs() const { return NumWorkers; }
+
+  /// Runs Fn(I, Ctx) for every I in [0, NumTasks) and returns when all
+  /// calls have finished. Not reentrant; call from one thread at a time.
+  void parallelFor(std::size_t NumTasks, const TaskFn &Fn);
+
+  /// Sum of every worker's stats, merged in worker-index order. Only
+  /// meaningful while no parallelFor is in flight.
+  OmegaStats mergedStats() const;
+
+  /// Zeroes every worker's stats (between analyses).
+  void resetStats();
+
+private:
+  void workerMain(std::stop_token St, unsigned WorkerIdx);
+
+  unsigned NumWorkers = 1;
+  std::vector<std::unique_ptr<OmegaContext>> Contexts;
+  std::vector<std::jthread> Threads;
+
+  // Work-dispatch protocol: parallelFor publishes {Task, TaskCount} under
+  // the mutex and bumps Generation; workers wake on the bump, drain the
+  // atomic index, and the last one out signals DoneCV.
+  std::mutex M;
+  std::condition_variable_any WorkCV;
+  std::condition_variable DoneCV;
+  std::uint64_t Generation = 0;
+  std::size_t TaskCount = 0;
+  const TaskFn *Task = nullptr;
+  std::atomic<std::size_t> Next{0};
+  std::atomic<unsigned> Active{0};
+};
+
+} // namespace engine
+} // namespace omega
+
+#endif // OMEGA_ENGINE_WORKERPOOL_H

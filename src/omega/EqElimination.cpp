@@ -6,7 +6,7 @@
 
 #include "omega/EqElimination.h"
 
-#include "omega/OmegaStats.h"
+#include "omega/OmegaContext.h"
 
 #include <algorithm>
 
@@ -95,7 +95,8 @@ Step findStep(const Problem &P,
 
 SolveResult
 omega::solveEqualities(Problem &P,
-                       const std::function<bool(VarId)> &MayEliminate) {
+                       const std::function<bool(VarId)> &MayEliminate,
+                       OmegaContext &Ctx) {
   if (P.normalize() == Problem::NormalizeResult::False)
     return SolveResult::False;
 
@@ -124,7 +125,7 @@ omega::solveEqualities(Problem &P,
       //   x_k = sign(a_k) * (sum_{i != k} ahat(a_i) x_i + ahat(c) - m*Sigma).
       // Substituting (including into the defining equality, whose terms all
       // become divisible by m) shrinks the equality's coefficients; iterate.
-      ++stats().ModHatSubstitutions;
+      ++Ctx.Stats.ModHatSubstitutions;
       int64_t AK = Row.getCoeff(S.Var);
       int64_t M = checkedAdd(absVal(AK), 1);
       int64_t Sign = signOf(AK);
@@ -150,6 +151,6 @@ omega::solveEqualities(Problem &P,
   }
 }
 
-SolveResult omega::solveEqualities(Problem &P) {
-  return solveEqualities(P, [](VarId) { return true; });
+SolveResult omega::solveEqualities(Problem &P, OmegaContext &Ctx) {
+  return solveEqualities(P, [](VarId) { return true; }, Ctx);
 }

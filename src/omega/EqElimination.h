@@ -18,6 +18,7 @@
 #ifndef OMEGA_OMEGA_EQELIMINATION_H
 #define OMEGA_OMEGA_EQELIMINATION_H
 
+#include "omega/OmegaContext.h"
 #include "omega/Problem.h"
 
 #include <functional>
@@ -34,11 +35,13 @@ enum class SolveResult { Ok, False };
 /// On success every remaining equality involves only non-eliminable
 /// variables.
 SolveResult solveEqualities(Problem &P,
-                            const std::function<bool(VarId)> &MayEliminate);
+                            const std::function<bool(VarId)> &MayEliminate,
+                            OmegaContext &Ctx = OmegaContext::current());
 
 /// Convenience overload: every variable may be eliminated (used by the
 /// satisfiability test, where no variable needs to survive).
-SolveResult solveEqualities(Problem &P);
+SolveResult solveEqualities(Problem &P,
+                            OmegaContext &Ctx = OmegaContext::current());
 
 } // namespace omega
 

@@ -6,8 +6,9 @@
 
 #include "omega/Gist.h"
 
-#include "omega/OmegaStats.h"
+#include "omega/OmegaContext.h"
 #include "omega/Projection.h"
+#include "omega/QueryCache.h"
 #include "omega/Satisfiability.h"
 
 #include <algorithm>
@@ -119,25 +120,43 @@ __int128 normalDot(const Constraint &A, const Constraint &B) {
 } // namespace
 
 static Problem gistImpl(const Problem &P, const Problem &Given,
-                        const GistOptions &Opts);
+                        const GistOptions &Opts, OmegaContext &Ctx);
 
 Problem omega::gist(const Problem &P, const Problem &Given,
-                    const GistOptions &Opts) {
+                    const GistOptions &Opts, OmegaContext &Ctx) {
   assert(P.getNumVars() == Given.getNumVars() &&
          "gist arguments must share one variable layout");
 
+  // Memoization: the result's rows are stored bare and re-hung on the
+  // caller's layout, so names never matter; the key serializes both row
+  // systems exactly.
+  QueryCache *Cache = Ctx.Cache;
+  std::string Key;
+  if (Cache) {
+    Key = gistCacheKey(P, Given, Opts.UseFastChecks);
+    if (std::optional<std::vector<Constraint>> Hit = Cache->lookupGist(Key)) {
+      Problem Result = P.cloneLayout();
+      for (const Constraint &Row : *Hit)
+        Result.addConstraint(Row);
+      return Result;
+    }
+  }
+
   // Coefficient-overflow containment: if anything saturates while
   // computing the gist, fall back to P itself, which satisfies the gist
-  // equation trivially (it is just not minimal).
+  // equation trivially (it is just not minimal). Unreliable results are
+  // never memoized.
   OverflowScope Scope;
-  Problem Result = gistImpl(P, Given, Opts);
+  Problem Result = gistImpl(P, Given, Opts, Ctx);
   if (Scope.overflowed())
     return P;
+  if (Cache)
+    Cache->storeGist(Key, Result.constraints());
   return Result;
 }
 
 static Problem gistImpl(const Problem &P, const Problem &Given,
-                        const GistOptions &Opts) {
+                        const GistOptions &Opts, OmegaContext &Ctx) {
 
   // The gist is defined relative to a consistent context: when p && q has
   // no solutions the new information in p is "False" (the naive loop would
@@ -146,7 +165,7 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
     Problem Both = Given;
     for (const Constraint &Row : P.constraints())
       Both.addConstraint(Row);
-    if (!isSatisfiable(std::move(Both))) {
+    if (!isSatisfiable(std::move(Both), SatOptions(), Ctx)) {
       Problem False = P.cloneLayout();
       False.addGEQ({}, -1);
       return False;
@@ -189,7 +208,7 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
           Implied = true;
       if (Implied) {
         States[I] = State::Drop;
-        ++stats().GistFastDrops;
+        ++Ctx.Stats.GistFastDrops;
       }
     }
 
@@ -212,7 +231,7 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
           Supported = true;
       if (!Supported) {
         States[I] = State::Keep;
-        ++stats().GistFastKeeps;
+        ++Ctx.Stats.GistFastKeeps;
       }
     }
 
@@ -235,7 +254,7 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
                                        LiveForms[B]);
       if (Implied) {
         States[I] = State::Drop;
-        ++stats().GistFastDrops;
+        ++Ctx.Stats.GistFastDrops;
       }
     }
   }
@@ -257,8 +276,8 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
       appendNegationBranches(Candidates[I], Neg);
       assert(Neg.size() == 1 && "candidates are inequalities");
       Test.addConstraint(Neg[0]);
-      ++stats().GistSatTests;
-      if (!isSatisfiable(std::move(Test)))
+      ++Ctx.Stats.GistSatTests;
+      if (!isSatisfiable(std::move(Test), SatOptions(), Ctx))
         continue; // redundant given the rest
     }
     Result.addConstraint(Candidates[I]);
@@ -272,7 +291,8 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
   return Result;
 }
 
-bool omega::implies(const Problem &Given, const Problem &P) {
+bool omega::implies(const Problem &Given, const Problem &P,
+                    OmegaContext &Ctx) {
   assert(P.getNumVars() == Given.getNumVars() &&
          "implies arguments must share one variable layout");
   for (const Constraint &Row : P.constraints()) {
@@ -281,7 +301,7 @@ bool omega::implies(const Problem &Given, const Problem &P) {
     for (const Constraint &Branch : Neg) {
       Problem Test = Given;
       Test.addConstraint(Branch);
-      if (isSatisfiable(std::move(Test)))
+      if (isSatisfiable(std::move(Test), SatOptions(), Ctx))
         return false;
     }
   }
@@ -373,21 +393,23 @@ Problem conjoinBranch(const Problem &Acc, const Problem &Branch,
 
 bool hasCounterexample(const Problem &Acc,
                        const std::vector<std::vector<Problem>> &NegatedQs,
-                       unsigned Index, unsigned BaseVars) {
-  if (!isSatisfiable(Acc))
+                       unsigned Index, unsigned BaseVars,
+                       OmegaContext &Ctx) {
+  if (!isSatisfiable(Acc, SatOptions(), Ctx))
     return false;
   if (Index == NegatedQs.size())
     return true;
   for (const Problem &Branch : NegatedQs[Index])
     if (hasCounterexample(conjoinBranch(Acc, Branch, BaseVars), NegatedQs,
-                          Index + 1, BaseVars))
+                          Index + 1, BaseVars, Ctx))
       return true;
   return false;
 }
 
 } // namespace
 
-bool omega::impliesUnion(const Problem &P, const std::vector<Problem> &Qs) {
+bool omega::impliesUnion(const Problem &P, const std::vector<Problem> &Qs,
+                         OmegaContext &Ctx) {
   // The shared base layout is the common prefix; any columns beyond it
   // (projection-minted wildcards on either side) are existential and get
   // remapped apart when branches are conjoined. Unprotected columns below
@@ -403,17 +425,19 @@ bool omega::impliesUnion(const Problem &P, const std::vector<Problem> &Qs) {
       return false; // cannot negate: fail conservatively
     NegatedQs.push_back(std::move(*Neg));
   }
-  return !hasCounterexample(P, NegatedQs, 0, BaseVars);
+  return !hasCounterexample(P, NegatedQs, 0, BaseVars, Ctx);
 }
 
 RedGistResult omega::projectAndGist(const Problem &Combined,
                                     const std::vector<bool> &Keep,
-                                    const GistOptions &Opts) {
+                                    const GistOptions &Opts,
+                                    OmegaContext &Ctx) {
   ProjectionResult Proj = projectOntoMask(Combined, Keep,
                                           ProjectOptions{/*RemoveRedundant=*/
                                                          false,
                                                          /*DropEmptyPieces=*/
-                                                         true});
+                                                         true},
+                                          Ctx);
   RedGistResult Result;
   const Problem *Piece = nullptr;
   if (Proj.isSinglePiece()) {
@@ -430,6 +454,6 @@ RedGistResult omega::projectAndGist(const Problem &Combined,
   Problem Black = Piece->cloneLayout();
   for (const Constraint &Row : Piece->constraints())
     (Row.isRed() ? Red : Black).addConstraint(Row);
-  Result.Gist = gist(Red, Black, Opts);
+  Result.Gist = gist(Red, Black, Opts, Ctx);
   return Result;
 }

@@ -22,6 +22,7 @@
 #ifndef OMEGA_OMEGA_GIST_H
 #define OMEGA_OMEGA_GIST_H
 
+#include "omega/OmegaContext.h"
 #include "omega/Problem.h"
 
 #include <optional>
@@ -40,10 +41,12 @@ struct GistOptions {
 /// Computes (gist P given Given). The result is a conjunction over the same
 /// variable layout; an empty result means Given => P ("True").
 Problem gist(const Problem &P, const Problem &Given,
-             const GistOptions &Opts = GistOptions());
+             const GistOptions &Opts = GistOptions(),
+             OmegaContext &Ctx = OmegaContext::current());
 
 /// Returns true iff Given => P is a tautology (over integer points).
-bool implies(const Problem &Given, const Problem &P);
+bool implies(const Problem &Given, const Problem &P,
+             OmegaContext &Ctx = OmegaContext::current());
 
 /// Returns true iff P => (Qs[0] || Qs[1] || ...) is a tautology. An empty
 /// union is False, so this returns true only if P is unsatisfiable.
@@ -54,7 +57,8 @@ bool implies(const Problem &Given, const Problem &P);
 /// negation machinery cannot express, the check conservatively returns
 /// false ("cannot prove the implication"), which is the sound direction
 /// for every analysis in Section 4.
-bool impliesUnion(const Problem &P, const std::vector<Problem> &Qs);
+bool impliesUnion(const Problem &P, const std::vector<Problem> &Qs,
+                  OmegaContext &Ctx = OmegaContext::current());
 
 /// The logical negation of \p P (with its unprotected variables read as
 /// existentials) as a union of problems over the same layout; each result
@@ -87,7 +91,8 @@ struct RedGistResult {
 };
 RedGistResult projectAndGist(const Problem &Combined,
                              const std::vector<bool> &Keep,
-                             const GistOptions &Opts = GistOptions());
+                             const GistOptions &Opts = GistOptions(),
+                             OmegaContext &Ctx = OmegaContext::current());
 
 } // namespace omega
 

@@ -1,0 +1,39 @@
+//===- omega/OmegaContext.cpp ---------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/OmegaContext.h"
+
+using namespace omega;
+
+namespace {
+thread_local OmegaContext *CurrentContext = nullptr;
+} // namespace
+
+OmegaContext &OmegaContext::defaultContext() {
+  static OmegaContext Ctx;
+  return Ctx;
+}
+
+OmegaContext &OmegaContext::current() {
+  return CurrentContext ? *CurrentContext : defaultContext();
+}
+
+OmegaContextScope::OmegaContextScope(OmegaContext &Ctx)
+    : Prev(CurrentContext) {
+  CurrentContext = &Ctx;
+}
+
+OmegaContextScope::~OmegaContextScope() { CurrentContext = Prev; }
+
+// Deprecated compatibility shim (declared in OmegaStats.h).
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+OmegaStats &omega::stats() { return OmegaContext::current().Stats; }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif

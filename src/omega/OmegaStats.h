@@ -6,9 +6,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Lightweight global counters recording how hard the Omega test had to
-/// work. The benchmark harness uses them to classify analysis costs the way
-/// Figure 6 of the paper does (no-Omega-needed vs. general test vs. split).
+/// Lightweight counters recording how hard the Omega test had to work. The
+/// benchmark harness uses them to classify analysis costs the way Figure 6
+/// of the paper does (no-Omega-needed vs. general test vs. split).
+///
+/// Counters live inside an OmegaContext (see omega/OmegaContext.h); every
+/// decision-procedure entry point takes a context and bumps that context's
+/// counters, so concurrent analyses with separate contexts never share
+/// state. The free stats() accessor is a deprecated compatibility shim over
+/// the calling thread's current context.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,10 +38,27 @@ struct OmegaStats {
   uint64_t GistSatTests = 0;        // satisfiability tests in gist loop
 
   void reset() { *this = OmegaStats(); }
+
+  /// Accumulates another context's counters (used to fold per-worker stats
+  /// into a whole-run total).
+  void merge(const OmegaStats &O) {
+    SatisfiabilityCalls += O.SatisfiabilityCalls;
+    ExactEliminations += O.ExactEliminations;
+    InexactEliminations += O.InexactEliminations;
+    SplintersExplored += O.SplintersExplored;
+    DarkShadowDecided += O.DarkShadowDecided;
+    RealShadowDecided += O.RealShadowDecided;
+    ModHatSubstitutions += O.ModHatSubstitutions;
+    GistFastDrops += O.GistFastDrops;
+    GistFastKeeps += O.GistFastKeeps;
+    GistSatTests += O.GistSatTests;
+  }
 };
 
-/// Global statistics instance (single-threaded analysis assumed, as in the
-/// original tool).
+/// Statistics of the calling thread's current OmegaContext. Kept only as a
+/// compatibility shim for pre-context code; new code should hold an
+/// OmegaContext and read Ctx.Stats directly.
+[[deprecated("hold an OmegaContext and use Ctx.Stats instead")]]
 OmegaStats &stats();
 
 } // namespace omega

@@ -44,20 +44,12 @@ static void fillRow(Constraint &Row, const Term *Begin, const Term *End,
   Row.setConstant(C);
 }
 
-void Problem::addEQ(std::initializer_list<Term> Terms, int64_t C, bool Red) {
-  fillRow(addRow(ConstraintKind::EQ, Red), Terms.begin(), Terms.end(), C);
-}
-
-void Problem::addEQ(const std::vector<Term> &Terms, int64_t C, bool Red) {
+void Problem::addEQ(std::span<const Term> Terms, int64_t C, bool Red) {
   fillRow(addRow(ConstraintKind::EQ, Red), Terms.data(),
           Terms.data() + Terms.size(), C);
 }
 
-void Problem::addGEQ(std::initializer_list<Term> Terms, int64_t C, bool Red) {
-  fillRow(addRow(ConstraintKind::GEQ, Red), Terms.begin(), Terms.end(), C);
-}
-
-void Problem::addGEQ(const std::vector<Term> &Terms, int64_t C, bool Red) {
+void Problem::addGEQ(std::span<const Term> Terms, int64_t C, bool Red) {
   fillRow(addRow(ConstraintKind::GEQ, Red), Terms.data(),
           Terms.data() + Terms.size(), C);
 }

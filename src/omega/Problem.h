@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,17 +61,30 @@ public:
   /// Returns true if \p V appears with non-zero coefficient in any row.
   bool involves(VarId V) const;
 
-  /// Appends a blank constraint row and returns a reference to it. The
-  /// reference is invalidated by any subsequent row addition.
+  /// Appends a blank constraint row and returns a reference to it.
+  ///
+  /// Reference invalidation: the returned reference (and any reference or
+  /// iterator into constraints()) is invalidated by any subsequent row
+  /// addition -- addRow, addEQ, addGEQ, addConstraint -- and by addVar /
+  /// addWildcard (which resize every row), normalize(), substitute(), and
+  /// clearConstraints(). Fill the row completely before growing the
+  /// problem again, or index through constraints() instead of holding the
+  /// reference.
   Constraint &addRow(ConstraintKind Kind, bool Red = false);
 
-  /// Adds `sum Terms + C == 0`.
-  void addEQ(std::initializer_list<Term> Terms, int64_t C, bool Red = false);
-  void addEQ(const std::vector<Term> &Terms, int64_t C, bool Red = false);
+  /// Adds `sum Terms + C == 0`. The span overload is the canonical
+  /// signature; the initializer_list overload is a brace-literal
+  /// convenience that forwards to it.
+  void addEQ(std::span<const Term> Terms, int64_t C, bool Red = false);
+  void addEQ(std::initializer_list<Term> Terms, int64_t C, bool Red = false) {
+    addEQ(std::span<const Term>(Terms.begin(), Terms.size()), C, Red);
+  }
 
-  /// Adds `sum Terms + C >= 0`.
-  void addGEQ(std::initializer_list<Term> Terms, int64_t C, bool Red = false);
-  void addGEQ(const std::vector<Term> &Terms, int64_t C, bool Red = false);
+  /// Adds `sum Terms + C >= 0`. Overloads mirror addEQ.
+  void addGEQ(std::span<const Term> Terms, int64_t C, bool Red = false);
+  void addGEQ(std::initializer_list<Term> Terms, int64_t C, bool Red = false) {
+    addGEQ(std::span<const Term>(Terms.begin(), Terms.size()), C, Red);
+  }
 
   /// Copies \p Row (from a Problem with an identical variable layout) into
   /// this problem.

@@ -8,7 +8,7 @@
 
 #include "omega/EqElimination.h"
 #include "omega/FourierMotzkin.h"
-#include "omega/OmegaStats.h"
+#include "omega/OmegaContext.h"
 #include "omega/Satisfiability.h"
 
 #include <algorithm>
@@ -79,12 +79,13 @@ void isolateResidualStrides(Problem &P,
 struct Projector {
   const std::function<bool(VarId)> MayEliminate;
   const ProjectOptions &Opts;
+  OmegaContext &Ctx;
   std::vector<Problem> Pieces;
   bool SawInexact = false;
 
   Projector(std::function<bool(VarId)> MayEliminate,
-            const ProjectOptions &Opts)
-      : MayEliminate(std::move(MayEliminate)), Opts(Opts) {}
+            const ProjectOptions &Opts, OmegaContext &Ctx)
+      : MayEliminate(std::move(MayEliminate)), Opts(Opts), Ctx(Ctx) {}
 
   /// Finds an eliminable variable (not a stride residual) that still
   /// appears in some constraint, preferring cheap/exact eliminations.
@@ -117,7 +118,7 @@ struct Projector {
     [[maybe_unused]] unsigned Iterations = 0;
     while (true) {
       assert(++Iterations < 1000 && "equality settling failed to converge");
-      if (solveEqualities(P, Eliminable) == SolveResult::False)
+      if (solveEqualities(P, Eliminable, Ctx) == SolveResult::False)
         return false;
       IsStride.resize(P.getNumVars(), false);
       isolateResidualStrides(P, Eliminable, IsStride);
@@ -165,7 +166,7 @@ struct Projector {
       SawInexact = true;
       // Exact union: dark shadow plus the projections of the splinters.
       for (Problem &Splinter : R.Splinters) {
-        ++stats().SplintersExplored;
+        ++Ctx.Stats.SplintersExplored;
         run(std::move(Splinter), IsStride, Depth + 1);
       }
       P = std::move(R.DarkShadow);
@@ -173,10 +174,10 @@ struct Projector {
   }
 
   void finishPiece(Problem P) {
-    if (Opts.DropEmptyPieces && !isSatisfiable(P))
+    if (Opts.DropEmptyPieces && !isSatisfiable(P, SatOptions(), Ctx))
       return;
     if (Opts.RemoveRedundant)
-      removeRedundantConstraints(P);
+      removeRedundantConstraints(P, Ctx);
     Pieces.push_back(std::move(P));
   }
 };
@@ -184,7 +185,7 @@ struct Projector {
 /// Real-shadow-only projection: a single conjunction over-approximating the
 /// integer projection (and equal to it when every step was exact).
 Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
-                      bool &Exact) {
+                      bool &Exact, OmegaContext &Ctx) {
   Exact = true;
   std::vector<bool> IsStride(P.getNumVars(), false);
   auto Eliminable = [&](VarId V) {
@@ -205,7 +206,7 @@ Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
     [[maybe_unused]] unsigned Iterations = 0;
     while (true) {
       assert(++Iterations < 1000 && "equality settling failed to converge");
-      if (solveEqualities(P, Eliminable) == SolveResult::False)
+      if (solveEqualities(P, Eliminable, Ctx) == SolveResult::False)
         return makeFalse();
       IsStride.resize(P.getNumVars(), false);
       isolateResidualStrides(P, Eliminable, IsStride);
@@ -250,7 +251,8 @@ Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
 
 ProjectionResult omega::projectOntoMask(const Problem &P,
                                         const std::vector<bool> &Keep,
-                                        const ProjectOptions &Opts) {
+                                        const ProjectOptions &Opts,
+                                        OmegaContext &Ctx) {
   assert(Keep.size() == P.getNumVars() && "mask size mismatch");
   // Snapshot the mask and protection bits: elimination mints fresh
   // wildcards beyond the original variable count, and those are always
@@ -267,15 +269,15 @@ ProjectionResult omega::projectOntoMask(const Problem &P,
 
   ProjectionResult Result;
   OverflowScope Scope;
-  Projector Proj(MayEliminate, Opts);
+  Projector Proj(MayEliminate, Opts, Ctx);
   Proj.run(P, std::vector<bool>(P.getNumVars(), false), 0);
   Result.Pieces = std::move(Proj.Pieces);
 
   bool ApproxExact = true;
-  Result.Approx = projectApprox(P, MayEliminate, ApproxExact);
+  Result.Approx = projectApprox(P, MayEliminate, ApproxExact, Ctx);
   Result.ApproxIsExact = ApproxExact && !Proj.SawInexact;
   if (Opts.RemoveRedundant)
-    removeRedundantConstraints(Result.Approx);
+    removeRedundantConstraints(Result.Approx, Ctx);
   if (Scope.overflowed()) {
     Result.Poisoned = true;
     Result.ApproxIsExact = false;
@@ -285,21 +287,23 @@ ProjectionResult omega::projectOntoMask(const Problem &P,
 
 ProjectionResult omega::projectOnto(const Problem &P,
                                     const std::vector<VarId> &Keep,
-                                    const ProjectOptions &Opts) {
+                                    const ProjectOptions &Opts,
+                                    OmegaContext &Ctx) {
   std::vector<bool> Mask(P.getNumVars(), false);
   for (VarId V : Keep)
     Mask[V] = true;
-  return projectOntoMask(P, Mask, Opts);
+  return projectOntoMask(P, Mask, Opts, Ctx);
 }
 
 ProjectionResult omega::projectAway(const Problem &P, VarId X,
-                                    const ProjectOptions &Opts) {
+                                    const ProjectOptions &Opts,
+                                    OmegaContext &Ctx) {
   std::vector<bool> Mask(P.getNumVars(), true);
   Mask[X] = false;
-  return projectOntoMask(P, Mask, Opts);
+  return projectOntoMask(P, Mask, Opts, Ctx);
 }
 
-void omega::removeRedundantConstraints(Problem &P) {
+void omega::removeRedundantConstraints(Problem &P, OmegaContext &Ctx) {
   std::vector<Constraint> &Rows = P.constraints();
   for (unsigned I = 0; I < Rows.size();) {
     if (!Rows[I].isInequality()) {
@@ -315,7 +319,7 @@ void omega::removeRedundantConstraints(Problem &P) {
     Constraint Neg = Rows[I];
     Neg.negateGEQ();
     Test.addConstraint(Neg);
-    if (!isSatisfiable(std::move(Test)))
+    if (!isSatisfiable(std::move(Test), SatOptions(), Ctx))
       Rows.erase(Rows.begin() + I); // implied by the others
     else
       ++I;
@@ -347,10 +351,11 @@ std::string IntRange::toString() const {
   return "[" + Lo + ", " + Hi + "]";
 }
 
-IntRange omega::computeVarRange(const Problem &P, VarId V) {
+IntRange omega::computeVarRange(const Problem &P, VarId V,
+                                OmegaContext &Ctx) {
   OverflowScope Scope;
-  ProjectionResult R = projectOnto(P, {V});
-  IntRange Range = computeVarRange(R.Pieces, V);
+  ProjectionResult R = projectOnto(P, {V}, ProjectOptions(), Ctx);
+  IntRange Range = computeVarRange(R.Pieces, V, Ctx);
   if (R.Poisoned || Scope.overflowed()) {
     // Unreliable: the only sound range is the fully open one.
     Range.Empty = false;
@@ -359,7 +364,8 @@ IntRange omega::computeVarRange(const Problem &P, VarId V) {
   return Range;
 }
 
-IntRange omega::computeVarRange(const std::vector<Problem> &Pieces, VarId V) {
+IntRange omega::computeVarRange(const std::vector<Problem> &Pieces, VarId V,
+                                OmegaContext &Ctx) {
   IntRange Range;
   for (const Problem &P : Pieces) {
     IntRange Piece;
@@ -407,7 +413,7 @@ IntRange omega::computeVarRange(const std::vector<Problem> &Pieces, VarId V) {
       auto contains = [&](int64_t Val) {
         Problem Test = P;
         Test.addEQ({{V, 1}}, -Val);
-        return isSatisfiable(std::move(Test));
+        return isSatisfiable(std::move(Test), SatOptions(), Ctx);
       };
       const int ProbeCap = 1 << 12;
       if (Piece.HasMin) {

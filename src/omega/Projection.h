@@ -24,6 +24,7 @@
 #ifndef OMEGA_OMEGA_PROJECTION_H
 #define OMEGA_OMEGA_PROJECTION_H
 
+#include "omega/OmegaContext.h"
 #include "omega/Problem.h"
 
 #include <vector>
@@ -61,20 +62,27 @@ struct ProjectionResult {
 /// Projects \p P onto the variables marked true in \p Keep (which must have
 /// one entry per variable of \p P). Unprotected variables are always
 /// eliminated regardless of the mask.
-ProjectionResult projectOntoMask(const Problem &P, const std::vector<bool> &Keep,
-                                 const ProjectOptions &Opts = ProjectOptions());
+ProjectionResult
+projectOntoMask(const Problem &P, const std::vector<bool> &Keep,
+                const ProjectOptions &Opts = ProjectOptions(),
+                OmegaContext &Ctx = OmegaContext::current());
 
 /// Convenience wrapper: keeps exactly the listed variables.
-ProjectionResult projectOnto(const Problem &P, const std::vector<VarId> &Keep,
-                             const ProjectOptions &Opts = ProjectOptions());
+ProjectionResult
+projectOnto(const Problem &P, const std::vector<VarId> &Keep,
+            const ProjectOptions &Opts = ProjectOptions(),
+            OmegaContext &Ctx = OmegaContext::current());
 
 /// Projects away a single variable (the paper's pi_{not x}).
-ProjectionResult projectAway(const Problem &P, VarId X,
-                             const ProjectOptions &Opts = ProjectOptions());
+ProjectionResult
+projectAway(const Problem &P, VarId X,
+            const ProjectOptions &Opts = ProjectOptions(),
+            OmegaContext &Ctx = OmegaContext::current());
 
 /// Removes constraints of \p P implied by the remaining ones (exact,
 /// satisfiability-based). Inequalities only; equalities are kept.
-void removeRedundantConstraints(Problem &P);
+void removeRedundantConstraints(Problem &P,
+                                OmegaContext &Ctx = OmegaContext::current());
 
 /// The inclusive integer range a variable can take; open ends are
 /// represented by HasMin/HasMax == false.
@@ -89,10 +97,12 @@ struct IntRange {
 
 /// Computes the range of \p V over the integer solutions of \p P by
 /// projecting onto {V}.
-IntRange computeVarRange(const Problem &P, VarId V);
+IntRange computeVarRange(const Problem &P, VarId V,
+                         OmegaContext &Ctx = OmegaContext::current());
 
 /// Computes the range of \p V over a union of pieces.
-IntRange computeVarRange(const std::vector<Problem> &Pieces, VarId V);
+IntRange computeVarRange(const std::vector<Problem> &Pieces, VarId V,
+                         OmegaContext &Ctx = OmegaContext::current());
 
 } // namespace omega
 

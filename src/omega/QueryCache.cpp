@@ -1,0 +1,240 @@
+//===- omega/QueryCache.cpp -----------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/QueryCache.h"
+
+#include <algorithm>
+
+using namespace omega;
+
+//===----------------------------------------------------------------------===//
+// Sharded store
+//===----------------------------------------------------------------------===//
+
+struct QueryCache::Shard {
+  std::mutex M;
+  std::unordered_map<std::string, bool> Sat;
+  std::unordered_map<std::string, std::vector<Constraint>> Gist;
+};
+
+QueryCache::QueryCache(unsigned ShardCount) {
+  if (ShardCount == 0)
+    ShardCount = 1;
+  Shards.reserve(ShardCount);
+  for (unsigned I = 0; I != ShardCount; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+QueryCache::~QueryCache() = default;
+
+QueryCache::Shard &QueryCache::shardFor(const std::string &Key) {
+  return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
+}
+
+std::optional<bool> QueryCache::lookupSat(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Sat.find(Key);
+  if (It == S.Sat.end()) {
+    SatMisses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  SatHits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void QueryCache::storeSat(const std::string &Key, bool Satisfiable) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Sat.emplace(Key, Satisfiable);
+}
+
+std::optional<std::vector<Constraint>>
+QueryCache::lookupGist(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Gist.find(Key);
+  if (It == S.Gist.end()) {
+    GistMisses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  GistHits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void QueryCache::storeGist(const std::string &Key,
+                           std::vector<Constraint> Rows) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Gist.emplace(Key, std::move(Rows));
+}
+
+QueryCacheStats QueryCache::stats() const {
+  QueryCacheStats R;
+  R.SatHits = SatHits.load(std::memory_order_relaxed);
+  R.SatMisses = SatMisses.load(std::memory_order_relaxed);
+  R.GistHits = GistHits.load(std::memory_order_relaxed);
+  R.GistMisses = GistMisses.load(std::memory_order_relaxed);
+  return R;
+}
+
+std::size_t QueryCache::size() const {
+  std::size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Sat.size() + S->Gist.size();
+  }
+  return N;
+}
+
+void QueryCache::clear() {
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    S->Sat.clear();
+    S->Gist.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Key construction
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendI64(std::string &Out, int64_t V) {
+  uint64_t U = static_cast<uint64_t>(V);
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((U >> (8 * I)) & 0xff));
+}
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Serializes one row over an explicit column order (fixed width given the
+/// column count, so sorted rows concatenate unambiguously).
+std::string rowKey(const Constraint &Row, const std::vector<VarId> &Columns) {
+  std::string Out;
+  Out.reserve(9 + 8 * Columns.size());
+  Out.push_back(Row.isEquality() ? 'E' : 'G');
+  appendI64(Out, Row.getConstant());
+  for (VarId V : Columns)
+    appendI64(Out, Row.getCoeff(V));
+  return Out;
+}
+
+} // namespace
+
+std::optional<std::string> omega::canonicalSatKey(const Problem &P,
+                                                  int ModeTag) {
+  // Key construction must be free of observable side effects: save the
+  // thread's sticky overflow flag and restore it exactly (an OverflowScope
+  // would OR a canonicalization overflow back into the caller's view and
+  // change the caller's conservative-fallback behavior depending on
+  // whether a cache is attached).
+  bool &Flag = arithOverflowFlag();
+  bool Saved = Flag;
+  Flag = false;
+
+  Problem Q = P;
+  Problem::NormalizeResult NR = Q.normalize();
+  bool Overflowed = Flag;
+  Flag = Saved;
+  if (Overflowed)
+    return std::nullopt;
+
+  std::string Key;
+  Key.push_back('S');
+  Key.push_back(static_cast<char>(ModeTag));
+  if (NR == Problem::NormalizeResult::False) {
+    // Every trivially inconsistent system shares one key.
+    Key.push_back('F');
+    return Key;
+  }
+
+  // Live columns only: dead or mentioned-nowhere variables cannot affect
+  // satisfiability, and protection is irrelevant to it.
+  std::vector<VarId> Live;
+  for (VarId V = 0, E = Q.getNumVars(); V != static_cast<VarId>(E); ++V)
+    if (Q.involves(V))
+      Live.push_back(V);
+
+  // Structural signature per column, independent of row and column order:
+  // a commutative accumulation over the rows the column appears in.
+  struct ColOrder {
+    uint64_t Sig;
+    VarId V;
+  };
+  std::vector<ColOrder> Order;
+  Order.reserve(Live.size());
+  for (VarId V : Live) {
+    uint64_t Sig = 0;
+    for (const Constraint &Row : Q.constraints()) {
+      int64_t C = Row.getCoeff(V);
+      if (C == 0)
+        continue;
+      uint64_t H = mix64(static_cast<uint64_t>(C));
+      H = mix64(H ^ static_cast<uint64_t>(Row.getConstant()));
+      H = mix64(H ^ (Row.isEquality() ? 0x45ull : 0x47ull));
+      Sig += H; // commutative: row order cannot matter
+    }
+    Order.push_back({Sig, V});
+  }
+  // Ties between structurally identical columns fall back to the original
+  // index: deterministic, and at worst a cache miss for a permuted twin.
+  std::sort(Order.begin(), Order.end(), [](const ColOrder &A, const ColOrder &B) {
+    return A.Sig != B.Sig ? A.Sig < B.Sig : A.V < B.V;
+  });
+  std::vector<VarId> Columns;
+  Columns.reserve(Order.size());
+  for (const ColOrder &C : Order)
+    Columns.push_back(C.V);
+
+  appendU32(Key, static_cast<uint32_t>(Columns.size()));
+  appendU32(Key, static_cast<uint32_t>(Q.getNumConstraints()));
+  std::vector<std::string> Rows;
+  Rows.reserve(Q.getNumConstraints());
+  for (const Constraint &Row : Q.constraints())
+    Rows.push_back(rowKey(Row, Columns));
+  std::sort(Rows.begin(), Rows.end());
+  for (const std::string &R : Rows)
+    Key += R;
+  return Key;
+}
+
+std::string omega::gistCacheKey(const Problem &P, const Problem &Given,
+                                bool UseFastChecks) {
+  assert(P.getNumVars() == Given.getNumVars() &&
+         "gist arguments share one layout");
+  std::string Key;
+  Key.push_back('g');
+  Key.push_back(UseFastChecks ? '1' : '0');
+  appendU32(Key, P.getNumVars());
+  for (VarId V = 0, E = P.getNumVars(); V != static_cast<VarId>(E); ++V)
+    Key.push_back(static_cast<char>((P.isProtected(V) ? 1 : 0) |
+                                    (P.isDead(V) ? 2 : 0)));
+  auto appendRows = [&Key](const Problem &Q) {
+    appendU32(Key, Q.getNumConstraints());
+    for (const Constraint &Row : Q.constraints()) {
+      Key.push_back(Row.isEquality() ? 'E' : 'G');
+      Key.push_back(Row.isRed() ? 'r' : 'b');
+      appendI64(Key, Row.getConstant());
+      for (VarId V = 0, E = Row.getNumVars(); V != static_cast<VarId>(E); ++V)
+        appendI64(Key, Row.getCoeff(V));
+    }
+  };
+  appendRows(P);
+  appendRows(Given);
+  return Key;
+}

@@ -8,18 +8,13 @@
 
 #include "omega/EqElimination.h"
 #include "omega/FourierMotzkin.h"
-#include "omega/OmegaStats.h"
 #include "omega/Projection.h"
+#include "omega/QueryCache.h"
 
 #include <limits>
 #include <optional>
 
 using namespace omega;
-
-OmegaStats &omega::stats() {
-  static OmegaStats S;
-  return S;
-}
 
 namespace {
 
@@ -77,7 +72,8 @@ unsigned countActiveVars(const Problem &P, VarId &OnlyVar) {
   return N;
 }
 
-bool isSatImpl(Problem &P, const SatOptions &Opts, unsigned Depth) {
+bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
+               unsigned Depth) {
   assert(Depth < 512 && "runaway Omega test recursion");
 
   // Once arithmetic has saturated this computation is unreliable; unwind
@@ -85,7 +81,7 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, unsigned Depth) {
   if (arithOverflowFlag())
     return true;
 
-  if (solveEqualities(P) == SolveResult::False)
+  if (solveEqualities(P, Ctx) == SolveResult::False)
     return false;
 
   while (true) {
@@ -102,28 +98,28 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, unsigned Depth) {
     FMResult R = fourierMotzkinEliminate(P, Z);
 
     if (R.Exact || Opts.Mode == SatMode::RealShadowOnly) {
-      ++stats().ExactEliminations;
+      ++Ctx.Stats.ExactEliminations;
       P = std::move(R.RealShadow);
       if (P.normalize() == Problem::NormalizeResult::False)
         return false;
       // normalize() may synthesize equalities from opposed inequalities.
-      if (P.getNumEQs() != 0 && solveEqualities(P) == SolveResult::False)
+      if (P.getNumEQs() != 0 && solveEqualities(P, Ctx) == SolveResult::False)
         return false;
       continue;
     }
 
-    ++stats().InexactEliminations;
-    if (!isSatImpl(R.RealShadow, Opts, Depth + 1)) {
-      ++stats().RealShadowDecided;
+    ++Ctx.Stats.InexactEliminations;
+    if (!isSatImpl(R.RealShadow, Opts, Ctx, Depth + 1)) {
+      ++Ctx.Stats.RealShadowDecided;
       return false;
     }
-    if (isSatImpl(R.DarkShadow, Opts, Depth + 1)) {
-      ++stats().DarkShadowDecided;
+    if (isSatImpl(R.DarkShadow, Opts, Ctx, Depth + 1)) {
+      ++Ctx.Stats.DarkShadowDecided;
       return true;
     }
     for (Problem &Splinter : R.Splinters) {
-      ++stats().SplintersExplored;
-      if (isSatImpl(Splinter, Opts, Depth + 1))
+      ++Ctx.Stats.SplintersExplored;
+      if (isSatImpl(Splinter, Opts, Ctx, Depth + 1))
         return true;
     }
     return false;
@@ -132,20 +128,39 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, unsigned Depth) {
 
 } // namespace
 
-bool omega::isSatisfiable(Problem P, const SatOptions &Opts) {
-  ++stats().SatisfiabilityCalls;
+bool omega::isSatisfiable(Problem P, const SatOptions &Opts,
+                          OmegaContext &Ctx) {
+  ++Ctx.Stats.SatisfiabilityCalls;
+
+  QueryCache *Cache = Ctx.Cache;
+  std::string Key;
+  if (Cache) {
+    if (std::optional<std::string> K =
+            canonicalSatKey(P, static_cast<int>(Opts.Mode))) {
+      Key = std::move(*K);
+      if (std::optional<bool> Hit = Cache->lookupSat(Key))
+        return *Hit;
+    } else {
+      Cache = nullptr; // canonicalization saturated; don't memoize
+    }
+  }
+
   OverflowScope Scope;
-  bool Result = isSatImpl(P, Opts, 0);
+  bool Result = isSatImpl(P, Opts, Ctx, 0);
   // Coefficient blowup: the computation is unreliable, so answer with the
   // conservative "maybe satisfiable" every client treats as the safe
-  // direction (dependences assumed, implications unproven).
+  // direction (dependences assumed, implications unproven). Unreliable
+  // answers are never memoized.
   if (Scope.overflowed())
     return true;
+  if (Cache)
+    Cache->storeSat(Key, Result);
   return Result;
 }
 
-std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P) {
-  if (!isSatisfiable(P))
+std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P,
+                                                        OmegaContext &Ctx) {
+  if (!isSatisfiable(P, SatOptions(), Ctx))
     return std::nullopt;
 
   Problem Work = P;
@@ -155,7 +170,7 @@ std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P) {
       continue; // unconstrained given earlier pins: 0 works
     // The exact projected range of V; its closed endpoints are members,
     // so pinning one cannot lose satisfiability.
-    IntRange R = computeVarRange(Work, V);
+    IntRange R = computeVarRange(Work, V, Ctx);
     assert(!R.Empty && "satisfiable problem has a value for every var");
     int64_t Value = 0;
     if (R.HasMin)
@@ -170,7 +185,7 @@ std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P) {
         for (int64_t Candidate : {Probe, -Probe}) {
           Problem Pinned = Work;
           Pinned.addEQ({{V, 1}}, -Candidate);
-          if (isSatisfiable(std::move(Pinned))) {
+          if (isSatisfiable(std::move(Pinned), SatOptions(), Ctx)) {
             Value = Candidate;
             Found = true;
             break;

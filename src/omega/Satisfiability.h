@@ -17,6 +17,7 @@
 #ifndef OMEGA_OMEGA_SATISFIABILITY_H
 #define OMEGA_OMEGA_SATISFIABILITY_H
 
+#include "omega/OmegaContext.h"
 #include "omega/Problem.h"
 
 #include <optional>
@@ -42,19 +43,24 @@ struct SatOptions {
 };
 
 /// Returns true iff \p P has an integer solution. \p P is taken by value;
-/// the search mutates its copy freely.
-bool isSatisfiable(Problem P, const SatOptions &Opts = SatOptions());
+/// the search mutates its copy freely. Counters go to \p Ctx; when the
+/// context carries a QueryCache the answer is memoized under the canonical
+/// key of the normalized problem.
+bool isSatisfiable(Problem P, const SatOptions &Opts = SatOptions(),
+                   OmegaContext &Ctx = OmegaContext::current());
 
 /// Returns true iff \p P has no integer solution.
-inline bool isUnsatisfiable(Problem P, const SatOptions &Opts = SatOptions()) {
-  return !isSatisfiable(std::move(P), Opts);
+inline bool isUnsatisfiable(Problem P, const SatOptions &Opts = SatOptions(),
+                            OmegaContext &Ctx = OmegaContext::current()) {
+  return !isSatisfiable(std::move(P), Opts, Ctx);
 }
 
 /// Finds one integer solution of \p P (a value for every variable,
 /// including wildcards; dead variables get 0), or nullopt when \p P is
 /// unsatisfiable. Variables are pinned one at a time to an endpoint of
 /// their exact projected range, so the search never backtracks.
-std::optional<std::vector<int64_t>> findSolution(const Problem &P);
+std::optional<std::vector<int64_t>>
+findSolution(const Problem &P, OmegaContext &Ctx = OmegaContext::current());
 
 } // namespace omega
 

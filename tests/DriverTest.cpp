@@ -9,7 +9,7 @@
 #include "analysis/Driver.h"
 
 #include "kernels/Kernels.h"
-#include "omega/OmegaStats.h"
+#include "omega/OmegaContext.h"
 #include "omega/Satisfiability.h"
 
 #include <gtest/gtest.h>
@@ -91,17 +91,21 @@ TEST(Driver, KillRecordsNameParticipants) {
   EXPECT_TRUE(SawSuccessfulKill);
 }
 
+// The legacy analyzeProgram wrapper merges the run's Omega work into the
+// calling thread's current context, which is how pre-context callers
+// observed the (then-global) counters.
 TEST(Driver, StatsCountersAdvance) {
-  stats().reset();
+  OmegaContext Ctx;
+  OmegaContextScope Scope(Ctx);
   ir::AnalyzedProgram AP = analyzeSource(kernels::example3());
   ASSERT_TRUE(AP.ok());
   (void)analyzeProgram(AP);
-  EXPECT_GT(stats().SatisfiabilityCalls, 0u);
-  EXPECT_GT(stats().ExactEliminations, 0u);
-  uint64_t After = stats().SatisfiabilityCalls;
-  stats().reset();
-  EXPECT_EQ(stats().SatisfiabilityCalls, 0u);
-  EXPECT_LT(stats().SatisfiabilityCalls, After);
+  EXPECT_GT(Ctx.Stats.SatisfiabilityCalls, 0u);
+  EXPECT_GT(Ctx.Stats.ExactEliminations, 0u);
+  uint64_t After = Ctx.Stats.SatisfiabilityCalls;
+  Ctx.Stats.reset();
+  EXPECT_EQ(Ctx.Stats.SatisfiabilityCalls, 0u);
+  EXPECT_LT(Ctx.Stats.SatisfiabilityCalls, After);
 }
 
 TEST(Driver, EmptyProgramYieldsEmptyResult) {

@@ -13,15 +13,19 @@
 //   --no-refine / --no-cover / --no-kill / --no-quick
 //                  disable parts of the Section 4 pipeline
 //   --terminate    enable the terminating-write extension
+//   --jobs N       shard the analysis over N worker threads (0 = auto);
+//                  results are identical for every N
+//   --json         machine-readable output (dependences, pair/kill
+//                  records, stats, cache counters) instead of tables
 //   --stats        per-pair cost classes and timings (Figure 6 style)
 //   --run          interpret the program (needs every symbol bound)
 //   --sym name=v   bind a symbolic constant (repeatable; with --run)
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Driver.h"
 #include "analysis/Transforms.h"
 #include "deps/DepSpace.h"
+#include "engine/DependenceEngine.h"
 #include "ir/Interp.h"
 #include "transform/Apply.h"
 
@@ -41,21 +45,22 @@ struct Options {
   bool All = false;
   bool Compress = false;
   bool Stats = false;
+  bool Json = false;
   bool Run = false;
   bool Transforms = false;
   bool Restraints = false;
   bool Schedule = false;
-  analysis::DriverOptions Driver;
+  engine::AnalysisRequest Req;
   std::map<std::string, int64_t> Symbols;
   std::string File;
 };
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--all] [--compress] [--stats] [--transforms] [--schedule] "
-               "[--restraints]\n"
+               "usage: %s [--all] [--compress] [--stats] [--json] "
+               "[--transforms] [--schedule] [--restraints]\n"
                "          [--no-refine] [--no-cover] [--no-kill] "
-               "[--no-quick] [--terminate]\n"
+               "[--no-quick] [--terminate] [--jobs N]\n"
                "          [--run] [--sym name=value]... [file]\n",
                Argv0);
   return 2;
@@ -70,6 +75,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Compress = true;
     else if (Arg == "--stats")
       Opts.Stats = true;
+    else if (Arg == "--json")
+      Opts.Json = true;
     else if (Arg == "--run")
       Opts.Run = true;
     else if (Arg == "--transforms")
@@ -79,16 +86,24 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     else if (Arg == "--schedule")
       Opts.Schedule = true;
     else if (Arg == "--no-refine")
-      Opts.Driver.Refine = false;
+      Opts.Req.Refine = false;
     else if (Arg == "--no-cover")
-      Opts.Driver.Cover = false;
+      Opts.Req.Cover = false;
     else if (Arg == "--no-kill")
-      Opts.Driver.Kill = false;
+      Opts.Req.Kill = false;
     else if (Arg == "--no-quick")
-      Opts.Driver.QuickTests = false;
+      Opts.Req.QuickTests = false;
     else if (Arg == "--terminate")
-      Opts.Driver.Terminate = true;
-    else if (Arg == "--sym") {
+      Opts.Req.Terminate = true;
+    else if (Arg == "--jobs") {
+      if (I + 1 == Argc)
+        return false;
+      try {
+        Opts.Req.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
+      } catch (...) {
+        return false;
+      }
+    } else if (Arg == "--sym") {
       if (I + 1 == Argc)
         return false;
       std::string Binding = Argv[++I];
@@ -133,6 +148,140 @@ void printDeps(const std::vector<deps::Dependence> &Deps, const char *Title,
                   Status.empty() ? "" : ("[" + Status + "]").c_str());
     }
   }
+}
+
+//===--------------------------------------------------------------------===//
+// --json rendering
+//===--------------------------------------------------------------------===//
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsonAccess(const ir::Access &A) {
+  return "{\"stmt\": " + std::to_string(A.StmtLabel) + ", \"text\": \"" +
+         jsonEscape(A.Text) + "\"}";
+}
+
+void jsonDeps(std::string &Out, const std::vector<deps::Dependence> &Deps) {
+  Out += "[";
+  bool FirstDep = true;
+  for (const deps::Dependence &D : Deps) {
+    if (!FirstDep)
+      Out += ", ";
+    FirstDep = false;
+    Out += "{\"from\": " + jsonAccess(*D.Src) +
+           ", \"to\": " + jsonAccess(*D.Dst) +
+           ", \"covers\": " + (D.Covers ? "true" : "false") +
+           ", \"splits\": [";
+    bool FirstSplit = true;
+    for (const deps::DepSplit &S : D.Splits) {
+      if (!FirstSplit)
+        Out += ", ";
+      FirstSplit = false;
+      Out += "{\"level\": " + std::to_string(S.Level) + ", \"dir\": \"" +
+             jsonEscape(S.dirToString()) + "\", \"dead\": " +
+             (S.Dead ? "true" : "false");
+      if (S.DeadReason)
+        Out += std::string(", \"reason\": \"") + S.DeadReason + "\"";
+      if (S.Refined)
+        Out += ", \"refined\": true";
+      Out += "}";
+    }
+    Out += "]}";
+  }
+  Out += "]";
+}
+
+std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs) {
+  std::string Out = "{\n  \"jobs\": " + std::to_string(Jobs) + ",\n";
+
+  Out += "  \"flow\": ";
+  jsonDeps(Out, R.Flow);
+  Out += ",\n  \"anti\": ";
+  jsonDeps(Out, R.Anti);
+  Out += ",\n  \"output\": ";
+  jsonDeps(Out, R.Output);
+
+  Out += ",\n  \"pairs\": [";
+  bool First = true;
+  for (const analysis::PairRecord &P : R.Pairs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    char Buf[64];
+    Out += "{\"write\": " + jsonAccess(*P.Write) +
+           ", \"read\": " + jsonAccess(*P.Read) +
+           ", \"hasFlow\": " + (P.HasFlow ? "true" : "false") +
+           ", \"usedGeneralTest\": " + (P.UsedGeneralTest ? "true" : "false") +
+           ", \"splitVectors\": " + (P.SplitVectors ? "true" : "false");
+    std::snprintf(Buf, sizeof(Buf), ", \"stdSecs\": %.9f, \"extSecs\": %.9f}",
+                  P.StandardSecs, P.ExtendedSecs);
+    Out += Buf;
+  }
+  Out += "],\n  \"kills\": [";
+  First = true;
+  for (const analysis::KillRecord &K : R.Kills) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    char Buf[32];
+    Out += "{\"from\": " + jsonAccess(*K.From) +
+           ", \"killer\": " + jsonAccess(*K.Killer) +
+           ", \"to\": " + jsonAccess(*K.To) +
+           ", \"usedOmega\": " + (K.UsedOmega ? "true" : "false") +
+           ", \"killed\": " + (K.Killed ? "true" : "false");
+    std::snprintf(Buf, sizeof(Buf), ", \"secs\": %.9f}", K.Secs);
+    Out += Buf;
+  }
+  Out += "],\n";
+
+  const OmegaStats &S = R.Stats;
+  Out += "  \"stats\": {\"satisfiabilityCalls\": " +
+         std::to_string(S.SatisfiabilityCalls) +
+         ", \"exactEliminations\": " + std::to_string(S.ExactEliminations) +
+         ", \"inexactEliminations\": " +
+         std::to_string(S.InexactEliminations) +
+         ", \"splintersExplored\": " + std::to_string(S.SplintersExplored) +
+         ", \"darkShadowDecided\": " + std::to_string(S.DarkShadowDecided) +
+         ", \"realShadowDecided\": " + std::to_string(S.RealShadowDecided) +
+         ", \"modHatSubstitutions\": " +
+         std::to_string(S.ModHatSubstitutions) +
+         ", \"gistFastDrops\": " + std::to_string(S.GistFastDrops) +
+         ", \"gistFastKeeps\": " + std::to_string(S.GistFastKeeps) +
+         ", \"gistSatTests\": " + std::to_string(S.GistSatTests) + "},\n";
+
+  Out += "  \"cache\": {\"satHits\": " + std::to_string(R.Cache.SatHits) +
+         ", \"satMisses\": " + std::to_string(R.Cache.SatMisses) +
+         ", \"gistHits\": " + std::to_string(R.Cache.GistHits) +
+         ", \"gistMisses\": " + std::to_string(R.Cache.GistMisses) +
+         ", \"entries\": " + std::to_string(R.CacheEntries) + "}\n}\n";
+  return Out;
 }
 
 } // namespace
@@ -186,8 +335,15 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  engine::DependenceEngine Engine(Opts.Req);
+  engine::AnalysisResult R = Engine.analyze(AP);
+
+  if (Opts.Json) {
+    std::fputs(jsonResult(R, Engine.jobs()).c_str(), stdout);
+    return 0;
+  }
+
   std::printf("%s", AP.Source.toString().c_str());
-  analysis::AnalysisResult R = analysis::analyzeProgram(AP, Opts.Driver);
 
   printDeps(R.Flow, "live flow dependences", /*Dead=*/false, Opts.Compress);
   printDeps(R.Flow, "dead flow dependences", /*Dead=*/true, Opts.Compress);
@@ -233,6 +389,21 @@ int main(int Argc, char **Argv) {
                   P.Read->Text.c_str(), P.StandardSecs * 1e6,
                   P.ExtendedSecs * 1e6, Class);
     }
+    std::printf("\nomega test work: %llu sat calls, %llu exact / %llu "
+                "inexact eliminations, %llu splinters\n",
+                static_cast<unsigned long long>(R.Stats.SatisfiabilityCalls),
+                static_cast<unsigned long long>(R.Stats.ExactEliminations),
+                static_cast<unsigned long long>(R.Stats.InexactEliminations),
+                static_cast<unsigned long long>(R.Stats.SplintersExplored));
+    std::printf("query cache: %llu/%llu sat hits, %llu/%llu gist hits, "
+                "%llu entries\n",
+                static_cast<unsigned long long>(R.Cache.SatHits),
+                static_cast<unsigned long long>(R.Cache.SatHits +
+                                                R.Cache.SatMisses),
+                static_cast<unsigned long long>(R.Cache.GistHits),
+                static_cast<unsigned long long>(R.Cache.GistHits +
+                                                R.Cache.GistMisses),
+                static_cast<unsigned long long>(R.CacheEntries));
   }
   return 0;
 }
