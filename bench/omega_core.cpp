@@ -1,4 +1,4 @@
-//===- bench/omega_core.cpp - Experiment A3 (google-benchmark micros) -----===//
+//===- bench/omega_core.cpp - Experiment A3 (Omega core micros) -----------===//
 //
 // Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
 // "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
@@ -8,7 +8,18 @@
 // projection, gist computation, and one end-to-end CHOLSKY dependence
 // pair.
 //
+// Two modes:
+//  * default: the google-benchmark micro suite (BM_* below);
+//  * --json <path>: a fixed-iteration, deterministic run of the core
+//    operations (sat + gist + projection) over synthetic problems and the
+//    whole kernel corpus, emitting a machine-readable record
+//    (BENCH_omega_core.json) with wall times, peak RSS, and the OmegaStats
+//    counters. The committed baseline at the repo root tracks the perf
+//    trajectory; CI fails on >25% regression of core_ops.wall_ms.
+//
 //===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
 
 #include "analysis/Driver.h"
 #include "deps/DependenceAnalysis.h"
@@ -18,6 +29,9 @@
 #include "omega/Satisfiability.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
 
 using namespace omega;
 
@@ -48,6 +62,36 @@ Problem boxed4D() {
   P.addEQ({{V[0], 1}, {V[2], 1}, {V[3], -2}}, -1);
   return P;
 }
+
+/// An 8-variable dependence-shaped system: two 4-deep triangular
+/// iteration-space copies coupled by subscript equalities, the shape the
+/// engine feeds the core thousands of times.
+Problem triangularPair8D() {
+  Problem P;
+  std::vector<VarId> I, J;
+  for (int D = 0; D != 4; ++D)
+    I.push_back(P.addVar("i" + std::to_string(D)));
+  for (int D = 0; D != 4; ++D)
+    J.push_back(P.addVar("j" + std::to_string(D)));
+  for (int D = 0; D != 4; ++D) {
+    P.addGEQ({{I[D], 1}}, -1);   // i_d >= 1
+    P.addGEQ({{I[D], -1}}, 40);  // i_d <= 40
+    P.addGEQ({{J[D], 1}}, -1);
+    P.addGEQ({{J[D], -1}}, 40);
+    if (D) {
+      P.addGEQ({{I[D], 1}, {I[D - 1], -1}}, 0); // i_d >= i_{d-1}
+      P.addGEQ({{J[D], 1}, {J[D - 1], -1}}, 0);
+    }
+  }
+  P.addEQ({{I[0], 1}, {J[0], -1}}, -1); // subscript: i0 == j0 + 1
+  P.addEQ({{I[1], 1}, {J[2], -1}}, 0);  // coupled subscript
+  P.addGEQ({{J[3], 1}, {I[3], -1}}, -1); // ordering
+  return P;
+}
+
+//===--------------------------------------------------------------------===//
+// google-benchmark micro suite
+//===--------------------------------------------------------------------===//
 
 void BM_SatisfiabilityExactPath(benchmark::State &State) {
   Problem P = boxed4D();
@@ -144,6 +188,165 @@ void BM_CholskyWholeProgram(benchmark::State &State) {
 }
 BENCHMARK(BM_CholskyWholeProgram);
 
+//===--------------------------------------------------------------------===//
+// --json mode: deterministic fixed-iteration runs
+//===--------------------------------------------------------------------===//
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// One rep of the pure-core workload: satisfiability, projection, and gist
+/// over the fixed problem suite. Everything runs through \p Ctx (no cache)
+/// so the counters record exactly the work done.
+void coreOpsRep(const std::vector<Problem> &SatSuite,
+                const Problem &ProjPaper, const Problem &ProjSplinter,
+                const Problem &Tri, const Problem &GistP,
+                const Problem &GistQ, OmegaContext &Ctx) {
+  for (const Problem &P : SatSuite)
+    benchmark::DoNotOptimize(isSatisfiable(P, SatOptions(), Ctx));
+  benchmark::DoNotOptimize(
+      projectOnto(ProjPaper, {0}, ProjectOptions(), Ctx));
+  benchmark::DoNotOptimize(
+      projectOnto(ProjSplinter, {0}, ProjectOptions(), Ctx));
+  benchmark::DoNotOptimize(projectOnto(Tri, {0, 1, 2, 3}, ProjectOptions(),
+                                       Ctx));
+  benchmark::DoNotOptimize(gist(GistP, GistQ, GistOptions(), Ctx));
+}
+
+int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
+  // -- core_ops: sat + gist + projection on the synthetic suite ----------
+  std::vector<Problem> SatSuite;
+  SatSuite.push_back(boxed4D());
+  SatSuite.push_back(darkShadowClassic());
+  SatSuite.push_back(triangularPair8D());
+  {
+    Problem P;
+    VarId X = P.addVar("x");
+    VarId Y = P.addVar("y");
+    VarId Z = P.addVar("z");
+    P.addEQ({{X, 7}, {Y, 12}, {Z, 31}}, -17);
+    P.addGEQ({{X, 1}}, 100);
+    P.addGEQ({{X, -1}}, 100);
+    P.addGEQ({{Y, 1}}, 100);
+    P.addGEQ({{Z, -1}}, 100);
+    SatSuite.push_back(std::move(P));
+  }
+
+  Problem ProjPaper;
+  {
+    VarId A = ProjPaper.addVar("a");
+    VarId B = ProjPaper.addVar("b");
+    ProjPaper.addGEQ({{A, 1}}, 0);
+    ProjPaper.addGEQ({{A, -1}}, 5);
+    ProjPaper.addGEQ({{A, 1}, {B, -1}}, -1);
+    ProjPaper.addGEQ({{A, -1}, {B, 5}}, 0);
+  }
+  Problem ProjSplinter;
+  {
+    VarId X = ProjSplinter.addVar("x");
+    VarId Y = ProjSplinter.addVar("y");
+    ProjSplinter.addGEQ({{Y, 3}, {X, -1}}, -5);
+    ProjSplinter.addGEQ({{Y, -3}, {X, 1}}, 6);
+  }
+  Problem Tri = triangularPair8D();
+
+  Problem GistLayout;
+  VarId GX = GistLayout.addVar("x");
+  VarId GY = GistLayout.addVar("y");
+  Problem GistP = GistLayout.cloneLayout();
+  GistP.addGEQ({{GX, 1}}, 0);
+  GistP.addGEQ({{GX, 1}, {GY, 1}}, -2);
+  GistP.addGEQ({{GX, -1}, {GY, 2}}, 30);
+  Problem GistQ = GistLayout.cloneLayout();
+  GistQ.addGEQ({{GX, 1}}, -1);
+  GistQ.addGEQ({{GY, 1}}, -1);
+  GistQ.addGEQ({{GX, -1}}, 40);
+  GistQ.addGEQ({{GY, -1}}, 40);
+
+  OmegaContext CoreCtx; // no cache: measure the solver, not memoization
+  Clock::time_point CoreStart = Clock::now();
+  for (unsigned R = 0; R != CoreReps; ++R)
+    coreOpsRep(SatSuite, ProjPaper, ProjSplinter, Tri, GistP, GistQ,
+               CoreCtx);
+  double CoreMs = msSince(CoreStart);
+
+  // -- corpus: the whole Section 4 pipeline, serial and uncached ---------
+  std::vector<std::unique_ptr<ir::AnalyzedProgram>> Programs;
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    auto AP = std::make_unique<ir::AnalyzedProgram>(
+        ir::analyzeSource(K.Source));
+    if (AP->ok())
+      Programs.push_back(std::move(AP));
+  }
+  engine::AnalysisRequest Req;
+  Req.Jobs = 1;
+  Req.UseQueryCache = false;
+  OmegaStats CorpusStats;
+  Clock::time_point CorpusStart = Clock::now();
+  for (unsigned R = 0; R != CorpusReps; ++R) {
+    engine::DependenceEngine Engine(Req);
+    for (const auto &AP : Programs) {
+      engine::AnalysisResult Result = Engine.analyze(*AP);
+      CorpusStats.merge(Result.Stats);
+    }
+  }
+  double CorpusMs = msSince(CorpusStart);
+
+  std::FILE *Out = std::fopen(Path, "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", Path);
+    return 1;
+  }
+  bench::JsonWriter W(Out);
+  W.field("bench", "omega_core");
+  W.field("schema", static_cast<uint64_t>(1));
+#ifdef NDEBUG
+  W.field("asserts", "off");
+#else
+  W.field("asserts", "on");
+#endif
+  W.beginObject("core_ops");
+  W.field("reps", static_cast<uint64_t>(CoreReps));
+  W.field("wall_ms", CoreMs);
+  bench::writeStatsJson(W, "stats", CoreCtx.Stats);
+  W.endObject();
+  W.beginObject("corpus");
+  W.field("reps", static_cast<uint64_t>(CorpusReps));
+  W.field("kernels", static_cast<uint64_t>(Programs.size()));
+  W.field("wall_ms", CorpusMs);
+  bench::writeStatsJson(W, "stats", CorpusStats);
+  W.endObject();
+  W.field("total_wall_ms", CoreMs + CorpusMs);
+  W.field("peak_rss_kb", bench::peakRSSKB());
+  W.finish();
+  std::fclose(Out);
+  std::printf("core_ops %.1f ms, corpus %.1f ms -> %s\n", CoreMs, CorpusMs,
+              Path);
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  const char *JsonPath = nullptr;
+  unsigned CoreReps = 400, CorpusReps = 3;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--core-reps") && I + 1 < argc)
+      CoreReps = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--corpus-reps") && I + 1 < argc)
+      CorpusReps = static_cast<unsigned>(std::atoi(argv[++I]));
+  }
+  if (JsonPath)
+    return runJsonMode(JsonPath, CoreReps, CorpusReps);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -59,9 +59,11 @@ Constraint combine(const Constraint &Lower, const Constraint &Upper, VarId Z,
   return Row;
 }
 
-} // namespace
-
-FMResult omega::fourierMotzkinEliminate(const Problem &P, VarId Z) {
+/// Shared elimination body. \p Consume, when non-null, aliases \p P and
+/// marks it expendable: the last splinter steals its storage instead of
+/// copying.
+FMResult fmEliminate(const Problem &P, VarId Z, FMParts Parts,
+                     Problem *Consume) {
   Partition Part = partitionRows(P, Z);
 
   FMResult Result;
@@ -72,28 +74,33 @@ FMResult omega::fourierMotzkinEliminate(const Problem &P, VarId Z) {
   if (Part.Lowers.empty() || Part.Uppers.empty()) {
     for (const Constraint *Row : Part.Keep)
       Result.RealShadow.addConstraint(*Row);
-    Result.DarkShadow = Result.RealShadow;
     Result.Exact = true;
     return Result;
   }
 
   // Every (lower, upper) pair is exact iff all lower coefficients are 1 or
-  // all upper coefficients are 1.
+  // all upper coefficients are 1. When exact, real and dark shadows
+  // coincide, so only the real shadow is materialized.
   Result.Exact = allUnit(Part.Lowers, Z) || allUnit(Part.Uppers, Z);
+  bool WantDark = !Result.Exact && Parts == FMParts::All;
 
-  Result.DarkShadow = Result.RealShadow;
-  for (const Constraint *Row : Part.Keep) {
-    Result.RealShadow.addConstraint(*Row);
-    Result.DarkShadow.addConstraint(*Row);
+  if (WantDark) {
+    Result.DarkShadow = Result.RealShadow;
+    for (const Constraint *Row : Part.Keep)
+      Result.DarkShadow.addConstraint(*Row);
   }
+  for (const Constraint *Row : Part.Keep)
+    Result.RealShadow.addConstraint(*Row);
 
   for (const Constraint *Lower : Part.Lowers) {
     for (const Constraint *Upper : Part.Uppers) {
-      int64_t B = Lower->getCoeff(Z);
-      int64_t A = -Upper->getCoeff(Z);
       Result.RealShadow.addConstraint(combine(*Lower, *Upper, Z, 0));
-      int64_t Slack = checkedMul(A - 1, B - 1);
-      Result.DarkShadow.addConstraint(combine(*Lower, *Upper, Z, Slack));
+      if (WantDark) {
+        int64_t B = Lower->getCoeff(Z);
+        int64_t A = -Upper->getCoeff(Z);
+        int64_t Slack = checkedMul(A - 1, B - 1);
+        Result.DarkShadow.addConstraint(combine(*Lower, *Upper, Z, Slack));
+      }
     }
   }
 
@@ -111,11 +118,14 @@ FMResult omega::fourierMotzkinEliminate(const Problem &P, VarId Z) {
   // Splinter enumeration is proportional to the lower-bound coefficients;
   // saturated or degenerate coefficient growth would make it astronomical.
   // Give up exactness instead (the sticky flag makes every caller fall
-  // back to its conservative answer).
+  // back to its conservative answer). A real-shadow-only caller never
+  // explores splinters, but the cap/saturation checks still run so the
+  // sticky flag ends up in the same state either way.
   constexpr int64_t SplinterCap = 1 << 16;
-  for (const Constraint *Lower : Part.Lowers) {
+  for (size_t LI = 0, LE = Part.Lowers.size(); LI != LE; ++LI) {
     if (arithOverflowFlag())
       break;
+    const Constraint *Lower = Part.Lowers[LI];
     int64_t B = Lower->getCoeff(Z);
     int64_t MaxI = floorDiv(
         checkedSub(checkedMul(AMax, B), checkedAdd(AMax, B)), AMax);
@@ -123,16 +133,32 @@ FMResult omega::fourierMotzkinEliminate(const Problem &P, VarId Z) {
       arithOverflowFlag() = true;
       break;
     }
+    if (Parts == FMParts::RealShadowOnly)
+      continue;
     for (int64_t I = 0; I <= MaxI; ++I) {
-      Problem Splinter(P);
+      // Copy the equality before a potential move of P: Lower points into
+      // P's rows.
       Constraint Eq = *Lower;
       Eq.setKind(ConstraintKind::EQ);
       Eq.addToConstant(-I);
-      Splinter.addConstraint(Eq);
+      bool LastSplinter = Consume && LI + 1 == LE && I == MaxI;
+      Problem Splinter = LastSplinter ? std::move(*Consume) : Problem(P);
+      Splinter.addConstraint(std::move(Eq));
       Result.Splinters.push_back(std::move(Splinter));
     }
   }
   return Result;
+}
+
+} // namespace
+
+FMResult omega::fourierMotzkinEliminate(const Problem &P, VarId Z,
+                                        FMParts Parts) {
+  return fmEliminate(P, Z, Parts, /*Consume=*/nullptr);
+}
+
+FMResult omega::fourierMotzkinEliminate(Problem &&P, VarId Z, FMParts Parts) {
+  return fmEliminate(P, Z, Parts, &P);
 }
 
 FMCost omega::estimateEliminationCost(const Problem &P, VarId Z) {

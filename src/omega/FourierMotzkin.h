@@ -34,14 +34,24 @@
 
 namespace omega {
 
+/// Which parts of the elimination the caller will consume. Real-shadow-only
+/// callers (approximate projection, SatMode::RealShadowOnly) skip the dark
+/// shadow rows and the splinter problem copies entirely; the splinter
+/// count/overflow bookkeeping still runs so the sticky saturation flag
+/// behaves identically.
+enum class FMParts : uint8_t { All, RealShadowOnly };
+
 struct FMResult {
   /// Over-approximation of the integer projection (z eliminated).
   Problem RealShadow;
-  /// Under-approximation (z eliminated). Equal to RealShadow when Exact.
+  /// Under-approximation (z eliminated). Materialized only when the
+  /// elimination is inexact and FMParts::All was requested: when Exact the
+  /// dark shadow equals RealShadow and is left empty.
   Problem DarkShadow;
   /// Residual problems still containing z, each with one added equality
   /// that makes z exactly eliminable. DarkShadow union the projections of
-  /// the splinters is exactly the integer projection.
+  /// the splinters is exactly the integer projection. Empty under
+  /// FMParts::RealShadowOnly.
   std::vector<Problem> Splinters;
   /// True when real shadow == dark shadow == integer projection.
   bool Exact = false;
@@ -51,7 +61,13 @@ struct FMResult {
 /// Constraints not involving Z are copied through; Z is marked dead in the
 /// shadows. Red/black tags propagate: a combined row is red iff either
 /// parent is red.
-FMResult fourierMotzkinEliminate(const Problem &P, VarId Z);
+FMResult fourierMotzkinEliminate(const Problem &P, VarId Z,
+                                 FMParts Parts = FMParts::All);
+
+/// As above, but consumes \p P: the final splinter takes over P's storage
+/// instead of copying it. Use when P is dead after the call.
+FMResult fourierMotzkinEliminate(Problem &&P, VarId Z,
+                                 FMParts Parts = FMParts::All);
 
 /// Estimated cost of eliminating \p Z: an (exactness, work) pair used to
 /// choose elimination order. Lower compares better.

@@ -126,6 +126,7 @@ Problem omega::gist(const Problem &P, const Problem &Given,
                     const GistOptions &Opts, OmegaContext &Ctx) {
   assert(P.getNumVars() == Given.getNumVars() &&
          "gist arguments must share one variable layout");
+  ++Ctx.Stats.GistCalls;
 
   // Memoization: the result's rows are stored bare and re-hung on the
   // caller's layout, so names never matter; the key serializes both row

@@ -27,6 +27,8 @@ namespace omega {
 
 struct OmegaStats {
   uint64_t SatisfiabilityCalls = 0;
+  uint64_t ProjectionCalls = 0;     // projectOntoMask entries
+  uint64_t GistCalls = 0;           // gist() entries (cache hits included)
   uint64_t ExactEliminations = 0;
   uint64_t InexactEliminations = 0;
   uint64_t SplintersExplored = 0;
@@ -43,6 +45,8 @@ struct OmegaStats {
   /// into a whole-run total).
   void merge(const OmegaStats &O) {
     SatisfiabilityCalls += O.SatisfiabilityCalls;
+    ProjectionCalls += O.ProjectionCalls;
+    GistCalls += O.GistCalls;
     ExactEliminations += O.ExactEliminations;
     InexactEliminations += O.InexactEliminations;
     SplintersExplored += O.SplintersExplored;

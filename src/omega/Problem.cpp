@@ -6,9 +6,11 @@
 
 #include "omega/Problem.h"
 
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 using namespace omega;
 
@@ -149,22 +151,20 @@ struct MergeBucket {
 
 } // namespace
 
-Problem::NormalizeResult Problem::normalize() {
-  // Phase 1: per-row gcd reduction and trivial-row handling.
-  std::vector<Constraint> Reduced;
+bool Problem::gcdReduceRows(std::vector<Constraint> &Reduced) {
   Reduced.reserve(Rows.size());
   for (Constraint &Row : Rows) {
     int64_t G = Row.coeffGCD();
     if (G == 0) {
       // Constant row: either trivially true or trivially false.
       if (Row.isEquality() ? Row.getConstant() != 0 : Row.getConstant() < 0)
-        return NormalizeResult::False;
+        return false;
       continue;
     }
     if (G != 1) {
       if (Row.isEquality()) {
         if (Row.getConstant() % G != 0)
-          return NormalizeResult::False;
+          return false;
         for (VarId V = 0, E = getNumVars(); V != E; ++V)
           Row.setCoeff(V, Row.getCoeff(V) / G);
         Row.setConstant(Row.getConstant() / G);
@@ -176,6 +176,173 @@ Problem::NormalizeResult Problem::normalize() {
     }
     Reduced.push_back(Row);
   }
+  return true;
+}
+
+Problem::NormalizeResult Problem::normalize() {
+#ifdef OMEGA_CHECK_NORMALIZE
+  Problem Ref(*this);
+  NormalizeResult RefResult = Ref.normalizeReference();
+#endif
+  NormalizeResult Result = normalizeHashed();
+#ifdef OMEGA_CHECK_NORMALIZE
+  assert(Result == RefResult && "hashed normalize diverged from reference");
+  if (Result == NormalizeResult::Ok) {
+    assert(Rows.size() == Ref.Rows.size() &&
+           "hashed normalize emitted a different row count");
+    for (unsigned I = 0, E = Rows.size(); I != E; ++I)
+      assert(Rows[I].getKind() == Ref.Rows[I].getKind() &&
+             Rows[I].isRed() == Ref.Rows[I].isRed() &&
+             Rows[I].sameForm(Ref.Rows[I]) &&
+             "hashed normalize emitted a different row");
+  }
+#endif
+  return Result;
+}
+
+Problem::NormalizeResult Problem::normalizeHashed() {
+  // Phase 1: per-row gcd reduction and trivial-row handling.
+  std::vector<Constraint> Reduced;
+  if (!gcdReduceRows(Reduced))
+    return NormalizeResult::False;
+
+  // Phase 2: merge rows with identical (up to sign) coefficient vectors,
+  // bucketed by the rows' structural signatures. The signature hash is
+  // already orientation-canonical, so one hash probe plus (on a hit) one
+  // exact canonical compare against the bucket's representative replaces
+  // the ordered map's O(vars * log rows) key comparisons. Distinct vectors
+  // that collide on the 64-bit hash chain through Next.
+  struct BucketEntry {
+    unsigned RepIdx; // representative row in Reduced
+    int RepSign;     // its orientation; RepSign * rep coeffs is canonical
+    MergeBucket B;
+  };
+  std::vector<BucketEntry> Entries;
+  Entries.reserve(Reduced.size());
+  std::vector<int> Next; // hash-collision chain, -1 terminated
+  std::unordered_map<uint64_t, unsigned> Index;
+  Index.reserve(Reduced.size());
+
+  const unsigned NumVars = getNumVars();
+  auto canonicalEqual = [&](const Constraint &A, int SA, const Constraint &B,
+                            int SB) {
+    const int64_t *PA = A.coeffs().data(), *PB = B.coeffs().data();
+    for (unsigned V = 0; V != NumVars; ++V)
+      if (SA * PA[V] != SB * PB[V])
+        return false;
+    return true;
+  };
+
+  for (unsigned I = 0, E = Reduced.size(); I != E; ++I) {
+    const Constraint &Row = Reduced[I];
+    const RowSignature &Sig = Row.signature();
+    int Sign = Sig.Orientation;
+    assert(Sign != 0 && "constant rows were removed in phase 1");
+
+    int Found = -1;
+    auto [It, Inserted] =
+        Index.try_emplace(Sig.Hash, static_cast<unsigned>(Entries.size()));
+    if (!Inserted) {
+      for (int Cur = static_cast<int>(It->second); Cur != -1;
+           Cur = Next[Cur]) {
+        const BucketEntry &BE = Entries[Cur];
+        if (canonicalEqual(Row, Sign, Reduced[BE.RepIdx], BE.RepSign)) {
+          Found = Cur;
+          break;
+        }
+      }
+      if (Found == -1) { // true hash collision: prepend a new chain entry
+        Found = static_cast<int>(Entries.size());
+        Entries.push_back({I, Sign, MergeBucket()});
+        Next.push_back(static_cast<int>(It->second));
+        It->second = static_cast<unsigned>(Found);
+      }
+    } else {
+      Found = static_cast<int>(Entries.size());
+      Entries.push_back({I, Sign, MergeBucket()});
+      Next.push_back(-1);
+    }
+
+    MergeBucket &B = Entries[Found].B;
+    if (Row.isEquality())
+      B.addEQ(Sign > 0 ? Row.getConstant() : -Row.getConstant(), Row.isRed());
+    else if (Sign > 0)
+      MergeBucket::addBound(B.HasLo, B.LoConst, B.LoRed, Row.getConstant(),
+                            Row.isRed());
+    else
+      MergeBucket::addBound(B.HasHi, B.HiConst, B.HiRed, Row.getConstant(),
+                            Row.isRed());
+  }
+
+  // Phase 3: rebuild the row list from the merged buckets, in the same
+  // order the reference's ordered map iterates: canonical coefficient
+  // vectors ascending lexicographically. Canonical vectors are unique
+  // across buckets, so the sort order is total and deterministic.
+  std::vector<unsigned> Order(Entries.size());
+  for (unsigned I = 0, E = Order.size(); I != E; ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](unsigned X, unsigned Y) {
+    const BucketEntry &EX = Entries[X], &EY = Entries[Y];
+    const int64_t *PX = Reduced[EX.RepIdx].coeffs().data();
+    const int64_t *PY = Reduced[EY.RepIdx].coeffs().data();
+    for (unsigned V = 0; V != NumVars; ++V) {
+      int64_t A = EX.RepSign * PX[V], B = EY.RepSign * PY[V];
+      if (A != B)
+        return A < B;
+    }
+    return false;
+  });
+
+  Rows.clear();
+  for (unsigned EI : Order) {
+    const BucketEntry &BE = Entries[EI];
+    const MergeBucket &B = BE.B;
+    if (B.Contradiction)
+      return NormalizeResult::False;
+
+    auto emit = [&](ConstraintKind Kind, int Sign, int64_t C, bool Red) {
+      Constraint &Row = addRow(Kind, Red);
+      int64_t Mult = Sign * BE.RepSign; // overall sign vs the representative
+      const int64_t *Src = Reduced[BE.RepIdx].coeffs().data();
+      int64_t *Dst = Row.Coeffs.data();
+      for (unsigned V = 0; V != NumVars; ++V)
+        Dst[V] = Mult * Src[V];
+      Row.SigValid = false;
+      Row.setConstant(C);
+    };
+
+    if (B.HasEQ) {
+      // The equality pins u.x == -EQConst; bounds are either implied or
+      // contradictory.
+      if (B.HasLo && B.LoConst < B.EQConst)
+        return NormalizeResult::False;
+      if (B.HasHi && B.HiConst < -B.EQConst)
+        return NormalizeResult::False;
+      emit(ConstraintKind::EQ, +1, B.EQConst, B.EQRed);
+      continue;
+    }
+    if (B.HasLo && B.HasHi) {
+      // -LoConst <= u.x <= HiConst.
+      if (checkedAdd(B.LoConst, B.HiConst) < 0)
+        return NormalizeResult::False;
+      if (checkedAdd(B.LoConst, B.HiConst) == 0) {
+        emit(ConstraintKind::EQ, +1, B.LoConst, B.LoRed || B.HiRed);
+        continue;
+      }
+    }
+    if (B.HasLo)
+      emit(ConstraintKind::GEQ, +1, B.LoConst, B.LoRed);
+    if (B.HasHi)
+      emit(ConstraintKind::GEQ, -1, B.HiConst, B.HiRed);
+  }
+  return NormalizeResult::Ok;
+}
+
+Problem::NormalizeResult Problem::normalizeReference() {
+  // Phase 1: per-row gcd reduction and trivial-row handling.
+  std::vector<Constraint> Reduced;
+  if (!gcdReduceRows(Reduced))
+    return NormalizeResult::False;
 
   // Phase 2: merge rows with identical (up to sign) coefficient vectors.
   std::map<std::vector<int64_t>, MergeBucket> Buckets;
@@ -189,7 +356,7 @@ Problem::NormalizeResult Problem::normalize() {
       }
     assert(Sign != 0 && "constant rows were removed in phase 1");
 
-    std::vector<int64_t> Key = Row.coeffs();
+    std::vector<int64_t> Key(Row.coeffs().begin(), Row.coeffs().end());
     if (Sign < 0)
       for (int64_t &C : Key)
         C = -C;
@@ -243,6 +410,45 @@ Problem::NormalizeResult Problem::normalize() {
       emit(ConstraintKind::GEQ, -1, B.HiConst, B.HiRed);
   }
   return NormalizeResult::Ok;
+}
+
+unsigned Problem::compactDeadColumns(unsigned KeepBelow,
+                                     std::vector<int> *RemapOut) {
+  const unsigned N = Vars.size();
+  std::vector<int> Remap(N);
+  unsigned NewN = 0;
+  bool Any = false;
+  for (unsigned V = 0; V != N; ++V) {
+    if (V >= KeepBelow && Vars[V].Dead && !involves(static_cast<VarId>(V))) {
+      Remap[V] = -1;
+      Any = true;
+    } else {
+      Remap[V] = static_cast<int>(NewN++);
+    }
+  }
+  if (RemapOut)
+    *RemapOut = Remap;
+  if (!Any)
+    return 0;
+
+  for (Constraint &Row : Rows) {
+    SmallCoeffVector NewCoeffs(NewN);
+    const int64_t *Src = Row.Coeffs.data();
+    int64_t *Dst = NewCoeffs.data();
+    for (unsigned V = 0; V != N; ++V)
+      if (Remap[V] >= 0)
+        Dst[Remap[V]] = Src[V];
+    Row.Coeffs = std::move(NewCoeffs);
+    Row.SigValid = false; // surviving columns shifted position
+  }
+
+  std::vector<VarInfo> NewVars;
+  NewVars.reserve(NewN);
+  for (unsigned V = 0; V != N; ++V)
+    if (Remap[V] >= 0)
+      NewVars.push_back(std::move(Vars[V]));
+  Vars = std::move(NewVars);
+  return N - NewN;
 }
 
 std::string Problem::constraintToString(const Constraint &Row) const {

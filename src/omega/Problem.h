@@ -90,6 +90,12 @@ public:
   /// this problem.
   void addConstraint(const Constraint &Row);
 
+  /// Move-in variant for rows the caller no longer needs.
+  void addConstraint(Constraint &&Row) {
+    assert(Row.getNumVars() == Vars.size() && "variable space mismatch");
+    Rows.push_back(std::move(Row));
+  }
+
   const std::vector<Constraint> &constraints() const { return Rows; }
   std::vector<Constraint> &constraints() { return Rows; }
   unsigned getNumConstraints() const { return Rows.size(); }
@@ -116,7 +122,31 @@ public:
   ///    contradictions),
   ///  * drops inequalities directly implied by an equality with the same
   ///    coefficient vector.
+  ///
+  /// The merge passes bucket rows by their structural signature (see
+  /// RowSignature), so merging is O(rows) hash probes instead of O(rows *
+  /// vars * log rows) ordered-map comparisons; the emitted row order is
+  /// bit-identical to normalizeReference(). Configure with
+  /// -DOMEGA_CHECK_NORMALIZE to have every call self-check against the
+  /// reference implementation.
   NormalizeResult normalize();
+
+  /// The original ordered-map implementation of normalize(), retained as a
+  /// differential oracle for the hashed path. Produces the identical row
+  /// list (same rows, same order) as normalize(); tests and the
+  /// OMEGA_CHECK_NORMALIZE self-check diff the two.
+  NormalizeResult normalizeReference();
+
+  /// Drops columns at index >= \p KeepBelow that are marked dead and appear
+  /// in no row, renumbering the surviving variables (relative order kept).
+  /// Long elimination chains otherwise accumulate dead wildcard columns
+  /// that every subsequent row copy and scan pays for. Callers holding
+  /// VarIds must only compact above them (\p KeepBelow). Returns the number
+  /// of columns removed; when \p RemapOut is non-null it receives the
+  /// old-index -> new-index map (-1 for removed columns) so callers can
+  /// renumber per-variable side tables.
+  unsigned compactDeadColumns(unsigned KeepBelow = 0,
+                              std::vector<int> *RemapOut = nullptr);
 
   /// Substitutes `x_Target := sum Def.coeffs * x + Def.constant` into every
   /// row and marks \p Target dead. \p Def must have a zero coefficient for
@@ -135,6 +165,14 @@ private:
     bool Protected;
     bool Dead = false;
   };
+
+  /// Shared phase 1 of both normalize implementations: gcd-reduce each row
+  /// in place, drop trivially true rows, and collect the survivors into
+  /// \p Reduced. Returns false if a row is trivially unsatisfiable.
+  bool gcdReduceRows(std::vector<Constraint> &Reduced);
+
+  /// The hash-bucketed merge behind normalize().
+  NormalizeResult normalizeHashed();
 
   std::vector<VarInfo> Vars;
   std::vector<Constraint> Rows;

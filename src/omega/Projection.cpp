@@ -80,12 +80,18 @@ struct Projector {
   const std::function<bool(VarId)> MayEliminate;
   const ProjectOptions &Opts;
   OmegaContext &Ctx;
+  /// Columns below this index are the caller's original variables; their
+  /// VarIds must survive into the pieces. Columns at or above it are
+  /// wildcards this projection minted and may be compacted once dead.
+  const unsigned FirstTransient;
   std::vector<Problem> Pieces;
   bool SawInexact = false;
 
   Projector(std::function<bool(VarId)> MayEliminate,
-            const ProjectOptions &Opts, OmegaContext &Ctx)
-      : MayEliminate(std::move(MayEliminate)), Opts(Opts), Ctx(Ctx) {}
+            const ProjectOptions &Opts, OmegaContext &Ctx,
+            unsigned FirstTransient)
+      : MayEliminate(std::move(MayEliminate)), Opts(Opts), Ctx(Ctx),
+        FirstTransient(FirstTransient) {}
 
   /// Finds an eliminable variable (not a stride residual) that still
   /// appears in some constraint, preferring cheap/exact eliminations.
@@ -150,6 +156,7 @@ struct Projector {
         return; // abandon the piece; the wrapper marks the result poisoned
       if (!settleEqualities(P, IsStride))
         return;
+      compactTransients(P, IsStride);
 
       VarId Z = chooseVariable(P, IsStride);
       if (Z < 0) {
@@ -157,8 +164,10 @@ struct Projector {
         return;
       }
       // Z appears only in inequalities now: settleEqualities() guarantees
-      // no equality mentions an eliminable non-stride variable.
-      FMResult R = fourierMotzkinEliminate(P, Z);
+      // no equality mentions an eliminable non-stride variable. P itself is
+      // dead after the call (reassigned below), so the last splinter may
+      // take its storage.
+      FMResult R = fourierMotzkinEliminate(std::move(P), Z);
       if (R.Exact) {
         P = std::move(R.RealShadow);
         continue;
@@ -173,6 +182,20 @@ struct Projector {
     }
   }
 
+  /// Drops dead wildcard columns accumulated by mod-hat elimination,
+  /// renumbering the stride table alongside. Caller VarIds (all below
+  /// FirstTransient) are untouched.
+  void compactTransients(Problem &P, std::vector<bool> &IsStride) {
+    std::vector<int> Remap;
+    if (!P.compactDeadColumns(FirstTransient, &Remap))
+      return;
+    std::vector<bool> NewStride(P.getNumVars(), false);
+    for (unsigned V = 0, E = Remap.size(); V != E; ++V)
+      if (Remap[V] >= 0 && V < IsStride.size() && IsStride[V])
+        NewStride[Remap[V]] = true;
+    IsStride = std::move(NewStride);
+  }
+
   void finishPiece(Problem P) {
     if (Opts.DropEmptyPieces && !isSatisfiable(P, SatOptions(), Ctx))
       return;
@@ -185,7 +208,8 @@ struct Projector {
 /// Real-shadow-only projection: a single conjunction over-approximating the
 /// integer projection (and equal to it when every step was exact).
 Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
-                      bool &Exact, OmegaContext &Ctx) {
+                      bool &Exact, unsigned FirstTransient,
+                      OmegaContext &Ctx) {
   Exact = true;
   std::vector<bool> IsStride(P.getNumVars(), false);
   auto Eliminable = [&](VarId V) {
@@ -226,6 +250,17 @@ Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
         break;
     }
 
+    {
+      std::vector<int> Remap;
+      if (P.compactDeadColumns(FirstTransient, &Remap)) {
+        std::vector<bool> NewStride(P.getNumVars(), false);
+        for (unsigned V = 0, E = Remap.size(); V != E; ++V)
+          if (Remap[V] >= 0 && V < IsStride.size() && IsStride[V])
+            NewStride[Remap[V]] = true;
+        IsStride = std::move(NewStride);
+      }
+    }
+
     VarId Z = -1;
     FMCost BestCost;
     for (VarId V = 0, E = P.getNumVars(); V != E; ++V) {
@@ -240,7 +275,9 @@ Problem projectApprox(Problem P, const std::function<bool(VarId)> &MayEliminate,
     if (Z < 0)
       return P;
 
-    FMResult R = fourierMotzkinEliminate(P, Z);
+    // Only the real shadow is consumed: skip the dark shadow rows and the
+    // splinter problem copies.
+    FMResult R = fourierMotzkinEliminate(P, Z, FMParts::RealShadowOnly);
     if (!R.Exact)
       Exact = false;
     P = std::move(R.RealShadow);
@@ -254,6 +291,7 @@ ProjectionResult omega::projectOntoMask(const Problem &P,
                                         const ProjectOptions &Opts,
                                         OmegaContext &Ctx) {
   assert(Keep.size() == P.getNumVars() && "mask size mismatch");
+  ++Ctx.Stats.ProjectionCalls;
   // Snapshot the mask and protection bits: elimination mints fresh
   // wildcards beyond the original variable count, and those are always
   // eliminable.
@@ -269,12 +307,13 @@ ProjectionResult omega::projectOntoMask(const Problem &P,
 
   ProjectionResult Result;
   OverflowScope Scope;
-  Projector Proj(MayEliminate, Opts, Ctx);
+  Projector Proj(MayEliminate, Opts, Ctx, P.getNumVars());
   Proj.run(P, std::vector<bool>(P.getNumVars(), false), 0);
   Result.Pieces = std::move(Proj.Pieces);
 
   bool ApproxExact = true;
-  Result.Approx = projectApprox(P, MayEliminate, ApproxExact, Ctx);
+  Result.Approx =
+      projectApprox(P, MayEliminate, ApproxExact, P.getNumVars(), Ctx);
   Result.ApproxIsExact = ApproxExact && !Proj.SawInexact;
   if (Opts.RemoveRedundant)
     removeRedundantConstraints(Result.Approx, Ctx);

@@ -6,6 +6,8 @@
 
 #include "omega/QueryCache.h"
 
+#include "support/Hashing.h"
+
 #include <algorithm>
 
 using namespace omega;
@@ -115,13 +117,6 @@ void appendU32(std::string &Out, uint32_t V) {
     Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
 }
 
-uint64_t mix64(uint64_t X) {
-  X += 0x9e3779b97f4a7c15ull;
-  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
-  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
-  return X ^ (X >> 31);
-}
-
 /// Serializes one row over an explicit column order (fixed width given the
 /// column count, so sorted rows concatenate unambiguously).
 std::string rowKey(const Constraint &Row, const std::vector<VarId> &Columns) {
@@ -171,26 +166,27 @@ std::optional<std::string> omega::canonicalSatKey(const Problem &P,
       Live.push_back(V);
 
   // Structural signature per column, independent of row and column order:
-  // a commutative accumulation over the rows the column appears in.
+  // a commutative accumulation (shared mix64 from support/Hashing.h) over
+  // the rows the column appears in. One pass over the rows fills every
+  // column's accumulator.
+  std::vector<uint64_t> ColSig(Q.getNumVars(), 0);
+  for (const Constraint &Row : Q.constraints()) {
+    const uint64_t RowTag =
+        static_cast<uint64_t>(Row.getConstant()) ^
+        (Row.isEquality() ? 0x45ull : 0x47ull) * 0x9e3779b97f4a7c15ull;
+    const int64_t *C = Row.coeffs().data();
+    for (unsigned V = 0, E = Row.getNumVars(); V != E; ++V)
+      if (C[V] != 0)
+        ColSig[V] += mix64(mix64(static_cast<uint64_t>(C[V])) ^ RowTag);
+  }
   struct ColOrder {
     uint64_t Sig;
     VarId V;
   };
   std::vector<ColOrder> Order;
   Order.reserve(Live.size());
-  for (VarId V : Live) {
-    uint64_t Sig = 0;
-    for (const Constraint &Row : Q.constraints()) {
-      int64_t C = Row.getCoeff(V);
-      if (C == 0)
-        continue;
-      uint64_t H = mix64(static_cast<uint64_t>(C));
-      H = mix64(H ^ static_cast<uint64_t>(Row.getConstant()));
-      H = mix64(H ^ (Row.isEquality() ? 0x45ull : 0x47ull));
-      Sig += H; // commutative: row order cannot matter
-    }
-    Order.push_back({Sig, V});
-  }
+  for (VarId V : Live)
+    Order.push_back({ColSig[V], V});
   // Ties between structurally identical columns fall back to the original
   // index: deterministic, and at worst a cache miss for a permuted twin.
   std::sort(Order.begin(), Order.end(), [](const ColOrder &A, const ColOrder &B) {
@@ -203,13 +199,31 @@ std::optional<std::string> omega::canonicalSatKey(const Problem &P,
 
   appendU32(Key, static_cast<uint32_t>(Columns.size()));
   appendU32(Key, static_cast<uint32_t>(Q.getNumConstraints()));
-  std::vector<std::string> Rows;
+  // Sort rows into a canonical order. The comparisons are prescreened by a
+  // row hash over the canonical column positions -- the same
+  // hashCoeffTerm scheme as Constraint's structural signature -- so only
+  // hash-equal rows pay a byte-wise key comparison.
+  struct RowOrder {
+    uint64_t H;
+    std::string K;
+  };
+  std::vector<RowOrder> Rows;
   Rows.reserve(Q.getNumConstraints());
-  for (const Constraint &Row : Q.constraints())
-    Rows.push_back(rowKey(Row, Columns));
-  std::sort(Rows.begin(), Rows.end());
-  for (const std::string &R : Rows)
-    Key += R;
+  for (const Constraint &Row : Q.constraints()) {
+    uint64_t H = mix64(static_cast<uint64_t>(Row.getConstant()) ^
+                       (Row.isEquality() ? 0x45ull : 0x47ull));
+    for (unsigned I = 0, E = Columns.size(); I != E; ++I) {
+      int64_t C = Row.getCoeff(Columns[I]);
+      if (C != 0)
+        H += hashCoeffTerm(I, C);
+    }
+    Rows.push_back({H, rowKey(Row, Columns)});
+  }
+  std::sort(Rows.begin(), Rows.end(), [](const RowOrder &A, const RowOrder &B) {
+    return A.H != B.H ? A.H < B.H : A.K < B.K;
+  });
+  for (const RowOrder &R : Rows)
+    Key += R.K;
   return Key;
 }
 

@@ -83,6 +83,10 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
 
   if (solveEqualities(P, Ctx) == SolveResult::False)
     return false;
+  // Satisfiability never reads VarIds back out, so every dead column
+  // (mod-hat wildcards, eliminated variables) can be dropped: shorter rows
+  // keep the splinter/shadow copies below on the inline path.
+  P.compactDeadColumns();
 
   while (true) {
     if (arithOverflowFlag())
@@ -95,7 +99,13 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
       return checkSingleVar(P, OnlyVar);
 
     VarId Z = chooseVariable(P);
-    FMResult R = fourierMotzkinEliminate(P, Z);
+    // P is dead after this call (reassigned or abandoned), so the last
+    // splinter may take its storage; real-shadow-only mode skips the dark
+    // shadow and splinter materialization it would never look at.
+    FMResult R = fourierMotzkinEliminate(std::move(P), Z,
+                                         Opts.Mode == SatMode::RealShadowOnly
+                                             ? FMParts::RealShadowOnly
+                                             : FMParts::All);
 
     if (R.Exact || Opts.Mode == SatMode::RealShadowOnly) {
       ++Ctx.Stats.ExactEliminations;
@@ -103,8 +113,11 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
       if (P.normalize() == Problem::NormalizeResult::False)
         return false;
       // normalize() may synthesize equalities from opposed inequalities.
-      if (P.getNumEQs() != 0 && solveEqualities(P, Ctx) == SolveResult::False)
-        return false;
+      if (P.getNumEQs() != 0) {
+        if (solveEqualities(P, Ctx) == SolveResult::False)
+          return false;
+        P.compactDeadColumns();
+      }
       continue;
     }
 

@@ -1,0 +1,191 @@
+//===- support/SmallCoeffVector.h - Inline-storage coefficient rows ------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small-size-optimized vector of int64_t coefficients: values up to
+/// InlineCapacity live directly inside the object (no heap traffic), longer
+/// rows spill to a heap buffer. Constraint rows are the single hottest
+/// allocation in the Omega core -- dependence problems are copied, combined
+/// and splintered thousands of times per analysis -- and typical problems
+/// have few variables, so the inline path makes row construction and
+/// Problem copies allocation-free.
+///
+/// The type deliberately supports only what Constraint needs: construction
+/// filled with zeros, grow-only resize, element access, raw data pointers
+/// for the batched arithmetic loops, and equality. Elements are trivially
+/// copyable, so copies are memcpy and moves of inline storage are copies.
+///
+/// Heap spills are counted per thread (heapAllocationsThisThread) so tests
+/// can assert the zero-allocation property for rows within the inline
+/// capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_SUPPORT_SMALLCOEFFVECTOR_H
+#define OMEGA_SUPPORT_SMALLCOEFFVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+
+namespace omega {
+
+class SmallCoeffVector {
+public:
+  /// Rows with at most this many coefficients never touch the heap. Eight
+  /// covers the bulk of dependence problems (two nests of depth <= 3 plus
+  /// a couple of symbolic constants) while keeping a Constraint about one
+  /// cache line; see DESIGN.md "Core data layout".
+  static constexpr unsigned InlineCapacity = 8;
+
+  /// Number of heap buffers this thread has allocated through
+  /// SmallCoeffVector since thread start. Tests diff it around an
+  /// operation to prove the inline path stays allocation-free.
+  static uint64_t &heapAllocationsThisThread() {
+    thread_local uint64_t Count = 0;
+    return Count;
+  }
+
+  SmallCoeffVector() = default;
+
+  /// Constructs \p N zero coefficients.
+  explicit SmallCoeffVector(unsigned N) { resize(N); }
+
+  SmallCoeffVector(const SmallCoeffVector &O) { copyFrom(O); }
+
+  SmallCoeffVector(SmallCoeffVector &&O) noexcept {
+    if (O.isInline()) {
+      Size = O.Size;
+      std::memcpy(Inline, O.Inline, Size * sizeof(int64_t));
+    } else {
+      Heap = O.Heap;
+      Size = O.Size;
+      Cap = O.Cap;
+      O.Heap = nullptr;
+      O.Size = 0;
+      O.Cap = InlineCapacity;
+    }
+  }
+
+  SmallCoeffVector &operator=(const SmallCoeffVector &O) {
+    if (this != &O) {
+      // Reuse an existing heap buffer when it fits; never shrink back.
+      if (O.Size <= Cap) {
+        Size = O.Size;
+        std::memcpy(data(), O.data(), Size * sizeof(int64_t));
+      } else {
+        freeHeap();
+        copyFrom(O);
+      }
+    }
+    return *this;
+  }
+
+  SmallCoeffVector &operator=(SmallCoeffVector &&O) noexcept {
+    if (this != &O) {
+      freeHeap();
+      if (O.isInline()) {
+        Heap = nullptr;
+        Cap = InlineCapacity;
+        Size = O.Size;
+        std::memcpy(Inline, O.Inline, Size * sizeof(int64_t));
+      } else {
+        Heap = O.Heap;
+        Size = O.Size;
+        Cap = O.Cap;
+        O.Heap = nullptr;
+        O.Size = 0;
+        O.Cap = InlineCapacity;
+      }
+    }
+    return *this;
+  }
+
+  ~SmallCoeffVector() { freeHeap(); }
+
+  unsigned size() const { return Size; }
+  bool empty() const { return Size == 0; }
+
+  int64_t *data() { return Heap ? Heap : Inline; }
+  const int64_t *data() const { return Heap ? Heap : Inline; }
+
+  int64_t &operator[](unsigned I) {
+    assert(I < Size && "coefficient index out of range");
+    return data()[I];
+  }
+  int64_t operator[](unsigned I) const {
+    assert(I < Size && "coefficient index out of range");
+    return data()[I];
+  }
+
+  int64_t *begin() { return data(); }
+  int64_t *end() { return data() + Size; }
+  const int64_t *begin() const { return data(); }
+  const int64_t *end() const { return data() + Size; }
+
+  /// Grow-only resize; new elements are zero. (Constraint rows only ever
+  /// gain variables; dead columns are compacted by rebuilding the row.)
+  void resize(unsigned N) {
+    if (N > Cap)
+      grow(N);
+    if (N > Size)
+      std::memset(data() + Size, 0, (N - Size) * sizeof(int64_t));
+    Size = N;
+  }
+
+  friend bool operator==(const SmallCoeffVector &A,
+                         const SmallCoeffVector &B) {
+    return A.Size == B.Size &&
+           std::memcmp(A.data(), B.data(), A.Size * sizeof(int64_t)) == 0;
+  }
+
+private:
+  bool isInline() const { return Heap == nullptr; }
+
+  void copyFrom(const SmallCoeffVector &O) {
+    Size = O.Size;
+    if (Size <= InlineCapacity) {
+      Heap = nullptr;
+      Cap = InlineCapacity;
+      std::memcpy(Inline, O.data(), Size * sizeof(int64_t));
+    } else {
+      Heap = allocate(Size);
+      Cap = Size;
+      std::memcpy(Heap, O.Heap, Size * sizeof(int64_t));
+    }
+  }
+
+  void grow(unsigned N) {
+    // Double so long chains of addVar stay amortized-constant.
+    unsigned NewCap = Cap * 2 < N ? N : Cap * 2;
+    int64_t *NewHeap = allocate(NewCap);
+    std::memcpy(NewHeap, data(), Size * sizeof(int64_t));
+    freeHeap();
+    Heap = NewHeap;
+    Cap = NewCap;
+  }
+
+  static int64_t *allocate(unsigned N) {
+    ++heapAllocationsThisThread();
+    return new int64_t[N];
+  }
+
+  void freeHeap() {
+    delete[] Heap;
+    Heap = nullptr;
+    Cap = InlineCapacity;
+  }
+
+  int64_t *Heap = nullptr; ///< null while the row fits inline
+  unsigned Size = 0;
+  unsigned Cap = InlineCapacity;
+  int64_t Inline[InlineCapacity];
+};
+
+} // namespace omega
+
+#endif // OMEGA_SUPPORT_SMALLCOEFFVECTOR_H

@@ -203,3 +203,145 @@ TEST(Problem, WildcardsAreUnprotected) {
   VarId X = P.addVar("x");
   EXPECT_TRUE(P.isProtected(X));
 }
+
+//===----------------------------------------------------------------------===//
+// Hashed normalize vs the retained reference implementation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs normalize() on one copy and normalizeReference() on another and
+/// requires bit-identical results: same verdict, same rows, same order,
+/// same kinds and red tags.
+void expectNormalizeMatchesReference(const Problem &P) {
+  Problem Hashed = P;
+  Problem Ref = P;
+  Problem::NormalizeResult HR = Hashed.normalize();
+  Problem::NormalizeResult RR = Ref.normalizeReference();
+  ASSERT_EQ(HR, RR) << "verdicts diverge for " << P.toString();
+  if (HR != Problem::NormalizeResult::Ok)
+    return;
+  ASSERT_EQ(Hashed.getNumConstraints(), Ref.getNumConstraints())
+      << "row counts diverge for " << P.toString();
+  for (unsigned I = 0, E = Hashed.getNumConstraints(); I != E; ++I) {
+    const Constraint &A = Hashed.constraints()[I];
+    const Constraint &B = Ref.constraints()[I];
+    EXPECT_EQ(A.getKind(), B.getKind()) << "row " << I;
+    EXPECT_EQ(A.isRed(), B.isRed()) << "row " << I;
+    EXPECT_TRUE(A.sameForm(B))
+        << "row " << I << ": " << Hashed.constraintToString(A) << " vs "
+        << Ref.constraintToString(B);
+  }
+  EXPECT_EQ(Hashed.toString(), Ref.toString());
+}
+
+} // namespace
+
+TEST(NormalizeDifferential, DuplicatesKeepTightestConstant) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 1}, {Y, -2}}, -2);
+  P.addGEQ({{X, 1}, {Y, -2}}, -7); // tighter duplicate
+  P.addGEQ({{X, 1}, {Y, -2}}, 3);  // looser duplicate
+  P.addGEQ({{X, -1}, {Y, 2}}, 9);  // opposite orientation, distinct bucket
+  expectNormalizeMatchesReference(P);
+}
+
+TEST(NormalizeDifferential, OpposedPairsBecomeEqualities) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 2}, {Y, 3}}, -6); // 2x + 3y >= 6
+  P.addGEQ({{X, -2}, {Y, -3}}, 6); // 2x + 3y <= 6
+  P.addGEQ({{Y, 1}}, 0);
+  expectNormalizeMatchesReference(P);
+}
+
+TEST(NormalizeDifferential, EqualityAbsorbsImpliedInequalities) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addEQ({{X, 1}, {Y, 1}}, -5);
+  P.addGEQ({{X, 1}, {Y, 1}}, -3); // implied by the equality
+  P.addGEQ({{X, -1}, {Y, -1}}, 8); // also implied
+  expectNormalizeMatchesReference(P);
+}
+
+TEST(NormalizeDifferential, ManyBucketsEmitInReferenceOrder) {
+  // Enough distinct buckets that the hashed path's sort actually has to
+  // reproduce the ordered map's lexicographic emission order.
+  Problem P;
+  VarId V[4];
+  for (int I = 0; I != 4; ++I)
+    V[I] = P.addVar("v" + std::to_string(I));
+  for (int A = -2; A <= 2; ++A)
+    for (int B = -2; B <= 2; ++B) {
+      if (A == 0 && B == 0)
+        continue;
+      P.addGEQ({{V[0], A}, {V[1], B}, {V[2], A - B}}, A + 3 * B);
+      P.addGEQ({{V[3], B}, {V[1], -A}}, B - A, /*Red=*/(A + B) % 2 == 0);
+    }
+  expectNormalizeMatchesReference(P);
+}
+
+TEST(NormalizeDifferential, GcdReductionAndContradictions) {
+  VarId X, Y;
+  Problem P = makeXY(X, Y);
+  P.addGEQ({{X, 4}, {Y, 6}}, -7); // gcd 2, tightens
+  P.addGEQ({{X, -2}, {Y, -3}}, 2);
+  expectNormalizeMatchesReference(P);
+
+  Problem Q = makeXY(X, Y);
+  Q.addGEQ({{X, 1}}, -5);
+  Q.addGEQ({{X, -1}}, 4); // contradiction
+  expectNormalizeMatchesReference(Q);
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-column compaction
+//===----------------------------------------------------------------------===//
+
+TEST(Problem, CompactDeadColumnsDropsOnlyDeadUninvolved) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId W1 = P.addWildcard();
+  VarId W2 = P.addWildcard();
+  P.addGEQ({{X, 1}, {W2, 2}}, 0);
+  P.markDead(W1); // dead and uninvolved: compactable
+  P.markDead(W2); // dead but still involved: must stay
+
+  std::vector<int> Remap;
+  EXPECT_EQ(P.compactDeadColumns(0, &Remap), 1u);
+  EXPECT_EQ(P.getNumVars(), 2u);
+  EXPECT_EQ(Remap[X], 0);
+  EXPECT_EQ(Remap[W1], -1);
+  EXPECT_EQ(Remap[W2], 1);
+  // The surviving row kept its coefficients under the new numbering.
+  EXPECT_EQ(P.constraints().front().getCoeff(0), 1);
+  EXPECT_EQ(P.constraints().front().getCoeff(1), 2);
+  EXPECT_EQ(P.getVarName(0), "x");
+}
+
+TEST(Problem, CompactDeadColumnsHonorsKeepBelow) {
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.markDead(X); // dead and uninvolved, but below KeepBelow
+  VarId W = P.addWildcard();
+  P.markDead(W);
+  P.addGEQ({{Y, 1}}, 0);
+
+  EXPECT_EQ(P.compactDeadColumns(/*KeepBelow=*/2), 1u);
+  EXPECT_EQ(P.getNumVars(), 2u); // x retained, wildcard dropped
+  EXPECT_EQ(P.getVarName(0), "x");
+  EXPECT_EQ(P.getVarName(1), "y");
+}
+
+TEST(Problem, CompactDeadColumnsNoOpReturnsZero) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, 0);
+  std::vector<int> Remap;
+  EXPECT_EQ(P.compactDeadColumns(0, &Remap), 0u);
+  EXPECT_EQ(P.getNumVars(), 1u);
+  ASSERT_EQ(Remap.size(), 1u);
+  EXPECT_EQ(Remap[0], 0);
+}

@@ -7,9 +7,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Driver.h"
+#include "TestUtils.h"
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 
 using namespace omega;
@@ -125,4 +127,51 @@ TEST(Stress, ManySymbolicConstants) {
   AnalysisResult R = analyzeProgram(AP);
   // With s1 unconstrained both directions must be assumed.
   EXPECT_FALSE(R.Flow.empty());
+}
+
+TEST(Stress, RandomNormalizeHashedMatchesReference) {
+  // The hashed normalize must agree with the retained ordered-map
+  // reference bit-for-bit -- verdict, rows, emission order, red tags --
+  // over a large random population, including problems engineered to
+  // collide in the merge buckets (duplicate rows, flipped orientations).
+  std::mt19937 Rng(20260806);
+  testutil::RandomProblemConfig Cfg;
+  Cfg.NumVars = 4;
+  Cfg.NumEQs = 2;
+  Cfg.NumGEQs = 6;
+  for (unsigned Iter = 0; Iter != 500; ++Iter) {
+    Problem P = testutil::randomProblem(Rng, Cfg);
+    // Inject bucket collisions: re-add some rows verbatim, negated, and
+    // with a shifted constant, so the merge passes have real work.
+    unsigned NumRows = P.getNumConstraints();
+    for (unsigned I = 0; I < NumRows; I += 3) {
+      Constraint Row = P.constraints()[I];
+      P.addConstraint(Row);
+      if (Row.isInequality()) {
+        Row.addToConstant(Iter % 5 - 2);
+        P.addConstraint(Row);
+        Row.negateForm();
+        P.addConstraint(std::move(Row));
+      }
+    }
+
+    Problem Hashed = P;
+    Problem Ref = P;
+    Problem::NormalizeResult HR = Hashed.normalize();
+    Problem::NormalizeResult RR = Ref.normalizeReference();
+    ASSERT_EQ(HR, RR) << "iteration " << Iter << ": " << P.toString();
+    if (HR != Problem::NormalizeResult::Ok)
+      continue;
+    ASSERT_EQ(Hashed.getNumConstraints(), Ref.getNumConstraints())
+        << "iteration " << Iter << ": " << P.toString();
+    for (unsigned I = 0, E = Hashed.getNumConstraints(); I != E; ++I) {
+      const Constraint &A = Hashed.constraints()[I];
+      const Constraint &B = Ref.constraints()[I];
+      ASSERT_TRUE(A.getKind() == B.getKind() && A.isRed() == B.isRed() &&
+                  A.sameForm(B))
+          << "iteration " << Iter << " row " << I << ": "
+          << Hashed.constraintToString(A) << " vs "
+          << Ref.constraintToString(B);
+    }
+  }
 }
