@@ -152,6 +152,10 @@ inline void writeStatsJson(JsonWriter &W, const char *K,
   W.field("gist_fast_drops", S.GistFastDrops);
   W.field("gist_fast_keeps", S.GistFastKeeps);
   W.field("gist_sat_tests", S.GistSatTests);
+  W.field("sat_cache_hits", S.SatCacheHits);
+  W.field("sat_cache_misses", S.SatCacheMisses);
+  W.field("gist_cache_hits", S.GistCacheHits);
+  W.field("gist_cache_misses", S.GistCacheMisses);
   W.endObject();
 }
 

@@ -7,6 +7,8 @@
 #include "analysis/Kills.h"
 
 #include "analysis/Implication.h"
+#include "obs/Trace.h"
+#include "omega/OmegaContext.h"
 #include "omega/Projection.h"
 #include "omega/Satisfiability.h"
 
@@ -52,6 +54,7 @@ std::vector<Problem> projectAwayInstance(std::vector<Problem> Cases,
 bool analysis::covers(const ir::AnalyzedProgram &AP, const ir::Access &A,
                       const ir::Access &B, bool LoopIndependentOnly) {
   assert(A.IsWrite && A.Array == B.Array && "cover needs a same-array write");
+  obs::ScopedSpan Span(OmegaContext::current().Trace, obs::SpanKind::Cover);
   // Rank-mismatched references (a(x) vs. a(x,y)) only MAY alias; a cover
   // claims the write definitely produces every element the read touches,
   // which needs must-alias reasoning.
@@ -87,6 +90,7 @@ bool analysis::terminates(const ir::AnalyzedProgram &AP, const ir::Access &A,
                           const ir::Access &B) {
   assert(B.IsWrite && A.Array == B.Array &&
          "termination needs a same-array write");
+  obs::ScopedSpan Span(OmegaContext::current().Trace, obs::SpanKind::Kill);
   // Must-alias reasoning: see covers().
   if (A.Subscripts.size() != B.Subscripts.size())
     return false;
@@ -111,6 +115,7 @@ bool analysis::kills(const ir::AnalyzedProgram &AP, const ir::Access &A,
                      unsigned Level) {
   assert(B.IsWrite && B.Array == A.Array && A.Array == C.Array &&
          "killer must write the same array");
+  obs::ScopedSpan Span(OmegaContext::current().Trace, obs::SpanKind::Kill);
   // The killer must DEFINITELY overwrite what flows from A to C, which
   // needs must-alias reasoning: rank-mismatched references only may
   // alias, so they cannot kill.

@@ -7,6 +7,8 @@
 #include "analysis/Refine.h"
 
 #include "analysis/Implication.h"
+#include "obs/Trace.h"
+#include "omega/OmegaContext.h"
 #include "omega/Projection.h"
 #include "omega/Satisfiability.h"
 
@@ -228,6 +230,7 @@ RefineResult analysis::refineDependence(const ir::AnalyzedProgram &AP,
                                         deps::Dependence &Dep) {
   RefineResult Result;
   assert(A.IsWrite && "refinement applies to dependences from a write");
+  obs::ScopedSpan Span(OmegaContext::current().Trace, obs::SpanKind::Refine);
   if (Dep.Splits.empty())
     return Result;
   // Refinement claims a definite more-recent source, which needs

@@ -219,8 +219,9 @@ struct LinForm {
 
 class Interpreter {
 public:
-  Interpreter(std::map<std::string, NamedSet> &Sets, std::string_view Src)
-      : Sets(Sets), Scan(Src) {
+  Interpreter(std::map<std::string, NamedSet> &Sets, std::string_view Src,
+              Calculator &Calc)
+      : Sets(Sets), Scan(Src), Calc(Calc) {
     bump();
   }
 
@@ -293,7 +294,29 @@ private:
       return simplifyCmd();
     if (Head == "print")
       return printCmd();
+    if (Head == "trace")
+      return traceCmd();
     error("unknown command '" + Head + "'");
+  }
+
+  /// `trace on;` starts span recording on the calculator's context;
+  /// `trace off;` stops it and prints the profile of the traced window.
+  void traceCmd() {
+    if (Cur.Kind != Tok::Ident ||
+        (Cur.Text != "on" && Cur.Text != "off")) {
+      error("expected 'on' or 'off' after 'trace'");
+      return;
+    }
+    bool On = Cur.Text == "on";
+    bump();
+    if (!expect(Tok::Semi, "';'"))
+      return;
+    if (On) {
+      Calc.startTrace();
+      Out += "tracing on\n";
+    } else {
+      Out += Calc.stopTrace();
+    }
   }
 
   void assignment(const std::string &Name) {
@@ -771,6 +794,7 @@ private:
 
   std::map<std::string, NamedSet> &Sets;
   Scanner Scan;
+  Calculator &Calc;
   Token Cur;
   std::string Out;
   bool Errored = false;
@@ -782,7 +806,7 @@ private:
 
 std::string Calculator::run(std::string_view Script) {
   OmegaContextScope Scope(Ctx); // route every Omega call to this calculator
-  Interpreter I(Sets, Script);
+  Interpreter I(Sets, Script, *this);
   std::string Out = I.run();
   HadError = I.hadError();
   return Out;

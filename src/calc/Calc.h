@@ -31,11 +31,13 @@
 #ifndef OMEGA_CALC_CALC_H
 #define OMEGA_CALC_CALC_H
 
+#include "obs/Trace.h"
 #include "omega/OmegaContext.h"
 #include "omega/Problem.h"
 #include "omega/QueryCache.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,10 +72,34 @@ public:
     return It == Sets.end() ? nullptr : &It->second;
   }
 
+  /// `trace on;`: starts recording spans for every subsequent query into a
+  /// fresh tracer (discarding any earlier recording).
+  void startTrace() {
+    Tracer = std::make_unique<obs::Tracer>();
+    Ctx.Trace = &Tracer->registerBuffer("calc", &Ctx.Stats);
+  }
+
+  /// `trace off;`: stops recording and returns the profile report of the
+  /// traced window (or a notice when tracing was never on).
+  std::string stopTrace() {
+    if (!Tracer)
+      return "tracing was already off\n";
+    Ctx.Trace = nullptr;
+    std::string Report = Tracer->profileReport(/*Json=*/false);
+    Tracer.reset();
+    return Report;
+  }
+
+  bool tracing() const { return Tracer != nullptr; }
+
+  /// The active tracer (null unless between `trace on` and `trace off`).
+  obs::Tracer *tracer() { return Tracer.get(); }
+
 private:
   std::map<std::string, NamedSet> Sets;
   QueryCache Cache;
   OmegaContext Ctx;
+  std::unique_ptr<obs::Tracer> Tracer;
   bool HadError = false;
 };
 

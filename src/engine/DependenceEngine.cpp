@@ -9,10 +9,12 @@
 #include "analysis/Kills.h"
 #include "analysis/Refine.h"
 #include "engine/WorkerPool.h"
+#include "obs/Trace.h"
 
 #include <chrono>
 #include <map>
 #include <optional>
+#include <string>
 
 using namespace omega;
 using namespace omega::engine;
@@ -79,12 +81,24 @@ bool completelyPrecedesCover(const ir::Access &W, const Dependence &Cover) {
          CommonWA <= ir::AnalyzedProgram::numCommonLoops(A, *Cover.Dst);
 }
 
+/// Work-item keys: phase in the top byte below the non-task marker, serial
+/// enumeration index in the low bits. Identical for every Jobs value, so
+/// the tracer's (key, seq) merge order is jobs-independent.
+uint64_t taskKey(unsigned Phase, std::size_t Index) {
+  return (static_cast<uint64_t>(Phase) << 48) | Index;
+}
+
+/// "s3 A(I,J)": statement number plus the source rendering.
+std::string accessLabel(const ir::Access &A) {
+  return "s" + std::to_string(A.StmtLabel) + " " + A.Text;
+}
+
 } // namespace
 
 DependenceEngine::DependenceEngine(const AnalysisRequest &Req) : Req(Req) {
   if (Req.UseQueryCache)
     Cache = std::make_unique<QueryCache>();
-  Pool = std::make_unique<WorkerPool>(Req.Jobs, Cache.get());
+  Pool = std::make_unique<WorkerPool>(Req.Jobs, Cache.get(), Req.Trace);
 }
 
 DependenceEngine::~DependenceEngine() = default;
@@ -127,6 +141,11 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   std::vector<std::optional<Dependence>> PairDeps(PairTasks.size());
   Pool->parallelFor(PairTasks.size(), [&](std::size_t I, OmegaContext &Ctx) {
     const PairTask &T = PairTasks[I];
+    obs::TaskScope Task(
+        Ctx.Trace, taskKey(1, I),
+        Ctx.Trace ? std::string(T.Kind == DepKind::Output ? "output " : "anti ") +
+                        accessLabel(*T.Src) + " -> " + accessLabel(*T.Dst)
+                  : std::string());
     PairDeps[I] = DependenceAnalysis(AP, Ctx).computeDependence(*T.Src, *T.Dst,
                                                                 T.Kind);
   });
@@ -161,6 +180,10 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   Pool->parallelFor(FlowTasks.size(), [&](std::size_t I, OmegaContext &Ctx) {
     const ir::Access *Write = FlowTasks[I].Write;
     const ir::Access *Read = FlowTasks[I].Read;
+    obs::TaskScope Task(Ctx.Trace, taskKey(2, I),
+                        Ctx.Trace ? "flow " + accessLabel(*Write) + " -> " +
+                                        accessLabel(*Read)
+                                  : std::string());
     FlowSlot &Slot = Slots[I];
     Slot.Record.Write = Write;
     Slot.Record.Read = Read;
@@ -182,6 +205,9 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
         Slot.Record.UsedGeneralTest |= RR.UsedGeneralTest;
         Slot.Record.SplitVectors |=
             Slot.Dep->Splits.size() > 1 && RR.UsedGeneralTest;
+        if (Ctx.Trace && RR.Refined)
+          Ctx.Trace->decision("refinement: tightened distance vector (" +
+                              std::to_string(RR.LoopsFixed) + " loops fixed)");
       }
       // Coverage next (Section 4.2).
       if (Req.Cover &&
@@ -192,6 +218,8 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
           Slot.Dep->Covers = true;
           Slot.Dep->CoverLoopIndependent =
               analysis::covers(AP, *Write, *Read, /*LoopIndependentOnly=*/true);
+          if (Ctx.Trace)
+            Ctx.Trace->decision("cover: write covers every read instance");
         }
       }
     }
@@ -223,9 +251,13 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       Groups.push_back({&DepIndices, {}});
     }
     Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &Ctx) {
-      (void)Ctx; // kills()/covers() reach the worker context implicitly
       KillGroup &G = Groups[GI];
       const std::vector<unsigned> &DepIndices = *G.DepIndices;
+      obs::TaskScope Task(
+          Ctx.Trace, taskKey(3, GI),
+          Ctx.Trace ? "kills into " +
+                          accessLabel(*Result.Flow[DepIndices.front()].Dst)
+                    : std::string());
       // Kill by cover.
       for (unsigned CoverIdx : DepIndices) {
         const Dependence &Cover = Result.Flow[CoverIdx];
@@ -242,6 +274,9 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
               S.Dead = true;
               S.DeadReason = 'c';
             }
+          if (Ctx.Trace)
+            Ctx.Trace->decision("killed by cover: " + accessLabel(*Cover.Src) +
+                                " supersedes " + accessLabel(*Victim.Src));
         }
       }
       // Pairwise killing.
@@ -277,6 +312,9 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
             }
           }
           KR.Secs = secondsSince(Start);
+          if (Ctx.Trace && KR.Killed)
+            Ctx.Trace->decision("killed by write: " + accessLabel(Killer) +
+                                " overwrites " + accessLabel(*Victim.Src));
           G.Records.push_back(KR);
         }
       }
@@ -294,8 +332,11 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   if (Req.Terminate) {
     Pool->parallelFor(Result.Flow.size(), [&](std::size_t I,
                                               OmegaContext &Ctx) {
-      (void)Ctx; // terminates() reaches the worker context implicitly
       Dependence &Dep = Result.Flow[I];
+      obs::TaskScope Task(Ctx.Trace, taskKey(4, I),
+                          Ctx.Trace ? "terminate " + accessLabel(*Dep.Src) +
+                                          " -> " + accessLabel(*Dep.Dst)
+                                    : std::string());
       if (Dep.allDead())
         return;
       for (const ir::Access *B : Writes) {
@@ -314,6 +355,8 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
             S.Dead = true;
             S.DeadReason = 'k';
           }
+        if (Ctx.Trace)
+          Ctx.Trace->decision("terminated by: " + accessLabel(*B));
         break;
       }
     });

@@ -33,6 +33,11 @@
 #include <memory>
 
 namespace omega {
+
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace engine {
 
 class WorkerPool;
@@ -51,6 +56,12 @@ struct AnalysisRequest {
   /// Memoize satisfiability and gist queries across the whole engine
   /// lifetime (repeat analyses reuse earlier answers).
   bool UseQueryCache = true;
+  /// Optional tracer: each worker context gets a registered trace buffer
+  /// and every work item is recorded as an engine-task span keyed by its
+  /// serial enumeration order, so merged traces are identical for every
+  /// Jobs value. Null disables tracing (the zero-overhead path). Not
+  /// owned; must outlive the engine.
+  obs::Tracer *Trace = nullptr;
 
   static AnalysisRequest fromDriverOptions(const analysis::DriverOptions &O) {
     AnalysisRequest R;

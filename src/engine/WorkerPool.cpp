@@ -6,12 +6,15 @@
 
 #include "engine/WorkerPool.h"
 
+#include "obs/Trace.h"
 #include "omega/QueryCache.h"
+
+#include <string>
 
 using namespace omega;
 using namespace omega::engine;
 
-WorkerPool::WorkerPool(unsigned Jobs, QueryCache *Cache) {
+WorkerPool::WorkerPool(unsigned Jobs, QueryCache *Cache, obs::Tracer *Tracer) {
   if (Jobs == 0) {
     Jobs = std::thread::hardware_concurrency();
     if (Jobs == 0)
@@ -19,8 +22,12 @@ WorkerPool::WorkerPool(unsigned Jobs, QueryCache *Cache) {
   }
   NumWorkers = Jobs;
   Contexts.reserve(NumWorkers);
-  for (unsigned I = 0; I != NumWorkers; ++I)
+  for (unsigned I = 0; I != NumWorkers; ++I) {
     Contexts.push_back(std::make_unique<OmegaContext>(Cache));
+    if (Tracer)
+      Contexts.back()->Trace = &Tracer->registerBuffer(
+          "worker-" + std::to_string(I), &Contexts.back()->Stats);
+  }
   if (NumWorkers > 1) {
     Threads.reserve(NumWorkers);
     for (unsigned I = 0; I != NumWorkers; ++I)

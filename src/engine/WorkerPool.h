@@ -38,6 +38,10 @@ namespace omega {
 
 class QueryCache;
 
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace engine {
 
 class WorkerPool {
@@ -49,8 +53,11 @@ public:
   /// Spawns \p Jobs workers (0 means the hardware concurrency). Jobs <= 1
   /// spawns no thread at all: parallelFor then runs inline on the caller,
   /// still under a pool-owned context. \p Cache (may be null) is shared by
-  /// every worker context.
-  explicit WorkerPool(unsigned Jobs, QueryCache *Cache = nullptr);
+  /// every worker context. A non-null \p Tracer gets one "worker-N" trace
+  /// buffer registered per context, so recording is lock-free (one writer
+  /// per buffer) and the tracer merges deterministically afterwards.
+  explicit WorkerPool(unsigned Jobs, QueryCache *Cache = nullptr,
+                      obs::Tracer *Tracer = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool &) = delete;

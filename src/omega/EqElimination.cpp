@@ -6,6 +6,7 @@
 
 #include "omega/EqElimination.h"
 
+#include "obs/Trace.h"
 #include "omega/OmegaContext.h"
 
 #include <algorithm>
@@ -97,6 +98,9 @@ SolveResult
 omega::solveEqualities(Problem &P,
                        const std::function<bool(VarId)> &MayEliminate,
                        OmegaContext &Ctx) {
+  obs::ScopedSpan Span(Ctx.Trace, obs::SpanKind::EqSolve,
+                       static_cast<uint32_t>(P.getNumVars()),
+                       static_cast<uint32_t>(P.constraints().size()));
   if (P.normalize() == Problem::NormalizeResult::False)
     return SolveResult::False;
 

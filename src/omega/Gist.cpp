@@ -6,6 +6,7 @@
 
 #include "omega/Gist.h"
 
+#include "obs/Trace.h"
 #include "omega/OmegaContext.h"
 #include "omega/Projection.h"
 #include "omega/QueryCache.h"
@@ -126,6 +127,12 @@ Problem omega::gist(const Problem &P, const Problem &Given,
                     const GistOptions &Opts, OmegaContext &Ctx) {
   assert(P.getNumVars() == Given.getNumVars() &&
          "gist arguments must share one variable layout");
+  // Span first, counter second: the span's own delta must include this
+  // call so top-level spans sum to the context counters.
+  obs::ScopedSpan Span(Ctx.Trace, obs::SpanKind::Gist,
+                       static_cast<uint32_t>(P.getNumVars()),
+                       static_cast<uint32_t>(P.constraints().size() +
+                                             Given.constraints().size()));
   ++Ctx.Stats.GistCalls;
 
   // Memoization: the result's rows are stored bare and re-hung on the
@@ -135,12 +142,15 @@ Problem omega::gist(const Problem &P, const Problem &Given,
   std::string Key;
   if (Cache) {
     Key = gistCacheKey(P, Given, Opts.UseFastChecks);
-    if (std::optional<std::vector<Constraint>> Hit = Cache->lookupGist(Key)) {
+    if (std::optional<std::vector<Constraint>> Hit =
+            Cache->lookupGist(Key, &Ctx.Stats)) {
+      Span.cache(obs::CacheTag::Hit);
       Problem Result = P.cloneLayout();
       for (const Constraint &Row : *Hit)
         Result.addConstraint(Row);
       return Result;
     }
+    Span.cache(obs::CacheTag::Miss);
   }
 
   // Coefficient-overflow containment: if anything saturates while
@@ -258,6 +268,19 @@ static Problem gistImpl(const Problem &P, const Problem &Given,
         ++Ctx.Stats.GistFastDrops;
       }
     }
+  }
+
+  if (Ctx.Trace) {
+    unsigned Drops = 0, Keeps = 0;
+    for (State S : States) {
+      Drops += S == State::Drop;
+      Keeps += S == State::Keep;
+    }
+    if (Drops || Keeps)
+      Ctx.Trace->decision("gist fast-check: " + std::to_string(Drops) +
+                              " dropped, " + std::to_string(Keeps) + " kept",
+                          static_cast<uint32_t>(P.getNumVars()),
+                          static_cast<uint32_t>(Candidates.size()));
   }
 
   // Naive algorithm on whatever remains undecided:

@@ -27,13 +27,3 @@ OmegaContextScope::OmegaContextScope(OmegaContext &Ctx)
 }
 
 OmegaContextScope::~OmegaContextScope() { CurrentContext = Prev; }
-
-// Deprecated compatibility shim (declared in OmegaStats.h).
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-OmegaStats &omega::stats() { return OmegaContext::current().Stats; }
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif

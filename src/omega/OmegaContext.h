@@ -35,6 +35,10 @@ namespace omega {
 
 class QueryCache;
 
+namespace obs {
+class TraceBuffer;
+} // namespace obs
+
 class OmegaContext {
 public:
   /// Counters for this context's computations. Not synchronized: a context
@@ -45,6 +49,12 @@ public:
   /// The cache itself is concurrency-safe and may be shared by several
   /// contexts; null disables memoization. Not owned.
   QueryCache *Cache = nullptr;
+
+  /// Optional trace buffer recording spans for this context's queries
+  /// (see obs/Trace.h). Null disables tracing: instrumented sites guard
+  /// every record with an inlined null check, so the disabled path costs
+  /// one branch and never allocates. Single-writer like Stats. Not owned.
+  obs::TraceBuffer *Trace = nullptr;
 
   OmegaContext() = default;
   explicit OmegaContext(QueryCache *Cache) : Cache(Cache) {}

@@ -13,8 +13,7 @@
 /// Counters live inside an OmegaContext (see omega/OmegaContext.h); every
 /// decision-procedure entry point takes a context and bumps that context's
 /// counters, so concurrent analyses with separate contexts never share
-/// state. The free stats() accessor is a deprecated compatibility shim over
-/// the calling thread's current context.
+/// state.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,32 +37,41 @@ struct OmegaStats {
   uint64_t GistFastDrops = 0;       // constraints dropped by fast checks
   uint64_t GistFastKeeps = 0;       // constraints kept by fast checks
   uint64_t GistSatTests = 0;        // satisfiability tests in gist loop
+  uint64_t SatCacheHits = 0;        // sat verdicts answered by QueryCache
+  uint64_t SatCacheMisses = 0;      // sat lookups that missed
+  uint64_t GistCacheHits = 0;       // gist results answered by QueryCache
+  uint64_t GistCacheMisses = 0;     // gist lookups that missed
 
   void reset() { *this = OmegaStats(); }
 
   /// Accumulates another context's counters (used to fold per-worker stats
   /// into a whole-run total).
-  void merge(const OmegaStats &O) {
-    SatisfiabilityCalls += O.SatisfiabilityCalls;
-    ProjectionCalls += O.ProjectionCalls;
-    GistCalls += O.GistCalls;
-    ExactEliminations += O.ExactEliminations;
-    InexactEliminations += O.InexactEliminations;
-    SplintersExplored += O.SplintersExplored;
-    DarkShadowDecided += O.DarkShadowDecided;
-    RealShadowDecided += O.RealShadowDecided;
-    ModHatSubstitutions += O.ModHatSubstitutions;
-    GistFastDrops += O.GistFastDrops;
-    GistFastKeeps += O.GistFastKeeps;
-    GistSatTests += O.GistSatTests;
+  void merge(const OmegaStats &O) { apply(O, /*Sign=*/+1); }
+
+  /// Subtracts a snapshot taken earlier on the same context; the tracer
+  /// uses this to attribute counter movement to individual spans.
+  void subtract(const OmegaStats &O) { apply(O, /*Sign=*/-1); }
+
+private:
+  void apply(const OmegaStats &O, int64_t Sign) {
+    SatisfiabilityCalls += Sign * O.SatisfiabilityCalls;
+    ProjectionCalls += Sign * O.ProjectionCalls;
+    GistCalls += Sign * O.GistCalls;
+    ExactEliminations += Sign * O.ExactEliminations;
+    InexactEliminations += Sign * O.InexactEliminations;
+    SplintersExplored += Sign * O.SplintersExplored;
+    DarkShadowDecided += Sign * O.DarkShadowDecided;
+    RealShadowDecided += Sign * O.RealShadowDecided;
+    ModHatSubstitutions += Sign * O.ModHatSubstitutions;
+    GistFastDrops += Sign * O.GistFastDrops;
+    GistFastKeeps += Sign * O.GistFastKeeps;
+    GistSatTests += Sign * O.GistSatTests;
+    SatCacheHits += Sign * O.SatCacheHits;
+    SatCacheMisses += Sign * O.SatCacheMisses;
+    GistCacheHits += Sign * O.GistCacheHits;
+    GistCacheMisses += Sign * O.GistCacheMisses;
   }
 };
-
-/// Statistics of the calling thread's current OmegaContext. Kept only as a
-/// compatibility shim for pre-context code; new code should hold an
-/// OmegaContext and read Ctx.Stats directly.
-[[deprecated("hold an OmegaContext and use Ctx.Stats instead")]]
-OmegaStats &stats();
 
 } // namespace omega
 

@@ -6,6 +6,7 @@
 
 #include "omega/Projection.h"
 
+#include "obs/Trace.h"
 #include "omega/EqElimination.h"
 #include "omega/FourierMotzkin.h"
 #include "omega/OmegaContext.h"
@@ -176,6 +177,10 @@ struct Projector {
       // Exact union: dark shadow plus the projections of the splinters.
       for (Problem &Splinter : R.Splinters) {
         ++Ctx.Stats.SplintersExplored;
+        obs::ScopedSpan SpSpan(
+            Ctx.Trace, obs::SpanKind::Splinter,
+            static_cast<uint32_t>(Splinter.getNumVars()),
+            static_cast<uint32_t>(Splinter.constraints().size()));
         run(std::move(Splinter), IsStride, Depth + 1);
       }
       P = std::move(R.DarkShadow);
@@ -291,6 +296,11 @@ ProjectionResult omega::projectOntoMask(const Problem &P,
                                         const ProjectOptions &Opts,
                                         OmegaContext &Ctx) {
   assert(Keep.size() == P.getNumVars() && "mask size mismatch");
+  // Span first, counter second: the span's own delta must include this
+  // call so top-level spans sum to the context counters.
+  obs::ScopedSpan Span(Ctx.Trace, obs::SpanKind::Projection,
+                       static_cast<uint32_t>(P.getNumVars()),
+                       static_cast<uint32_t>(P.constraints().size()));
   ++Ctx.Stats.ProjectionCalls;
   // Snapshot the mask and protection bits: elimination mints fresh
   // wildcards beyond the original variable count, and those are always

@@ -36,15 +36,20 @@ QueryCache::Shard &QueryCache::shardFor(const std::string &Key) {
   return *Shards[std::hash<std::string>{}(Key) % Shards.size()];
 }
 
-std::optional<bool> QueryCache::lookupSat(const std::string &Key) {
+std::optional<bool> QueryCache::lookupSat(const std::string &Key,
+                                          OmegaStats *Stats) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
   auto It = S.Sat.find(Key);
   if (It == S.Sat.end()) {
     SatMisses.fetch_add(1, std::memory_order_relaxed);
+    if (Stats)
+      ++Stats->SatCacheMisses;
     return std::nullopt;
   }
   SatHits.fetch_add(1, std::memory_order_relaxed);
+  if (Stats)
+    ++Stats->SatCacheHits;
   return It->second;
 }
 
@@ -55,15 +60,19 @@ void QueryCache::storeSat(const std::string &Key, bool Satisfiable) {
 }
 
 std::optional<std::vector<Constraint>>
-QueryCache::lookupGist(const std::string &Key) {
+QueryCache::lookupGist(const std::string &Key, OmegaStats *Stats) {
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.M);
   auto It = S.Gist.find(Key);
   if (It == S.Gist.end()) {
     GistMisses.fetch_add(1, std::memory_order_relaxed);
+    if (Stats)
+      ++Stats->GistCacheMisses;
     return std::nullopt;
   }
   GistHits.fetch_add(1, std::memory_order_relaxed);
+  if (Stats)
+    ++Stats->GistCacheHits;
   return It->second;
 }
 

@@ -29,6 +29,7 @@
 #ifndef OMEGA_OMEGA_QUERYCACHE_H
 #define OMEGA_OMEGA_QUERYCACHE_H
 
+#include "omega/OmegaStats.h"
 #include "omega/Problem.h"
 
 #include <atomic>
@@ -61,14 +62,18 @@ public:
   QueryCache &operator=(const QueryCache &) = delete;
 
   /// The memoized satisfiability verdict for \p Key, if any. Counts a hit
-  /// or a miss.
-  std::optional<bool> lookupSat(const std::string &Key);
+  /// or a miss -- on the cache's atomics and, when \p Stats is non-null,
+  /// on the querying context's SatCacheHits/SatCacheMisses.
+  std::optional<bool> lookupSat(const std::string &Key,
+                                OmegaStats *Stats = nullptr);
   void storeSat(const std::string &Key, bool Satisfiable);
 
   /// The memoized gist row system for \p Key, if any. Counts a hit or a
-  /// miss. The rows are over the caller's layout (gist keys serialize the
-  /// full layout structure, so equal keys imply compatible tables).
-  std::optional<std::vector<Constraint>> lookupGist(const std::string &Key);
+  /// miss (also on \p Stats when non-null, like lookupSat). The rows are
+  /// over the caller's layout (gist keys serialize the full layout
+  /// structure, so equal keys imply compatible tables).
+  std::optional<std::vector<Constraint>> lookupGist(const std::string &Key,
+                                                    OmegaStats *Stats = nullptr);
   void storeGist(const std::string &Key, std::vector<Constraint> Rows);
 
   QueryCacheStats stats() const;

@@ -6,6 +6,7 @@
 
 #include "omega/Satisfiability.h"
 
+#include "obs/Trace.h"
 #include "omega/EqElimination.h"
 #include "omega/FourierMotzkin.h"
 #include "omega/Projection.h"
@@ -99,13 +100,19 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
       return checkSingleVar(P, OnlyVar);
 
     VarId Z = chooseVariable(P);
+    uint32_t SizeVars = static_cast<uint32_t>(P.getNumVars());
+    uint32_t SizeRows = static_cast<uint32_t>(P.constraints().size());
     // P is dead after this call (reassigned or abandoned), so the last
     // splinter may take its storage; real-shadow-only mode skips the dark
     // shadow and splinter materialization it would never look at.
-    FMResult R = fourierMotzkinEliminate(std::move(P), Z,
-                                         Opts.Mode == SatMode::RealShadowOnly
-                                             ? FMParts::RealShadowOnly
-                                             : FMParts::All);
+    FMResult R = [&] {
+      obs::ScopedSpan FMSpan(Ctx.Trace, obs::SpanKind::FMEliminate, SizeVars,
+                             SizeRows);
+      return fourierMotzkinEliminate(std::move(P), Z,
+                                     Opts.Mode == SatMode::RealShadowOnly
+                                         ? FMParts::RealShadowOnly
+                                         : FMParts::All);
+    }();
 
     if (R.Exact || Opts.Mode == SatMode::RealShadowOnly) {
       ++Ctx.Stats.ExactEliminations;
@@ -124,14 +131,21 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
     ++Ctx.Stats.InexactEliminations;
     if (!isSatImpl(R.RealShadow, Opts, Ctx, Depth + 1)) {
       ++Ctx.Stats.RealShadowDecided;
+      if (Ctx.Trace)
+        Ctx.Trace->decision("real-shadow: unsatisfiable", SizeVars, SizeRows);
       return false;
     }
     if (isSatImpl(R.DarkShadow, Opts, Ctx, Depth + 1)) {
       ++Ctx.Stats.DarkShadowDecided;
+      if (Ctx.Trace)
+        Ctx.Trace->decision("dark-shadow: satisfiable", SizeVars, SizeRows);
       return true;
     }
     for (Problem &Splinter : R.Splinters) {
       ++Ctx.Stats.SplintersExplored;
+      obs::ScopedSpan SpSpan(Ctx.Trace, obs::SpanKind::Splinter,
+                             static_cast<uint32_t>(Splinter.getNumVars()),
+                             static_cast<uint32_t>(Splinter.constraints().size()));
       if (isSatImpl(Splinter, Opts, Ctx, Depth + 1))
         return true;
     }
@@ -143,6 +157,12 @@ bool isSatImpl(Problem &P, const SatOptions &Opts, OmegaContext &Ctx,
 
 bool omega::isSatisfiable(Problem P, const SatOptions &Opts,
                           OmegaContext &Ctx) {
+  // Open the span before bumping the call counter so the span's own
+  // delta includes this call (top-level spans must sum to the context
+  // counters).
+  obs::ScopedSpan Span(Ctx.Trace, obs::SpanKind::Sat,
+                       static_cast<uint32_t>(P.getNumVars()),
+                       static_cast<uint32_t>(P.constraints().size()));
   ++Ctx.Stats.SatisfiabilityCalls;
 
   QueryCache *Cache = Ctx.Cache;
@@ -151,8 +171,11 @@ bool omega::isSatisfiable(Problem P, const SatOptions &Opts,
     if (std::optional<std::string> K =
             canonicalSatKey(P, static_cast<int>(Opts.Mode))) {
       Key = std::move(*K);
-      if (std::optional<bool> Hit = Cache->lookupSat(Key))
+      if (std::optional<bool> Hit = Cache->lookupSat(Key, &Ctx.Stats)) {
+        Span.cache(obs::CacheTag::Hit);
         return *Hit;
+      }
+      Span.cache(obs::CacheTag::Miss);
     } else {
       Cache = nullptr; // canonicalization saturated; don't memoize
     }

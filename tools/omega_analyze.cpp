@@ -18,6 +18,13 @@
 //   --json         machine-readable output (dependences, pair/kill
 //                  records, stats, cache counters) instead of tables
 //   --stats        per-pair cost classes and timings (Figure 6 style)
+//   --trace=FILE   record a Chrome trace_event JSON of the run (one track
+//                  per worker; load in chrome://tracing or Perfetto)
+//   --profile[=json]
+//                  aggregated profile: per-phase wall time, call counts,
+//                  cache hit rates, Figure-6-style query classes (embedded
+//                  under "profile" with --json)
+//   --explain      per array pair, which mechanism decided the outcome
 //   --run          interpret the program (needs every symbol bound)
 //   --sym name=v   bind a symbolic constant (repeatable; with --run)
 //
@@ -27,13 +34,16 @@
 #include "deps/DepSpace.h"
 #include "engine/DependenceEngine.h"
 #include "ir/Interp.h"
+#include "obs/Trace.h"
 #include "transform/Apply.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -50,6 +60,9 @@ struct Options {
   bool Transforms = false;
   bool Restraints = false;
   bool Schedule = false;
+  std::string TraceFile;
+  enum { ProfileOff, ProfileText, ProfileJson } Profile = ProfileOff;
+  bool Explain = false;
   engine::AnalysisRequest Req;
   std::map<std::string, int64_t> Symbols;
   std::string File;
@@ -61,6 +74,7 @@ int usage(const char *Argv0) {
                "[--transforms] [--schedule] [--restraints]\n"
                "          [--no-refine] [--no-cover] [--no-kill] "
                "[--no-quick] [--terminate] [--jobs N]\n"
+               "          [--trace=FILE] [--profile[=json]] [--explain]\n"
                "          [--run] [--sym name=value]... [file]\n",
                Argv0);
   return 2;
@@ -95,6 +109,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Req.QuickTests = false;
     else if (Arg == "--terminate")
       Opts.Req.Terminate = true;
+    else if (Arg.rfind("--trace=", 0) == 0)
+      Opts.TraceFile = Arg.substr(8);
+    else if (Arg == "--profile")
+      Opts.Profile = Options::ProfileText;
+    else if (Arg == "--profile=json")
+      Opts.Profile = Options::ProfileJson;
+    else if (Arg == "--explain")
+      Opts.Explain = true;
     else if (Arg == "--jobs") {
       if (I + 1 == Argc)
         return false;
@@ -218,7 +240,9 @@ void jsonDeps(std::string &Out, const std::vector<deps::Dependence> &Deps) {
   Out += "]";
 }
 
-std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs) {
+std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs,
+                       const std::string &ProfileJson,
+                       const std::string &Explain) {
   std::string Out = "{\n  \"jobs\": " + std::to_string(Jobs) + ",\n";
 
   Out += "  \"flow\": ";
@@ -261,9 +285,13 @@ std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs) {
   }
   Out += "],\n";
 
+  // The complete merged per-worker OmegaStats: every counter, including
+  // the per-context cache traffic.
   const OmegaStats &S = R.Stats;
   Out += "  \"stats\": {\"satisfiabilityCalls\": " +
          std::to_string(S.SatisfiabilityCalls) +
+         ", \"projectionCalls\": " + std::to_string(S.ProjectionCalls) +
+         ", \"gistCalls\": " + std::to_string(S.GistCalls) +
          ", \"exactEliminations\": " + std::to_string(S.ExactEliminations) +
          ", \"inexactEliminations\": " +
          std::to_string(S.InexactEliminations) +
@@ -274,13 +302,27 @@ std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs) {
          std::to_string(S.ModHatSubstitutions) +
          ", \"gistFastDrops\": " + std::to_string(S.GistFastDrops) +
          ", \"gistFastKeeps\": " + std::to_string(S.GistFastKeeps) +
-         ", \"gistSatTests\": " + std::to_string(S.GistSatTests) + "},\n";
+         ", \"gistSatTests\": " + std::to_string(S.GistSatTests) +
+         ", \"satCacheHits\": " + std::to_string(S.SatCacheHits) +
+         ", \"satCacheMisses\": " + std::to_string(S.SatCacheMisses) +
+         ", \"gistCacheHits\": " + std::to_string(S.GistCacheHits) +
+         ", \"gistCacheMisses\": " + std::to_string(S.GistCacheMisses) +
+         "},\n";
 
   Out += "  \"cache\": {\"satHits\": " + std::to_string(R.Cache.SatHits) +
          ", \"satMisses\": " + std::to_string(R.Cache.SatMisses) +
          ", \"gistHits\": " + std::to_string(R.Cache.GistHits) +
          ", \"gistMisses\": " + std::to_string(R.Cache.GistMisses) +
-         ", \"entries\": " + std::to_string(R.CacheEntries) + "}\n}\n";
+         ", \"entries\": " + std::to_string(R.CacheEntries) + "}";
+  if (!ProfileJson.empty()) {
+    Out += ",\n  \"profile\": ";
+    Out += ProfileJson;
+    while (!Out.empty() && Out.back() == '\n')
+      Out.pop_back();
+  }
+  if (!Explain.empty())
+    Out += ",\n  \"explain\": \"" + jsonEscape(Explain) + "\"";
+  Out += "\n}\n";
   return Out;
 }
 
@@ -335,11 +377,38 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  std::unique_ptr<obs::Tracer> Tracer;
+  if (!Opts.TraceFile.empty() || Opts.Profile != Options::ProfileOff ||
+      Opts.Explain) {
+    Tracer = std::make_unique<obs::Tracer>();
+    Opts.Req.Trace = Tracer.get();
+  }
+
+  auto WallStart = std::chrono::steady_clock::now();
   engine::DependenceEngine Engine(Opts.Req);
   engine::AnalysisResult R = Engine.analyze(AP);
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
+
+  if (!Opts.TraceFile.empty()) {
+    std::ofstream TraceOut(Opts.TraceFile);
+    if (!TraceOut) {
+      std::fprintf(stderr, "error: cannot write %s\n", Opts.TraceFile.c_str());
+      return 1;
+    }
+    TraceOut << Tracer->chromeTraceJson();
+  }
 
   if (Opts.Json) {
-    std::fputs(jsonResult(R, Engine.jobs()).c_str(), stdout);
+    std::string ProfileJson;
+    if (Opts.Profile != Options::ProfileOff)
+      ProfileJson = Tracer->profileReport(/*Json=*/true, WallMs, Engine.jobs());
+    std::string Explain;
+    if (Opts.Explain)
+      Explain = Tracer->explainLog();
+    std::fputs(jsonResult(R, Engine.jobs(), ProfileJson, Explain).c_str(),
+               stdout);
     return 0;
   }
 
@@ -404,6 +473,19 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Cache.GistHits +
                                                 R.Cache.GistMisses),
                 static_cast<unsigned long long>(R.CacheEntries));
+  }
+
+  if (Opts.Profile != Options::ProfileOff) {
+    std::printf("\n");
+    std::fputs(Tracer
+                   ->profileReport(Opts.Profile == Options::ProfileJson,
+                                   WallMs, Engine.jobs())
+                   .c_str(),
+               stdout);
+  }
+  if (Opts.Explain) {
+    std::printf("\ndecision explain log:\n");
+    std::fputs(Tracer->explainLog().c_str(), stdout);
   }
   return 0;
 }

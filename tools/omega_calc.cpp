@@ -50,7 +50,7 @@ int main(int Argc, char **Argv) {
   bool Interactive = isatty(STDIN_FILENO);
   if (Interactive)
     std::fputs("omega-calc (sat / solution / project / gist / simplify / "
-               "print; ctrl-d quits)\n",
+               "print / trace on|off; ctrl-d quits)\n",
                stdout);
   std::string Line;
   std::string Pending;
