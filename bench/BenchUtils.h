@@ -114,6 +114,10 @@ public:
     key(K);
     std::fprintf(Out, "\"%s\"", V);
   }
+  void field(const char *K, bool V) {
+    key(K);
+    std::fputs(V ? "true" : "false", Out);
+  }
 
   /// Opens a nested object under \p K; close it with endObject().
   void beginObject(const char *K) {
@@ -156,6 +160,14 @@ inline void writeStatsJson(JsonWriter &W, const char *K,
   W.field("sat_cache_misses", S.SatCacheMisses);
   W.field("gist_cache_hits", S.GistCacheHits);
   W.field("gist_cache_misses", S.GistCacheMisses);
+  W.field("snapshot_builds", S.SnapshotBuilds);
+  W.field("snapshot_reuses", S.SnapshotReuses);
+  W.field("snapshot_fallbacks", S.SnapshotFallbacks);
+  W.field("quicktest_ziv", S.QuickTestZIV);
+  W.field("quicktest_gcd", S.QuickTestGCD);
+  W.field("quicktest_bounds", S.QuickTestBounds);
+  W.field("quicktest_trivial_dep", S.QuickTestTrivialDep);
+  W.field("quicktest_decided", S.QuickTestDecided);
   W.endObject();
 }
 

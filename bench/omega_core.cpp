@@ -217,6 +217,40 @@ void coreOpsRep(const std::vector<Problem> &SatSuite,
   benchmark::DoNotOptimize(gist(GistP, GistQ, GistOptions(), Ctx));
 }
 
+/// Deterministic rendering of every dependence an analysis produced, for
+/// the pair_solver equality check: the incremental tiers must be invisible
+/// in the results.
+std::string renderDeps(const std::vector<deps::Dependence> &Deps) {
+  std::string Out;
+  for (const deps::Dependence &D : Deps) {
+    Out += D.Src->Text;
+    Out += "->";
+    Out += D.Dst->Text;
+    Out += ':';
+    Out += deps::depKindName(D.Kind);
+    if (D.Covers)
+      Out += "[C]";
+    if (D.CoverLoopIndependent)
+      Out += "[CI]";
+    for (const deps::DepSplit &S : D.Splits) {
+      Out += " L" + std::to_string(S.Level) + "(" + S.dirToString() + ")";
+      if (S.Dead) {
+        Out += '!';
+        Out += S.DeadReason;
+      }
+      if (S.Refined)
+        Out += 'r';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string renderResult(const engine::AnalysisResult &R) {
+  return renderDeps(R.Flow) + "|" + renderDeps(R.Anti) + "|" +
+         renderDeps(R.Output);
+}
+
 int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   // -- core_ops: sat + gist + projection on the synthetic suite ----------
   std::vector<Problem> SatSuite;
@@ -296,6 +330,36 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   }
   double CorpusMs = msSince(CorpusStart);
 
+  // -- pair_solver: the incremental tiers against the from-scratch path --
+  // Same corpus pipeline twice: once with snapshots and quick tests off
+  // (every query builds and reduces its own pair system) and once with the
+  // defaults on. The rendered dependence sets must be identical; the
+  // speedup is what ISSUE/EXPERIMENTS report.
+  auto runLeg = [&](bool Incremental, bool QuickTests, OmegaStats &Stats,
+                    std::string &Render) {
+    engine::AnalysisRequest LegReq;
+    LegReq.Jobs = 1;
+    LegReq.UseQueryCache = false;
+    LegReq.Incremental = Incremental;
+    LegReq.PairQuickTests = QuickTests;
+    Clock::time_point Start = Clock::now();
+    for (unsigned R = 0; R != CorpusReps; ++R) {
+      engine::DependenceEngine Engine(LegReq);
+      for (const auto &AP : Programs) {
+        engine::AnalysisResult Result = Engine.analyze(*AP);
+        Stats.merge(Result.Stats);
+        if (R == 0)
+          Render += renderResult(Result);
+      }
+    }
+    return msSince(Start);
+  };
+  OmegaStats ScratchStats, IncStats;
+  std::string ScratchRender, IncRender;
+  double ScratchMs = runLeg(false, false, ScratchStats, ScratchRender);
+  double IncMs = runLeg(true, true, IncStats, IncRender);
+  bool Identical = ScratchRender == IncRender;
+
   std::FILE *Out = std::fopen(Path, "w");
   if (!Out) {
     std::fprintf(stderr, "cannot open %s for writing\n", Path);
@@ -320,12 +384,25 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   W.field("wall_ms", CorpusMs);
   bench::writeStatsJson(W, "stats", CorpusStats);
   W.endObject();
-  W.field("total_wall_ms", CoreMs + CorpusMs);
+  W.beginObject("pair_solver");
+  W.field("reps", static_cast<uint64_t>(CorpusReps));
+  W.field("kernels", static_cast<uint64_t>(Programs.size()));
+  W.field("scratch_wall_ms", ScratchMs);
+  W.field("incremental_wall_ms", IncMs);
+  W.field("speedup", IncMs > 0 ? ScratchMs / IncMs : 0.0);
+  W.field("results_identical", Identical);
+  bench::writeStatsJson(W, "scratch_stats", ScratchStats);
+  bench::writeStatsJson(W, "incremental_stats", IncStats);
+  W.endObject();
+  W.field("total_wall_ms", CoreMs + CorpusMs + ScratchMs + IncMs);
   W.field("peak_rss_kb", bench::peakRSSKB());
   W.finish();
   std::fclose(Out);
-  std::printf("core_ops %.1f ms, corpus %.1f ms -> %s\n", CoreMs, CorpusMs,
-              Path);
+  std::printf("core_ops %.1f ms, corpus %.1f ms, pair_solver %.1f/%.1f ms "
+              "(%.2fx, results %s) -> %s\n",
+              CoreMs, CorpusMs, ScratchMs, IncMs,
+              IncMs > 0 ? ScratchMs / IncMs : 0.0,
+              Identical ? "identical" : "DIFFER", Path);
   return 0;
 }
 

@@ -11,8 +11,10 @@
 #include "omega/OmegaContext.h"
 #include "omega/Projection.h"
 #include "omega/Satisfiability.h"
+#include "omega/Snapshot.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace omega;
 using namespace omega::analysis;
@@ -53,39 +55,84 @@ public:
       Space.addSubscriptsEqual(L.P, 0, 2);
       Space.addPrecedesAtLevel(L.P, 0, 2, Split.Level);
       L.Deltas = Space.addDistanceVars(L.P, 0, 2);
+      reduceToDeltas(L);
       Levels.push_back(std::move(L));
+    }
+  }
+
+  /// Every range and satisfiability question the passes ask about a level
+  /// problem concerns only its distance variables, so the rest of the
+  /// system can be eliminated up front. Only exact (snapshot) eliminations
+  /// are taken, which preserves both satisfiability and every delta range;
+  /// the pins added later touch only the (kept) deltas, so the reduced
+  /// system stays equivalent for the questions asked of it.
+  void reduceToDeltas(LevelProblem &L) {
+    OmegaContext &Ctx = OmegaContext::current();
+    if (!Ctx.IncrementalSnapshots)
+      return;
+    std::vector<bool> Keep(L.P.getNumVars(), false);
+    for (VarId D : L.Deltas)
+      Keep[D] = true;
+    EliminationSnapshot Snap(L.P, Keep);
+    switch (Snap.state()) {
+    case EliminationSnapshot::State::ProvedUnsat:
+      L.Feasible = false;
+      break;
+    case EliminationSnapshot::State::Ready:
+      ++Ctx.Stats.SnapshotReuses;
+      L.P = Snap.reduced();
+      break;
+    case EliminationSnapshot::State::Saturated:
+      break; // clamped rows are garbage: keep the full system
     }
   }
 
   unsigned numCommonLoops() const { return Common; }
 
   /// LHS pieces: exists i with A(i) << B(k) under the given restraints,
-  /// projected onto (k, Sym).
+  /// projected onto (k, Sym). The per-level pieces depend only on the
+  /// level (never on pins), so both passes share one projection per level.
+  const std::vector<Problem> *levelLHSPieces(unsigned Idx) {
+    auto It = LHSCache.find(Idx);
+    if (It != LHSCache.end())
+      return It->second.Poisoned ? nullptr : &It->second.Pieces;
+    Problem LHS = Space.base();
+    Space.addIterationSpace(LHS, 0);
+    Space.addIterationSpace(LHS, 2);
+    Space.addSubscriptsEqual(LHS, 0, 2);
+    Space.addPrecedesAtLevel(LHS, 0, 2, Levels[Idx].Level);
+    ProjectionResult R =
+        projectOntoMask(LHS, keepAllBut(LHS, Space, 0),
+                        ProjectOptions{/*RemoveRedundant=*/false,
+                                       /*DropEmptyPieces=*/true});
+    CachedPieces &Entry = LHSCache[Idx];
+    Entry.Poisoned = R.Poisoned;
+    for (Problem &Piece : R.Pieces)
+      Entry.Pieces.push_back(std::move(Piece));
+    return Entry.Poisoned ? nullptr : &Entry.Pieces;
+  }
+
   std::vector<Problem> buildLHSPieces(const std::vector<unsigned> &Which) {
     std::vector<Problem> Pieces;
     for (unsigned Idx : Which) {
       if (!Levels[Idx].Feasible)
         continue;
-      Problem LHS = Space.base();
-      Space.addIterationSpace(LHS, 0);
-      Space.addIterationSpace(LHS, 2);
-      Space.addSubscriptsEqual(LHS, 0, 2);
-      Space.addPrecedesAtLevel(LHS, 0, 2, Levels[Idx].Level);
-      ProjectionResult R =
-          projectOntoMask(LHS, keepAllBut(LHS, Space, 0),
-                          ProjectOptions{/*RemoveRedundant=*/false,
-                                         /*DropEmptyPieces=*/true});
-      if (R.Poisoned)
+      const std::vector<Problem> *LevelPieces = levelLHSPieces(Idx);
+      if (!LevelPieces)
         return {}; // conservative: refinement is skipped entirely
-      for (Problem &Piece : R.Pieces)
-        Pieces.push_back(std::move(Piece));
+      for (const Problem &Piece : *LevelPieces)
+        Pieces.push_back(Piece);
     }
     return Pieces;
   }
 
   /// RHS pieces: exists j in [A] at the fixed distances D from k, with
-  /// A(j) << B(k), projected onto (k, Sym).
-  std::vector<Problem> buildRHSPieces(const std::vector<int64_t> &D) {
+  /// A(j) << B(k), projected onto (k, Sym). Pass 2 re-fixes the same
+  /// distance prefixes pass 1 tried, so results are memoized by D.
+  const std::vector<Problem> &buildRHSPieces(const std::vector<int64_t> &D) {
+    auto It = RHSCache.find(D);
+    if (It != RHSCache.end())
+      return It->second;
     std::vector<Problem> Pieces;
     Problem RHS0 = Space.base();
     Space.addIterationSpace(RHS0, 1);
@@ -102,12 +149,14 @@ public:
           projectOntoMask(Case, keepAllBut(Case, Space, 1),
                           ProjectOptions{/*RemoveRedundant=*/false,
                                          /*DropEmptyPieces=*/true});
-      if (R.Poisoned)
-        return {}; // conservative: the candidate fails verification
+      if (R.Poisoned) {
+        Pieces.clear(); // conservative: the candidate fails verification
+        break;
+      }
       for (Problem &Piece : R.Pieces)
         Pieces.push_back(std::move(Piece));
     }
-    return Pieces;
+    return RHSCache.emplace(D, std::move(Pieces)).first->second;
   }
 
   /// One refinement pass (the paper's candidate generator): fix distances
@@ -149,7 +198,7 @@ public:
 
       Fixed.push_back(Min);
       Out.UsedGeneralTest = true;
-      std::vector<Problem> RHSPieces = buildRHSPieces(Fixed);
+      const std::vector<Problem> &RHSPieces = buildRHSPieces(Fixed);
       bool OK = true;
       for (const Problem &LHS : LHSPieces)
         if (!checkImplication(LHS, RHSPieces)) {
@@ -220,6 +269,13 @@ public:
   deps::Dependence &Dep;
   unsigned Common = 0;
   std::vector<LevelProblem> Levels;
+
+  struct CachedPieces {
+    std::vector<Problem> Pieces;
+    bool Poisoned = false;
+  };
+  std::map<unsigned, CachedPieces> LHSCache;
+  std::map<std::vector<int64_t>, std::vector<Problem>> RHSCache;
 };
 
 } // namespace

@@ -296,6 +296,8 @@ private:
       return printCmd();
     if (Head == "trace")
       return traceCmd();
+    if (Head == "quicktests" || Head == "incremental")
+      return toggleCmd(Head);
     error("unknown command '" + Head + "'");
   }
 
@@ -317,6 +319,25 @@ private:
     } else {
       Out += Calc.stopTrace();
     }
+  }
+
+  /// `quicktests on|off;` / `incremental on|off;`: the calc mirrors of
+  /// omega-analyze's --no-quicktests / --no-incremental ablation flags,
+  /// flipping the pair-solver tier toggles on the calculator's context.
+  void toggleCmd(const std::string &Which) {
+    if (Cur.Kind != Tok::Ident || (Cur.Text != "on" && Cur.Text != "off")) {
+      error("expected 'on' or 'off' after '" + Which + "'");
+      return;
+    }
+    bool On = Cur.Text == "on";
+    bump();
+    if (!expect(Tok::Semi, "';'"))
+      return;
+    if (Which == "quicktests")
+      Calc.context().PairQuickTests = On;
+    else
+      Calc.context().IncrementalSnapshots = On;
+    Out += Which + (On ? " on\n" : " off\n");
   }
 
   void assignment(const std::string &Name) {

@@ -6,8 +6,12 @@
 
 #include "deps/DependenceAnalysis.h"
 
-#include "omega/Projection.h"
-#include "omega/Satisfiability.h"
+#include "deps/PairSolver.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
 
 using namespace omega;
 using namespace omega::deps;
@@ -24,51 +28,8 @@ std::optional<Dependence>
 DependenceAnalysis::computeDependence(const ir::Access &Src,
                                       const ir::Access &Dst,
                                       DepKind Kind) const {
-  DepSpace Space(AP, {&Src, &Dst});
-  Problem Pair = buildPairProblem(Space);
-  unsigned Common = Space.numCommonLoops(0, 1);
-
-  Dependence Dep;
-  Dep.Src = &Src;
-  Dep.Dst = &Dst;
-  Dep.Kind = Kind;
-
-  auto summarize = [&](const Problem &Case) {
-    // Distance ranges per common loop under this case's constraints.
-    Problem WithDeltas = Case;
-    std::vector<VarId> Deltas =
-        Space.addDistanceVars(WithDeltas, 0, 1);
-    DepSplit Split;
-    for (VarId Delta : Deltas) {
-      DirectionElem Elem;
-      Elem.Range = computeVarRange(WithDeltas, Delta, Ctx);
-      Split.Dir.push_back(Elem);
-    }
-    return Split;
-  };
-
-  for (unsigned Level = 1; Level <= Common; ++Level) {
-    Problem Case = Pair;
-    Space.addPrecedesAtLevel(Case, 0, 1, Level);
-    if (!isSatisfiable(Case, SatOptions(), Ctx))
-      continue;
-    DepSplit Split = summarize(Case);
-    Split.Level = Level;
-    Dep.Splits.push_back(std::move(Split));
-  }
-  if (Space.textuallyBefore(0, 1)) {
-    Problem Case = Pair;
-    Space.addPrecedesAtLevel(Case, 0, 1, 0);
-    if (isSatisfiable(Case, SatOptions(), Ctx)) {
-      DepSplit Split = summarize(Case);
-      Split.Level = 0;
-      Dep.Splits.push_back(std::move(Split));
-    }
-  }
-
-  if (Dep.Splits.empty())
-    return std::nullopt;
-  return Dep;
+  PairSolver Solver(AP, Src, Dst, Ctx);
+  return Solver.computeDependence(Src, Dst, Kind);
 }
 
 std::vector<Dependence>
@@ -92,12 +53,48 @@ DependenceAnalysis::computeDependences(DepKind Kind) const {
 }
 
 std::vector<Dependence> DependenceAnalysis::computeAllDependences() const {
-  std::vector<Dependence> Out = computeDependences(DepKind::Flow);
-  std::vector<Dependence> Anti = computeDependences(DepKind::Anti);
-  std::vector<Dependence> Output = computeDependences(DepKind::Output);
-  Out.insert(Out.end(), std::make_move_iterator(Anti.begin()),
-             std::make_move_iterator(Anti.end()));
-  Out.insert(Out.end(), std::make_move_iterator(Output.begin()),
-             std::make_move_iterator(Output.end()));
+  // Enumerate the query triples in the legacy emission order (all flow,
+  // then anti, then output), but solve them grouped by *unordered*
+  // reference pair: the flow and anti questions about a read/write pair --
+  // and the two directions plus all levels of each -- share one PairSolver,
+  // so quick tests and the elimination snapshot are built once per pair
+  // instead of once per query.
+  struct Query {
+    const ir::Access *Src;
+    const ir::Access *Dst;
+    DepKind Kind;
+  };
+  std::vector<Query> Queries;
+  auto Enumerate = [&](DepKind Kind) {
+    for (const ir::Access &Src : AP.Accesses) {
+      bool SrcIsWrite = Kind == DepKind::Flow || Kind == DepKind::Output;
+      if (Src.IsWrite != SrcIsWrite)
+        continue;
+      for (const ir::Access &Dst : AP.Accesses) {
+        bool DstIsWrite = Kind == DepKind::Anti || Kind == DepKind::Output;
+        if (Dst.IsWrite != DstIsWrite || Dst.Array != Src.Array)
+          continue;
+        if (&Src == &Dst && Kind != DepKind::Output)
+          continue;
+        Queries.push_back({&Src, &Dst, Kind});
+      }
+    }
+  };
+  Enumerate(DepKind::Flow);
+  Enumerate(DepKind::Anti);
+  Enumerate(DepKind::Output);
+
+  std::map<std::pair<unsigned, unsigned>, std::unique_ptr<PairSolver>> Solvers;
+  std::vector<Dependence> Out;
+  for (const Query &Q : Queries) {
+    auto Key = std::minmax(Q.Src->Id, Q.Dst->Id);
+    std::unique_ptr<PairSolver> &Solver =
+        Solvers[{Key.first, Key.second}];
+    if (!Solver)
+      Solver = std::make_unique<PairSolver>(AP, *Q.Src, *Q.Dst, Ctx);
+    if (std::optional<Dependence> Dep =
+            Solver->computeDependence(*Q.Src, *Q.Dst, Q.Kind))
+      Out.push_back(std::move(*Dep));
+  }
   return Out;
 }

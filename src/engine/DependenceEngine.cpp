@@ -8,9 +8,11 @@
 
 #include "analysis/Kills.h"
 #include "analysis/Refine.h"
+#include "deps/PairSolver.h"
 #include "engine/WorkerPool.h"
 #include "obs/Trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <optional>
@@ -20,7 +22,6 @@ using namespace omega;
 using namespace omega::engine;
 using omega::deps::DepKind;
 using omega::deps::Dependence;
-using omega::deps::DependenceAnalysis;
 using omega::deps::DepSplit;
 
 namespace {
@@ -99,6 +100,12 @@ DependenceEngine::DependenceEngine(const AnalysisRequest &Req) : Req(Req) {
   if (Req.UseQueryCache)
     Cache = std::make_unique<QueryCache>();
   Pool = std::make_unique<WorkerPool>(Req.Jobs, Cache.get(), Req.Trace);
+  // The pair-solver tiers read their toggles off the worker's context, so
+  // deep call chains (and the calc/CLI ablations) all steer one switch.
+  Pool->forEachContext([&](OmegaContext &Ctx) {
+    Ctx.PairQuickTests = Req.PairQuickTests;
+    Ctx.IncrementalSnapshots = Req.Incremental;
+  });
 }
 
 DependenceEngine::~DependenceEngine() = default;
@@ -110,15 +117,21 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   Pool->resetStats();
   QueryCacheStats CacheBefore = Cache ? Cache->stats() : QueryCacheStats();
 
-  // Phase 1: output and anti dependences (unrefined). One task per
-  // candidate pair, enumerated exactly as the serial analysis does;
-  // results land in index-addressed slots and merge in index order.
-  struct PairTask {
+  // Phase 1: every unrefined dependence query -- output, anti, and the
+  // flow computations phase 2 consumes -- scheduled per *pair* rather than
+  // per query. Queries are enumerated exactly as the serial analysis does,
+  // then grouped by unordered reference pair in first-appearance order:
+  // one task per group builds one PairSolver (quick tests once, one
+  // elimination snapshot living on one worker) and answers all of the
+  // pair's kinds, directions and levels on it. Results still land in
+  // index-addressed per-query slots and merge in enumeration order, so the
+  // output is identical to per-query scheduling.
+  struct PairQuery {
     const ir::Access *Src;
     const ir::Access *Dst;
     DepKind Kind;
   };
-  std::vector<PairTask> PairTasks;
+  std::vector<PairQuery> Queries;
   auto enumeratePairs = [&](DepKind Kind) {
     for (const ir::Access &Src : AP.Accesses) {
       bool SrcIsWrite = Kind == DepKind::Flow || Kind == DepKind::Output;
@@ -130,34 +143,17 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
           continue;
         if (&Src == &Dst && Kind != DepKind::Output)
           continue; // a reference cannot flow to itself except write/write
-        PairTasks.push_back({&Src, &Dst, Kind});
+        Queries.push_back({&Src, &Dst, Kind});
       }
     }
   };
   enumeratePairs(DepKind::Output);
-  std::size_t NumOutputTasks = PairTasks.size();
+  std::size_t NumOutputQueries = Queries.size();
   enumeratePairs(DepKind::Anti);
+  std::size_t NumOrderedQueries = Queries.size();
 
-  std::vector<std::optional<Dependence>> PairDeps(PairTasks.size());
-  Pool->parallelFor(PairTasks.size(), [&](std::size_t I, OmegaContext &Ctx) {
-    const PairTask &T = PairTasks[I];
-    obs::TaskScope Task(
-        Ctx.Trace, taskKey(1, I),
-        Ctx.Trace ? std::string(T.Kind == DepKind::Output ? "output " : "anti ") +
-                        accessLabel(*T.Src) + " -> " + accessLabel(*T.Dst)
-                  : std::string());
-    PairDeps[I] = DependenceAnalysis(AP, Ctx).computeDependence(*T.Src, *T.Dst,
-                                                                T.Kind);
-  });
-  for (std::size_t I = 0; I != PairDeps.size(); ++I)
-    if (PairDeps[I])
-      (I < NumOutputTasks ? Result.Output : Result.Anti)
-          .push_back(std::move(*PairDeps[I]));
-  OutputDepInfo OutInfo = buildOutputInfo(Result.Output);
-
-  // Phase 2: per (read, write) pair, the flow dependence with refinement
-  // and coverage. Tasks enumerate read-major/write-minor like the serial
-  // driver; each touches only its own slot.
+  // Flow queries in phase 2's read-major order; FlowTasks[I] is query
+  // NumOrderedQueries + I.
   std::vector<const ir::Access *> Writes, Reads;
   for (const ir::Access &A : AP.Accesses)
     (A.IsWrite ? Writes : Reads).push_back(&A);
@@ -169,9 +165,54 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   std::vector<FlowTask> FlowTasks;
   for (const ir::Access *Read : Reads)
     for (const ir::Access *Write : Writes)
-      if (Write->Array == Read->Array)
+      if (Write->Array == Read->Array) {
         FlowTasks.push_back({Write, Read});
+        Queries.push_back({Write, Read, DepKind::Flow});
+      }
 
+  // Group by unordered pair (the flow and anti questions about one
+  // read/write pair share a solver, as do both output directions of a
+  // write/write pair). Group order is the serial first-appearance order,
+  // so task keys -- and with them the merged trace -- stay deterministic.
+  std::vector<std::vector<std::size_t>> Groups;
+  {
+    std::map<std::pair<unsigned, unsigned>, std::size_t> GroupOf;
+    for (std::size_t I = 0; I != Queries.size(); ++I) {
+      auto Key = std::minmax(Queries[I].Src->Id, Queries[I].Dst->Id);
+      auto [It, New] = GroupOf.try_emplace({Key.first, Key.second},
+                                           Groups.size());
+      if (New)
+        Groups.emplace_back();
+      Groups[It->second].push_back(I);
+    }
+  }
+
+  std::vector<std::optional<Dependence>> QueryDeps(Queries.size());
+  std::vector<double> QuerySecs(Queries.size(), 0.0);
+  Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &Ctx) {
+    const std::vector<std::size_t> &Group = Groups[GI];
+    const PairQuery &First = Queries[Group.front()];
+    obs::TaskScope Task(Ctx.Trace, taskKey(1, GI),
+                        Ctx.Trace ? "pair " + accessLabel(*First.Src) +
+                                        " <-> " + accessLabel(*First.Dst)
+                                  : std::string());
+    deps::PairSolver Solver(AP, *First.Src, *First.Dst, Ctx);
+    for (std::size_t QI : Group) {
+      const PairQuery &Q = Queries[QI];
+      auto Start = std::chrono::steady_clock::now();
+      QueryDeps[QI] = Solver.computeDependence(*Q.Src, *Q.Dst, Q.Kind);
+      QuerySecs[QI] = secondsSince(Start);
+    }
+  });
+  for (std::size_t I = 0; I != NumOrderedQueries; ++I)
+    if (QueryDeps[I])
+      (I < NumOutputQueries ? Result.Output : Result.Anti)
+          .push_back(std::move(*QueryDeps[I]));
+  OutputDepInfo OutInfo = buildOutputInfo(Result.Output);
+
+  // Phase 2: per (read, write) pair, refinement and coverage on top of the
+  // flow dependence phase 1 computed. Tasks enumerate read-major like the
+  // serial driver; each touches only its own slot.
   struct FlowSlot {
     analysis::PairRecord Record;
     std::optional<Dependence> Dep;
@@ -187,11 +228,9 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     FlowSlot &Slot = Slots[I];
     Slot.Record.Write = Write;
     Slot.Record.Read = Read;
-    DependenceAnalysis DA(AP, Ctx);
 
-    auto StdStart = std::chrono::steady_clock::now();
-    Slot.Dep = DA.computeDependence(*Write, *Read, DepKind::Flow);
-    Slot.Record.StandardSecs = secondsSince(StdStart);
+    Slot.Dep = std::move(QueryDeps[NumOrderedQueries + I]);
+    Slot.Record.StandardSecs = QuerySecs[NumOrderedQueries + I];
 
     auto ExtStart = std::chrono::steady_clock::now();
     if (Slot.Dep) {

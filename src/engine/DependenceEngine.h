@@ -56,6 +56,12 @@ struct AnalysisRequest {
   /// Memoize satisfiability and gist queries across the whole engine
   /// lifetime (repeat analyses reuse earlier answers).
   bool UseQueryCache = true;
+  /// ZIV/GCD/bounds pre-filter: decide provably independent or trivially
+  /// dependent pairs with no Omega call (ablation: --no-quicktests).
+  bool PairQuickTests = true;
+  /// Per-pair elimination snapshots: reduce each pair's shared system once
+  /// and replay only the per-query ordering rows (--no-incremental).
+  bool Incremental = true;
   /// Optional tracer: each worker context gets a registered trace buffer
   /// and every work item is recorded as an engine-task span keyed by its
   /// serial enumeration order, so merged traces are identical for every

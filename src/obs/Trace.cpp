@@ -34,6 +34,10 @@ const char *obs::spanKindName(SpanKind K) {
     return "cover";
   case SpanKind::Refine:
     return "refine";
+  case SpanKind::SnapshotBuild:
+    return "snapshot-build";
+  case SpanKind::QuickTest:
+    return "quick-test";
   case SpanKind::EngineTask:
     return "engine-task";
   case SpanKind::Decision:
@@ -284,6 +288,14 @@ std::string Tracer::profileReport(bool Json, double WallMs,
         {"sat_cache_misses", S.SatCacheMisses},
         {"gist_cache_hits", S.GistCacheHits},
         {"gist_cache_misses", S.GistCacheMisses},
+        {"snapshot_builds", S.SnapshotBuilds},
+        {"snapshot_reuses", S.SnapshotReuses},
+        {"snapshot_fallbacks", S.SnapshotFallbacks},
+        {"quicktest_ziv", S.QuickTestZIV},
+        {"quicktest_gcd", S.QuickTestGCD},
+        {"quicktest_bounds", S.QuickTestBounds},
+        {"quicktest_trivial_dep", S.QuickTestTrivialDep},
+        {"quicktest_decided", S.QuickTestDecided},
     };
     for (std::size_t I = 0; I != sizeof(Fields) / sizeof(Fields[0]); ++I)
       appendF(Out, "%s\n    \"%s\": %" PRIu64, I ? "," : "", Fields[I].Name,
@@ -318,6 +330,14 @@ std::string Tracer::profileReport(bool Json, double WallMs,
           ", total %" PRIu64 " (sat_calls %" PRIu64 ")\n",
           P.Classes.CacheHit, P.Classes.Exact, P.Classes.General,
           P.Classes.Splintered, P.Classes.total(), S.SatisfiabilityCalls);
+  appendF(Out,
+          "pair tiers: quick-test decided %" PRIu64 " (ziv %" PRIu64
+          ", gcd %" PRIu64 ", bounds %" PRIu64 ", trivial %" PRIu64
+          "), snapshot reuses %" PRIu64 " / builds %" PRIu64
+          " (fallbacks %" PRIu64 ")\n",
+          S.QuickTestDecided, S.QuickTestZIV, S.QuickTestGCD, S.QuickTestBounds,
+          S.QuickTestTrivialDep, S.SnapshotReuses, S.SnapshotBuilds,
+          S.SnapshotFallbacks);
   return Out;
 }
 

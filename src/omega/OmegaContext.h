@@ -56,6 +56,13 @@ public:
   /// one branch and never allocates. Single-writer like Stats. Not owned.
   obs::TraceBuffer *Trace = nullptr;
 
+  /// Ablation toggles for the incremental pair-solving layer (PR 4).
+  /// PairSolver consults these, so the engine, the CLI flags and the calc
+  /// directives all steer the same switch. Both tiers are sound and
+  /// result-identical; the toggles exist for benchmarking and attribution.
+  bool IncrementalSnapshots = true; ///< reuse per-pair elimination snapshots
+  bool PairQuickTests = true;       ///< ZIV/GCD/bounds pre-filter per pair
+
   OmegaContext() = default;
   explicit OmegaContext(QueryCache *Cache) : Cache(Cache) {}
 

@@ -42,6 +42,24 @@ struct OmegaStats {
   uint64_t GistCacheHits = 0;       // gist results answered by QueryCache
   uint64_t GistCacheMisses = 0;     // gist lookups that missed
 
+  // Incremental pair solving (deps/PairSolver.h). SnapshotReuses is the
+  // dedicated "answered on a snapshot" counter: snapshot-path queries go
+  // through isSatisfiable() exactly once like any other query (so the
+  // Figure-6 classes still sum to SatisfiabilityCalls) and bump this
+  // counter *instead of* a second cache-hit count.
+  uint64_t SnapshotBuilds = 0;      // pair snapshots constructed
+  uint64_t SnapshotReuses = 0;      // (kind, level) cases replayed on one
+  uint64_t SnapshotFallbacks = 0;   // cases sent back to the scratch path
+
+  // Quick-test pre-filter: dependence queries decided with no Omega call,
+  // by class. QuickTestDecided always equals the sum of the four classes
+  // (each decision bumps its class and the total together).
+  uint64_t QuickTestZIV = 0;        // constant subscript difference != 0
+  uint64_t QuickTestGCD = 0;        // gcd of coefficients divides nothing
+  uint64_t QuickTestBounds = 0;     // single-subscript bounds exclude 0
+  uint64_t QuickTestTrivialDep = 0; // trivially dependent / independent pair
+  uint64_t QuickTestDecided = 0;    // total queries decided by the tier
+
   void reset() { *this = OmegaStats(); }
 
   /// Accumulates another context's counters (used to fold per-worker stats
@@ -70,6 +88,14 @@ private:
     SatCacheMisses += Sign * O.SatCacheMisses;
     GistCacheHits += Sign * O.GistCacheHits;
     GistCacheMisses += Sign * O.GistCacheMisses;
+    SnapshotBuilds += Sign * O.SnapshotBuilds;
+    SnapshotReuses += Sign * O.SnapshotReuses;
+    SnapshotFallbacks += Sign * O.SnapshotFallbacks;
+    QuickTestZIV += Sign * O.QuickTestZIV;
+    QuickTestGCD += Sign * O.QuickTestGCD;
+    QuickTestBounds += Sign * O.QuickTestBounds;
+    QuickTestTrivialDep += Sign * O.QuickTestTrivialDep;
+    QuickTestDecided += Sign * O.QuickTestDecided;
   }
 };
 

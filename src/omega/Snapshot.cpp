@@ -1,0 +1,129 @@
+//===- omega/Snapshot.cpp - Resumable elimination snapshots ---------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "omega/Snapshot.h"
+
+#include "obs/Trace.h"
+#include "omega/EqElimination.h"
+#include "omega/FourierMotzkin.h"
+#include "support/MathUtils.h"
+
+#include <algorithm>
+
+using namespace omega;
+
+EliminationSnapshot::EliminationSnapshot(const Problem &P,
+                                         const std::vector<bool> &Keep,
+                                         OmegaContext &Ctx)
+    : Reduced(P) {
+  ++Ctx.Stats.SnapshotBuilds;
+  obs::ScopedSpan Span(Ctx.Trace, obs::SpanKind::SnapshotBuild,
+                       static_cast<uint32_t>(P.getNumVars()),
+                       static_cast<uint32_t>(P.constraints().size()));
+  OverflowScope Scope;
+
+  auto MayElim = [&Keep](VarId V) {
+    return V >= static_cast<VarId>(Keep.size()) ||
+           !Keep[static_cast<std::size_t>(V)];
+  };
+
+  // Phase 1: substitute away every equality that mentions an eliminable
+  // variable. Substitution is an exact projection, so this is always safe;
+  // afterwards every remaining equality involves only kept variables, which
+  // also re-establishes the FM precondition (an eliminable candidate never
+  // appears in an equality).
+  if (solveEqualities(Reduced, MayElim, Ctx) == SolveResult::False) {
+    St = State::ProvedUnsat;
+    return;
+  }
+
+  // Phase 2: Fourier-Motzkin, but only steps predicted *and verified* to be
+  // exact. The cost estimate can mispredict (normalization inside the step
+  // can expose a non-unit pairing), so eliminate on a copy via the
+  // const-ref overload and keep a skip set: a variable whose elimination
+  // turned out inexact is left in place rather than retried forever.
+  std::vector<bool> Skip(Reduced.getNumVars(), false);
+  while (!Scope.overflowed()) {
+    // Restricted equality elimination may leave residual stride equalities:
+    // rows with exactly one eliminable variable at a non-unit coefficient
+    // among kept ones (Projection isolates those). FM requires its target
+    // to appear in no equality, so such variables are not candidates.
+    std::vector<bool> InEq(Reduced.getNumVars(), false);
+    for (const Constraint &Row : Reduced.constraints())
+      if (Row.isEquality())
+        for (VarId V = 0, E = Reduced.getNumVars(); V != static_cast<VarId>(E);
+             ++V)
+          if (Row.getCoeff(V) != 0)
+            InEq[V] = true;
+
+    VarId Best = -1;
+    FMCost BestCost;
+    for (VarId V = 0, E = Reduced.getNumVars(); V != static_cast<VarId>(E);
+         ++V) {
+      if (Skip[V] || InEq[V] || !MayElim(V) || Reduced.isDead(V) ||
+          !Reduced.involves(V))
+        continue;
+      FMCost Cost = estimateEliminationCost(Reduced, V);
+      if (Cost.Inexact)
+        continue;
+      if (Best < 0 || Cost < BestCost) {
+        Best = V;
+        BestCost = Cost;
+      }
+    }
+    if (Best < 0)
+      break;
+
+    FMResult R = [&] {
+      obs::ScopedSpan FMSpan(Ctx.Trace, obs::SpanKind::FMEliminate,
+                             static_cast<uint32_t>(Reduced.getNumVars()),
+                             static_cast<uint32_t>(Reduced.constraints().size()));
+      return fourierMotzkinEliminate(Reduced, Best);
+    }();
+    if (!R.Exact) {
+      Skip[Best] = true;
+      continue;
+    }
+    ++Ctx.Stats.ExactEliminations;
+    Reduced = std::move(R.RealShadow);
+    if (Reduced.normalize() == Problem::NormalizeResult::False) {
+      St = State::ProvedUnsat;
+      return;
+    }
+    // normalize() may synthesize equalities from opposed inequalities;
+    // substitute them away again so no eliminable variable sits in an
+    // equality when the next FM step runs.
+    if (Reduced.getNumEQs() != 0 &&
+        solveEqualities(Reduced, MayElim, Ctx) == SolveResult::False) {
+      St = State::ProvedUnsat;
+      return;
+    }
+    Skip.resize(Reduced.getNumVars(), false);
+  }
+
+  // Saturated arithmetic means the reduced rows may be clamped garbage:
+  // nothing derived from them is trustworthy, including a ProvedUnsat we
+  // did not reach. Callers route every query through the scratch path.
+  if (Scope.overflowed()) {
+    St = State::Saturated;
+    return;
+  }
+
+  BaseRows = static_cast<unsigned>(Reduced.constraints().size());
+}
+
+bool EliminationSnapshot::deltasCompatible(const Problem &Case) const {
+  const std::vector<Constraint> &Rows = Case.constraints();
+  unsigned SnapVars = Reduced.getNumVars();
+  for (std::size_t I = BaseRows; I < Rows.size(); ++I) {
+    const Constraint &Row = Rows[I];
+    unsigned E = std::min(SnapVars, Row.getNumVars());
+    for (VarId V = 0; V != static_cast<VarId>(E); ++V)
+      if (Row.getCoeff(V) != 0 && Reduced.isDead(V))
+        return false;
+  }
+  return true;
+}

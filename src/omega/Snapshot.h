@@ -1,0 +1,89 @@
+//===- omega/Snapshot.h - Resumable elimination snapshots ----------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A resumable elimination pipeline for the Omega test. The dependence
+/// analysis asks many near-duplicate questions about one statement pair:
+/// the flow/anti/output x per-carried-level problems all share the
+/// iteration spaces and subscript equalities and differ only in a handful
+/// of ordering rows over the common loop variables. An EliminationSnapshot
+/// runs the *shared* part of the pipeline once -- equality elimination plus
+/// every Fourier-Motzkin step that is exact and touches none of the
+/// variables a later delta may mention -- and hands back the reduced
+/// system, so each (kind, level) query replays only its delta rows.
+///
+/// Soundness: substituting an equality away and an exact FM step both
+/// compute an exact integer projection, and projection of a variable z
+/// commutes with conjoining constraints that do not mention z:
+///
+///   sat(P and D) == sat((exists z. P) and D)      when z not in D
+///
+/// so as long as every delta row only touches *kept* variables, the reduced
+/// system plus the delta is equisatisfiable with the original plus the
+/// delta -- and since the eliminations are exact, even the projected ranges
+/// of later-added distance variables are preserved, not just the verdict.
+/// Inexact eliminations are never taken (the real shadow would only
+/// over-approximate), which is the snapshot validity rule documented in
+/// DESIGN.md; deltasCompatible() is the corresponding runtime check that a
+/// replay's rows really avoid every eliminated column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_OMEGA_SNAPSHOT_H
+#define OMEGA_OMEGA_SNAPSHOT_H
+
+#include "omega/OmegaContext.h"
+#include "omega/Problem.h"
+
+#include <vector>
+
+namespace omega {
+
+class EliminationSnapshot {
+public:
+  enum class State : uint8_t {
+    Ready,       ///< reduced() is an exact stand-in for the base problem
+    ProvedUnsat, ///< the shared system is unsatisfiable on its own
+    Saturated    ///< arithmetic saturated; callers must use the scratch path
+  };
+
+  /// Reduces \p P, keeping every variable V with Keep[V] == true untouched
+  /// (variables beyond Keep.size() are eliminable). Bumps
+  /// Ctx.Stats.SnapshotBuilds and records a SnapshotBuild span.
+  EliminationSnapshot(const Problem &P, const std::vector<bool> &Keep,
+                      OmegaContext &Ctx = OmegaContext::current());
+
+  State state() const { return St; }
+
+  /// The reduced shared system. Columns are never compacted, so every VarId
+  /// of the base problem remains valid; eliminated variables are dead
+  /// columns. Only meaningful in State::Ready.
+  const Problem &reduced() const { return Reduced; }
+
+  /// Number of rows in reduced(): rows a replay appends to a copy start at
+  /// this index.
+  unsigned baseRows() const { return BaseRows; }
+
+  /// True if \p V was eliminated during reduction (delta rows must not
+  /// mention it).
+  bool eliminated(VarId V) const { return Reduced.isDead(V); }
+
+  /// Verifies that every row of \p Case at index >= baseRows() -- the delta
+  /// rows a replay appended to a copy of reduced() -- avoids all eliminated
+  /// columns. A false return means the replay would be unsound and the
+  /// caller must fall back to the from-scratch path.
+  bool deltasCompatible(const Problem &Case) const;
+
+private:
+  Problem Reduced;
+  unsigned BaseRows = 0;
+  State St = State::Ready;
+};
+
+} // namespace omega
+
+#endif // OMEGA_OMEGA_SNAPSHOT_H

@@ -163,3 +163,30 @@ TEST(Calc, RangeUnboundedEnds) {
                           "range P [x];\n");
   EXPECT_NE(Out.find("x in [5, +inf]"), std::string::npos);
 }
+
+TEST(Calc, ToggleDirectives) {
+  Calculator C;
+  EXPECT_TRUE(C.context().PairQuickTests);
+  EXPECT_TRUE(C.context().IncrementalSnapshots);
+  std::string Out = C.run("quicktests off;\n"
+                          "incremental off;\n");
+  EXPECT_FALSE(C.hadError());
+  EXPECT_NE(Out.find("quicktests off"), std::string::npos);
+  EXPECT_NE(Out.find("incremental off"), std::string::npos);
+  EXPECT_FALSE(C.context().PairQuickTests);
+  EXPECT_FALSE(C.context().IncrementalSnapshots);
+  C.run("quicktests on;\n"
+        "incremental on;\n");
+  EXPECT_TRUE(C.context().PairQuickTests);
+  EXPECT_TRUE(C.context().IncrementalSnapshots);
+}
+
+TEST(Calc, ToggleDirectiveBadArgRecovers) {
+  Calculator C;
+  std::string Out = C.run("quicktests maybe;\n"
+                          "P := {[x] : x = 1};\n"
+                          "sat P;\n");
+  EXPECT_TRUE(C.hadError());
+  EXPECT_TRUE(C.context().PairQuickTests); // unchanged on error
+  EXPECT_NE(Out.find("P is satisfiable"), std::string::npos);
+}

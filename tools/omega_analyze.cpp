@@ -74,6 +74,7 @@ int usage(const char *Argv0) {
                "[--transforms] [--schedule] [--restraints]\n"
                "          [--no-refine] [--no-cover] [--no-kill] "
                "[--no-quick] [--terminate] [--jobs N]\n"
+               "          [--no-quicktests] [--no-incremental]\n"
                "          [--trace=FILE] [--profile[=json]] [--explain]\n"
                "          [--run] [--sym name=value]... [file]\n",
                Argv0);
@@ -107,6 +108,10 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Req.Kill = false;
     else if (Arg == "--no-quick")
       Opts.Req.QuickTests = false;
+    else if (Arg == "--no-quicktests")
+      Opts.Req.PairQuickTests = false; // ZIV/GCD/bounds pre-filter ablation
+    else if (Arg == "--no-incremental")
+      Opts.Req.Incremental = false; // per-pair snapshot ablation
     else if (Arg == "--terminate")
       Opts.Req.Terminate = true;
     else if (Arg.rfind("--trace=", 0) == 0)
@@ -307,6 +312,14 @@ std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs,
          ", \"satCacheMisses\": " + std::to_string(S.SatCacheMisses) +
          ", \"gistCacheHits\": " + std::to_string(S.GistCacheHits) +
          ", \"gistCacheMisses\": " + std::to_string(S.GistCacheMisses) +
+         ", \"snapshotBuilds\": " + std::to_string(S.SnapshotBuilds) +
+         ", \"snapshotReuses\": " + std::to_string(S.SnapshotReuses) +
+         ", \"snapshotFallbacks\": " + std::to_string(S.SnapshotFallbacks) +
+         ", \"quicktestZiv\": " + std::to_string(S.QuickTestZIV) +
+         ", \"quicktestGcd\": " + std::to_string(S.QuickTestGCD) +
+         ", \"quicktestBounds\": " + std::to_string(S.QuickTestBounds) +
+         ", \"quicktestTrivialDep\": " + std::to_string(S.QuickTestTrivialDep) +
+         ", \"quicktestDecided\": " + std::to_string(S.QuickTestDecided) +
          "},\n";
 
   Out += "  \"cache\": {\"satHits\": " + std::to_string(R.Cache.SatHits) +
@@ -464,6 +477,17 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Stats.ExactEliminations),
                 static_cast<unsigned long long>(R.Stats.InexactEliminations),
                 static_cast<unsigned long long>(R.Stats.SplintersExplored));
+    std::printf("pair tiers: %llu decided by quick tests (%llu ziv, %llu "
+                "gcd, %llu bounds, %llu trivial), %llu snapshot reuses / "
+                "%llu builds (%llu fallbacks)\n",
+                static_cast<unsigned long long>(R.Stats.QuickTestDecided),
+                static_cast<unsigned long long>(R.Stats.QuickTestZIV),
+                static_cast<unsigned long long>(R.Stats.QuickTestGCD),
+                static_cast<unsigned long long>(R.Stats.QuickTestBounds),
+                static_cast<unsigned long long>(R.Stats.QuickTestTrivialDep),
+                static_cast<unsigned long long>(R.Stats.SnapshotReuses),
+                static_cast<unsigned long long>(R.Stats.SnapshotBuilds),
+                static_cast<unsigned long long>(R.Stats.SnapshotFallbacks));
     std::printf("query cache: %llu/%llu sat hits, %llu/%llu gist hits, "
                 "%llu entries\n",
                 static_cast<unsigned long long>(R.Cache.SatHits),
