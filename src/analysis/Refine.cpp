@@ -34,7 +34,13 @@ std::vector<bool> keepAllBut(const Problem &P, const DepSpace &Space,
 /// vector), with distance variables attached so minima can be extracted.
 struct LevelProblem {
   unsigned Level = 0;
-  Problem P;
+  Problem P; ///< the full system; every range query runs against this
+  /// Snapshot-reduced form, sat-equivalent to P over the deltas. Used only
+  /// for satisfiability decisions (which are complete, hence identical on
+  /// equivalent forms); computeVarRange reads bounds off projected pieces
+  /// and is form-sensitive, so ranges must come from P to keep
+  /// --no-incremental result-identical.
+  std::optional<Problem> Reduced;
   std::vector<VarId> Deltas;
   bool Feasible = true;
 };
@@ -60,12 +66,13 @@ public:
     }
   }
 
-  /// Every range and satisfiability question the passes ask about a level
-  /// problem concerns only its distance variables, so the rest of the
-  /// system can be eliminated up front. Only exact (snapshot) eliminations
-  /// are taken, which preserves both satisfiability and every delta range;
-  /// the pins added later touch only the (kept) deltas, so the reduced
-  /// system stays equivalent for the questions asked of it.
+  /// The satisfiability questions the passes ask about a level problem
+  /// concern only its distance variables, so the rest of the system can be
+  /// eliminated up front. Only exact (snapshot) eliminations are taken,
+  /// which preserves satisfiability over the deltas; the pins added later
+  /// touch only the (kept) deltas, so the reduced system stays
+  /// sat-equivalent. Range extraction deliberately keeps using the full
+  /// system (see LevelProblem::Reduced).
   void reduceToDeltas(LevelProblem &L) {
     OmegaContext &Ctx = OmegaContext::current();
     if (!Ctx.IncrementalSnapshots)
@@ -80,7 +87,7 @@ public:
       break;
     case EliminationSnapshot::State::Ready:
       ++Ctx.Stats.SnapshotReuses;
-      L.P = Snap.reduced();
+      L.Reduced = Snap.reduced();
       break;
     case EliminationSnapshot::State::Saturated:
       break; // clamped rows are garbage: keep the full system
@@ -216,6 +223,11 @@ public:
         Constraint &Pin = Lvl.P.addRow(ConstraintKind::EQ);
         Pin.setCoeff(Lvl.Deltas[L], 1);
         Pin.setConstant(-Min);
+        if (Lvl.Reduced) { // pins touch only kept deltas: stays equivalent
+          Constraint &RPin = Lvl.Reduced->addRow(ConstraintKind::EQ);
+          RPin.setCoeff(Lvl.Deltas[L], 1);
+          RPin.setConstant(-Min);
+        }
       }
     }
     return Fixed.size();
@@ -226,7 +238,8 @@ public:
   bool rebuildSplits() {
     std::vector<deps::DepSplit> NewSplits;
     for (LevelProblem &Lvl : Levels) {
-      if (!Lvl.Feasible || !isSatisfiable(Lvl.P)) {
+      if (!Lvl.Feasible ||
+          !isSatisfiable(Lvl.Reduced ? *Lvl.Reduced : Lvl.P)) {
         Lvl.Feasible = false;
         continue;
       }

@@ -304,7 +304,16 @@ std::optional<Dependence> PairSolver::solveOrdered(unsigned SI, unsigned DI,
           ++Ctx.Stats.SnapshotReuses;
           if (!isSatisfiable(Case, SatOptions(), Ctx))
             return std::nullopt;
-          return summarize(Case);
+          // The reduced system decides satisfiability exactly (it is
+          // sat-equivalent over the kept variables and the procedure is
+          // complete), but distance summaries read bounds off projected
+          // pieces, which is form-sensitive: residual stride wildcards in
+          // the reduced rows can hide bounds the scratch form exposes.
+          // Summarize from the scratch system so --no-incremental stays
+          // result-identical.
+          Problem Scratch = pairProblem();
+          Space.addPrecedesAtLevel(Scratch, SI, DI, Level);
+          return summarize(Scratch);
         }
       }
       // Saturated snapshot or a delta over an eliminated column: this case

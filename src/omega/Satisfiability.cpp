@@ -194,6 +194,20 @@ bool omega::isSatisfiable(Problem P, const SatOptions &Opts,
   return Result;
 }
 
+/// Exact membership test: evaluates every row of \p P at \p Point using
+/// wide intermediates, so it cannot itself saturate.
+static bool satisfiesAllRows(const Problem &P,
+                             const std::vector<int64_t> &Point) {
+  for (const Constraint &Row : P.constraints()) {
+    __int128 Sum = Row.getConstant();
+    for (VarId V = 0, E = Row.getNumVars(); V != static_cast<VarId>(E); ++V)
+      Sum += static_cast<__int128>(Row.getCoeff(V)) * Point[V];
+    if (Row.isEquality() ? Sum != 0 : Sum < 0)
+      return false;
+  }
+  return true;
+}
+
 std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P,
                                                         OmegaContext &Ctx) {
   if (!isSatisfiable(P, SatOptions(), Ctx))
@@ -205,35 +219,50 @@ std::optional<std::vector<int64_t>> omega::findSolution(const Problem &P,
     if (!Work.involves(V))
       continue; // unconstrained given earlier pins: 0 works
     // The exact projected range of V; its closed endpoints are members,
-    // so pinning one cannot lose satisfiability.
+    // so pinning one cannot lose satisfiability. Under coefficient
+    // saturation both the range and the SAT verdict above are unreliable
+    // (SAT is the conservative answer), so every candidate is re-checked
+    // by pinning, and a refused candidate falls through to the next one
+    // instead of asserting.
     IntRange R = computeVarRange(Work, V, Ctx);
-    assert(!R.Empty && "satisfiable problem has a value for every var");
-    int64_t Value = 0;
+    if (R.Empty)
+      return std::nullopt; // saturation artifact; no trustworthy value
+
+    auto TryPin = [&](int64_t Candidate) {
+      Problem Pinned = Work;
+      Pinned.addEQ({{V, 1}}, -Candidate);
+      if (!isSatisfiable(Pinned, SatOptions(), Ctx))
+        return false;
+      Point[V] = Candidate;
+      Work = std::move(Pinned);
+      return true;
+    };
+
+    bool Found = false;
     if (R.HasMin)
-      Value = R.Min;
-    else if (R.HasMax)
-      Value = R.Max;
-    else {
-      // Unbounded both ways: probe small magnitudes (a stride can make 0
-      // a non-member, but some small multiple is one).
-      bool Found = false;
+      Found = TryPin(R.Min);
+    if (!Found && R.HasMax)
+      Found = TryPin(R.Max);
+    if (!Found) {
+      // Unbounded both ways, or an endpoint the re-check refused: probe
+      // small magnitudes (a stride can make 0 a non-member, but some
+      // small multiple is one).
       for (int64_t Probe = 0; Probe < 4096 && !Found; ++Probe) {
         for (int64_t Candidate : {Probe, -Probe}) {
-          Problem Pinned = Work;
-          Pinned.addEQ({{V, 1}}, -Candidate);
-          if (isSatisfiable(std::move(Pinned), SatOptions(), Ctx)) {
-            Value = Candidate;
+          if (TryPin(Candidate)) {
             Found = true;
             break;
           }
         }
       }
-      assert(Found && "no small value in a doubly-unbounded exact range");
-      if (!Found)
-        return std::nullopt;
     }
-    Point[V] = Value;
-    Work.addEQ({{V, 1}}, -Value);
+    if (!Found)
+      return std::nullopt;
   }
+  // Final gate: the point must satisfy every original row exactly. This
+  // catches any saturation-induced conservative SAT upstream, so callers
+  // can trust a returned witness unconditionally.
+  if (!satisfiesAllRows(P, Point))
+    return std::nullopt;
   return Point;
 }

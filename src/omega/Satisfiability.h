@@ -58,7 +58,11 @@ inline bool isUnsatisfiable(Problem P, const SatOptions &Opts = SatOptions(),
 /// Finds one integer solution of \p P (a value for every variable,
 /// including wildcards; dead variables get 0), or nullopt when \p P is
 /// unsatisfiable. Variables are pinned one at a time to an endpoint of
-/// their exact projected range, so the search never backtracks.
+/// their exact projected range, so the search never backtracks. Every
+/// returned point is verified against the original rows before it is
+/// handed back, so a witness is trustworthy even when the SAT verdict
+/// itself was a conservative answer under coefficient saturation —
+/// saturated queries yield nullopt rather than a fabricated point.
 std::optional<std::vector<int64_t>>
 findSolution(const Problem &P, OmegaContext &Ctx = OmegaContext::current());
 

@@ -1,0 +1,301 @@
+//===- oracle/Generate.cpp ------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Generate.h"
+
+#include <cstdlib>
+
+using namespace omega;
+using namespace omega::oracle;
+
+unsigned oracle::fuzzSeed(unsigned Fallback) {
+  if (const char *Env = std::getenv("OMEGA_FUZZ_SEED"))
+    if (*Env)
+      return static_cast<unsigned>(std::strtoul(Env, nullptr, 10));
+  return Fallback;
+}
+
+std::string oracle::seedMessage(unsigned Seed) {
+  return "seed " + std::to_string(Seed) + " (re-run with OMEGA_FUZZ_SEED=" +
+         std::to_string(Seed) + ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Random constraint problems
+//===----------------------------------------------------------------------===//
+
+Problem oracle::randomProblem(std::mt19937 &Rng,
+                              const RandomProblemConfig &Cfg) {
+  Problem P;
+  std::vector<VarId> Vars;
+  for (unsigned I = 0; I != Cfg.NumVars; ++I)
+    Vars.push_back(P.addVar("x" + std::to_string(I)));
+
+  std::uniform_int_distribution<int64_t> Coeff(-Cfg.CoeffRange,
+                                               Cfg.CoeffRange);
+  std::uniform_int_distribution<int64_t> Const(-Cfg.ConstRange,
+                                               Cfg.ConstRange);
+
+  auto addRandomRow = [&](ConstraintKind Kind) {
+    Constraint &Row = P.addRow(Kind);
+    for (VarId V : Vars)
+      Row.setCoeff(V, Coeff(Rng));
+    Row.setConstant(Const(Rng));
+  };
+  for (unsigned I = 0; I != Cfg.NumEQs; ++I)
+    addRandomRow(ConstraintKind::EQ);
+  for (unsigned I = 0; I != Cfg.NumGEQs; ++I)
+    addRandomRow(ConstraintKind::GEQ);
+
+  for (VarId V : Vars) {
+    P.addGEQ({{V, 1}}, Cfg.Box);  // V >= -Box
+    P.addGEQ({{V, -1}}, Cfg.Box); // V <= Box
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Random tiny-language programs
+//===----------------------------------------------------------------------===//
+
+ProgramGenerator::ProgramGenerator(unsigned Seed, RandomProgramConfig Cfg)
+    : Rng(Seed), Cfg(Cfg) {}
+
+int64_t ProgramGenerator::pick(int64_t Lo, int64_t Hi) {
+  return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
+}
+
+bool ProgramGenerator::chance(int OneIn) { return pick(1, OneIn) == 1; }
+
+void ProgramGenerator::indent() { Src.append(Loops.size() * 2, ' '); }
+
+void ProgramGenerator::openLoops(unsigned Depth) {
+  for (unsigned D = 0; D != Depth; ++D) {
+    std::string Var(1, static_cast<char>('i' + Loops.size()));
+    indent();
+    // Rectangular or triangular lower bound; small constant ranges.
+    std::string Lo = std::to_string(pick(0, Cfg.LoMax));
+    if (!Loops.empty() && Cfg.AllowTriangular && chance(3))
+      Lo = Loops.back(); // triangular: starts at the outer variable
+    std::string Hi = std::to_string(pick(Cfg.HiMin, Cfg.HiMax));
+    std::string Step = Cfg.AllowStride2 && chance(4) ? " step 2" : "";
+    Src += "for " + Var + " := " + Lo + " to " + Hi + Step + " do\n";
+    Loops.push_back(Var);
+  }
+}
+
+void ProgramGenerator::closeLoops() {
+  while (!Loops.empty()) {
+    Loops.pop_back();
+    indent();
+    Src += "endfor\n";
+  }
+}
+
+std::string ProgramGenerator::affineSubscript() {
+  std::string Out;
+  bool Any = false;
+  for (const std::string &Var : Loops) {
+    int64_t C = pick(-1, 2);
+    if (C == 0)
+      continue;
+    if (Any)
+      Out += C < 0 ? " - " : " + ";
+    else if (C < 0)
+      Out += "-";
+    if (C != 1 && C != -1)
+      Out += std::to_string(C < 0 ? -C : C) + "*";
+    Out += Var;
+    Any = true;
+  }
+  int64_t K = pick(-2, 2);
+  if (!Any)
+    return std::to_string(K);
+  if (K != 0)
+    Out += (K < 0 ? " - " : " + ") + std::to_string(K < 0 ? -K : K);
+  return Out;
+}
+
+std::string ProgramGenerator::arrayRef(bool TwoDims) {
+  std::string Name(
+      1, static_cast<char>('a' + pick(0, static_cast<int64_t>(NumArrays) - 1)));
+  std::string Out = Name + "(" + affineSubscript();
+  if (TwoDims)
+    Out += ", " + affineSubscript();
+  Out += ")";
+  return Out;
+}
+
+void ProgramGenerator::emitAssignment() {
+  indent();
+  bool TwoDims = chance(3);
+  Src += arrayRef(TwoDims) + " := ";
+  unsigned Reads = static_cast<unsigned>(pick(0, 2));
+  for (unsigned I = 0; I != Reads; ++I)
+    Src += arrayRef(TwoDims) + " + ";
+  Src += std::to_string(pick(0, 9)) + ";\n";
+}
+
+std::string ProgramGenerator::generate() {
+  Src.clear();
+  Loops.clear();
+  NumArrays = static_cast<unsigned>(pick(1, Cfg.MaxArrays));
+  unsigned Depth = static_cast<unsigned>(pick(Cfg.MinDepth, Cfg.MaxDepth));
+  openLoops(Depth);
+  unsigned Stmts = static_cast<unsigned>(pick(Cfg.MinStmts, Cfg.MaxStmts));
+  for (unsigned I = 0; I != Stmts; ++I)
+    emitAssignment();
+  closeLoops();
+  // Sometimes a second, shallower nest to exercise cross-nest deps.
+  if (Cfg.AllowSecondNest && chance(2)) {
+    openLoops(static_cast<unsigned>(pick(1, 2)));
+    emitAssignment();
+    closeLoops();
+  }
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Structured stress programs
+//===----------------------------------------------------------------------===//
+
+std::string oracle::deepRecurrenceNest(unsigned Depth) {
+  std::string Src = "symbolic n;\n";
+  std::string Sub;
+  for (unsigned D = 0; D != Depth; ++D) {
+    std::string Var(1, static_cast<char>('i' + D));
+    Src += std::string(2 * D, ' ') + "for " + Var + " := 2 to n do\n";
+    Sub += (D ? "," : "") + Var;
+  }
+  Src += std::string(2 * Depth, ' ') + "a(" + Sub + ") := a(" + Sub +
+         ") + 1;\n";
+  for (unsigned D = Depth; D-- != 0;)
+    Src += std::string(2 * D, ' ') + "endfor\n";
+  return Src;
+}
+
+std::string oracle::wideProgram(unsigned NumLoops) {
+  std::string Src = "symbolic n;\n";
+  for (unsigned I = 0; I != NumLoops; ++I) {
+    std::string A = "a" + std::to_string(I);
+    Src += "for i := 1 to n do\n  " + A + "(i) := " + A + "(i-1);\nendfor\n";
+  }
+  return Src;
+}
+
+std::string oracle::sameArrayChain(unsigned NumStmts) {
+  std::string Src = "symbolic n;\n"
+                    "for i := " +
+                    std::to_string(NumStmts + 1) + " to n do\n";
+  for (unsigned S = 1; S <= NumStmts; ++S)
+    Src += "  a(i) := a(i-" + std::to_string(S) + ");\n";
+  Src += "endfor\n";
+  return Src;
+}
+
+std::string oracle::manySymbolicConstants(unsigned NumSyms) {
+  std::string Src = "symbolic s0";
+  for (unsigned I = 1; I != NumSyms; ++I)
+    Src += ", s" + std::to_string(I);
+  Src += ";\nfor i := s0 to s" + std::to_string(NumSyms - 1) + " do\n  a(i";
+  Src += ") := a(i - s1) + a(i + s2);\nendfor\n";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Random Presburger formulas
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct FormulaGen {
+  std::mt19937 &Rng;
+  pres::FormulaContext &Ctx;
+  const RandomFormulaConfig &Cfg;
+  std::vector<VarId> Scope; ///< free vars plus quantified vars in scope
+  unsigned QuantifiersLeft;
+
+  int64_t pick(int64_t Lo, int64_t Hi) {
+    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
+  }
+
+  pres::Formula atom() {
+    std::vector<Term> Terms;
+    for (VarId V : Scope) {
+      int64_t C = pick(-Cfg.CoeffRange, Cfg.CoeffRange);
+      if (C != 0)
+        Terms.push_back({V, C});
+    }
+    int64_t K = pick(-Cfg.ConstRange, Cfg.ConstRange);
+    switch (pick(0, 3)) {
+    case 0:
+      return pres::Formula::eq(std::move(Terms), K);
+    case 1:
+      return pres::Formula::lt(std::move(Terms), K);
+    case 2:
+      return pres::Formula::neq(std::move(Terms), K);
+    default:
+      return pres::Formula::geq(std::move(Terms), K);
+    }
+  }
+
+  /// -Box <= V <= Box as a conjunction.
+  pres::Formula boxGuard(VarId V) {
+    return pres::Formula::conj(
+        {pres::Formula::geq({{V, 1}}, Cfg.Box),    // V >= -Box
+         pres::Formula::geq({{V, -1}}, Cfg.Box)}); // V <= Box
+  }
+
+  pres::Formula gen(unsigned Depth) {
+    if (Depth == 0 || pick(0, 3) == 0)
+      return atom();
+    switch (pick(0, QuantifiersLeft != 0 ? 4 : 2)) {
+    case 0:
+      return pres::Formula::conj({gen(Depth - 1), gen(Depth - 1)});
+    case 1:
+      return pres::Formula::disj({gen(Depth - 1), gen(Depth - 1)});
+    case 2:
+      return pres::Formula::negate(gen(Depth - 1));
+    default: {
+      // exists q: box(q) && body   /   forall q: box(q) => body. Guarding
+      // the bound variable keeps bounded-model evaluation exact: any
+      // exists-witness must satisfy its guard, and points outside the box
+      // satisfy a guarded forall vacuously.
+      --QuantifiersLeft;
+      VarId Q = Ctx.addVar("q" + std::to_string(Ctx.getNumVars()));
+      Scope.push_back(Q);
+      pres::Formula Body = gen(Depth - 1);
+      Scope.pop_back();
+      if (pick(0, 1) == 0)
+        return pres::Formula::exists(
+            {Q}, pres::Formula::conj({boxGuard(Q), std::move(Body)}));
+      return pres::Formula::forall(
+          {Q}, pres::Formula::implies(boxGuard(Q), std::move(Body)));
+    }
+    }
+  }
+};
+
+} // namespace
+
+pres::Formula oracle::randomFormula(std::mt19937 &Rng,
+                                    pres::FormulaContext &Ctx,
+                                    const RandomFormulaConfig &Cfg) {
+  std::vector<VarId> Free;
+  for (unsigned I = 0; I != Cfg.NumFreeVars; ++I)
+    Free.push_back(Ctx.addVar("x" + std::to_string(I)));
+
+  FormulaGen Gen{Rng, Ctx, Cfg, Free, Cfg.MaxQuantifiers};
+  pres::Formula Body = Gen.gen(Cfg.MaxDepth);
+
+  // Conjoin box guards on the free variables so satisfiability over the
+  // integers coincides with satisfiability over the box.
+  std::vector<pres::Formula> Parts;
+  for (VarId V : Free)
+    Parts.push_back(Gen.boxGuard(V));
+  Parts.push_back(std::move(Body));
+  return pres::Formula::conj(std::move(Parts));
+}

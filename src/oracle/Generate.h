@@ -1,0 +1,151 @@
+//===- oracle/Generate.h - Shared random-input generators -----------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generators for everything the correctness oracles consume:
+/// constraint Problems (with explicit box bounds so brute-force enumeration
+/// is an exact oracle), tiny-language programs (loop nests with affine
+/// accesses), Presburger formulas (quantified, but with every variable
+/// box-guarded so bounded-model evaluation is exact), and the structured
+/// stress-program builders. The test suites and the omega-fuzz driver share
+/// this one API so any failure is reproducible from a single seed.
+///
+/// Seed plumbing: fuzzSeed() reads OMEGA_FUZZ_SEED from the environment, so
+/// a CI failure log that prints the seed is locally reproducible with
+/// `OMEGA_FUZZ_SEED=<seed> ctest -R <test>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ORACLE_GENERATE_H
+#define OMEGA_ORACLE_GENERATE_H
+
+#include "omega/Problem.h"
+#include "presburger/Formula.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace oracle {
+
+/// The run's base seed: OMEGA_FUZZ_SEED from the environment when set,
+/// otherwise \p Fallback. Failure messages should include seedMessage() so
+/// the run is reproducible.
+unsigned fuzzSeed(unsigned Fallback);
+
+/// "seed 12345 (re-run with OMEGA_FUZZ_SEED=12345)" -- append to any
+/// randomized failure message.
+std::string seedMessage(unsigned Seed);
+
+//===----------------------------------------------------------------------===//
+// Random constraint problems
+//===----------------------------------------------------------------------===//
+
+/// Configuration for random problem generation. Generated problems always
+/// contain explicit box bounds on every variable so that exhaustive
+/// enumeration over [-Box, Box]^n is an exact oracle.
+struct RandomProblemConfig {
+  unsigned NumVars = 3;
+  unsigned NumEQs = 1;
+  unsigned NumGEQs = 3;
+  int64_t CoeffRange = 3; // coefficients in [-CoeffRange, CoeffRange]
+  int64_t ConstRange = 8; // constants in [-ConstRange, ConstRange]
+  int64_t Box = 6;        // every variable bounded to [-Box, Box]
+};
+
+/// Generates a random conjunction including explicit box bounds.
+Problem randomProblem(std::mt19937 &Rng, const RandomProblemConfig &Cfg);
+
+//===----------------------------------------------------------------------===//
+// Random tiny-language programs
+//===----------------------------------------------------------------------===//
+
+/// Shape of the random loop nests ProgramGenerator emits. All loop bounds
+/// are small constants, so the interpreter's trace is short and complete.
+struct RandomProgramConfig {
+  unsigned MinDepth = 1, MaxDepth = 3;  ///< loops around the first nest
+  unsigned MinStmts = 1, MaxStmts = 3;  ///< assignments per nest
+  unsigned MaxArrays = 2;               ///< distinct array names
+  int64_t LoMax = 2;                    ///< lower bounds in [0, LoMax]
+  int64_t HiMin = 4, HiMax = 7;         ///< upper bounds in [HiMin, HiMax]
+  bool AllowTriangular = true;          ///< lower bound = outer variable
+  bool AllowStride2 = true;             ///< occasional `step 2`
+  bool AllowSecondNest = true;          ///< shallower second nest sometimes
+};
+
+/// Generates random loop nests with random affine accesses (the generator
+/// previously private to tests/RandomProgramTest.cpp). Deterministic for a
+/// given seed and config.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(unsigned Seed,
+                            RandomProgramConfig Cfg = RandomProgramConfig());
+
+  /// One random program as tiny-language source text.
+  std::string generate();
+
+private:
+  int64_t pick(int64_t Lo, int64_t Hi);
+  bool chance(int OneIn);
+  void indent();
+  void openLoops(unsigned Depth);
+  void closeLoops();
+  std::string affineSubscript();
+  std::string arrayRef(bool TwoDims);
+  void emitAssignment();
+
+  std::mt19937 Rng;
+  RandomProgramConfig Cfg;
+  std::string Src;
+  std::vector<std::string> Loops;
+  unsigned NumArrays = 1;
+};
+
+//===----------------------------------------------------------------------===//
+// Structured stress programs (previously ad hoc in tests/StressTest.cpp)
+//===----------------------------------------------------------------------===//
+
+/// `Depth` perfectly nested loops (2..n each) around a(i,j,...) += 1.
+std::string deepRecurrenceNest(unsigned Depth);
+
+/// \p NumLoops independent single loops, each a carried recurrence on its
+/// own array a<k>(i) := a<k>(i-1).
+std::string wideProgram(unsigned NumLoops);
+
+/// One loop containing \p NumStmts statements a(i) := a(i - s), s = 1..N:
+/// a quadratic pair count with kills.
+std::string sameArrayChain(unsigned NumStmts);
+
+/// `symbolic s0, ..., s<N-1>;` with a loop bounded and subscripted by them.
+std::string manySymbolicConstants(unsigned NumSyms);
+
+//===----------------------------------------------------------------------===//
+// Random Presburger formulas
+//===----------------------------------------------------------------------===//
+
+struct RandomFormulaConfig {
+  unsigned NumFreeVars = 2;
+  unsigned MaxDepth = 3;    ///< connective nesting depth
+  unsigned MaxQuantifiers = 2;
+  int64_t CoeffRange = 2;
+  int64_t ConstRange = 4;
+  int64_t Box = 3; ///< every variable (free and bound) guarded to [-Box, Box]
+};
+
+/// A random formula over \p Ctx. Free variables are created in \p Ctx
+/// before generation; every quantified variable is guarded inside the
+/// quantifier (exists x: -Box <= x <= Box && ...; forall x: box => ...), and
+/// the whole formula is conjoined with box guards on the free variables, so
+/// evaluating over [-Box, Box]^vars is an exact model (see ModelOracle.h).
+pres::Formula randomFormula(std::mt19937 &Rng, pres::FormulaContext &Ctx,
+                            const RandomFormulaConfig &Cfg);
+
+} // namespace oracle
+} // namespace omega
+
+#endif // OMEGA_ORACLE_GENERATE_H

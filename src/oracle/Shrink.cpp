@@ -1,0 +1,335 @@
+//===- oracle/Shrink.cpp --------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/Shrink.h"
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace omega;
+using namespace omega::oracle;
+
+//===----------------------------------------------------------------------===//
+// Problem shrinking
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Problem withoutRow(const Problem &P, unsigned Drop) {
+  Problem Q = P.cloneLayout();
+  unsigned I = 0;
+  for (const Constraint &Row : P.constraints())
+    if (I++ != Drop)
+      Q.addConstraint(Row);
+  return Q;
+}
+
+Problem withEditedRow(const Problem &P, unsigned Edit,
+                      const std::function<void(Constraint &)> &Fn) {
+  Problem Q = P.cloneLayout();
+  unsigned I = 0;
+  for (const Constraint &Row : P.constraints()) {
+    Constraint Copy = Row;
+    if (I++ == Edit)
+      Fn(Copy);
+    Q.addConstraint(std::move(Copy));
+  }
+  return Q;
+}
+
+} // namespace
+
+Problem oracle::shrinkProblem(Problem P, const ProblemPredicate &StillFails) {
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+
+    // Pass 1: drop whole rows.
+    for (unsigned I = 0; I < P.getNumConstraints();) {
+      Problem Cand = withoutRow(P, I);
+      if (StillFails(Cand)) {
+        P = std::move(Cand);
+        Progress = true;
+      } else {
+        ++I;
+      }
+    }
+
+    // Pass 2: zero individual coefficients.
+    for (unsigned I = 0; I != P.getNumConstraints(); ++I) {
+      for (VarId V = 0, E = static_cast<VarId>(P.getNumVars()); V != E; ++V) {
+        unsigned RowIdx = 0;
+        int64_t C = 0;
+        for (const Constraint &Row : P.constraints())
+          if (RowIdx++ == I)
+            C = Row.getCoeff(V);
+        if (C == 0)
+          continue;
+        Problem Cand = withEditedRow(
+            P, I, [&](Constraint &Row) { Row.setCoeff(V, 0); });
+        if (StillFails(Cand)) {
+          P = std::move(Cand);
+          Progress = true;
+        }
+      }
+    }
+
+    // Pass 3: shrink constants toward zero (halving, then zero).
+    for (unsigned I = 0; I != P.getNumConstraints(); ++I) {
+      while (true) {
+        unsigned RowIdx = 0;
+        int64_t C = 0;
+        for (const Constraint &Row : P.constraints())
+          if (RowIdx++ == I)
+            C = Row.getConstant();
+        if (C == 0)
+          break;
+        int64_t Smaller = C / 2; // toward zero; last step reaches 0
+        Problem Cand = withEditedRow(
+            P, I, [&](Constraint &Row) { Row.setConstant(Smaller); });
+        if (!StillFails(Cand))
+          break;
+        P = std::move(Cand);
+        Progress = true;
+      }
+    }
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Program shrinking
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Enumerates single-edit candidate programs, one round's worth.
+struct ProgramMutator {
+  std::vector<ir::Program> Candidates;
+
+  void run(const ir::Program &P) {
+    // Drop a symbolic constant (sema rejects if it is still used).
+    for (unsigned I = 0; I != P.SymbolicConsts.size(); ++I) {
+      ir::Program Cand = P;
+      Cand.SymbolicConsts.erase(Cand.SymbolicConsts.begin() + I);
+      Candidates.push_back(std::move(Cand));
+    }
+    // Walk every statement list in the nest.
+    walk(P, P.Body, {});
+  }
+
+private:
+  /// \p Path is the sequence of body indices from the program root to the
+  /// statement list being mutated.
+  void walk(const ir::Program &Root, const std::vector<ir::Stmt> &Body,
+            std::vector<unsigned> Path) {
+    for (unsigned I = 0; I != Body.size(); ++I) {
+      std::vector<unsigned> Here = Path;
+      Here.push_back(I);
+
+      // Remove the statement (loop nests drop whole subtrees first, which
+      // is what makes shrinking fast).
+      emit(Root, Here, [](ir::Stmt &) { return false; });
+
+      const ir::Stmt &S = Body[I];
+      if (S.isFor()) {
+        const ir::ForStmt &F = S.asFor();
+        // Unwrap: replace the loop with its body.
+        emitReplaceWithBody(Root, Here);
+        // Reset a non-unit step.
+        if (F.Step != 1)
+          emit(Root, Here, [](ir::Stmt &S2) {
+            S2.asFor().Step = 1;
+            return true;
+          });
+        // Tighten the upper bound to a small literal.
+        int64_t Cur = F.Hi.getKind() == ir::Expr::Kind::IntLit
+                          ? F.Hi.getIntValue()
+                          : INT64_MAX;
+        for (int64_t Hi : {int64_t(1), int64_t(2), int64_t(4), Cur - 1})
+          if (Hi >= 0 && Hi < Cur)
+            emit(Root, Here, [Hi](ir::Stmt &S2) {
+              S2.asFor().Hi = ir::Expr::intLit(Hi);
+              return true;
+            });
+        // Lower bound to zero.
+        if (F.Lo.getKind() != ir::Expr::Kind::IntLit ||
+            F.Lo.getIntValue() != 0)
+          emit(Root, Here, [](ir::Stmt &S2) {
+            S2.asFor().Lo = ir::Expr::intLit(0);
+            return true;
+          });
+        walk(Root, F.Body, Here);
+      } else {
+        const ir::AssignStmt &A = S.asAssign();
+        // RHS to a constant.
+        if (A.RHS.getKind() != ir::Expr::Kind::IntLit)
+          emit(Root, Here, [](ir::Stmt &S2) {
+            S2.asAssign().RHS = ir::Expr::intLit(0);
+            return true;
+          });
+        // RHS to one of its operands.
+        if (A.RHS.getKind() == ir::Expr::Kind::Add ||
+            A.RHS.getKind() == ir::Expr::Kind::Sub)
+          for (unsigned Op = 0; Op != A.RHS.args().size(); ++Op)
+            emit(Root, Here, [Op](ir::Stmt &S2) {
+              ir::Expr Arg = S2.asAssign().RHS.args()[Op];
+              S2.asAssign().RHS = std::move(Arg);
+              return true;
+            });
+        // Subscripts to zero.
+        for (unsigned Sub = 0; Sub != A.Subscripts.size(); ++Sub)
+          if (A.Subscripts[Sub].getKind() != ir::Expr::Kind::IntLit)
+            emit(Root, Here, [Sub](ir::Stmt &S2) {
+              S2.asAssign().Subscripts[Sub] = ir::Expr::intLit(0);
+              return true;
+            });
+      }
+    }
+  }
+
+  /// Applies \p Fn to the statement at \p Path in a fresh copy of \p Root;
+  /// when Fn returns false the statement is removed instead.
+  void emit(const ir::Program &Root, const std::vector<unsigned> &Path,
+            const std::function<bool(ir::Stmt &)> &Fn) {
+    ir::Program Cand = Root;
+    std::vector<ir::Stmt> *Body = &Cand.Body;
+    for (unsigned D = 0; D + 1 < Path.size(); ++D)
+      Body = &(*Body)[Path[D]].asFor().Body;
+    ir::Stmt &Target = (*Body)[Path.back()];
+    if (!Fn(Target))
+      Body->erase(Body->begin() + Path.back());
+    Candidates.push_back(std::move(Cand));
+  }
+
+  /// Replaces the for-loop at \p Path with its body, spliced in place.
+  void emitReplaceWithBody(const ir::Program &Root,
+                           const std::vector<unsigned> &Path) {
+    ir::Program Cand = Root;
+    std::vector<ir::Stmt> *Body = &Cand.Body;
+    for (unsigned D = 0; D + 1 < Path.size(); ++D)
+      Body = &(*Body)[Path[D]].asFor().Body;
+    unsigned I = Path.back();
+    std::vector<ir::Stmt> Inner = std::move((*Body)[I].asFor().Body);
+    Body->erase(Body->begin() + I);
+    Body->insert(Body->begin() + I,
+                 std::make_move_iterator(Inner.begin()),
+                 std::make_move_iterator(Inner.end()));
+    Candidates.push_back(std::move(Cand));
+  }
+};
+
+} // namespace
+
+std::string
+oracle::shrinkProgramSource(const std::string &Source,
+                            const SourcePredicate &StillFails) {
+  ir::ParseResult Parsed = ir::parseProgram(Source);
+  if (!Parsed.ok())
+    return Source; // unparseable input: nothing we can do safely
+  ir::Program Cur = std::move(Parsed.Prog);
+  std::string Best = Source;
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    ProgramMutator M;
+    M.run(Cur);
+    for (ir::Program &Cand : M.Candidates) {
+      std::string Text = Cand.toString();
+      if (Text == Best || !StillFails(Text))
+        continue;
+      Cur = std::move(Cand);
+      Best = std::move(Text);
+      Progress = true;
+      break; // restart mutation from the smaller program
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Calc rendering
+//===----------------------------------------------------------------------===//
+
+std::string oracle::problemToCalcScript(const Problem &P) {
+  std::ostringstream OS;
+  OS << "P := {[";
+  bool First = true;
+  std::vector<VarId> Unprotected;
+  for (VarId V = 0, E = static_cast<VarId>(P.getNumVars()); V != E; ++V) {
+    if (P.isDead(V))
+      continue;
+    if (!P.isProtected(V)) {
+      Unprotected.push_back(V);
+      continue;
+    }
+    OS << (First ? "" : ",") << P.getVarName(V);
+    First = false;
+  }
+  OS << "]";
+
+  bool AnyRows = P.getNumConstraints() != 0;
+  if (AnyRows || !Unprotected.empty()) {
+    OS << " : ";
+    if (!Unprotected.empty()) {
+      OS << "exists ";
+      for (unsigned I = 0; I != Unprotected.size(); ++I)
+        OS << (I ? "," : "") << P.getVarName(Unprotected[I]);
+      OS << " : (";
+    }
+    bool FirstRow = true;
+    for (const Constraint &Row : P.constraints()) {
+      if (!FirstRow)
+        OS << " && ";
+      FirstRow = false;
+      bool AnyTerm = false;
+      for (VarId V = 0, E = static_cast<VarId>(P.getNumVars()); V != E; ++V) {
+        int64_t C = Row.getCoeff(V);
+        if (C == 0)
+          continue;
+        if (AnyTerm)
+          OS << (C < 0 ? " - " : " + ");
+        else if (C < 0)
+          OS << "-";
+        int64_t A = C < 0 ? -C : C;
+        if (A != 1)
+          OS << A << "*";
+        OS << P.getVarName(V);
+        AnyTerm = true;
+      }
+      int64_t K = Row.getConstant();
+      if (!AnyTerm)
+        OS << K;
+      else if (K != 0)
+        OS << (K < 0 ? " - " : " + ") << (K < 0 ? -K : K);
+      OS << (Row.isEquality() ? " = 0" : " >= 0");
+    }
+    if (FirstRow)
+      OS << "0 >= 0"; // exists block with no rows: keep the script valid
+    if (!Unprotected.empty())
+      OS << ")";
+  }
+  OS << "};\nsat P;\nsolution P;\n";
+  return OS.str();
+}
+
+unsigned oracle::lineCount(const std::string &Text) {
+  unsigned Lines = 0;
+  bool NonEmpty = false;
+  for (char C : Text) {
+    if (C == '\n') {
+      if (NonEmpty)
+        ++Lines;
+      NonEmpty = false;
+    } else if (!std::isspace(static_cast<unsigned char>(C))) {
+      NonEmpty = true;
+    }
+  }
+  return Lines + (NonEmpty ? 1 : 0);
+}

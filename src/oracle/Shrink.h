@@ -1,0 +1,66 @@
+//===- oracle/Shrink.h - Delta-debugging reproducer minimization ----------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta debugging for the two fuzz input shapes. Given a failing
+/// input and a predicate "does it still fail?", the shrinkers repeatedly
+/// try single simplifying edits and keep any edit that preserves the
+/// failure, iterating to a fixpoint. The result is 1-minimal with respect
+/// to the edit set: no single remaining edit keeps the failure.
+///
+/// Problems shrink by row removal, coefficient zeroing, and constant
+/// shrinking toward zero; programs shrink by statement/loop removal, loop
+/// unwrapping, bound tightening, step reset, and right-hand-side / subscript
+/// simplification over a mutable AST (re-rendered through
+/// ir::Program::toString, so the reproducer is always valid source text).
+///
+/// problemToCalcScript renders a shrunk Problem as an omega-calc script so
+/// the reproducer in tests/corpus/regressions/ replays through the public
+/// calc surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ORACLE_SHRINK_H
+#define OMEGA_ORACLE_SHRINK_H
+
+#include "ir/AST.h"
+#include "omega/Problem.h"
+
+#include <functional>
+#include <string>
+
+namespace omega {
+namespace oracle {
+
+/// Returns true when the candidate input still reproduces the failure.
+using ProblemPredicate = std::function<bool(const Problem &)>;
+using SourcePredicate = std::function<bool(const std::string &)>;
+
+/// Shrinks \p P while \p StillFails holds. \p StillFails(P) must be true
+/// on entry; the result still fails and no single further edit does.
+Problem shrinkProblem(Problem P, const ProblemPredicate &StillFails);
+
+/// Shrinks tiny-language \p Source while \p StillFails holds. The
+/// predicate receives rendered source text and is expected to return false
+/// for programs that no longer parse/analyze. \p StillFails(Source) must
+/// be true on entry.
+std::string shrinkProgramSource(const std::string &Source,
+                                const SourcePredicate &StillFails);
+
+/// Renders \p P as an omega-calc script: a set definition over the
+/// protected variables (unprotected ones become an exists block), then
+/// `sat P;` and `solution P;` so replaying exercises both the decision and
+/// the witness path.
+std::string problemToCalcScript(const Problem &P);
+
+/// Number of non-empty lines -- the "<= 10-line reproducer" metric.
+unsigned lineCount(const std::string &Text);
+
+} // namespace oracle
+} // namespace omega
+
+#endif // OMEGA_ORACLE_SHRINK_H

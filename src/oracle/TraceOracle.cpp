@@ -1,0 +1,231 @@
+//===- oracle/TraceOracle.cpp ---------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "oracle/TraceOracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace omega;
+using namespace omega::oracle;
+
+std::string TraceReport::summary() const {
+  std::ostringstream OS;
+  if (ExecFailed)
+    OS << "execution failed: " << ExecError << "; ";
+  if (Truncated)
+    OS << "execution truncated; ";
+  OS << WitnessesChecked << " witnesses, " << Mismatches.size()
+     << " mismatches";
+  for (const std::string &M : Mismatches)
+    OS << "\n  " << M;
+  return OS.str();
+}
+
+std::map<AccessKey, const ir::Access *>
+oracle::buildAccessMap(const ir::AnalyzedProgram &AP) {
+  std::map<AccessKey, const ir::Access *> Map;
+  std::map<unsigned, unsigned> NextOrdinal;
+  for (const ir::Access &A : AP.Accesses) {
+    unsigned Ordinal = A.IsWrite ? 0 : NextOrdinal[A.StmtLabel]++;
+    Map[{A.StmtLabel, A.IsWrite, Ordinal}] = &A;
+  }
+  return Map;
+}
+
+const ir::Access *
+oracle::accessOf(const std::map<AccessKey, const ir::Access *> &Map,
+                 const ir::TraceEntry &T) {
+  auto It = Map.find({T.StmtLabel, T.IsWrite, T.IsWrite ? 0 : T.ReadOrdinal});
+  return It == Map.end() ? nullptr : It->second;
+}
+
+void oracle::witnessShape(const ir::Access *Src, const ir::Access *Dst,
+                          const ir::TraceEntry &A, const ir::TraceEntry &B,
+                          std::vector<int64_t> &Dist, unsigned &Level) {
+  unsigned Common = ir::AnalyzedProgram::numCommonLoops(*Src, *Dst);
+  Dist.clear();
+  Level = 0;
+  for (unsigned K = 0; K != Common; ++K) {
+    Dist.push_back(B.Iters[K] - A.Iters[K]);
+    if (Level == 0 && Dist.back() != 0)
+      Level = K + 1;
+  }
+}
+
+bool oracle::witnessAdmitted(const std::vector<deps::Dependence> &Deps,
+                             const ir::Access *Src, const ir::Access *Dst,
+                             const std::vector<int64_t> &Dist, unsigned Level,
+                             bool RequireLive) {
+  for (const deps::Dependence &D : Deps) {
+    if (D.Src != Src || D.Dst != Dst)
+      continue;
+    for (const deps::DepSplit &S : D.Splits) {
+      if (S.Level != Level || (RequireLive && S.Dead))
+        continue;
+      bool Fits = S.Dir.size() == Dist.size();
+      for (unsigned K = 0; Fits && K != Dist.size(); ++K) {
+        const IntRange &R = S.Dir[K].Range;
+        Fits = !R.Empty && (!R.HasMin || Dist[K] >= R.Min) &&
+               (!R.HasMax || Dist[K] <= R.Max);
+      }
+      if (Fits)
+        return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+std::string distToString(const std::vector<int64_t> &Dist) {
+  std::string Out = "(";
+  for (unsigned K = 0; K != Dist.size(); ++K)
+    Out += (K ? "," : "") + std::to_string(Dist[K]);
+  return Out + ")";
+}
+
+} // namespace
+
+TraceReport oracle::checkTraceWitnesses(const ir::AnalyzedProgram &AP,
+                                        const analysis::AnalysisResult &R,
+                                        const std::vector<deps::Dependence>
+                                            &UnrefinedFlow,
+                                        const TraceOracleOptions &Opts) {
+  TraceReport Out;
+  ir::ExecConfig Config;
+  Config.Symbols = Opts.Symbols;
+  Config.MaxSteps = Opts.MaxSteps;
+  ir::ExecResult Exec = interpret(AP.Source, Config);
+  if (Exec.Failed || Exec.Truncated) {
+    Out.ExecFailed = Exec.Failed;
+    Out.Truncated = Exec.Truncated;
+    Out.ExecError = Exec.Error;
+    return Out;
+  }
+
+  std::map<AccessKey, const ir::Access *> Map = buildAccessMap(AP);
+
+  // Group the trace by memory location; within a group, trace order is
+  // execution order, so dependence witnesses are the ordered pairs.
+  std::map<std::pair<std::string, std::vector<int64_t>>,
+           std::vector<const ir::TraceEntry *>>
+      ByLoc;
+  for (const ir::TraceEntry &T : Exec.Trace)
+    ByLoc[{T.Array, T.Location}].push_back(&T);
+
+  for (const auto &[Loc, Entries] : ByLoc) {
+    (void)Loc;
+    const ir::TraceEntry *LastWrite = nullptr;
+    for (unsigned J = 0; J != Entries.size(); ++J) {
+      const ir::TraceEntry &B = *Entries[J];
+      const ir::Access *DstAcc = accessOf(Map, B);
+      if (!DstAcc) {
+        Out.Mismatches.push_back("internal: trace entry has no access site");
+        return Out;
+      }
+
+      for (unsigned I = 0; I != J; ++I) {
+        const ir::TraceEntry &A = *Entries[I];
+        if (!A.IsWrite && !B.IsWrite)
+          continue; // read-read: no dependence
+        const ir::Access *SrcAcc = accessOf(Map, A);
+        if (!SrcAcc) {
+          Out.Mismatches.push_back("internal: trace entry has no access site");
+          return Out;
+        }
+
+        std::vector<int64_t> Dist;
+        unsigned Level;
+        witnessShape(SrcAcc, DstAcc, A, B, Dist, Level);
+        const char *Kind;
+        const std::vector<deps::Dependence> *Deps;
+        if (A.IsWrite && !B.IsWrite) {
+          Kind = "flow";
+          Deps = &UnrefinedFlow;
+        } else if (!A.IsWrite && B.IsWrite) {
+          Kind = "anti";
+          Deps = &R.Anti;
+        } else {
+          Kind = "output";
+          Deps = &R.Output;
+        }
+        ++Out.WitnessesChecked;
+        if (!witnessAdmitted(*Deps, SrcAcc, DstAcc, Dist, Level,
+                             /*RequireLive=*/false))
+          Out.Mismatches.push_back(
+              std::string("memory ") + Kind + " witness " + SrcAcc->Text +
+              " -> " + DstAcc->Text + " dist " + distToString(Dist) +
+              " level " + std::to_string(Level) + " not admitted");
+      }
+
+      // Value-based flow: the read's value comes from the last write to
+      // this location, so that pair must survive the kill analysis.
+      if (!B.IsWrite && LastWrite) {
+        const ir::Access *SrcAcc = accessOf(Map, *LastWrite);
+        std::vector<int64_t> Dist;
+        unsigned Level;
+        witnessShape(SrcAcc, DstAcc, *LastWrite, B, Dist, Level);
+        ++Out.WitnessesChecked;
+        if (!witnessAdmitted(R.Flow, SrcAcc, DstAcc, Dist, Level,
+                             /*RequireLive=*/true))
+          Out.Mismatches.push_back(
+              "VALUE witness " + SrcAcc->Text + " -> " + DstAcc->Text +
+              " dist " + distToString(Dist) + " level " +
+              std::to_string(Level) +
+              " only admitted by dead splits (false kill!)");
+      }
+      if (B.IsWrite)
+        LastWrite = &B;
+    }
+  }
+  return Out;
+}
+
+TraceReport oracle::checkProgram(const ir::AnalyzedProgram &AP,
+                                 const TraceOracleOptions &Opts,
+                                 const analysis::DriverOptions &Driver) {
+  analysis::AnalysisResult R = analysis::analyzeProgram(AP, Driver);
+  deps::DependenceAnalysis DA(AP);
+  std::vector<deps::Dependence> UnrefinedFlow =
+      DA.computeDependences(deps::DepKind::Flow);
+  return checkTraceWitnesses(AP, R, UnrefinedFlow, Opts);
+}
+
+std::string oracle::summarizeDependences(const analysis::AnalysisResult &R) {
+  std::ostringstream OS;
+  auto Render = [&](const char *Title,
+                    const std::vector<deps::Dependence> &Deps) {
+    // Deterministic order regardless of computation schedule.
+    std::vector<const deps::Dependence *> Sorted;
+    for (const deps::Dependence &D : Deps)
+      Sorted.push_back(&D);
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const deps::Dependence *A, const deps::Dependence *B) {
+                return std::tie(A->Src->Id, A->Dst->Id) <
+                       std::tie(B->Src->Id, B->Dst->Id);
+              });
+    OS << Title << ":\n";
+    for (const deps::Dependence *D : Sorted) {
+      OS << "  " << D->Src->Text << " -> " << D->Dst->Text;
+      if (D->Covers)
+        OS << (D->CoverLoopIndependent ? " [C/li]" : " [C]");
+      OS << "\n";
+      for (const deps::DepSplit &S : D->Splits) {
+        OS << "    level " << S.Level << " " << S.dirToString();
+        if (S.Refined)
+          OS << " refined";
+        if (S.Dead)
+          OS << " dead(" << (S.DeadReason ? S.DeadReason : '?') << ")";
+        OS << "\n";
+      }
+    }
+  };
+  Render("flow", R.Flow);
+  Render("anti", R.Anti);
+  Render("output", R.Output);
+  return OS.str();
+}

@@ -1,169 +1,47 @@
 //===- tests/DiffHarness.h - Shared ground-truth differential checker ----===//
 //
-// Interprets a program and checks every executed dependence witness
-// against the analysis: memory-based witnesses against the unrefined
-// dependences, value-based flow witnesses against the live splits of the
-// Section 4 result. Shared by the corpus differential test and the
-// random-program fuzzer.
+// GTest adapter over the trace oracle (src/oracle/TraceOracle.h): runs a
+// program through the interpreter, reconstructs every memory- and
+// value-based dependence witness from the trace, and turns each refused
+// witness into a test failure. The checking itself lives in the oracle
+// library so the omega-fuzz driver and the regression-replay test apply
+// exactly the same judgement.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef OMEGA_TESTS_DIFFHARNESS_H
 #define OMEGA_TESTS_DIFFHARNESS_H
 
-#include "analysis/Driver.h"
-#include "ir/Interp.h"
+#include "oracle/TraceOracle.h"
 
 #include <gtest/gtest.h>
 
 #include <map>
 #include <string>
-#include <tuple>
-#include <vector>
 
 namespace omega {
 namespace testutil {
 
-/// Identifies one access site: statement, read/write, read ordinal.
-using AccessKey = std::tuple<unsigned, bool, unsigned>;
+using oracle::AccessKey;
+using oracle::accessOf;
+using oracle::buildAccessMap;
+using oracle::witnessAdmitted;
+using oracle::witnessShape;
 
-inline std::map<AccessKey, const ir::Access *>
-buildAccessMap(const ir::AnalyzedProgram &AP) {
-  std::map<AccessKey, const ir::Access *> Map;
-  std::map<unsigned, unsigned> NextOrdinal;
-  for (const ir::Access &A : AP.Accesses) {
-    unsigned Ordinal = A.IsWrite ? 0 : NextOrdinal[A.StmtLabel]++;
-    Map[{A.StmtLabel, A.IsWrite, Ordinal}] = &A;
-  }
-  return Map;
-}
-
-inline const ir::Access *
-accessOf(const std::map<AccessKey, const ir::Access *> &Map,
-         const ir::TraceEntry &T) {
-  auto It =
-      Map.find({T.StmtLabel, T.IsWrite, T.IsWrite ? 0 : T.ReadOrdinal});
-  return It == Map.end() ? nullptr : It->second;
-}
-
-/// Does some split of the dependence (Src -> Dst) admit the observed
-/// distance vector? With RequireLive only living splits count.
-inline bool witnessAdmitted(const std::vector<deps::Dependence> &Deps,
-                            const ir::Access *Src, const ir::Access *Dst,
-                            const std::vector<int64_t> &Dist, unsigned Level,
-                            bool RequireLive) {
-  for (const deps::Dependence &D : Deps) {
-    if (D.Src != Src || D.Dst != Dst)
-      continue;
-    for (const deps::DepSplit &S : D.Splits) {
-      if (S.Level != Level || (RequireLive && S.Dead))
-        continue;
-      bool Fits = S.Dir.size() == Dist.size();
-      for (unsigned K = 0; Fits && K != Dist.size(); ++K) {
-        const IntRange &R = S.Dir[K].Range;
-        Fits = !R.Empty && (!R.HasMin || Dist[K] >= R.Min) &&
-               (!R.HasMax || Dist[K] <= R.Max);
-      }
-      if (Fits)
-        return true;
-    }
-  }
-  return false;
-}
-
-/// Witness distance vector over the common loops, and its carried level
-/// (0 == loop-independent).
-inline void witnessShape(const ir::Access *Src, const ir::Access *Dst,
-                         const ir::TraceEntry &A, const ir::TraceEntry &B,
-                         std::vector<int64_t> &Dist, unsigned &Level) {
-  unsigned Common = ir::AnalyzedProgram::numCommonLoops(*Src, *Dst);
-  Dist.clear();
-  Level = 0;
-  for (unsigned K = 0; K != Common; ++K) {
-    Dist.push_back(B.Iters[K] - A.Iters[K]);
-    if (Level == 0 && Dist.back() != 0)
-      Level = K + 1;
-  }
-}
-
-/// Runs the full differential check. Returns the number of witnesses
-/// checked (0 means the trace was trivial).
+/// Runs the full differential check and reports every mismatch as a test
+/// failure. Returns the number of witnesses checked (0 means the trace
+/// was trivial or the program did not execute).
 inline unsigned checkTraceWitnesses(
     const ir::AnalyzedProgram &AP,
     const std::map<std::string, int64_t> &Symbols, const char *Name) {
-  ir::ExecConfig Config;
-  Config.Symbols = Symbols;
-  ir::ExecResult Exec = interpret(AP.Source, Config);
-  EXPECT_FALSE(Exec.Failed) << Name << ": " << Exec.Error;
-  EXPECT_FALSE(Exec.Truncated) << Name;
-  if (Exec.Failed || Exec.Truncated)
-    return 0;
-
-  analysis::AnalysisResult R = analysis::analyzeProgram(AP);
-  deps::DependenceAnalysis DA(AP);
-  std::vector<deps::Dependence> UnrefinedFlow =
-      DA.computeDependences(deps::DepKind::Flow);
-  std::map<AccessKey, const ir::Access *> Map = buildAccessMap(AP);
-
-  std::map<std::pair<std::string, std::vector<int64_t>>,
-           std::vector<const ir::TraceEntry *>>
-      ByLoc;
-  for (const ir::TraceEntry &T : Exec.Trace)
-    ByLoc[{T.Array, T.Location}].push_back(&T);
-
-  unsigned Checked = 0;
-  for (const auto &[Loc, Entries] : ByLoc) {
-    (void)Loc;
-    const ir::TraceEntry *LastWrite = nullptr;
-    for (unsigned J = 0; J != Entries.size(); ++J) {
-      const ir::TraceEntry &B = *Entries[J];
-      const ir::Access *DstAcc = accessOf(Map, B);
-      EXPECT_NE(DstAcc, nullptr);
-      if (!DstAcc)
-        return Checked;
-
-      for (unsigned I = 0; I != J; ++I) {
-        const ir::TraceEntry &A = *Entries[I];
-        if (!A.IsWrite && !B.IsWrite)
-          continue;
-        const ir::Access *SrcAcc = accessOf(Map, A);
-        EXPECT_NE(SrcAcc, nullptr);
-        if (!SrcAcc)
-          return Checked;
-
-        std::vector<int64_t> Dist;
-        unsigned Level;
-        witnessShape(SrcAcc, DstAcc, A, B, Dist, Level);
-        const std::vector<deps::Dependence> *Deps =
-            (A.IsWrite && !B.IsWrite) ? &UnrefinedFlow
-            : (!A.IsWrite && B.IsWrite) ? &R.Anti
-                                        : &R.Output;
-        ++Checked;
-        EXPECT_TRUE(witnessAdmitted(*Deps, SrcAcc, DstAcc, Dist, Level,
-                                    /*RequireLive=*/false))
-            << Name << ": memory witness " << SrcAcc->Text << " -> "
-            << DstAcc->Text << " at level " << Level << " not admitted\n"
-            << AP.Source.toString();
-      }
-
-      if (!B.IsWrite && LastWrite) {
-        const ir::Access *SrcAcc = accessOf(Map, *LastWrite);
-        std::vector<int64_t> Dist;
-        unsigned Level;
-        witnessShape(SrcAcc, DstAcc, *LastWrite, B, Dist, Level);
-        ++Checked;
-        EXPECT_TRUE(witnessAdmitted(R.Flow, SrcAcc, DstAcc, Dist, Level,
-                                    /*RequireLive=*/true))
-            << Name << ": VALUE witness " << SrcAcc->Text << " -> "
-            << DstAcc->Text << " at level " << Level
-            << " only admitted by dead splits (false kill!)\n"
-            << AP.Source.toString();
-      }
-      if (B.IsWrite)
-        LastWrite = &B;
-    }
-  }
-  return Checked;
+  oracle::TraceOracleOptions Opts;
+  Opts.Symbols = Symbols;
+  oracle::TraceReport R = oracle::checkProgram(AP, Opts);
+  EXPECT_FALSE(R.ExecFailed) << Name << ": " << R.ExecError;
+  EXPECT_FALSE(R.Truncated) << Name;
+  for (const std::string &M : R.Mismatches)
+    ADD_FAILURE() << Name << ": " << M << "\n" << AP.Source.toString();
+  return R.WitnessesChecked;
 }
 
 } // namespace testutil

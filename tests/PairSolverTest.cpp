@@ -16,6 +16,7 @@
 #include "obs/Trace.h"
 #include "omega/Satisfiability.h"
 #include "omega/Snapshot.h"
+#include "oracle/TraceOracle.h"
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,32 @@ TEST(Snapshot, ContradictionAmongEliminatedVarsProvesUnsat) {
   Keep[X] = true;
   EliminationSnapshot Snap(P, Keep, Ctx);
   EXPECT_EQ(Snap.state(), EliminationSnapshot::State::ProvedUnsat);
+}
+
+TEST(Snapshot, SaturatedArithmeticRefusesToServe) {
+  // An exact-looking elimination whose combination product overflows the
+  // coefficient cap: y has coefficient 1 below and 2^32 above (the unit z
+  // keeps the row's gcd at 1 so normalization cannot shrink it), so the
+  // FM step multiplies 2^32 * 2^32 past CoeffCap. The snapshot must land
+  // in Saturated -- clamped rows are garbage -- and the solver then takes
+  // the scratch path (see SaturatedOrIncompatibleDeltasFallBackToScratch).
+  constexpr int64_t Big = int64_t(1) << 32;
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Z = P.addVar("z");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{Y, 1}, {X, -Big}}, 0);  // y >= Big*x
+  P.addGEQ({{Y, -Big}, {Z, -1}}, 1); // Big*y + z <= 1
+  P.addGEQ({{X, 1}}, 0);
+  P.addGEQ({{X, -1}}, 10);
+  P.addGEQ({{Z, 1}}, 0);
+  P.addGEQ({{Z, -1}}, 10);
+  OmegaContext Ctx;
+  std::vector<bool> Keep(P.getNumVars(), false);
+  Keep[X] = true;
+  Keep[Z] = true;
+  EliminationSnapshot Snap(P, Keep, Ctx);
+  EXPECT_EQ(Snap.state(), EliminationSnapshot::State::Saturated);
 }
 
 TEST(Snapshot, DeltaOnEliminatedVarIsIncompatible) {
@@ -184,6 +211,46 @@ TEST(PairSolverCounters, SnapshotReusesAreNotCacheHits) {
   EXPECT_GT(R.Stats.SnapshotReuses, 0u);
   EXPECT_EQ(R.Stats.SatCacheHits, 0u);
   EXPECT_EQ(R.Stats.SatCacheMisses, 0u);
+}
+
+TEST(PairSolverCounters, SaturatedOrIncompatibleDeltasFallBackToScratch) {
+  // Two distinct symbolic constants scaled by 2^32 - 1: the shared-system
+  // elimination cannot serve these queries (the reduction either saturates
+  // or leaves the delta rows touching an eliminated column), so every case
+  // must take the from-scratch path -- and produce exactly the dependences
+  // the non-incremental configuration reports.
+  const std::string Source = "for i := 0 to 9 do\n"
+                             "  a(4294967295*n + i) := a(4294967295*m + i + 1) + 1;\n"
+                             "endfor\n";
+  engine::AnalysisResult Inc = analyzeWith(Source, true, true);
+  EXPECT_GT(Inc.Stats.SnapshotBuilds, 0u);
+  EXPECT_GT(Inc.Stats.SnapshotFallbacks, 0u);
+  engine::AnalysisResult Scratch = analyzeWith(Source, true, false);
+  EXPECT_EQ(Scratch.Stats.SnapshotFallbacks, 0u);
+  EXPECT_EQ(oracle::summarizeDependences(Inc),
+            oracle::summarizeDependences(Scratch));
+}
+
+TEST(PairSolverCounters, EmptyIterationSpaceShortCircuits) {
+  // The inner loop never executes, so the shared pair system is already
+  // unsatisfiable before any ordering rows: the snapshot proves unsat once
+  // and answers every (kind, level) case by reuse, with no dependences in
+  // either configuration.
+  const std::string Source = "for i := 0 to 9 do\n"
+                             "  for j := 5 to 4 do\n"
+                             "    a(i + j) := a(i + j) + 1;\n"
+                             "  endfor\n"
+                             "endfor\n";
+  engine::AnalysisResult Inc = analyzeWith(Source, true, true);
+  EXPECT_GT(Inc.Stats.SnapshotBuilds, 0u);
+  EXPECT_GT(Inc.Stats.SnapshotReuses, 0u);
+  EXPECT_EQ(Inc.Stats.SnapshotFallbacks, 0u);
+  EXPECT_TRUE(Inc.Flow.empty());
+  EXPECT_TRUE(Inc.Anti.empty());
+  EXPECT_TRUE(Inc.Output.empty());
+  engine::AnalysisResult Scratch = analyzeWith(Source, true, false);
+  EXPECT_EQ(oracle::summarizeDependences(Inc),
+            oracle::summarizeDependences(Scratch));
 }
 
 TEST(PairSolverCounters, ProfileClassesSumToSatCalls) {

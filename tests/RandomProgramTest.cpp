@@ -6,129 +6,32 @@
 // missing dependences, wrong distance ranges, false kills -- anywhere
 // between the parser and the Section 4 engine.
 //
+// The generator lives in the oracle library (oracle::ProgramGenerator) so
+// this test, the stress suite, and the omega-fuzz driver draw from the
+// same program distribution. Set OMEGA_FUZZ_SEED to shift the whole batch
+// when reproducing a CI failure.
+//
 //===----------------------------------------------------------------------===//
 
 #include "DiffHarness.h"
 
+#include "ir/Sema.h"
+#include "oracle/Generate.h"
+
 #include <gtest/gtest.h>
 
-#include <random>
 #include <string>
 
 using namespace omega;
 using namespace omega::testutil;
 
 namespace {
-
-class ProgramGenerator {
-public:
-  explicit ProgramGenerator(unsigned Seed) : Rng(Seed) {}
-
-  std::string generate() {
-    Src.clear();
-    Loops.clear();
-    NumArrays = pick(1, 2);
-    unsigned Depth = pick(1, 3);
-    openLoops(Depth);
-    unsigned Stmts = pick(1, 3);
-    for (unsigned I = 0; I != Stmts; ++I)
-      emitAssignment();
-    closeLoops();
-    // Sometimes a second, shallower nest to exercise cross-nest deps.
-    if (chance(2)) {
-      openLoops(pick(1, 2));
-      emitAssignment();
-      closeLoops();
-    }
-    return Src;
-  }
-
-private:
-  int64_t pick(int64_t Lo, int64_t Hi) {
-    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
-  }
-  bool chance(int OneIn) { return pick(1, OneIn) == 1; }
-
-  void indent() { Src.append(Loops.size() * 2, ' '); }
-
-  void openLoops(unsigned Depth) {
-    for (unsigned D = 0; D != Depth; ++D) {
-      std::string Var(1, static_cast<char>('i' + Loops.size()));
-      indent();
-      // Rectangular or triangular lower bound; small constant ranges.
-      std::string Lo = std::to_string(pick(0, 2));
-      if (!Loops.empty() && chance(3))
-        Lo = Loops.back(); // triangular: starts at the outer variable
-      std::string Hi = std::to_string(pick(4, 7));
-      std::string Step = chance(4) ? " step 2" : "";
-      Src += "for " + Var + " := " + Lo + " to " + Hi + Step + " do\n";
-      Loops.push_back(Var);
-    }
-  }
-
-  void closeLoops() {
-    while (!Loops.empty()) {
-      Loops.pop_back();
-      indent();
-      Src += "endfor\n";
-    }
-  }
-
-  std::string affineSubscript() {
-    std::string Out;
-    bool Any = false;
-    for (const std::string &Var : Loops) {
-      int64_t C = pick(-1, 2);
-      if (C == 0)
-        continue;
-      if (Any)
-        Out += C < 0 ? " - " : " + ";
-      else if (C < 0)
-        Out += "-";
-      if (C != 1 && C != -1)
-        Out += std::to_string(C < 0 ? -C : C) + "*";
-      Out += Var;
-      Any = true;
-    }
-    int64_t K = pick(-2, 2);
-    if (!Any)
-      return std::to_string(K);
-    if (K != 0)
-      Out += (K < 0 ? " - " : " + ") + std::to_string(K < 0 ? -K : K);
-    return Out;
-  }
-
-  std::string arrayRef(bool TwoDims) {
-    std::string Name(1, static_cast<char>('a' + pick(0, NumArrays - 1)));
-    std::string Out = Name + "(" + affineSubscript();
-    if (TwoDims)
-      Out += ", " + affineSubscript();
-    Out += ")";
-    return Out;
-  }
-
-  void emitAssignment() {
-    indent();
-    bool TwoDims = chance(3);
-    Src += arrayRef(TwoDims) + " := ";
-    unsigned Reads = pick(0, 2);
-    for (unsigned I = 0; I != Reads; ++I)
-      Src += arrayRef(TwoDims) + " + ";
-    Src += std::to_string(pick(0, 9)) + ";\n";
-  }
-
-  std::mt19937 Rng;
-  std::string Src;
-  std::vector<std::string> Loops;
-  unsigned NumArrays = 1;
-};
-
 class RandomProgramTest : public ::testing::TestWithParam<unsigned> {};
-
 } // namespace
 
 TEST_P(RandomProgramTest, WitnessesAdmitted) {
-  ProgramGenerator Gen(GetParam());
+  unsigned Seed = oracle::fuzzSeed(0) + GetParam();
+  oracle::ProgramGenerator Gen(Seed);
   unsigned TotalChecked = 0;
   for (unsigned T = 0; T != 12; ++T) {
     std::string Source = Gen.generate();
@@ -136,12 +39,13 @@ TEST_P(RandomProgramTest, WitnessesAdmitted) {
     ASSERT_TRUE(AP.ok()) << Source;
     TotalChecked += checkTraceWitnesses(AP, {}, "random");
     if (::testing::Test::HasFailure()) {
-      ADD_FAILURE() << "failing program:\n" << Source;
+      ADD_FAILURE() << oracle::seedMessage(Seed) << "; failing program:\n"
+                    << Source;
       return;
     }
   }
   // The batch must have exercised real dependences.
-  EXPECT_GT(TotalChecked, 50u);
+  EXPECT_GT(TotalChecked, 50u) << oracle::seedMessage(Seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,

@@ -9,6 +9,8 @@
 #include "analysis/Driver.h"
 #include "TestUtils.h"
 
+#include "oracle/Generate.h"
+
 #include <gtest/gtest.h>
 
 #include <random>
@@ -19,17 +21,7 @@ using namespace omega::analysis;
 using omega::ir::analyzeSource;
 
 TEST(Stress, FiveDeepRecurrenceNest) {
-  std::string Src = "symbolic n;\n";
-  std::string Sub;
-  for (int D = 0; D != 5; ++D) {
-    std::string Var(1, static_cast<char>('i' + D));
-    Src += std::string(2 * D, ' ') + "for " + Var + " := 2 to n do\n";
-    Sub += (D ? "," : "") + Var;
-  }
-  Src += std::string(10, ' ') + "a(" + Sub + ") := a(" + Sub + ") + 1;\n";
-  for (int D = 4; D >= 0; --D)
-    Src += std::string(2 * D, ' ') + "endfor\n";
-
+  std::string Src = oracle::deepRecurrenceNest(5);
   ir::AnalyzedProgram AP = analyzeSource(Src);
   ASSERT_TRUE(AP.ok()) << Src;
   EXPECT_EQ(AP.Loops.size(), 5u);
@@ -67,12 +59,7 @@ TEST(Stress, FiveDeepShiftedNest) {
 }
 
 TEST(Stress, WideProgramManyLoops) {
-  std::string Src = "symbolic n;\n";
-  for (int I = 0; I != 60; ++I) {
-    std::string A = "a" + std::to_string(I);
-    Src += "for i := 1 to n do\n  " + A + "(i) := " + A + "(i-1);\nendfor\n";
-  }
-  ir::AnalyzedProgram AP = analyzeSource(Src);
+  ir::AnalyzedProgram AP = analyzeSource(oracle::wideProgram(60));
   ASSERT_TRUE(AP.ok());
   EXPECT_EQ(AP.Loops.size(), 60u);
   AnalysisResult R = analyzeProgram(AP);
@@ -84,12 +71,7 @@ TEST(Stress, WideProgramManyLoops) {
 TEST(Stress, LongSameArrayChain) {
   // Twelve statements shifting the same array: quadratic pair count with
   // kills; must stay fast and sound.
-  std::string Src = "symbolic n;\n"
-                    "for i := 13 to n do\n";
-  for (int S = 1; S <= 12; ++S)
-    Src += "  a(i) := a(i-" + std::to_string(S) + ");\n";
-  Src += "endfor\n";
-  ir::AnalyzedProgram AP = analyzeSource(Src);
+  ir::AnalyzedProgram AP = analyzeSource(oracle::sameArrayChain(12));
   ASSERT_TRUE(AP.ok());
   AnalysisResult R = analyzeProgram(AP);
   EXPECT_EQ(R.Pairs.size(), 144u);
@@ -117,12 +99,7 @@ TEST(Stress, ParserHandlesLargePrograms) {
 }
 
 TEST(Stress, ManySymbolicConstants) {
-  std::string Src = "symbolic s0";
-  for (int I = 1; I != 40; ++I)
-    Src += ", s" + std::to_string(I);
-  Src += ";\nfor i := s0 to s39 do\n  a(i";
-  Src += ") := a(i - s1) + a(i + s2);\nendfor\n";
-  ir::AnalyzedProgram AP = analyzeSource(Src);
+  ir::AnalyzedProgram AP = analyzeSource(oracle::manySymbolicConstants(40));
   ASSERT_TRUE(AP.ok());
   AnalysisResult R = analyzeProgram(AP);
   // With s1 unconstrained both directions must be assumed.

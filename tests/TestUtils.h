@@ -1,122 +1,45 @@
 //===- tests/TestUtils.h - Shared helpers for the test suites ------------===//
 //
-// Brute-force oracles and random-problem generators used by the property
-// tests. Generated problems always contain explicit box bounds on every
-// variable so that exhaustive enumeration over the box is an exact oracle.
+// Thin aliases over the oracle library (src/oracle/): the brute-force
+// evaluators and random-problem generator the property tests use are the
+// same code the omega-fuzz driver runs, so a seed that fails in CI
+// reproduces locally through either entry point (see oracle::fuzzSeed
+// and the OMEGA_FUZZ_SEED environment variable).
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef OMEGA_TESTS_TESTUTILS_H
 #define OMEGA_TESTS_TESTUTILS_H
 
-#include "omega/Problem.h"
+#include "oracle/Generate.h"
+#include "oracle/ModelOracle.h"
 
 #include <cstdint>
-#include <functional>
-#include <random>
 #include <vector>
 
 namespace omega {
 namespace testutil {
 
-/// Evaluates one constraint at a full assignment (indexed by VarId).
-inline bool evalConstraint(const Constraint &Row,
-                           const std::vector<int64_t> &Point) {
-  int64_t Sum = Row.getConstant();
-  for (VarId V = 0, E = Row.getNumVars(); V != E; ++V)
-    Sum += Row.getCoeff(V) * Point[V];
-  return Row.isEquality() ? Sum == 0 : Sum >= 0;
-}
+using oracle::evalConstraint;
+using oracle::evalProblem;
+using oracle::forEachPoint;
+using oracle::forEachPointFrom;
+using oracle::fuzzSeed;
+using oracle::RandomProblemConfig;
+using oracle::randomProblem;
+using oracle::seedMessage;
 
-/// Evaluates every constraint of \p P at \p Point.
-inline bool evalProblem(const Problem &P, const std::vector<int64_t> &Point) {
-  for (const Constraint &Row : P.constraints())
-    if (!evalConstraint(Row, Point))
-      return false;
-  return true;
-}
-
-/// Enumerates all assignments of [Lo, Hi] to the variables in \p Vars,
-/// holding the other coordinates of \p Point fixed, and calls \p Fn with
-/// the full assignment; stops early if Fn returns true. Returns whether any
-/// call returned true.
-inline bool forEachPointFrom(std::vector<int64_t> Point,
-                             const std::vector<VarId> &Vars, int64_t Lo,
-                             int64_t Hi,
-                             const std::function<
-                                 bool(const std::vector<int64_t> &)> &Fn) {
-  std::function<bool(unsigned)> Rec = [&](unsigned I) -> bool {
-    if (I == Vars.size())
-      return Fn(Point);
-    for (int64_t X = Lo; X <= Hi; ++X) {
-      Point[Vars[I]] = X;
-      if (Rec(I + 1))
-        return true;
-    }
-    return false;
-  };
-  return Rec(0);
-}
-
-/// Enumerates all points of [Lo, Hi]^|Vars| (other coordinates zero).
-inline bool forEachPoint(unsigned NumVars, const std::vector<VarId> &Vars,
-                         int64_t Lo, int64_t Hi,
-                         const std::function<bool(const std::vector<int64_t> &)>
-                             &Fn) {
-  return forEachPointFrom(std::vector<int64_t>(NumVars, 0), Vars, Lo, Hi, Fn);
-}
-
-/// Exhaustive satisfiability oracle: valid when \p P confines all its
-/// variables to [Lo, Hi] (the generators below add explicit box bounds).
+/// Exhaustive satisfiability oracle over an explicit [Lo, Hi] box on every
+/// variable (the historical test-suite signature; oracle::bruteForceSat
+/// takes a symmetric box and skips dead columns).
 inline bool bruteForceSat(const Problem &P, int64_t Lo, int64_t Hi) {
   std::vector<VarId> Vars;
-  for (VarId V = 0, E = P.getNumVars(); V != E; ++V)
+  for (VarId V = 0, E = P.getNumVars(); V != static_cast<VarId>(E); ++V)
     Vars.push_back(V);
   return forEachPoint(P.getNumVars(), Vars, Lo, Hi,
                       [&](const std::vector<int64_t> &Pt) {
                         return evalProblem(P, Pt);
                       });
-}
-
-/// Configuration for random problem generation.
-struct RandomProblemConfig {
-  unsigned NumVars = 3;
-  unsigned NumEQs = 1;
-  unsigned NumGEQs = 3;
-  int64_t CoeffRange = 3;  // coefficients in [-CoeffRange, CoeffRange]
-  int64_t ConstRange = 8;  // constants in [-ConstRange, ConstRange]
-  int64_t Box = 6;         // every variable bounded to [-Box, Box]
-};
-
-/// Generates a random conjunction including explicit box bounds.
-inline Problem randomProblem(std::mt19937 &Rng,
-                             const RandomProblemConfig &Cfg) {
-  Problem P;
-  std::vector<VarId> Vars;
-  for (unsigned I = 0; I != Cfg.NumVars; ++I)
-    Vars.push_back(P.addVar("x" + std::to_string(I)));
-
-  std::uniform_int_distribution<int64_t> Coeff(-Cfg.CoeffRange,
-                                               Cfg.CoeffRange);
-  std::uniform_int_distribution<int64_t> Const(-Cfg.ConstRange,
-                                               Cfg.ConstRange);
-
-  auto addRandomRow = [&](ConstraintKind Kind) {
-    Constraint &Row = P.addRow(Kind);
-    for (VarId V : Vars)
-      Row.setCoeff(V, Coeff(Rng));
-    Row.setConstant(Const(Rng));
-  };
-  for (unsigned I = 0; I != Cfg.NumEQs; ++I)
-    addRandomRow(ConstraintKind::EQ);
-  for (unsigned I = 0; I != Cfg.NumGEQs; ++I)
-    addRandomRow(ConstraintKind::GEQ);
-
-  for (VarId V : Vars) {
-    P.addGEQ({{V, 1}}, Cfg.Box);  // V >= -Box
-    P.addGEQ({{V, -1}}, Cfg.Box); // V <= Box
-  }
-  return P;
 }
 
 } // namespace testutil

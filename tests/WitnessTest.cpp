@@ -79,6 +79,72 @@ TEST(FindSolution, EqualityChain) {
   EXPECT_EQ((*Sol)[X] + (*Sol)[Y] + (*Sol)[Z], 10);
 }
 
+TEST(FindSolution, DarkShadowOnlyElimination) {
+  // exists x: 2y <= 3x <= 2y + 5 with y in [0, 10]. Both variables carry
+  // coefficient >= 2 in the coupled rows, so no elimination is exact; the
+  // cheapest (x, a single pair) combines to slack 15 >= (3-1)*(3-1), so
+  // the dark shadow decides SAT without splintering. The witness path
+  // must still surface a concrete point through the inexact elimination.
+  OmegaContext Ctx;
+  OmegaContextScope Scope(Ctx);
+  Problem P;
+  VarId Y = P.addVar("y");
+  VarId X = P.addVar("x", /*Protected=*/false);
+  P.addGEQ({{X, 3}, {Y, -2}}, 0);     // 3x >= 2y
+  P.addGEQ({{Y, 2}, {X, -3}}, 5);     // 2y + 5 >= 3x
+  P.addGEQ({{Y, 1}}, 0);              // y >= 0
+  P.addGEQ({{Y, -1}}, 10);            // y <= 10
+  EXPECT_TRUE(isSatisfiable(P, SatOptions(), Ctx));
+  EXPECT_GT(Ctx.Stats.DarkShadowDecided, 0u)
+      << "expected the dark-shadow test to decide this elimination";
+  auto Sol = findSolution(P, Ctx);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(evalProblem(P, *Sol));
+}
+
+TEST(FindSolution, SplinteredElimination) {
+  // A widened variant of the classic dense system (27 <= 11x + 13y <= 45,
+  // -10 <= 7x - 9y <= 6): every elimination pair has both coefficients
+  // large. The top-level sat query squeaks through on the dark shadow,
+  // but extracting a concrete point pins variables into subproblems whose
+  // dark shadows are empty, so the witness path must survive splinter
+  // exploration -- and the point it returns must check out.
+  OmegaContext Ctx;
+  OmegaContextScope Scope(Ctx);
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 11}, {Y, 13}}, -27);
+  P.addGEQ({{X, -11}, {Y, -13}}, 45);
+  P.addGEQ({{X, 7}, {Y, -9}}, 10);
+  P.addGEQ({{X, -7}, {Y, 9}}, 6);
+  EXPECT_TRUE(isSatisfiable(P, SatOptions(), Ctx));
+  auto Sol = findSolution(P, Ctx);
+  ASSERT_TRUE(Sol.has_value());
+  EXPECT_TRUE(evalProblem(P, *Sol));
+  EXPECT_GT(Ctx.Stats.SplintersExplored, 0u)
+      << "expected splinter exploration while pinning the witness";
+}
+
+TEST(FindSolution, SplinteredUnsatHasNoWitness) {
+  // The paper's hard case verbatim: 27 <= 11x + 13y <= 45 and
+  // -10 <= 7x - 9y <= 4 is satisfiable over the rationals but has no
+  // integer point. Every splinter comes up empty and no witness may be
+  // fabricated.
+  OmegaContext Ctx;
+  OmegaContextScope Scope(Ctx);
+  Problem P;
+  VarId X = P.addVar("x");
+  VarId Y = P.addVar("y");
+  P.addGEQ({{X, 11}, {Y, 13}}, -27);
+  P.addGEQ({{X, -11}, {Y, -13}}, 45);
+  P.addGEQ({{X, 7}, {Y, -9}}, 10);
+  P.addGEQ({{X, -7}, {Y, 9}}, 4);
+  EXPECT_FALSE(isSatisfiable(P, SatOptions(), Ctx));
+  EXPECT_GT(Ctx.Stats.SplintersExplored, 0u);
+  EXPECT_FALSE(findSolution(P, Ctx).has_value());
+}
+
 TEST(FindSolutionProperty, AgreesWithEvaluation) {
   std::mt19937 Rng(404);
   RandomProblemConfig Cfg;
