@@ -163,6 +163,8 @@ inline void writeStatsJson(JsonWriter &W, const char *K,
   W.field("snapshot_builds", S.SnapshotBuilds);
   W.field("snapshot_reuses", S.SnapshotReuses);
   W.field("snapshot_fallbacks", S.SnapshotFallbacks);
+  W.field("snapshot_cache_hits", S.SnapshotCacheHits);
+  W.field("snapshot_cache_misses", S.SnapshotCacheMisses);
   W.field("quicktest_ziv", S.QuickTestZIV);
   W.field("quicktest_gcd", S.QuickTestGCD);
   W.field("quicktest_bounds", S.QuickTestBounds);

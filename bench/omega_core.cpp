@@ -22,6 +22,9 @@
 #include "BenchUtils.h"
 
 #include "analysis/Driver.h"
+#include "api/Json.h"
+#include "api/Response.h"
+#include "api/Serve.h"
 #include "deps/DependenceAnalysis.h"
 #include "kernels/Kernels.h"
 #include "omega/Gist.h"
@@ -30,8 +33,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
 
 using namespace omega;
 
@@ -251,6 +258,116 @@ std::string renderResult(const engine::AnalysisResult &R) {
          renderDeps(R.Output);
 }
 
+//===--------------------------------------------------------------------===//
+// server section: omega-serve throughput over the corpus
+//===--------------------------------------------------------------------===//
+
+/// Extracts the bytes of the "result" value from one server response line
+/// (brace-balanced, string-aware), so the bit-identity gate can compare it
+/// against the one-shot renderer's output.
+std::string serverResultBytes(const std::string &Line) {
+  const std::string Marker = "\"result\": ";
+  std::size_t At = Line.find(Marker);
+  if (At == std::string::npos)
+    return {};
+  std::size_t Start = At + Marker.size();
+  int Depth = 0;
+  bool InString = false;
+  for (std::size_t I = Start; I != Line.size(); ++I) {
+    char C = Line[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Depth;
+    else if (C == '}' && --Depth == 0)
+      return Line.substr(Start, I + 1 - Start);
+  }
+  return {};
+}
+
+struct ServerLegNumbers {
+  uint64_t Requests = 0;
+  double WallMs = 0;
+  double Rps = 0;
+  double P50Ms = 0;
+  double P99Ms = 0;
+  bool Identical = true;
+};
+
+/// One closed-loop leg: \p Clients threads each submit every request line
+/// in \p Lines once (offset per client so interleavings differ), waiting
+/// for each response before sending the next. Latency is submit-to-response
+/// per request; identity is the response's result bytes against
+/// \p Expected.
+ServerLegNumbers runServerLeg(api::Server &Server, unsigned Clients,
+                              const std::vector<std::string> &Lines,
+                              const std::vector<std::string> &Expected) {
+  std::vector<std::vector<double>> Latencies(Clients);
+  std::vector<char> Ok(Clients, 1);
+  Clock::time_point LegStart = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      for (std::size_t I = 0; I != Lines.size(); ++I) {
+        std::size_t Pick = (I + C) % Lines.size();
+        std::mutex Mu;
+        std::condition_variable CV;
+        bool Done = false;
+        std::string Response;
+        Clock::time_point Start = Clock::now();
+        Server.submit(Lines[Pick], [&](std::string Line) {
+          std::lock_guard<std::mutex> Lock(Mu);
+          Response = std::move(Line);
+          Done = true;
+          CV.notify_one();
+        });
+        std::unique_lock<std::mutex> Lock(Mu);
+        CV.wait(Lock, [&] { return Done; });
+        Latencies[C].push_back(msSince(Start));
+        if (serverResultBytes(Response) != Expected[Pick])
+          Ok[C] = 0;
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  ServerLegNumbers N;
+  N.WallMs = msSince(LegStart);
+  std::vector<double> All;
+  for (unsigned C = 0; C != Clients; ++C) {
+    All.insert(All.end(), Latencies[C].begin(), Latencies[C].end());
+    N.Identical = N.Identical && Ok[C];
+  }
+  std::sort(All.begin(), All.end());
+  N.Requests = All.size();
+  N.Rps = N.WallMs > 0 ? 1000.0 * static_cast<double>(All.size()) / N.WallMs
+                       : 0.0;
+  if (!All.empty()) {
+    N.P50Ms = All[All.size() / 2];
+    N.P99Ms = All[std::min(All.size() - 1, All.size() * 99 / 100)];
+  }
+  return N;
+}
+
+void writeServerLeg(bench::JsonWriter &W, const char *K,
+                    const ServerLegNumbers &N) {
+  W.beginObject(K);
+  W.field("requests", N.Requests);
+  W.field("wall_ms", N.WallMs);
+  W.field("requests_per_sec", N.Rps);
+  W.field("p50_ms", N.P50Ms);
+  W.field("p99_ms", N.P99Ms);
+  W.endObject();
+}
+
 int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   // -- core_ops: sat + gist + projection on the synthetic suite ----------
   std::vector<Problem> SatSuite;
@@ -360,6 +477,43 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   double IncMs = runLeg(true, true, IncStats, IncRender);
   bool Identical = ScratchRender == IncRender;
 
+  // -- server: omega-serve closed-loop throughput over the corpus --------
+  // For each client count, a fresh daemon runs a cold pass (empty shared
+  // cache) and a warm pass (same requests again); every response's result
+  // section must match the one-shot renderer byte for byte.
+  std::vector<std::string> ServeLines, ServeExpected;
+  {
+    engine::AnalysisRequest OneShot;
+    OneShot.Jobs = 1;
+    OneShot.UseQueryCache = false;
+    engine::DependenceEngine OneShotEngine(OneShot);
+    for (const kernels::Kernel &K : kernels::corpus()) {
+      ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+      if (!AP.ok())
+        continue;
+      ServeExpected.push_back(api::renderResult(OneShotEngine.analyze(AP)));
+      ServeLines.push_back(
+          "{\"id\": " + std::to_string(ServeLines.size() + 1) +
+          ", \"source\": \"" + api::json::escape(K.Source) + "\"}");
+    }
+  }
+  const unsigned ClientCounts[] = {1, 4, 16};
+  ServerLegNumbers ServerCold[3], ServerWarm[3];
+  bool ServerIdentical = true;
+  for (int I = 0; I != 3; ++I) {
+    api::Server::Config Cfg;
+    Cfg.Workers = 4;
+    Cfg.MaxQueue = 1024; // closed-loop clients: never shed
+    api::Server Server(Cfg);
+    ServerCold[I] = runServerLeg(Server, ClientCounts[I], ServeLines,
+                                 ServeExpected);
+    ServerWarm[I] = runServerLeg(Server, ClientCounts[I], ServeLines,
+                                 ServeExpected);
+    Server.stop();
+    ServerIdentical = ServerIdentical && ServerCold[I].Identical &&
+                      ServerWarm[I].Identical;
+  }
+
   std::FILE *Out = std::fopen(Path, "w");
   if (!Out) {
     std::fprintf(stderr, "cannot open %s for writing\n", Path);
@@ -394,6 +548,18 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   bench::writeStatsJson(W, "scratch_stats", ScratchStats);
   bench::writeStatsJson(W, "incremental_stats", IncStats);
   W.endObject();
+  W.beginObject("server");
+  W.field("requests_per_leg", static_cast<uint64_t>(ServeLines.size()));
+  W.field("workers", static_cast<uint64_t>(4));
+  for (int I = 0; I != 3; ++I) {
+    std::string K = "clients_" + std::to_string(ClientCounts[I]);
+    W.beginObject(K.c_str());
+    writeServerLeg(W, "cold", ServerCold[I]);
+    writeServerLeg(W, "warm", ServerWarm[I]);
+    W.endObject();
+  }
+  W.field("results_identical", ServerIdentical);
+  W.endObject();
   W.field("total_wall_ms", CoreMs + CorpusMs + ScratchMs + IncMs);
   W.field("peak_rss_kb", bench::peakRSSKB());
   W.finish();
@@ -403,6 +569,10 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
               CoreMs, CorpusMs, ScratchMs, IncMs,
               IncMs > 0 ? ScratchMs / IncMs : 0.0,
               Identical ? "identical" : "DIFFER", Path);
+  std::printf("server: 1/4/16 clients warm %.0f/%.0f/%.0f req/s "
+              "(results %s)\n",
+              ServerWarm[0].Rps, ServerWarm[1].Rps, ServerWarm[2].Rps,
+              ServerIdentical ? "identical" : "DIFFER");
   return 0;
 }
 

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate analysis response documents against the checked-in schema.
+
+Dependency-free validator for the subset of JSON Schema draft-07 that
+schema/analysis_response.schema.json uses: type, const, enum, required,
+properties, additionalProperties, items, oneOf, minimum, $ref (local
+"#/definitions/..." pointers only).
+
+Usage:
+    check_schema.py FILE...      # each FILE holds one JSON document per line
+    check_schema.py -            # read JSONL from stdin
+
+Every non-empty line of every input must parse as JSON and validate.
+Exit status 0 when all documents validate, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "schema",
+    "analysis_response.schema.json",
+)
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; keep the kinds distinct.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class Validator:
+    def __init__(self, schema):
+        self.root = schema
+
+    def resolve(self, ref):
+        if not ref.startswith("#/"):
+            raise ValueError(f"unsupported $ref {ref!r}")
+        node = self.root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        return node
+
+    def validate(self, value, schema, path="$"):
+        """Returns a list of error strings (empty when valid)."""
+        if "$ref" in schema:
+            return self.validate(value, self.resolve(schema["$ref"]), path)
+
+        if "oneOf" in schema:
+            fails = []
+            matches = 0
+            for i, sub in enumerate(schema["oneOf"]):
+                errs = self.validate(value, sub, path)
+                if errs:
+                    fails.append(f"  variant {i}: {errs[0]}")
+                else:
+                    matches += 1
+            if matches != 1:
+                return [
+                    f"{path}: matched {matches} oneOf variants (want 1)\n"
+                    + "\n".join(fails)
+                ]
+            return []
+
+        if "const" in schema:
+            if value != schema["const"] or isinstance(value, bool) != isinstance(
+                schema["const"], bool
+            ):
+                return [f"{path}: expected const {schema['const']!r}, "
+                        f"got {value!r}"]
+            return []
+
+        if "enum" in schema:
+            if value not in schema["enum"]:
+                return [f"{path}: {value!r} not in enum {schema['enum']}"]
+            return []
+
+        errors = []
+        if "type" in schema:
+            types = schema["type"]
+            if isinstance(types, str):
+                types = [types]
+            if not any(TYPE_CHECKS[t](value) for t in types):
+                return [f"{path}: expected type {'/'.join(types)}, "
+                        f"got {type(value).__name__}"]
+
+        if "minimum" in schema and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            if value < schema["minimum"]:
+                errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+        if isinstance(value, dict):
+            for key in schema.get("required", []):
+                if key not in value:
+                    errors.append(f"{path}: missing required key {key!r}")
+            props = schema.get("properties", {})
+            for key, sub in props.items():
+                if key in value:
+                    errors.extend(
+                        self.validate(value[key], sub, f"{path}.{key}"))
+            if schema.get("additionalProperties") is False:
+                for key in value:
+                    if key not in props:
+                        errors.append(f"{path}: unexpected key {key!r}")
+
+        if isinstance(value, list) and "items" in schema:
+            for i, item in enumerate(value):
+                errors.extend(
+                    self.validate(item, schema["items"], f"{path}[{i}]"))
+
+        return errors
+
+
+def main(argv):
+    inputs = argv[1:]
+    if not inputs:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(SCHEMA_PATH) as f:
+        validator = Validator(json.load(f))
+
+    checked = 0
+    failed = 0
+    for name in inputs:
+        stream = sys.stdin if name == "-" else open(name)
+        label = "<stdin>" if name == "-" else name
+        with stream:
+            for lineno, line in enumerate(stream, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                where = f"{label}:{lineno}"
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"{where}: not JSON: {e}")
+                    failed += 1
+                    continue
+                errors = validator.validate(doc, validator.root)
+                checked += 1
+                if errors:
+                    failed += 1
+                    print(f"{where}: schema violation")
+                    for err in errors[:10]:
+                        print(f"  {err}")
+
+    print(f"checked {checked} documents, {failed} invalid")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

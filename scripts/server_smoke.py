@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for omega-serve.
+
+Starts the daemon on a Unix socket, drives it with several concurrent
+clients over every example program, and checks the serving contract:
+
+ 1. every response validates against schema/analysis_response.schema.json;
+ 2. every response's "result" section is byte-identical to a one-shot
+    `omega-analyze --json` run of the same program (warm cache, concurrent
+    clients, and request interleaving must be invisible in results);
+ 3. the shutdown op stops the daemon cleanly.
+
+Usage:
+    server_smoke.py --serve build/tools/omega-serve \
+                    --analyze build/tools/omega-analyze \
+                    [--programs examples/programs] [--clients 4] [--rounds 2]
+
+Exit status 0 on success, 1 on any violation.
+"""
+
+import argparse
+import glob
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_schema import SCHEMA_PATH, Validator  # noqa: E402
+
+
+def result_bytes(line):
+    """The raw bytes of the "result" value in a response line."""
+    marker = '"result": '
+    at = line.find(marker)
+    if at < 0:
+        return None
+    start = at + len(marker)
+    depth = 0
+    in_string = False
+    i = start
+    while i < len(line):
+        c = line[i]
+        if in_string:
+            if c == "\\":
+                i += 1
+            elif c == '"':
+                in_string = False
+        elif c == '"':
+            in_string = True
+        elif c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return line[start : i + 1]
+        i += 1
+    return None
+
+
+def client(sock_path, requests, responses, errors, tag):
+    """One closed-loop client: send each request, wait for its response."""
+    try:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(sock_path)
+        buf = b""
+        for req in requests:
+            sock.sendall((json.dumps(req) + "\n").encode())
+            while b"\n" not in buf:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise RuntimeError("connection closed mid-request")
+                buf += chunk
+            line, buf = buf.split(b"\n", 1)
+            responses.append((req["id"], line.decode()))
+        sock.close()
+    except Exception as e:  # noqa: BLE001 - report, don't crash the driver
+        errors.append(f"{tag}: {e}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--serve", required=True)
+    ap.add_argument("--analyze", required=True)
+    ap.add_argument("--programs", default="examples/programs")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--rounds", type=int, default=2)
+    args = ap.parse_args()
+
+    programs = sorted(glob.glob(os.path.join(args.programs, "*.tiny")))
+    if not programs:
+        print(f"no .tiny programs under {args.programs}")
+        return 1
+
+    # One-shot expectations: path -> exact result bytes.
+    expected = {}
+    for path in programs:
+        out = subprocess.run(
+            [args.analyze, "--json", path],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        expected[path] = result_bytes(out)
+        if expected[path] is None:
+            print(f"one-shot {path}: no result section in CLI output")
+            return 1
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        sock_path = os.path.join(tmp, "omega.sock")
+        daemon = subprocess.Popen(
+            [args.serve, "--socket", sock_path, "--workers", "4"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            for _ in range(200):
+                if os.path.exists(sock_path):
+                    break
+                if daemon.poll() is not None:
+                    print("daemon exited early:", daemon.stderr.read())
+                    return 1
+                time.sleep(0.05)
+            else:
+                print("daemon never created its socket")
+                return 1
+
+            # Concurrent clients, each sending every program per round
+            # (offset per client so interleavings differ between clients).
+            id_to_path = {}
+            threads = []
+            all_responses = []
+            errors = []
+            next_id = 1
+            for c in range(args.clients):
+                requests = []
+                for r in range(args.rounds):
+                    for i in range(len(programs)):
+                        path = programs[(i + c) % len(programs)]
+                        with open(path) as f:
+                            source = f.read()
+                        requests.append(
+                            {"id": next_id, "source": source,
+                             "options": {"jobs": 1 + (c % 3)}})
+                        id_to_path[next_id] = path
+                        next_id += 1
+                responses = []
+                all_responses.append(responses)
+                threads.append(threading.Thread(
+                    target=client,
+                    args=(sock_path, requests, responses, errors,
+                          f"client{c}")))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for err in errors:
+                print("client error:", err)
+                failures += 1
+
+            validator = Validator(json.load(open(SCHEMA_PATH)))
+            total = 0
+            for responses in all_responses:
+                for rid, line in responses:
+                    total += 1
+                    doc = json.loads(line)
+                    errs = validator.validate(doc, validator.root)
+                    if errs:
+                        print(f"id {rid}: schema violation: {errs[0]}")
+                        failures += 1
+                        continue
+                    if doc.get("id") != rid:
+                        print(f"id {rid}: response carries id {doc.get('id')}")
+                        failures += 1
+                        continue
+                    got = result_bytes(line)
+                    want = expected[id_to_path[rid]]
+                    if got != want:
+                        print(f"id {rid} ({id_to_path[rid]}): result section "
+                              "differs from one-shot omega-analyze --json")
+                        failures += 1
+            want_total = args.clients * args.rounds * len(programs)
+            if total != want_total:
+                print(f"got {total} responses, want {want_total}")
+                failures += 1
+
+            # Clean shutdown through the protocol.
+            fin = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            fin.connect(sock_path)
+            fin.sendall(b'{"id": 0, "op": "shutdown"}\n')
+            fin.close()
+            try:
+                daemon.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                print("daemon ignored the shutdown op")
+                failures += 1
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print(f"{total} responses from {args.clients} clients over "
+          f"{len(programs)} programs: "
+          f"{'OK' if not failures else f'{failures} FAILURES'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include "obs/Trace.h"
 #include "omega/OmegaContext.h"
 #include "omega/Projection.h"
+#include "omega/QueryCache.h"
 #include "omega/Satisfiability.h"
 #include "omega/Snapshot.h"
 
@@ -80,7 +81,21 @@ public:
     std::vector<bool> Keep(L.P.getNumVars(), false);
     for (VarId D : L.Deltas)
       Keep[D] = true;
-    EliminationSnapshot Snap(L.P, Keep);
+    // Same sharing policy as PairSolver::ensureSnapshot: a snapshot is a
+    // deterministic function of (system, keep mask), so adopting one a
+    // previous request already built is result-identical to rebuilding.
+    std::optional<EliminationSnapshot> Adopted;
+    if (Ctx.Cache && Ctx.SnapshotSharing) {
+      std::string Key = snapshotCacheKey(L.P, Keep);
+      Adopted = Ctx.Cache->lookupSnapshot(Key, &Ctx.Stats);
+      if (!Adopted) {
+        Adopted.emplace(L.P, Keep);
+        Ctx.Cache->storeSnapshot(Key, *Adopted);
+      }
+    } else {
+      Adopted.emplace(L.P, Keep);
+    }
+    EliminationSnapshot &Snap = *Adopted;
     switch (Snap.state()) {
     case EliminationSnapshot::State::ProvedUnsat:
       L.Feasible = false;

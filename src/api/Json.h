@@ -1,0 +1,79 @@
+//===- api/Json.h - Minimal JSON parsing for the request protocol --------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON reader for the pieces of the serving
+/// stack that consume JSON: omega-serve's JSONL request lines and the
+/// option objects embedded in them. It parses a strict subset of RFC 8259
+/// (no surrogate-pair decoding; \uXXXX escapes above 0x7f are preserved
+/// as '?') which is ample for the protocol's own documents. Writing JSON
+/// stays string-building (api/Response.h) so the response bytes are
+/// reproducible -- the bit-identity gate diffs them directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_API_JSON_H
+#define OMEGA_API_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace api {
+namespace json {
+
+class Value;
+
+/// Parsed JSON value. Objects keep insertion order (the protocol never
+/// relies on it, but error messages stay readable).
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  int64_t asInt() const { return static_cast<int64_t>(Num); }
+  const std::string &asString() const { return Str; }
+  const std::vector<Value> &asArray() const { return Arr; }
+  const std::vector<std::pair<std::string, Value>> &asObject() const {
+    return Obj;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const Value *get(const std::string &Key) const;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+};
+
+/// Parses \p Text as one JSON document. On failure returns false and sets
+/// \p Err to a one-line description with a byte offset.
+bool parse(const std::string &Text, Value &Out, std::string &Err);
+
+/// Escapes \p S for embedding in a JSON string literal (no quotes added).
+std::string escape(const std::string &S);
+
+} // namespace json
+} // namespace api
+} // namespace omega
+
+#endif // OMEGA_API_JSON_H

@@ -1,0 +1,141 @@
+//===- api/Options.h - One option surface for every analysis front end ---===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Before this layer existed, each tool grew its own flag soup:
+/// omega-analyze parsed --jobs/--json/--trace/... by hand, omega-calc had
+/// script directives, and a server would have invented a third spelling.
+/// AnalysisOptions is the single request surface shared by omega-analyze,
+/// omega-calc, and omega-serve -- one struct, one defaults table, one
+/// --help text source, and one JSON spelling (the "options" object of an
+/// omega-serve request uses the same descriptor table as the CLI flags,
+/// so `--no-refine` and `"refine": false` can never drift apart).
+///
+/// Parsing is table-driven: optionSpecs() enumerates every option with its
+/// CLI spelling, JSON key, the tools it applies to, and its help line.
+/// Tool-specific positional arguments (the input file, --sym bindings)
+/// stay in the tools; everything request-shaped lives here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_API_OPTIONS_H
+#define OMEGA_API_OPTIONS_H
+
+#include "engine/DependenceEngine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace api {
+
+namespace json {
+class Value;
+} // namespace json
+
+/// Which front ends an option applies to.
+enum ToolMask : unsigned {
+  ToolAnalyze = 1u << 0,
+  ToolCalc = 1u << 1,
+  ToolServe = 1u << 2,
+};
+
+/// The unified request options: everything a front end may ask of one
+/// analysis. Defaults here ARE the defaults table -- the CLI parser, the
+/// JSON request parser, and the help text all derive from this struct plus
+/// optionSpecs().
+struct AnalysisOptions {
+  // -- Section 4 pipeline toggles (engine::AnalysisRequest) --------------
+  bool Refine = true;     ///< --no-refine        / "refine": false
+  bool Cover = true;      ///< --no-cover         / "cover": false
+  bool Kill = true;       ///< --no-kill          / "kill": false
+  bool QuickTests = true; ///< --no-quick         / "quick": false
+  bool Terminate = false; ///< --terminate        / "terminate": true
+
+  // -- solver tiers ------------------------------------------------------
+  bool PairQuickTests = true; ///< --no-quicktests / "quicktests": false
+  bool Incremental = true;    ///< --no-incremental / "incremental": false
+  /// Snapshot reuse policy: share per-pair elimination snapshots through
+  /// the query cache so identical pairs (across requests, or across
+  /// repeated analyses) skip the reduction. Requires the cache.
+  bool ShareSnapshots = true; ///< --no-snapshot-sharing / "snapshotSharing"
+
+  // -- execution ---------------------------------------------------------
+  unsigned Jobs = 1;         ///< --jobs N (0 = hardware)
+  bool UseQueryCache = true; ///< --no-cache
+  std::string CacheFile;     ///< --cache-file=PATH persistence
+
+  // -- output selection --------------------------------------------------
+  bool All = false;      ///< --all: also anti/output tables
+  bool Compress = false; ///< --compress split rows
+  bool Stats = false;    ///< --stats: per-pair cost classes
+  bool Json = false;     ///< --json: schema-2 machine output
+  enum ProfileMode : uint8_t { ProfileOff, ProfileText, ProfileJson };
+  ProfileMode Profile = ProfileOff; ///< --profile[=json] / "profile": true
+  bool Explain = false;             ///< --explain
+  std::string TraceFile;            ///< --trace=FILE (Chrome trace JSON)
+
+  // -- analyze-only extras ----------------------------------------------
+  bool Transforms = false; ///< --transforms
+  bool Restraints = false; ///< --restraints
+  bool Schedule = false;   ///< --schedule
+  bool Run = false;        ///< --run (interpret)
+
+  // -- serve-only --------------------------------------------------------
+  std::string SocketPath;        ///< --socket=PATH (default: stdin JSONL)
+  unsigned ServeWorkers = 4;     ///< --workers N concurrent requests
+  unsigned MaxQueue = 64;        ///< --max-queue N admission bound
+  uint64_t DeadlineMs = 0;       ///< --deadline-ms N (0 = none)
+
+  /// Lowers the option set into the engine's request struct.
+  engine::AnalysisRequest toEngineRequest() const;
+};
+
+/// One entry of the shared option table.
+struct OptionSpec {
+  const char *Flag;    ///< CLI spelling without value ("--jobs")
+  const char *JsonKey; ///< request-object key, null if CLI-only
+  unsigned Tools;      ///< ToolMask union
+  bool TakesValue;     ///< --flag N / --flag=V
+  const char *Meta;    ///< value placeholder for help ("N"), null if none
+  const char *Help;    ///< one-line help (shared by every tool)
+};
+
+/// The full option table (the single source of flag spellings, JSON keys
+/// and help lines).
+const std::vector<OptionSpec> &optionSpecs();
+
+/// Result of parsing a CLI argument vector.
+struct ParsedArgs {
+  AnalysisOptions Options;
+  /// Arguments the shared table did not consume, in order (tool-specific
+  /// flags and positionals like the input file).
+  std::vector<std::string> Rest;
+  bool Help = false; ///< --help / -h was seen
+};
+
+/// Parses \p Args (argv[1..]) against the shared table for \p Tool.
+/// Unrecognized "--flag" arguments and positionals are passed through in
+/// Rest for the tool to interpret. Returns false and sets \p Err on a
+/// malformed shared option (bad number, missing value).
+bool parseArgs(const std::vector<std::string> &Args, unsigned Tool,
+               ParsedArgs &Out, std::string &Err);
+
+/// Applies a JSON "options" object to \p Opts using the same table
+/// (ToolServe scope). Unknown keys or mistyped values fail with \p Err.
+bool optionsFromJson(const json::Value &Obj, AnalysisOptions &Opts,
+                     std::string &Err);
+
+/// The shared flag help text for \p Tool, one option per line, derived
+/// from the table (so every tool's --help agrees with the parser).
+std::string optionsHelp(unsigned Tool);
+
+} // namespace api
+} // namespace omega
+
+#endif // OMEGA_API_OPTIONS_H

@@ -1,0 +1,366 @@
+//===- api/Serve.cpp ------------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Serve.h"
+
+#include "api/Json.h"
+#include "api/Response.h"
+#include "ir/Sema.h"
+#include "omega/QueryCache.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace omega;
+using namespace omega::api;
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+Server::Server(const Config &C) : Cfg(C) {
+  if (Cfg.Defaults.UseQueryCache) {
+    Cache = std::make_unique<QueryCache>();
+    if (!Cfg.CacheFile.empty()) {
+      std::ifstream In(Cfg.CacheFile, std::ios::binary);
+      std::string Err;
+      if (!In.is_open())
+        StartupNote = "cold start: no cache file at " + Cfg.CacheFile;
+      else if (Cache->load(In, Err))
+        StartupNote = "warm start: loaded " + std::to_string(Cache->size()) +
+                      " entries from " + Cfg.CacheFile;
+      else
+        StartupNote = "cold start: " + Err;
+    }
+  } else if (!Cfg.CacheFile.empty()) {
+    StartupNote = "cold start: caching disabled, ignoring " + Cfg.CacheFile;
+  }
+
+  if (Cfg.Workers == 0)
+    Cfg.Workers = 1;
+  engine::AnalysisRequest Base = Cfg.Defaults.toEngineRequest();
+  Base.SharedCache = Cache.get();
+  Base.UseQueryCache = Cache != nullptr;
+  for (unsigned I = 0; I != Cfg.Workers; ++I)
+    Engines.push_back(std::make_unique<engine::DependenceEngine>(Base));
+  for (unsigned I = 0; I != Cfg.Workers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+Server::~Server() { stop(); }
+
+/// One accepted connection. The fd closes when the last holder -- the
+/// reader thread or an in-flight response callback -- drops its reference,
+/// so a response can never write to a recycled descriptor.
+struct Server::Conn {
+  int Fd;
+  std::mutex WriteMu;
+
+  explicit Conn(int Fd) : Fd(Fd) {}
+  ~Conn() { ::close(Fd); }
+
+  void writeLine(std::string S) {
+    S += '\n';
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    std::size_t Off = 0;
+    while (Off < S.size()) {
+      ssize_t N = ::send(Fd, S.data() + Off, S.size() - Off, MSG_NOSIGNAL);
+      if (N <= 0)
+        return; // peer went away; the request was still fully processed
+      Off += static_cast<std::size_t>(N);
+    }
+  }
+};
+
+void Server::requestStop() {
+  StopFlag.store(true);
+  // Unblock a socket accept loop (shutdown on a listening socket makes
+  // accept() return) and any connection readers.
+  int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> Lock(ConnsMu);
+  for (const std::weak_ptr<Conn> &W : Conns)
+    if (std::shared_ptr<Conn> C = W.lock())
+      ::shutdown(C->Fd, SHUT_RD);
+}
+
+void Server::stop() {
+  requestStop();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    if (Stopped)
+      return;
+    Stopped = true;
+    Draining = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+  Workers.clear();
+  if (Cache && !Cfg.CacheFile.empty()) {
+    std::string Tmp = Cfg.CacheFile + ".tmp";
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (Out.is_open() && Cache->save(Out)) {
+      Out.close();
+      std::rename(Tmp.c_str(), Cfg.CacheFile.c_str());
+    } else {
+      std::remove(Tmp.c_str());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Admission
+//===----------------------------------------------------------------------===//
+
+void Server::submit(std::string Line,
+                    std::function<void(std::string)> Respond) {
+  json::Value Doc;
+  std::string Err;
+  if (!json::parse(Line, Doc, Err) || !Doc.isObject()) {
+    Respond(renderServerError(false, 0, "parse_error",
+                              Err.empty() ? "request is not a JSON object"
+                                          : Err));
+    return;
+  }
+
+  bool HasId = false;
+  uint64_t Id = 0;
+  if (const json::Value *V = Doc.get("id")) {
+    if (!V->isNumber() || V->asNumber() < 0) {
+      Respond(renderServerError(false, 0, "bad_request",
+                                "\"id\" must be a non-negative number"));
+      return;
+    }
+    HasId = true;
+    Id = static_cast<uint64_t>(V->asNumber());
+  }
+  auto Fail = [&](const char *Code, const std::string &Message) {
+    Respond(renderServerError(HasId, Id, Code, Message));
+  };
+
+  std::string Op = "analyze";
+  if (const json::Value *V = Doc.get("op")) {
+    if (!V->isString())
+      return Fail("bad_request", "\"op\" must be a string");
+    Op = V->asString();
+  }
+  if (Op == "shutdown") {
+    Respond(renderServerError(HasId, Id, "shutdown", "server stopping"));
+    requestStop();
+    return;
+  }
+  if (Op != "analyze")
+    return Fail("bad_request", "unknown op \"" + Op + "\"");
+
+  Request R;
+  R.HasId = HasId;
+  R.Id = Id;
+  const json::Value *Src = Doc.get("source");
+  if (!Src || !Src->isString())
+    return Fail("bad_request", "\"source\" must be a string");
+  R.Source = Src->asString();
+
+  R.Opts = Cfg.Defaults;
+  if (const json::Value *O = Doc.get("options")) {
+    if (!O->isObject())
+      return Fail("bad_request", "\"options\" must be an object");
+    if (!optionsFromJson(*O, R.Opts, Err))
+      return Fail("bad_request", Err);
+  }
+
+  uint64_t DeadlineMs = Cfg.DeadlineMs;
+  if (const json::Value *V = Doc.get("deadlineMs")) {
+    if (!V->isNumber() || V->asNumber() < 0)
+      return Fail("bad_request", "\"deadlineMs\" must be a non-negative number");
+    DeadlineMs = static_cast<uint64_t>(V->asNumber());
+  }
+  if (DeadlineMs != 0) {
+    R.HasDeadline = true;
+    R.Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(DeadlineMs);
+  }
+  R.Respond = std::move(Respond);
+
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    if (Draining || StopFlag.load()) {
+      R.Respond(renderServerError(HasId, Id, "shutdown", "server stopping"));
+      return;
+    }
+    if (Queue.size() >= Cfg.MaxQueue) {
+      R.Respond(renderServerError(
+          HasId, Id, "overloaded",
+          "queue full (" + std::to_string(Cfg.MaxQueue) + " requests)"));
+      return;
+    }
+    Queue.push_back(std::move(R));
+  }
+  QueueCV.notify_one();
+}
+
+//===----------------------------------------------------------------------===//
+// Workers
+//===----------------------------------------------------------------------===//
+
+void Server::workerLoop(unsigned Index) {
+  while (true) {
+    Request R;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCV.wait(Lock, [&] { return !Queue.empty() || Draining; });
+      if (Queue.empty())
+        return; // draining and nothing left
+      R = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    runOne(R, Index);
+  }
+}
+
+void Server::runOne(Request &R, unsigned Index) {
+  if (R.HasDeadline && std::chrono::steady_clock::now() >= R.Deadline) {
+    R.Respond(renderServerError(R.HasId, R.Id, "deadline_exceeded",
+                                "deadline passed while queued"));
+    return;
+  }
+
+  ir::AnalyzedProgram AP = ir::analyzeSource(R.Source);
+  if (!AP.ok()) {
+    std::string Msg;
+    for (const ir::Diagnostic &D : AP.Diags) {
+      if (!Msg.empty())
+        Msg += "; ";
+      Msg += D.toString();
+    }
+    R.Respond(renderServerError(R.HasId, R.Id, "analysis_error", Msg));
+    return;
+  }
+
+  engine::DependenceEngine &Engine = *Engines[Index];
+  Engine.applyOptions(R.Opts.toEngineRequest());
+  auto Start = std::chrono::steady_clock::now();
+  engine::AnalysisResult Result = Engine.analyze(AP);
+  double WallMs =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                Start)
+          .count();
+  std::string ResultJson = renderResult(Result);
+  std::string Metrics = renderMetrics(Result, Engine.jobs(), WallMs,
+                                      /*ProfileJson=*/"", /*ExplainLog=*/"");
+  R.Respond(renderServerOk(R.Id, ResultJson, Metrics));
+}
+
+//===----------------------------------------------------------------------===//
+// stdin JSONL mode
+//===----------------------------------------------------------------------===//
+
+int Server::runStdin(std::istream &In, std::ostream &Out) {
+  std::mutex WriteMu;
+  std::string Line;
+  while (!stopRequested() && std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    submit(std::move(Line), [&WriteMu, &Out](std::string Resp) {
+      std::lock_guard<std::mutex> Lock(WriteMu);
+      Out << Resp << "\n";
+      Out.flush();
+    });
+    Line.clear();
+  }
+  stop(); // drains: every submitted request is answered before we return
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Unix socket mode
+//===----------------------------------------------------------------------===//
+
+int Server::runSocket(const std::string &Path, std::ostream &Log) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Log << "error: socket path too long: " << Path << "\n";
+    stop();
+    return 1;
+  }
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Log << "error: socket(): " << std::strerror(errno) << "\n";
+    stop();
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  Path.copy(Addr.sun_path, sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, 64) < 0) {
+    Log << "error: bind/listen on " << Path << ": " << std::strerror(errno)
+        << "\n";
+    ::close(Fd);
+    stop();
+    return 1;
+  }
+  ListenFd.store(Fd);
+  Log << "omega-serve: listening on " << Path << "\n";
+  Log.flush();
+
+  std::vector<std::thread> Readers;
+  while (true) {
+    int CFd = ::accept(Fd, nullptr, nullptr);
+    if (CFd < 0)
+      break; // requestStop() shut the listening socket down
+    auto C = std::make_shared<Conn>(CFd);
+    {
+      std::lock_guard<std::mutex> Lock(ConnsMu);
+      Conns.erase(std::remove_if(Conns.begin(), Conns.end(),
+                                 [](const std::weak_ptr<Conn> &W) {
+                                   return W.expired();
+                                 }),
+                  Conns.end());
+      Conns.push_back(C);
+    }
+    Readers.emplace_back([this, C] {
+      std::string Buf;
+      char Chunk[4096];
+      while (true) {
+        ssize_t N = ::recv(C->Fd, Chunk, sizeof(Chunk), 0);
+        if (N <= 0)
+          break;
+        Buf.append(Chunk, static_cast<std::size_t>(N));
+        std::size_t Pos;
+        while ((Pos = Buf.find('\n')) != std::string::npos) {
+          std::string Line = Buf.substr(0, Pos);
+          Buf.erase(0, Pos + 1);
+          if (Line.empty())
+            continue;
+          submit(std::move(Line),
+                 [C](std::string Resp) { C->writeLine(std::move(Resp)); });
+        }
+      }
+    });
+  }
+  int Listen = ListenFd.exchange(-1);
+  if (Listen >= 0)
+    ::close(Listen);
+  else
+    ::close(Fd);
+  for (std::thread &T : Readers)
+    T.join();
+  stop(); // in-flight responses still reach their Conn via shared_ptr
+  ::unlink(Path.c_str());
+  return 0;
+}

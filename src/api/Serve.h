@@ -1,0 +1,153 @@
+//===- api/Serve.h - The warm-cache analysis server -----------------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// omega-serve's core: a long-running analysis service that admits many
+/// programs concurrently and keeps the Omega memoization state warm across
+/// requests. The protocol is JSONL -- one request object per line, one
+/// response object per line -- over stdin/stdout or a Unix domain socket:
+///
+///   {"id": 1, "source": "for i = 1 to n { a[i] = a[i-1]; }",
+///    "options": {"quicktests": false}, "deadlineMs": 500}
+///
+/// Responses are schema-2 documents (api/Response.h) with the request id
+/// spliced in; `{"id": 2, "op": "shutdown"}` stops the server. Because
+/// the engine's structural result is deterministic for every Jobs value
+/// and cache state, a server response's "result" section is byte-identical
+/// to a one-shot `omega-analyze --json` run of the same program -- warm
+/// or cold, interleaved with any other clients.
+///
+/// Architecture: N worker threads, each owning a private DependenceEngine
+/// (an engine run is not reentrant), all engines pointing at ONE shared
+/// QueryCache. The cache is the warmth substrate -- sat verdicts, gists,
+/// and elimination snapshots computed for any request are reused by every
+/// later one -- and the unit of persistence (Config::CacheFile warm-starts
+/// it across server lifetimes). Admission control is a bounded queue:
+/// submissions beyond MaxQueue are shed immediately with an "overloaded"
+/// error, and a request whose deadline passed while queued is answered
+/// "deadline_exceeded" instead of being run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_API_SERVE_H
+#define OMEGA_API_SERVE_H
+
+#include "api/Options.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace omega {
+
+class QueryCache;
+
+namespace api {
+
+class Server {
+public:
+  struct Config {
+    /// Per-request option defaults (a request's "options" object overlays
+    /// these). Jobs is each worker engine's thread count.
+    AnalysisOptions Defaults;
+    /// Concurrent worker engines (= requests in flight).
+    unsigned Workers = 4;
+    /// Admission bound: queued-but-unstarted requests beyond this are shed
+    /// with an "overloaded" error.
+    std::size_t MaxQueue = 64;
+    /// Default per-request deadline in milliseconds, measured from
+    /// admission; 0 means none. A request's "deadlineMs" overrides it.
+    std::uint64_t DeadlineMs = 0;
+    /// Warm-start file: loaded (if present and valid) at construction,
+    /// saved at stop(). Empty disables persistence.
+    std::string CacheFile;
+  };
+
+  explicit Server(const Config &C);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Submits one request line. \p Respond is invoked exactly once with the
+  /// response line (no trailing newline) -- synchronously for admission
+  /// failures and malformed requests, from a worker thread otherwise. The
+  /// callback must be thread-safe against other responses.
+  void submit(std::string Line, std::function<void(std::string)> Respond);
+
+  /// Stops admission, drains queued requests, joins the workers, and (once)
+  /// saves the cache file. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Asks the IO loops (runStdin/runSocket) to wind down; the "shutdown"
+  /// op calls this. Does not drain -- stop() does.
+  void requestStop();
+  bool stopRequested() const { return StopFlag.load(); }
+
+  /// What happened to Config::CacheFile at construction ("warm start:
+  /// ...", "cold start: ..."), empty when persistence is off.
+  const std::string &startupNote() const { return StartupNote; }
+
+  /// The shared cache, or null when Defaults.UseQueryCache is false.
+  QueryCache *cache() { return Cache.get(); }
+
+  /// Serves JSONL request lines from \p In until EOF or a shutdown op,
+  /// writing one response line each to \p Out (interleaved across workers;
+  /// match by id). Calls stop() before returning. Returns an exit code.
+  int runStdin(std::istream &In, std::ostream &Out);
+
+  /// Binds a Unix domain socket at \p Path and serves each connection as
+  /// an independent JSONL stream until a shutdown op arrives. Progress
+  /// and errors go to \p Log. Calls stop() before returning.
+  int runSocket(const std::string &Path, std::ostream &Log);
+
+private:
+  struct Request {
+    bool HasId = false;
+    std::uint64_t Id = 0;
+    std::string Source;
+    AnalysisOptions Opts;
+    std::chrono::steady_clock::time_point Deadline;
+    bool HasDeadline = false;
+    std::function<void(std::string)> Respond;
+  };
+  struct Conn;
+
+  void workerLoop(unsigned Index);
+  void runOne(Request &R, unsigned Index);
+
+  Config Cfg;
+  std::unique_ptr<QueryCache> Cache;
+  std::string StartupNote;
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCV;
+  std::deque<Request> Queue;
+  bool Draining = false; ///< stop() begun: no admissions, workers drain
+
+  std::vector<std::unique_ptr<engine::DependenceEngine>> Engines;
+  std::vector<std::thread> Workers;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<int> ListenFd{-1};
+  std::mutex ConnsMu;
+  std::vector<std::weak_ptr<Conn>> Conns;
+  bool Stopped = false;
+};
+
+} // namespace api
+} // namespace omega
+
+#endif // OMEGA_API_SERVE_H

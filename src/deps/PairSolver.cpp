@@ -9,6 +9,7 @@
 #include "deps/DependenceAnalysis.h"
 #include "obs/Trace.h"
 #include "omega/Projection.h"
+#include "omega/QueryCache.h"
 #include "omega/Satisfiability.h"
 #include "support/MathUtils.h"
 
@@ -39,6 +40,22 @@ void PairSolver::ensureSnapshot() {
   for (unsigned D = 0; D != Common; ++D) {
     Keep[Space.iterVar(0, D)] = true;
     Keep[Space.iterVar(1, D)] = true;
+  }
+  // With a cache and sharing on, adopt a previously built snapshot for the
+  // exact same (system, keep mask) -- typically left by an earlier request
+  // over the same program in the serving stack. A snapshot is a
+  // deterministic function of its key, so adoption is result-identical to
+  // rebuilding; only counters and wall time change.
+  if (Ctx.Cache && Ctx.SnapshotSharing) {
+    std::string Key = snapshotCacheKey(*Pair, Keep);
+    if (std::optional<EliminationSnapshot> Cached =
+            Ctx.Cache->lookupSnapshot(Key, &Ctx.Stats)) {
+      Snap.emplace(std::move(*Cached));
+      return;
+    }
+    Snap.emplace(*Pair, Keep, Ctx);
+    Ctx.Cache->storeSnapshot(Key, *Snap);
+    return;
   }
   Snap.emplace(*Pair, Keep, Ctx);
 }

@@ -97,25 +97,41 @@ std::string accessLabel(const ir::Access &A) {
 } // namespace
 
 DependenceEngine::DependenceEngine(const AnalysisRequest &Req) : Req(Req) {
-  if (Req.UseQueryCache)
-    Cache = std::make_unique<QueryCache>();
-  Pool = std::make_unique<WorkerPool>(Req.Jobs, Cache.get(), Req.Trace);
+  if (Req.SharedCache)
+    Cache = Req.SharedCache;
+  else if (Req.UseQueryCache) {
+    OwnedCache = std::make_unique<QueryCache>();
+    Cache = OwnedCache.get();
+  }
+  Pool = std::make_unique<WorkerPool>(Req.Jobs, Cache, Req.Trace);
   // The pair-solver tiers read their toggles off the worker's context, so
   // deep call chains (and the calc/CLI ablations) all steer one switch.
-  Pool->forEachContext([&](OmegaContext &Ctx) {
-    Ctx.PairQuickTests = Req.PairQuickTests;
-    Ctx.IncrementalSnapshots = Req.Incremental;
-  });
+  applyOptions(Req);
 }
 
 DependenceEngine::~DependenceEngine() = default;
+
+void DependenceEngine::applyOptions(const AnalysisRequest &O) {
+  Req.QuickTests = O.QuickTests;
+  Req.Refine = O.Refine;
+  Req.Cover = O.Cover;
+  Req.Kill = O.Kill;
+  Req.Terminate = O.Terminate;
+  Req.PairQuickTests = O.PairQuickTests;
+  Req.Incremental = O.Incremental;
+  Req.ShareSnapshots = O.ShareSnapshots;
+  Pool->forEachContext([&](OmegaContext &Ctx) {
+    Ctx.PairQuickTests = Req.PairQuickTests;
+    Ctx.IncrementalSnapshots = Req.Incremental;
+    Ctx.SnapshotSharing = Req.ShareSnapshots;
+  });
+}
 
 unsigned DependenceEngine::jobs() const { return Pool->jobs(); }
 
 AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   AnalysisResult Result;
   Pool->resetStats();
-  QueryCacheStats CacheBefore = Cache ? Cache->stats() : QueryCacheStats();
 
   // Phase 1: every unrefined dependence query -- output, anti, and the
   // flow computations phase 2 consumes -- scheduled per *pair* rather than
@@ -403,11 +419,14 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
 
   Result.Stats = Pool->mergedStats();
   if (Cache) {
-    QueryCacheStats After = Cache->stats();
-    Result.Cache.SatHits = After.SatHits - CacheBefore.SatHits;
-    Result.Cache.SatMisses = After.SatMisses - CacheBefore.SatMisses;
-    Result.Cache.GistHits = After.GistHits - CacheBefore.GistHits;
-    Result.Cache.GistMisses = After.GistMisses - CacheBefore.GistMisses;
+    // This run's cache traffic comes from the merged per-context counters,
+    // not global before/after deltas: several engines may share one cache
+    // (the serving stack does), and a delta would charge this request with
+    // every concurrent request's traffic.
+    Result.Cache.SatHits = Result.Stats.SatCacheHits;
+    Result.Cache.SatMisses = Result.Stats.SatCacheMisses;
+    Result.Cache.GistHits = Result.Stats.GistCacheHits;
+    Result.Cache.GistMisses = Result.Stats.GistCacheMisses;
     Result.CacheEntries = Cache->size();
   }
   return Result;

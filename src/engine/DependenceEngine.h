@@ -62,6 +62,17 @@ struct AnalysisRequest {
   /// Per-pair elimination snapshots: reduce each pair's shared system once
   /// and replay only the per-query ordering rows (--no-incremental).
   bool Incremental = true;
+  /// Share elimination snapshots across pair solvers through the query
+  /// cache, so repeat analyses -- and concurrent server requests over the
+  /// same kernels -- adopt snapshots instead of rebuilding them
+  /// (--no-snapshot-sharing). Requires a cache; result-identical either
+  /// way.
+  bool ShareSnapshots = true;
+  /// Use this externally owned cache instead of constructing one. The
+  /// serving stack points every worker engine at one cache, which is what
+  /// makes warmth survive across requests and clients. Must outlive the
+  /// engine; overrides UseQueryCache when non-null.
+  QueryCache *SharedCache = nullptr;
   /// Optional tracer: each worker context gets a registered trace buffer
   /// and every work item is recorded as an engine-task span keyed by its
   /// serial enumeration order, so merged traces are identical for every
@@ -102,17 +113,26 @@ public:
   /// query cache persists across calls, so re-analyses hit it.
   AnalysisResult analyze(const ir::AnalyzedProgram &AP);
 
+  /// Re-points the pipeline and tier toggles (QuickTests, Refine, Cover,
+  /// Kill, Terminate, PairQuickTests, Incremental, ShareSnapshots) at \p
+  /// O's values without rebuilding the pool or cache. The serving stack
+  /// uses this to honor per-request options on a long-lived engine; the
+  /// structural fields (Jobs, UseQueryCache, SharedCache, Trace) are
+  /// fixed at construction and ignored here.
+  void applyOptions(const AnalysisRequest &O);
+
   /// Effective worker count (after resolving Jobs == 0).
   unsigned jobs() const;
 
   const AnalysisRequest &request() const { return Req; }
 
-  /// The engine's cache, or null when UseQueryCache is false.
-  QueryCache *cache() { return Cache.get(); }
+  /// The engine's cache (owned or shared), or null when caching is off.
+  QueryCache *cache() { return Cache; }
 
 private:
   AnalysisRequest Req;
-  std::unique_ptr<QueryCache> Cache;
+  std::unique_ptr<QueryCache> OwnedCache;
+  QueryCache *Cache = nullptr;
   std::unique_ptr<WorkerPool> Pool;
 };
 

@@ -62,6 +62,11 @@ public:
   /// result-identical; the toggles exist for benchmarking and attribution.
   bool IncrementalSnapshots = true; ///< reuse per-pair elimination snapshots
   bool PairQuickTests = true;       ///< ZIV/GCD/bounds pre-filter per pair
+  /// Share elimination snapshots across pair solvers through the cache
+  /// (the serving stack's cross-request warmth; see QueryCache::
+  /// lookupSnapshot). Only observable in counters and wall time: a cached
+  /// snapshot is bit-identical to a rebuilt one.
+  bool SnapshotSharing = true;
 
   OmegaContext() = default;
   explicit OmegaContext(QueryCache *Cache) : Cache(Cache) {}

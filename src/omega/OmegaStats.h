@@ -50,6 +50,8 @@ struct OmegaStats {
   uint64_t SnapshotBuilds = 0;      // pair snapshots constructed
   uint64_t SnapshotReuses = 0;      // (kind, level) cases replayed on one
   uint64_t SnapshotFallbacks = 0;   // cases sent back to the scratch path
+  uint64_t SnapshotCacheHits = 0;   // snapshots adopted from the QueryCache
+  uint64_t SnapshotCacheMisses = 0; // snapshot lookups that missed
 
   // Quick-test pre-filter: dependence queries decided with no Omega call,
   // by class. QuickTestDecided always equals the sum of the four classes
@@ -91,6 +93,8 @@ private:
     SnapshotBuilds += Sign * O.SnapshotBuilds;
     SnapshotReuses += Sign * O.SnapshotReuses;
     SnapshotFallbacks += Sign * O.SnapshotFallbacks;
+    SnapshotCacheHits += Sign * O.SnapshotCacheHits;
+    SnapshotCacheMisses += Sign * O.SnapshotCacheMisses;
     QuickTestZIV += Sign * O.QuickTestZIV;
     QuickTestGCD += Sign * O.QuickTestGCD;
     QuickTestBounds += Sign * O.QuickTestBounds;

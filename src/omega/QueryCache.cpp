@@ -9,6 +9,10 @@
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <istream>
+#include <iterator>
+#include <map>
+#include <ostream>
 
 using namespace omega;
 
@@ -20,6 +24,7 @@ struct QueryCache::Shard {
   std::mutex M;
   std::unordered_map<std::string, bool> Sat;
   std::unordered_map<std::string, std::vector<Constraint>> Gist;
+  std::unordered_map<std::string, EliminationSnapshot> Snap;
 };
 
 QueryCache::QueryCache(unsigned ShardCount) {
@@ -83,6 +88,28 @@ void QueryCache::storeGist(const std::string &Key,
   S.Gist.emplace(Key, std::move(Rows));
 }
 
+std::optional<EliminationSnapshot>
+QueryCache::lookupSnapshot(const std::string &Key, OmegaStats *Stats) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Snap.find(Key);
+  if (It == S.Snap.end()) {
+    if (Stats)
+      ++Stats->SnapshotCacheMisses;
+    return std::nullopt;
+  }
+  if (Stats)
+    ++Stats->SnapshotCacheHits;
+  return It->second;
+}
+
+void QueryCache::storeSnapshot(const std::string &Key,
+                               const EliminationSnapshot &Snap) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Snap.emplace(Key, Snap);
+}
+
 QueryCacheStats QueryCache::stats() const {
   QueryCacheStats R;
   R.SatHits = SatHits.load(std::memory_order_relaxed);
@@ -96,7 +123,7 @@ std::size_t QueryCache::size() const {
   std::size_t N = 0;
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->M);
-    N += S->Sat.size() + S->Gist.size();
+    N += S->Sat.size() + S->Gist.size() + S->Snap.size();
   }
   return N;
 }
@@ -106,6 +133,7 @@ void QueryCache::clear() {
     std::lock_guard<std::mutex> Lock(S->M);
     S->Sat.clear();
     S->Gist.clear();
+    S->Snap.clear();
   }
 }
 
@@ -236,6 +264,220 @@ std::optional<std::string> omega::canonicalSatKey(const Problem &P,
   return Key;
 }
 
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char PersistMagic[4] = {'O', 'M', 'Q', 'C'};
+
+/// FNV-1a 64 over the payload; cheap, deterministic, and enough to reject
+/// torn or bit-flipped warm-start files (integrity, not security).
+uint64_t checksum64(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+void appendBytes(std::string &Out, const void *P, std::size_t N) {
+  Out.append(static_cast<const char *>(P), N);
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void appendLenString(std::string &Out, const std::string &S) {
+  appendU32(Out, static_cast<uint32_t>(S.size()));
+  Out += S;
+}
+
+/// Bounds-checked little-endian reader over a loaded payload.
+struct Reader {
+  const std::string &Buf;
+  std::size_t Pos = 0;
+  bool Ok = true;
+
+  bool take(void *Out, std::size_t N) {
+    if (!Ok || Pos + N > Buf.size()) {
+      Ok = false;
+      return false;
+    }
+    std::copy_n(Buf.data() + Pos, N, static_cast<char *>(Out));
+    Pos += N;
+    return true;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    for (unsigned I = 0; I != 4; ++I) {
+      unsigned char B = 0;
+      if (!take(&B, 1))
+        return 0;
+      V |= static_cast<uint32_t>(B) << (8 * I);
+    }
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    for (unsigned I = 0; I != 8; ++I) {
+      unsigned char B = 0;
+      if (!take(&B, 1))
+        return 0;
+      V |= static_cast<uint64_t>(B) << (8 * I);
+    }
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  uint8_t u8() {
+    unsigned char B = 0;
+    take(&B, 1);
+    return B;
+  }
+  std::string lenString(uint32_t MaxLen = 1u << 24) {
+    uint32_t N = u32();
+    if (!Ok || N > MaxLen || Pos + N > Buf.size()) {
+      Ok = false;
+      return std::string();
+    }
+    std::string S = Buf.substr(Pos, N);
+    Pos += N;
+    return S;
+  }
+};
+
+void appendConstraintRow(std::string &Out, const Constraint &Row) {
+  Out.push_back(Row.isEquality() ? 'E' : 'G');
+  Out.push_back(Row.isRed() ? 1 : 0);
+  appendU32(Out, Row.getNumVars());
+  appendI64(Out, Row.getConstant());
+  for (VarId V = 0, E = Row.getNumVars(); V != static_cast<VarId>(E); ++V)
+    appendI64(Out, Row.getCoeff(V));
+}
+
+bool readConstraintRow(Reader &R, std::vector<Constraint> &Rows) {
+  uint8_t KindTag = R.u8();
+  uint8_t Red = R.u8();
+  uint32_t NumVars = R.u32();
+  if (!R.Ok || (KindTag != 'E' && KindTag != 'G') || Red > 1 ||
+      NumVars > (1u << 20))
+    return false;
+  Constraint Row(KindTag == 'E' ? ConstraintKind::EQ : ConstraintKind::GEQ,
+                 NumVars);
+  Row.setConstant(R.i64());
+  for (uint32_t V = 0; V != NumVars; ++V)
+    Row.setCoeff(static_cast<VarId>(V), R.i64());
+  Row.setRed(Red != 0);
+  if (!R.Ok)
+    return false;
+  Rows.push_back(std::move(Row));
+  return true;
+}
+
+} // namespace
+
+bool QueryCache::save(std::ostream &Out) const {
+  // Gather under the shard locks, then emit sorted by key so the byte
+  // stream is independent of hash-map iteration order (save -> load ->
+  // save round-trips bit-identically; the persistence test pins this).
+  std::map<std::string, bool> Sat;
+  std::map<std::string, const std::vector<Constraint> *> Gist;
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(Shards.size());
+  for (const auto &S : Shards) {
+    Locks.emplace_back(S->M);
+    for (const auto &[K, V] : S->Sat)
+      Sat.emplace(K, V);
+    for (const auto &[K, V] : S->Gist)
+      Gist.emplace(K, &V);
+  }
+
+  std::string Payload;
+  appendU64(Payload, Sat.size());
+  for (const auto &[K, V] : Sat) {
+    appendLenString(Payload, K);
+    Payload.push_back(V ? 1 : 0);
+  }
+  appendU64(Payload, Gist.size());
+  for (const auto &[K, Rows] : Gist) {
+    appendLenString(Payload, K);
+    appendU32(Payload, static_cast<uint32_t>(Rows->size()));
+    for (const Constraint &Row : *Rows)
+      appendConstraintRow(Payload, Row);
+  }
+  Locks.clear();
+
+  std::string Header;
+  appendBytes(Header, PersistMagic, sizeof(PersistMagic));
+  appendU32(Header, PersistFormatVersion);
+  Out.write(Header.data(), static_cast<std::streamsize>(Header.size()));
+  Out.write(Payload.data(), static_cast<std::streamsize>(Payload.size()));
+  std::string Tail;
+  appendU64(Tail, checksum64(Payload));
+  Out.write(Tail.data(), static_cast<std::streamsize>(Tail.size()));
+  return static_cast<bool>(Out);
+}
+
+bool QueryCache::load(std::istream &In, std::string &Err) {
+  clear();
+  auto Reject = [&](const std::string &Why) {
+    clear();
+    Err = "query-cache file rejected: " + Why;
+    return false;
+  };
+
+  std::string All((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  if (All.size() < sizeof(PersistMagic) + 4 + 8 + 8)
+    return Reject("truncated header");
+  if (All.compare(0, sizeof(PersistMagic), PersistMagic,
+                  sizeof(PersistMagic)) != 0)
+    return Reject("bad magic");
+  Reader Head{All, sizeof(PersistMagic)};
+  uint32_t Version = Head.u32();
+  if (Version != PersistFormatVersion)
+    return Reject("unsupported format version " + std::to_string(Version));
+
+  std::string Payload = All.substr(Head.Pos, All.size() - Head.Pos - 8);
+  Reader Tail{All, All.size() - 8};
+  if (checksum64(Payload) != Tail.u64())
+    return Reject("checksum mismatch");
+
+  Reader R{Payload, 0};
+  uint64_t SatCount = R.u64();
+  if (SatCount > (1ull << 32))
+    return Reject("implausible sat entry count");
+  for (uint64_t I = 0; I != SatCount && R.Ok; ++I) {
+    std::string Key = R.lenString();
+    uint8_t V = R.u8();
+    if (!R.Ok || V > 1)
+      return Reject("malformed sat entry");
+    storeSat(Key, V != 0);
+  }
+  uint64_t GistCount = R.u64();
+  if (!R.Ok || GistCount > (1ull << 32))
+    return Reject("implausible gist entry count");
+  for (uint64_t I = 0; I != GistCount && R.Ok; ++I) {
+    std::string Key = R.lenString();
+    uint32_t NumRows = R.u32();
+    if (!R.Ok || NumRows > (1u << 20))
+      return Reject("malformed gist entry");
+    std::vector<Constraint> Rows;
+    Rows.reserve(NumRows);
+    for (uint32_t Row = 0; Row != NumRows; ++Row)
+      if (!readConstraintRow(R, Rows))
+        return Reject("malformed gist row");
+    storeGist(Key, std::move(Rows));
+  }
+  if (!R.Ok || R.Pos != Payload.size())
+    return Reject("trailing or missing payload bytes");
+  return true;
+}
+
 std::string omega::gistCacheKey(const Problem &P, const Problem &Given,
                                 bool UseFastChecks) {
   assert(P.getNumVars() == Given.getNumVars() &&
@@ -259,5 +501,31 @@ std::string omega::gistCacheKey(const Problem &P, const Problem &Given,
   };
   appendRows(P);
   appendRows(Given);
+  return Key;
+}
+
+std::string omega::snapshotCacheKey(const Problem &P,
+                                    const std::vector<bool> &Keep) {
+  // Exact serialization on purpose (like gist keys, unlike sat keys): an
+  // adopted snapshot's reduced problem is replayed against the caller's
+  // pair layout, so VarIds must line up column for column.
+  std::string Key;
+  Key.push_back('s');
+  appendU32(Key, P.getNumVars());
+  for (VarId V = 0, E = P.getNumVars(); V != static_cast<VarId>(E); ++V)
+    Key.push_back(static_cast<char>((P.isProtected(V) ? 1 : 0) |
+                                    (P.isDead(V) ? 2 : 0) |
+                                    (V < static_cast<VarId>(Keep.size()) &&
+                                             Keep[V]
+                                         ? 4
+                                         : 0)));
+  appendU32(Key, P.getNumConstraints());
+  for (const Constraint &Row : P.constraints()) {
+    Key.push_back(Row.isEquality() ? 'E' : 'G');
+    Key.push_back(Row.isRed() ? 'r' : 'b');
+    appendI64(Key, Row.getConstant());
+    for (VarId V = 0, E = Row.getNumVars(); V != static_cast<VarId>(E); ++V)
+      appendI64(Key, Row.getCoeff(V));
+  }
   return Key;
 }

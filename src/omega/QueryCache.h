@@ -31,9 +31,11 @@
 
 #include "omega/OmegaStats.h"
 #include "omega/Problem.h"
+#include "omega/Snapshot.h"
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -76,10 +78,39 @@ public:
                                                     OmegaStats *Stats = nullptr);
   void storeGist(const std::string &Key, std::vector<Constraint> Rows);
 
+  /// The memoized elimination snapshot for \p Key, if any (the serving
+  /// stack's cross-request snapshot reuse: a snapshot is a deterministic
+  /// function of the exact pair system + keep mask the key serializes, so
+  /// adopting one is result-identical to rebuilding it). Counts hits and
+  /// misses on \p Stats' SnapshotCache counters when non-null. Snapshots
+  /// are in-memory only -- save()/load() persist just sat/gist entries.
+  std::optional<EliminationSnapshot>
+  lookupSnapshot(const std::string &Key, OmegaStats *Stats = nullptr);
+  void storeSnapshot(const std::string &Key, const EliminationSnapshot &Snap);
+
   QueryCacheStats stats() const;
-  /// Number of memoized entries (both kinds).
+  /// Number of memoized entries (all kinds).
   std::size_t size() const;
   void clear();
+
+  //===--------------------------------------------------------------------===//
+  // Persistence (the omega-serve warm-start file)
+  //===--------------------------------------------------------------------===//
+
+  /// Version stamped into the on-disk format; load() rejects any other.
+  static constexpr uint32_t PersistFormatVersion = 1;
+
+  /// Serializes every sat and gist entry to \p Out in a versioned binary
+  /// format (magic, version, entries sorted by key, trailing checksum).
+  /// Sorted emission makes save -> load -> save byte-identical. Returns
+  /// false on a write failure.
+  bool save(std::ostream &Out) const;
+
+  /// Restores entries previously written by save(). Validates the magic,
+  /// version, checksum, and every length field; on any mismatch the cache
+  /// is left empty (a corrupt warm-start file degrades to a cold start,
+  /// never to wrong answers) and \p Err describes the rejection.
+  bool load(std::istream &In, std::string &Err);
 
 private:
   struct Shard;
@@ -106,6 +137,13 @@ std::optional<std::string> canonicalSatKey(const Problem &P, int ModeTag);
 /// caller's exact layout, so only textually identical layouts may share.
 std::string gistCacheKey(const Problem &P, const Problem &Given,
                          bool UseFastChecks);
+
+/// Builds the snapshot cache key of (\p P reduced keeping \p Keep): an
+/// exact serialization of the row system, the layout's protected/dead
+/// structure, and the keep mask. Like gist keys it is deliberately not
+/// order-canonical -- an adopted snapshot's VarIds must line up with the
+/// caller's pair problem column for column.
+std::string snapshotCacheKey(const Problem &P, const std::vector<bool> &Keep);
 
 } // namespace omega
 

@@ -209,3 +209,110 @@ TEST(Engine, AutoJobsResolves) {
   engine::DependenceEngine Serial(makeRequest(1, false));
   EXPECT_EQ(signatureOf(Engine.analyze(AP)), signatureOf(Serial.analyze(AP)));
 }
+
+// Several engines sharing ONE QueryCache -- the omega-serve topology --
+// with interleaved concurrent clients: each request's reported cache
+// traffic must be exactly its own (the merged per-context counters), not
+// a smeared slice of the global movement, and the per-request numbers
+// must add up to the shared cache's global counters.
+TEST(Engine, SharedCacheStatsAreAttributedPerRequest) {
+  QueryCache Shared;
+  const std::vector<kernels::Kernel> &Corpus = kernels::corpus();
+  ASSERT_GE(Corpus.size(), 4u);
+
+  // Serial baselines for structural comparison.
+  std::vector<std::string> Baselines;
+  std::vector<ir::AnalyzedProgram> Programs;
+  for (const kernels::Kernel &K : Corpus) {
+    ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+    if (!AP.ok())
+      continue;
+    engine::DependenceEngine Fresh(makeRequest(1, /*Cache=*/false));
+    Baselines.push_back(signatureOf(Fresh.analyze(AP)));
+    Programs.push_back(std::move(AP));
+    if (Programs.size() == 6)
+      break;
+  }
+  ASSERT_GE(Programs.size(), 4u);
+
+  constexpr unsigned Clients = 4;
+  constexpr unsigned Rounds = 3;
+  struct RequestRecord {
+    QueryCacheStats Cache;
+    OmegaStats Stats;
+    bool SignatureOk = false;
+  };
+  std::vector<std::vector<RequestRecord>> Records(Clients);
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      engine::AnalysisRequest Req;
+      Req.Jobs = 2;
+      Req.SharedCache = &Shared;
+      engine::DependenceEngine Engine(Req);
+      for (unsigned R = 0; R != Rounds; ++R)
+        for (std::size_t I = 0; I != Programs.size(); ++I) {
+          std::size_t Pick = (I + C) % Programs.size();
+          engine::AnalysisResult Result = Engine.analyze(Programs[Pick]);
+          RequestRecord Rec;
+          Rec.Cache = Result.Cache;
+          Rec.Stats = Result.Stats;
+          Rec.SignatureOk = signatureOf(Result) == Baselines[Pick];
+          Records[C].push_back(Rec);
+        }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  QueryCacheStats Sum;
+  for (const std::vector<RequestRecord> &Client : Records)
+    for (const RequestRecord &Rec : Client) {
+      // Warm or cold, interleaved or not: structure never changes.
+      EXPECT_TRUE(Rec.SignatureOk);
+      // Per-request cache traffic IS the request's own counter movement.
+      EXPECT_EQ(Rec.Cache.SatHits, Rec.Stats.SatCacheHits);
+      EXPECT_EQ(Rec.Cache.SatMisses, Rec.Stats.SatCacheMisses);
+      EXPECT_EQ(Rec.Cache.GistHits, Rec.Stats.GistCacheHits);
+      EXPECT_EQ(Rec.Cache.GistMisses, Rec.Stats.GistCacheMisses);
+      Sum.SatHits += Rec.Cache.SatHits;
+      Sum.SatMisses += Rec.Cache.SatMisses;
+      Sum.GistHits += Rec.Cache.GistHits;
+      Sum.GistMisses += Rec.Cache.GistMisses;
+    }
+
+  // Every lookup any engine made is accounted to exactly one request.
+  QueryCacheStats Global = Shared.stats();
+  EXPECT_EQ(Sum.SatHits, Global.SatHits);
+  EXPECT_EQ(Sum.SatMisses, Global.SatMisses);
+  EXPECT_EQ(Sum.GistHits, Global.GistHits);
+  EXPECT_EQ(Sum.GistMisses, Global.GistMisses);
+  EXPECT_GT(Sum.SatHits, 0u);
+}
+
+// Snapshot sharing through the cache is an optimization, never a result
+// change; a warm engine adopts snapshots instead of rebuilding them.
+TEST(Engine, SnapshotSharingIsResultIdenticalAndWarms) {
+  engine::AnalysisRequest On = makeRequest(1, /*Cache=*/true);
+  engine::AnalysisRequest Off = makeRequest(1, /*Cache=*/true);
+  Off.ShareSnapshots = false;
+  engine::DependenceEngine Sharing(On), Isolated(Off);
+
+  uint64_t TotalAdoptions = 0;
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+    if (!AP.ok())
+      continue;
+    engine::AnalysisResult First = Sharing.analyze(AP);
+    engine::AnalysisResult Warm = Sharing.analyze(AP);
+    engine::AnalysisResult Plain = Isolated.analyze(AP);
+    EXPECT_EQ(signatureOf(Warm), signatureOf(Plain)) << "kernel " << K.Name;
+    EXPECT_EQ(signatureOf(First), signatureOf(Warm)) << "kernel " << K.Name;
+    // A warm re-analysis adopts every snapshot it would have rebuilt.
+    EXPECT_EQ(Warm.Stats.SnapshotBuilds, 0u) << "kernel " << K.Name;
+    EXPECT_EQ(Plain.Stats.SnapshotCacheHits, 0u) << "kernel " << K.Name;
+    EXPECT_EQ(Plain.Stats.SnapshotCacheMisses, 0u) << "kernel " << K.Name;
+    TotalAdoptions += Warm.Stats.SnapshotCacheHits;
+  }
+  EXPECT_GT(TotalAdoptions, 0u);
+}

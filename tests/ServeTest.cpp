@@ -1,0 +1,376 @@
+//===- tests/ServeTest.cpp - The analysis server's contract ---------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// omega-serve's core promises, exercised in-process: concurrent clients
+// over the whole corpus get responses whose "result" section is
+// byte-identical to a one-shot engine run (any jobs value, warm or cold
+// cache); admission control sheds with typed errors; per-request metrics
+// attribute cache traffic to the request that caused it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Json.h"
+#include "api/Response.h"
+#include "api/Serve.h"
+#include "kernels/Kernels.h"
+#include "omega/QueryCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+/// Submits one request and blocks until its response arrives.
+std::string ask(api::Server &Server, const std::string &Line) {
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::string Response;
+  bool Done = false;
+  Server.submit(Line, [&](std::string R) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Response = std::move(R);
+    Done = true;
+    CV.notify_one();
+  });
+  std::unique_lock<std::mutex> Lock(Mu);
+  CV.wait(Lock, [&] { return Done; });
+  return Response;
+}
+
+std::string requestLine(uint64_t Id, const std::string &Source,
+                        const std::string &OptionsJson = std::string()) {
+  std::string Line = "{\"id\": " + std::to_string(Id) + ", \"source\": \"" +
+                     api::json::escape(Source) + "\"";
+  if (!OptionsJson.empty())
+    Line += ", \"options\": " + OptionsJson;
+  return Line + "}";
+}
+
+/// Extracts the raw bytes of the top-level "result" object from a
+/// response line -- the section the bit-identity gate diffs.
+std::string resultBytes(const std::string &Response) {
+  std::size_t At = Response.find("\"result\": ");
+  if (At == std::string::npos)
+    return std::string();
+  At += 10;
+  // Balance braces; response strings never embed unescaped '{' or '}'.
+  int Depth = 0;
+  bool InString = false;
+  for (std::size_t I = At; I != Response.size(); ++I) {
+    char C = Response[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Depth;
+    else if (C == '}' && --Depth == 0)
+      return Response.substr(At, I + 1 - At);
+  }
+  return std::string();
+}
+
+std::string errorCode(const std::string &Response) {
+  api::json::Value Doc;
+  std::string Err;
+  if (!api::json::parse(Response, Doc, Err))
+    return "<unparseable: " + Err + ">";
+  if (const api::json::Value *E = Doc.get("error"))
+    if (const api::json::Value *C = E->get("code"))
+      return C->asString();
+  return std::string();
+}
+
+/// One-shot reference: a fresh engine run rendered through the same
+/// schema-2 result renderer (what `omega-analyze --json` emits).
+std::string oneShotResult(const ir::AnalyzedProgram &AP, unsigned Jobs,
+                          bool Cache) {
+  engine::AnalysisRequest Req;
+  Req.Jobs = Jobs;
+  Req.UseQueryCache = Cache;
+  engine::DependenceEngine Engine(Req);
+  return api::renderResult(Engine.analyze(AP));
+}
+
+api::Server::Config basicConfig(unsigned Workers = 4) {
+  api::Server::Config Cfg;
+  Cfg.Workers = Workers;
+  Cfg.Defaults.Jobs = 1;
+  return Cfg;
+}
+
+} // namespace
+
+// The tentpole gate: concurrent clients hammering the full corpus receive
+// responses byte-identical (in "result") to one-shot runs -- cold cache,
+// warm cache, and different per-request jobs values all interleaved.
+TEST(Serve, ConcurrentClientsMatchOneShotByteForByte) {
+  std::vector<std::string> Sources;
+  std::vector<std::string> Expected;
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+    if (!AP.ok())
+      continue;
+    Sources.push_back(K.Source);
+    Expected.push_back(oneShotResult(AP, /*Jobs=*/1, /*Cache=*/false));
+  }
+  ASSERT_GE(Sources.size(), 10u);
+
+  api::Server Server(basicConfig(4));
+  constexpr unsigned Clients = 4;
+  constexpr unsigned Rounds = 2; // round 2 is fully warm
+  std::atomic<unsigned> Mismatches{0}, Responses{0};
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      for (unsigned R = 0; R != Rounds; ++R)
+        for (std::size_t I = 0; I != Sources.size(); ++I) {
+          std::size_t Pick = (I + C) % Sources.size();
+          // Vary jobs across clients; results must not.
+          std::string Opts = "{\"jobs\": " + std::to_string(1 + C % 3) + "}";
+          std::string Resp = ask(
+              Server, requestLine(C * 1000 + I, Sources[Pick], Opts));
+          Responses.fetch_add(1);
+          if (resultBytes(Resp) != Expected[Pick])
+            Mismatches.fetch_add(1);
+        }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_EQ(Responses.load(), Clients * Rounds * Sources.size());
+
+  // The shared cache really was shared: the second round hit it.
+  ASSERT_NE(Server.cache(), nullptr);
+  EXPECT_GT(Server.cache()->stats().SatHits, 0u);
+  Server.stop();
+}
+
+// Per-request metrics attribute cache traffic to the requesting client;
+// summed over every response they reconstruct the shared cache's global
+// counters exactly, even with interleaved concurrent clients.
+TEST(Serve, MetricsAttributeCacheTrafficPerRequest) {
+  std::vector<std::string> Sources;
+  for (const kernels::Kernel &K : kernels::corpus()) {
+    if (ir::analyzeSource(K.Source).ok())
+      Sources.push_back(K.Source);
+    if (Sources.size() == 8)
+      break;
+  }
+  ASSERT_GE(Sources.size(), 4u);
+
+  api::Server Server(basicConfig(4));
+  std::atomic<uint64_t> SatHits{0}, SatMisses{0}, GistHits{0}, GistMisses{0};
+  std::atomic<unsigned> BadResponses{0};
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != 4; ++C) {
+    Threads.emplace_back([&, C] {
+      for (unsigned R = 0; R != 3; ++R)
+        for (std::size_t I = 0; I != Sources.size(); ++I) {
+          std::string Resp = ask(
+              Server, requestLine(1, Sources[(I + C) % Sources.size()]));
+          api::json::Value Doc;
+          std::string Err;
+          const api::json::Value *Cache = nullptr;
+          if (api::json::parse(Resp, Doc, Err))
+            if (const api::json::Value *M = Doc.get("metrics"))
+              Cache = M->get("cache");
+          if (!Cache) {
+            BadResponses.fetch_add(1);
+            continue;
+          }
+          SatHits += Cache->get("satHits")->asInt();
+          SatMisses += Cache->get("satMisses")->asInt();
+          GistHits += Cache->get("gistHits")->asInt();
+          GistMisses += Cache->get("gistMisses")->asInt();
+        }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(BadResponses.load(), 0u);
+
+  QueryCacheStats Global = Server.cache()->stats();
+  EXPECT_EQ(SatHits.load(), Global.SatHits);
+  EXPECT_EQ(SatMisses.load(), Global.SatMisses);
+  EXPECT_EQ(GistHits.load(), Global.GistHits);
+  EXPECT_EQ(GistMisses.load(), Global.GistMisses);
+  EXPECT_GT(SatHits.load(), 0u);
+  Server.stop();
+}
+
+// Typed protocol errors: malformed JSON, bad fields, analysis failures.
+TEST(Serve, TypedErrorsForBadRequests) {
+  api::Server Server(basicConfig(1));
+  EXPECT_EQ(errorCode(ask(Server, "not json at all")), "parse_error");
+  EXPECT_EQ(errorCode(ask(Server, "[1, 2]")), "parse_error");
+  EXPECT_EQ(errorCode(ask(Server, "{\"id\": 1}")), "bad_request");
+  EXPECT_EQ(errorCode(ask(Server, "{\"id\": 1, \"source\": 7}")),
+            "bad_request");
+  EXPECT_EQ(errorCode(ask(Server, "{\"id\": 1, \"op\": \"frobnicate\", "
+                                  "\"source\": \"x\"}")),
+            "bad_request");
+  EXPECT_EQ(errorCode(ask(Server,
+                          "{\"id\": 1, \"source\": \"a := 1;\", "
+                          "\"options\": {\"nonsense\": true}}")),
+            "bad_request");
+  EXPECT_EQ(errorCode(ask(Server,
+                          "{\"id\": 1, \"source\": \"for broken {\"}")),
+            "analysis_error");
+
+  // Responses carry the request id back; unparseable ids become null.
+  std::string WithId = ask(Server, "{\"id\": 42}");
+  EXPECT_NE(WithId.find("\"id\": 42"), std::string::npos);
+  std::string NoId = ask(Server, "{\"source\": 3}");
+  EXPECT_NE(NoId.find("\"id\": null"), std::string::npos);
+  Server.stop();
+}
+
+// Admission control: with one worker wedged on real work and the queue
+// bounded at 2, a burst beyond capacity is shed with "overloaded" --
+// and the admitted requests still complete correctly.
+TEST(Serve, OverloadShedsWithTypedError) {
+  api::Server::Config Cfg = basicConfig(1);
+  Cfg.MaxQueue = 2;
+  api::Server Server(Cfg);
+
+  const std::string Source = kernels::corpus().front().Source;
+  constexpr unsigned Burst = 16;
+  std::mutex Mu;
+  std::condition_variable CV;
+  unsigned Done = 0, Overloaded = 0, Ok = 0;
+  for (unsigned I = 0; I != Burst; ++I) {
+    Server.submit(requestLine(I, Source), [&](std::string Resp) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Done;
+      std::string Code = errorCode(Resp);
+      if (Code == "overloaded")
+        ++Overloaded;
+      else if (Code.empty() && !resultBytes(Resp).empty())
+        ++Ok;
+      CV.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> Lock(Mu);
+  CV.wait(Lock, [&] { return Done == Burst; });
+  // The burst was synchronous, so at most 1 (running) + 2 (queued) + a
+  // race margin of nothing can succeed; everything else shed.
+  EXPECT_GT(Overloaded, 0u);
+  EXPECT_GT(Ok, 0u);
+  EXPECT_EQ(Ok + Overloaded, Burst);
+  Lock.unlock();
+  Server.stop();
+}
+
+// A request whose deadline expires while queued is answered with
+// "deadline_exceeded" instead of being run.
+TEST(Serve, ExpiredDeadlinesAreShed) {
+  api::Server::Config Cfg = basicConfig(1);
+  Cfg.MaxQueue = 64;
+  api::Server Server(Cfg);
+  const std::string Source = kernels::corpus().front().Source;
+
+  // Wedge the single worker behind a pile of work, then enqueue a request
+  // that can only be reached after its 1ms deadline has long passed.
+  std::mutex Mu;
+  std::condition_variable CV;
+  unsigned Done = 0;
+  std::string DeadlineCode;
+  auto Count = [&](std::string) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Done;
+    CV.notify_one();
+  };
+  for (unsigned I = 0; I != 8; ++I)
+    Server.submit(requestLine(I, Source), Count);
+  Server.submit(requestLine(99, Source) , Count); // placeholder keeps order
+  std::string Line = requestLine(100, Source);
+  Line.insert(Line.size() - 1, ", \"deadlineMs\": 1");
+  Server.submit(Line, [&](std::string Resp) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Done;
+    DeadlineCode = errorCode(Resp);
+    CV.notify_one();
+  });
+  std::unique_lock<std::mutex> Lock(Mu);
+  CV.wait(Lock, [&] { return Done == 10; });
+  // Some earlier requests may themselves be shed only if overloaded -- the
+  // queue is large enough that they are not; the deadlined one must be.
+  EXPECT_EQ(DeadlineCode, "deadline_exceeded");
+  Lock.unlock();
+  Server.stop();
+}
+
+// After stop(), new submissions are refused with the "shutdown" code.
+TEST(Serve, SubmitAfterStopIsRefused) {
+  api::Server Server(basicConfig(1));
+  Server.stop();
+  EXPECT_EQ(errorCode(ask(Server, requestLine(1, "a := 1;"))), "shutdown");
+}
+
+// Per-request option ablations are honored and still result-identical.
+TEST(Serve, PerRequestOptionsAreHonored) {
+  api::Server Server(basicConfig(2));
+  const std::string Source = kernels::corpus().front().Source;
+  ir::AnalyzedProgram AP = ir::analyzeSource(Source);
+  ASSERT_TRUE(AP.ok());
+  std::string Expected = oneShotResult(AP, 1, false);
+
+  for (const char *Opts :
+       {"{\"quicktests\": false}", "{\"incremental\": false}",
+        "{\"snapshotSharing\": false}", "{\"jobs\": 3}",
+        "{\"quicktests\": false, \"incremental\": false}"}) {
+    std::string Resp = ask(Server, requestLine(7, Source, Opts));
+    EXPECT_EQ(resultBytes(Resp), Expected) << Opts;
+  }
+
+  // Ablations do change the reported work profile: with quick tests off
+  // the solver answers every pair the hard way.
+  api::json::Value Doc;
+  std::string Err;
+  std::string Ablated =
+      ask(Server, requestLine(8, Source, "{\"quicktests\": false}"));
+  ASSERT_TRUE(api::json::parse(Ablated, Doc, Err)) << Err;
+  EXPECT_EQ(Doc.get("metrics")
+                ->get("stats")
+                ->get("quicktestDecided")
+                ->asInt(),
+            0);
+  Server.stop();
+}
+
+// A warm server and a cold server produce identical result bytes (the
+// determinism guarantee behind response caching across requests).
+TEST(Serve, WarmAndColdServersAgree) {
+  const std::string Source = kernels::corpus().front().Source;
+  std::string First, Warm, Cold;
+  {
+    api::Server Server(basicConfig(2));
+    First = resultBytes(ask(Server, requestLine(1, Source)));
+    Warm = resultBytes(ask(Server, requestLine(2, Source)));
+    Server.stop();
+  }
+  {
+    api::Server Server(basicConfig(2));
+    Cold = resultBytes(ask(Server, requestLine(3, Source)));
+    Server.stop();
+  }
+  ASSERT_FALSE(First.empty());
+  EXPECT_EQ(First, Warm);
+  EXPECT_EQ(First, Cold);
+}

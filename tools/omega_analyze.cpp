@@ -8,29 +8,18 @@
 //
 //   omega-analyze [options] [file.tiny]     (stdin when no file)
 //
-//   --all          also print anti and output dependences
-//   --compress     compress split rows into the paper's display vectors
-//   --no-refine / --no-cover / --no-kill / --no-quick
-//                  disable parts of the Section 4 pipeline
-//   --terminate    enable the terminating-write extension
-//   --jobs N       shard the analysis over N worker threads (0 = auto);
-//                  results are identical for every N
-//   --json         machine-readable output (dependences, pair/kill
-//                  records, stats, cache counters) instead of tables
-//   --stats        per-pair cost classes and timings (Figure 6 style)
-//   --trace=FILE   record a Chrome trace_event JSON of the run (one track
-//                  per worker; load in chrome://tracing or Perfetto)
-//   --profile[=json]
-//                  aggregated profile: per-phase wall time, call counts,
-//                  cache hit rates, Figure-6-style query classes (embedded
-//                  under "profile" with --json)
-//   --explain      per array pair, which mechanism decided the outcome
-//   --run          interpret the program (needs every symbol bound)
-//   --sym name=v   bind a symbolic constant (repeatable; with --run)
+// Options are the shared api::AnalysisOptions surface (see --help; the
+// same table drives omega-calc and omega-serve), plus two tool-specific
+// arguments: the input file positional and `--sym name=value` symbol
+// bindings for --run. Machine-readable output (--json) is the schema-2
+// response document of api/Response.h, byte-identical in its "result"
+// section to an omega-serve response for the same program.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Transforms.h"
+#include "api/Options.h"
+#include "api/Response.h"
 #include "deps/DepSpace.h"
 #include "engine/DependenceEngine.h"
 #include "ir/Interp.h"
@@ -39,10 +28,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -51,103 +40,16 @@ using namespace omega;
 
 namespace {
 
-struct Options {
-  bool All = false;
-  bool Compress = false;
-  bool Stats = false;
-  bool Json = false;
-  bool Run = false;
-  bool Transforms = false;
-  bool Restraints = false;
-  bool Schedule = false;
-  std::string TraceFile;
-  enum { ProfileOff, ProfileText, ProfileJson } Profile = ProfileOff;
-  bool Explain = false;
-  engine::AnalysisRequest Req;
-  std::map<std::string, int64_t> Symbols;
-  std::string File;
-};
-
-int usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--all] [--compress] [--stats] [--json] "
-               "[--transforms] [--schedule] [--restraints]\n"
-               "          [--no-refine] [--no-cover] [--no-kill] "
-               "[--no-quick] [--terminate] [--jobs N]\n"
-               "          [--no-quicktests] [--no-incremental]\n"
-               "          [--trace=FILE] [--profile[=json]] [--explain]\n"
-               "          [--run] [--sym name=value]... [file]\n",
-               Argv0);
-  return 2;
-}
-
-bool parseArgs(int Argc, char **Argv, Options &Opts) {
-  for (int I = 1; I != Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--all")
-      Opts.All = true;
-    else if (Arg == "--compress")
-      Opts.Compress = true;
-    else if (Arg == "--stats")
-      Opts.Stats = true;
-    else if (Arg == "--json")
-      Opts.Json = true;
-    else if (Arg == "--run")
-      Opts.Run = true;
-    else if (Arg == "--transforms")
-      Opts.Transforms = true;
-    else if (Arg == "--restraints")
-      Opts.Restraints = true;
-    else if (Arg == "--schedule")
-      Opts.Schedule = true;
-    else if (Arg == "--no-refine")
-      Opts.Req.Refine = false;
-    else if (Arg == "--no-cover")
-      Opts.Req.Cover = false;
-    else if (Arg == "--no-kill")
-      Opts.Req.Kill = false;
-    else if (Arg == "--no-quick")
-      Opts.Req.QuickTests = false;
-    else if (Arg == "--no-quicktests")
-      Opts.Req.PairQuickTests = false; // ZIV/GCD/bounds pre-filter ablation
-    else if (Arg == "--no-incremental")
-      Opts.Req.Incremental = false; // per-pair snapshot ablation
-    else if (Arg == "--terminate")
-      Opts.Req.Terminate = true;
-    else if (Arg.rfind("--trace=", 0) == 0)
-      Opts.TraceFile = Arg.substr(8);
-    else if (Arg == "--profile")
-      Opts.Profile = Options::ProfileText;
-    else if (Arg == "--profile=json")
-      Opts.Profile = Options::ProfileJson;
-    else if (Arg == "--explain")
-      Opts.Explain = true;
-    else if (Arg == "--jobs") {
-      if (I + 1 == Argc)
-        return false;
-      try {
-        Opts.Req.Jobs = static_cast<unsigned>(std::stoul(Argv[++I]));
-      } catch (...) {
-        return false;
-      }
-    } else if (Arg == "--sym") {
-      if (I + 1 == Argc)
-        return false;
-      std::string Binding = Argv[++I];
-      size_t Eq = Binding.find('=');
-      if (Eq == std::string::npos)
-        return false;
-      Opts.Symbols[Binding.substr(0, Eq)] =
-          std::stoll(Binding.substr(Eq + 1));
-    } else if (Arg != "-" && !Arg.empty() && Arg[0] == '-') {
-      return false;
-    } else if (Opts.File.empty()) {
-      Opts.File = Arg;
-    } else {
-      return false;
-    }
-  }
-  return true;
+int usage(FILE *To) {
+  std::fprintf(To, "usage: omega-analyze [options] [file.tiny]\n"
+                   "\nShared analysis options:\n%s"
+                   "\nTool arguments:\n"
+                   "  --sym NAME=VALUE          bind a symbolic constant "
+                   "(repeatable; with --run)\n"
+                   "  file.tiny                 input program (stdin when "
+                   "omitted or \"-\")\n",
+               api::optionsHelp(api::ToolAnalyze).c_str());
+  return To == stderr ? 2 : 0;
 }
 
 void printDeps(const std::vector<deps::Dependence> &Deps, const char *Title,
@@ -177,184 +79,56 @@ void printDeps(const std::vector<deps::Dependence> &Deps, const char *Title,
   }
 }
 
-//===--------------------------------------------------------------------===//
-// --json rendering
-//===--------------------------------------------------------------------===//
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
-std::string jsonAccess(const ir::Access &A) {
-  return "{\"stmt\": " + std::to_string(A.StmtLabel) + ", \"text\": \"" +
-         jsonEscape(A.Text) + "\"}";
-}
-
-void jsonDeps(std::string &Out, const std::vector<deps::Dependence> &Deps) {
-  Out += "[";
-  bool FirstDep = true;
-  for (const deps::Dependence &D : Deps) {
-    if (!FirstDep)
-      Out += ", ";
-    FirstDep = false;
-    Out += "{\"from\": " + jsonAccess(*D.Src) +
-           ", \"to\": " + jsonAccess(*D.Dst) +
-           ", \"covers\": " + (D.Covers ? "true" : "false") +
-           ", \"splits\": [";
-    bool FirstSplit = true;
-    for (const deps::DepSplit &S : D.Splits) {
-      if (!FirstSplit)
-        Out += ", ";
-      FirstSplit = false;
-      Out += "{\"level\": " + std::to_string(S.Level) + ", \"dir\": \"" +
-             jsonEscape(S.dirToString()) + "\", \"dead\": " +
-             (S.Dead ? "true" : "false");
-      if (S.DeadReason)
-        Out += std::string(", \"reason\": \"") + S.DeadReason + "\"";
-      if (S.Refined)
-        Out += ", \"refined\": true";
-      Out += "}";
-    }
-    Out += "]}";
-  }
-  Out += "]";
-}
-
-std::string jsonResult(const engine::AnalysisResult &R, unsigned Jobs,
-                       const std::string &ProfileJson,
-                       const std::string &Explain) {
-  std::string Out = "{\n  \"jobs\": " + std::to_string(Jobs) + ",\n";
-
-  Out += "  \"flow\": ";
-  jsonDeps(Out, R.Flow);
-  Out += ",\n  \"anti\": ";
-  jsonDeps(Out, R.Anti);
-  Out += ",\n  \"output\": ";
-  jsonDeps(Out, R.Output);
-
-  Out += ",\n  \"pairs\": [";
-  bool First = true;
-  for (const analysis::PairRecord &P : R.Pairs) {
-    if (!First)
-      Out += ", ";
-    First = false;
-    char Buf[64];
-    Out += "{\"write\": " + jsonAccess(*P.Write) +
-           ", \"read\": " + jsonAccess(*P.Read) +
-           ", \"hasFlow\": " + (P.HasFlow ? "true" : "false") +
-           ", \"usedGeneralTest\": " + (P.UsedGeneralTest ? "true" : "false") +
-           ", \"splitVectors\": " + (P.SplitVectors ? "true" : "false");
-    std::snprintf(Buf, sizeof(Buf), ", \"stdSecs\": %.9f, \"extSecs\": %.9f}",
-                  P.StandardSecs, P.ExtendedSecs);
-    Out += Buf;
-  }
-  Out += "],\n  \"kills\": [";
-  First = true;
-  for (const analysis::KillRecord &K : R.Kills) {
-    if (!First)
-      Out += ", ";
-    First = false;
-    char Buf[32];
-    Out += "{\"from\": " + jsonAccess(*K.From) +
-           ", \"killer\": " + jsonAccess(*K.Killer) +
-           ", \"to\": " + jsonAccess(*K.To) +
-           ", \"usedOmega\": " + (K.UsedOmega ? "true" : "false") +
-           ", \"killed\": " + (K.Killed ? "true" : "false");
-    std::snprintf(Buf, sizeof(Buf), ", \"secs\": %.9f}", K.Secs);
-    Out += Buf;
-  }
-  Out += "],\n";
-
-  // The complete merged per-worker OmegaStats: every counter, including
-  // the per-context cache traffic.
-  const OmegaStats &S = R.Stats;
-  Out += "  \"stats\": {\"satisfiabilityCalls\": " +
-         std::to_string(S.SatisfiabilityCalls) +
-         ", \"projectionCalls\": " + std::to_string(S.ProjectionCalls) +
-         ", \"gistCalls\": " + std::to_string(S.GistCalls) +
-         ", \"exactEliminations\": " + std::to_string(S.ExactEliminations) +
-         ", \"inexactEliminations\": " +
-         std::to_string(S.InexactEliminations) +
-         ", \"splintersExplored\": " + std::to_string(S.SplintersExplored) +
-         ", \"darkShadowDecided\": " + std::to_string(S.DarkShadowDecided) +
-         ", \"realShadowDecided\": " + std::to_string(S.RealShadowDecided) +
-         ", \"modHatSubstitutions\": " +
-         std::to_string(S.ModHatSubstitutions) +
-         ", \"gistFastDrops\": " + std::to_string(S.GistFastDrops) +
-         ", \"gistFastKeeps\": " + std::to_string(S.GistFastKeeps) +
-         ", \"gistSatTests\": " + std::to_string(S.GistSatTests) +
-         ", \"satCacheHits\": " + std::to_string(S.SatCacheHits) +
-         ", \"satCacheMisses\": " + std::to_string(S.SatCacheMisses) +
-         ", \"gistCacheHits\": " + std::to_string(S.GistCacheHits) +
-         ", \"gistCacheMisses\": " + std::to_string(S.GistCacheMisses) +
-         ", \"snapshotBuilds\": " + std::to_string(S.SnapshotBuilds) +
-         ", \"snapshotReuses\": " + std::to_string(S.SnapshotReuses) +
-         ", \"snapshotFallbacks\": " + std::to_string(S.SnapshotFallbacks) +
-         ", \"quicktestZiv\": " + std::to_string(S.QuickTestZIV) +
-         ", \"quicktestGcd\": " + std::to_string(S.QuickTestGCD) +
-         ", \"quicktestBounds\": " + std::to_string(S.QuickTestBounds) +
-         ", \"quicktestTrivialDep\": " + std::to_string(S.QuickTestTrivialDep) +
-         ", \"quicktestDecided\": " + std::to_string(S.QuickTestDecided) +
-         "},\n";
-
-  Out += "  \"cache\": {\"satHits\": " + std::to_string(R.Cache.SatHits) +
-         ", \"satMisses\": " + std::to_string(R.Cache.SatMisses) +
-         ", \"gistHits\": " + std::to_string(R.Cache.GistHits) +
-         ", \"gistMisses\": " + std::to_string(R.Cache.GistMisses) +
-         ", \"entries\": " + std::to_string(R.CacheEntries) + "}";
-  if (!ProfileJson.empty()) {
-    Out += ",\n  \"profile\": ";
-    Out += ProfileJson;
-    while (!Out.empty() && Out.back() == '\n')
-      Out.pop_back();
-  }
-  if (!Explain.empty())
-    Out += ",\n  \"explain\": \"" + jsonEscape(Explain) + "\"";
-  Out += "\n}\n";
-  return Out;
-}
-
 } // namespace
 
 int main(int Argc, char **Argv) {
-  Options Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return usage(Argv[0]);
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  api::ParsedArgs Parsed;
+  std::string Err;
+  if (!api::parseArgs(Args, api::ToolAnalyze, Parsed, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return usage(stderr);
+  }
+  if (Parsed.Help)
+    return usage(stdout);
+  api::AnalysisOptions &Opts = Parsed.Options;
+
+  // Tool-specific leftovers: --sym bindings and the input file.
+  std::map<std::string, int64_t> Symbols;
+  std::string File;
+  for (std::size_t I = 0; I != Parsed.Rest.size(); ++I) {
+    const std::string &Arg = Parsed.Rest[I];
+    if (Arg == "--sym") {
+      if (I + 1 == Parsed.Rest.size())
+        return usage(stderr);
+      std::string Binding = Parsed.Rest[++I];
+      std::size_t Eq = Binding.find('=');
+      if (Eq == std::string::npos)
+        return usage(stderr);
+      try {
+        Symbols[Binding.substr(0, Eq)] = std::stoll(Binding.substr(Eq + 1));
+      } catch (...) {
+        return usage(stderr);
+      }
+    } else if (Arg != "-" && !Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return usage(stderr);
+    } else if (File.empty()) {
+      File = Arg;
+    } else {
+      return usage(stderr);
+    }
+  }
 
   std::string Source;
-  if (Opts.File.empty() || Opts.File == "-") {
+  if (File.empty() || File == "-") {
     std::ostringstream SS;
     SS << std::cin.rdbuf();
     Source = SS.str();
   } else {
-    std::ifstream In(Opts.File);
+    std::ifstream In(File);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Opts.File.c_str());
+      std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
       return 1;
     }
     Source.assign(std::istreambuf_iterator<char>(In),
@@ -370,7 +144,7 @@ int main(int Argc, char **Argv) {
 
   if (Opts.Run) {
     ir::ExecConfig Config;
-    Config.Symbols = Opts.Symbols;
+    Config.Symbols = Symbols;
     ir::ExecResult R = ir::interpret(AP.Source, Config);
     if (R.Failed) {
       std::fprintf(stderr, "run error: %s (bind symbols with --sym)\n",
@@ -391,18 +165,36 @@ int main(int Argc, char **Argv) {
   }
 
   std::unique_ptr<obs::Tracer> Tracer;
-  if (!Opts.TraceFile.empty() || Opts.Profile != Options::ProfileOff ||
-      Opts.Explain) {
+  engine::AnalysisRequest Req = Opts.toEngineRequest();
+  if (!Opts.TraceFile.empty() ||
+      Opts.Profile != api::AnalysisOptions::ProfileOff || Opts.Explain) {
     Tracer = std::make_unique<obs::Tracer>();
-    Opts.Req.Trace = Tracer.get();
+    Req.Trace = Tracer.get();
+  }
+
+  engine::DependenceEngine Engine(Req);
+  // --cache-file warm-starts the engine's cache the way omega-serve does;
+  // a missing or invalid file is simply a cold start.
+  if (!Opts.CacheFile.empty() && Engine.cache()) {
+    std::ifstream CacheIn(Opts.CacheFile, std::ios::binary);
+    std::string LoadErr;
+    if (CacheIn.is_open() && !Engine.cache()->load(CacheIn, LoadErr))
+      std::fprintf(stderr, "warning: %s\n", LoadErr.c_str());
   }
 
   auto WallStart = std::chrono::steady_clock::now();
-  engine::DependenceEngine Engine(Opts.Req);
   engine::AnalysisResult R = Engine.analyze(AP);
   double WallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - WallStart)
                       .count();
+
+  if (!Opts.CacheFile.empty() && Engine.cache()) {
+    std::ofstream CacheOut(Opts.CacheFile,
+                           std::ios::binary | std::ios::trunc);
+    if (!CacheOut.is_open() || !Engine.cache()->save(CacheOut))
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   Opts.CacheFile.c_str());
+  }
 
   if (!Opts.TraceFile.empty()) {
     std::ofstream TraceOut(Opts.TraceFile);
@@ -415,12 +207,15 @@ int main(int Argc, char **Argv) {
 
   if (Opts.Json) {
     std::string ProfileJson;
-    if (Opts.Profile != Options::ProfileOff)
+    if (Opts.Profile != api::AnalysisOptions::ProfileOff)
       ProfileJson = Tracer->profileReport(/*Json=*/true, WallMs, Engine.jobs());
     std::string Explain;
     if (Opts.Explain)
       Explain = Tracer->explainLog();
-    std::fputs(jsonResult(R, Engine.jobs(), ProfileJson, Explain).c_str(),
+    std::fputs(api::renderDocument(api::renderResult(R),
+                                   api::renderMetrics(R, Engine.jobs(), WallMs,
+                                                      ProfileJson, Explain))
+                   .c_str(),
                stdout);
     return 0;
   }
@@ -499,13 +294,14 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.CacheEntries));
   }
 
-  if (Opts.Profile != Options::ProfileOff) {
+  if (Opts.Profile != api::AnalysisOptions::ProfileOff) {
     std::printf("\n");
-    std::fputs(Tracer
-                   ->profileReport(Opts.Profile == Options::ProfileJson,
-                                   WallMs, Engine.jobs())
-                   .c_str(),
-               stdout);
+    std::fputs(
+        Tracer
+            ->profileReport(Opts.Profile == api::AnalysisOptions::ProfileJson,
+                            WallMs, Engine.jobs())
+            .c_str(),
+        stdout);
   }
   if (Opts.Explain) {
     std::printf("\ndecision explain log:\n");

@@ -14,9 +14,13 @@
 //   projection: { i >= 1; -i >= -9; ... }
 //
 // With a file argument (or piped stdin) the whole script runs at once.
+// The ablation toggles are the shared api option surface (--help); the
+// matching script directives (`quicktests off;`, `incremental off;`)
+// steer the same context switches mid-script.
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Options.h"
 #include "calc/Calc.h"
 
 #include <cstdio>
@@ -28,17 +32,47 @@
 
 using namespace omega;
 
-int main(int Argc, char **Argv) {
-  calc::Calculator Calc;
+namespace {
 
-  if (Argc > 2) {
-    std::fprintf(stderr, "usage: %s [script]\n", Argv[0]);
-    return 2;
+int usage(FILE *To) {
+  std::fprintf(To, "usage: omega-calc [options] [script]\n"
+                   "\nShared analysis options:\n%s",
+               api::optionsHelp(api::ToolCalc).c_str());
+  return To == stderr ? 2 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  api::ParsedArgs Parsed;
+  std::string Err;
+  if (!api::parseArgs(Args, api::ToolCalc, Parsed, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return usage(stderr);
   }
-  if (Argc == 2) {
-    std::ifstream In(Argv[1]);
+  if (Parsed.Help)
+    return usage(stdout);
+
+  std::string Script;
+  for (const std::string &Arg : Parsed.Rest) {
+    if (!Arg.empty() && Arg[0] == '-' && Arg != "-") {
+      std::fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      return usage(stderr);
+    }
+    if (!Script.empty())
+      return usage(stderr);
+    Script = Arg;
+  }
+
+  calc::Calculator Calc;
+  Calc.context().PairQuickTests = Parsed.Options.PairQuickTests;
+  Calc.context().IncrementalSnapshots = Parsed.Options.Incremental;
+
+  if (!Script.empty() && Script != "-") {
+    std::ifstream In(Script);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+      std::fprintf(stderr, "error: cannot open %s\n", Script.c_str());
       return 1;
     }
     std::ostringstream SS;
