@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""End-to-end gate for edit-incremental re-analysis.
+
+Replays the edit corpus (tests/corpus/edits) through both incremental
+surfaces and checks the contract:
+
+ 1. `omega-analyze --baseline`: a baseline recorded on base.tiny is
+    replayed over every edited program; the response's "result" section
+    must be byte-identical to a from-scratch `omega-analyze --json` run
+    of the same program, and the delta classification must account for
+    every pair (pairsReused + pairsResolved + pairsNew == len(pairs)).
+ 2. A live omega-serve session: the base program then every edit are
+    submitted with the same "session" id; each response must be
+    byte-identical to the from-scratch run, validate against the JSON
+    schema, and (after the base request) report pair reuse.
+ 3. Baseline-file robustness: a truncated and a bit-flipped baseline
+    file must degrade to a from-scratch run (same bytes out), never to
+    an error or a different result.
+
+Usage:
+    incremental_check.py --serve build/tools/omega-serve \
+                         --analyze build/tools/omega-analyze \
+                         [--edits tests/corpus/edits]
+
+Exit status 0 on success, 1 on any violation.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_schema import SCHEMA_PATH, Validator  # noqa: E402
+from server_smoke import result_bytes  # noqa: E402
+
+EDITS = ["rename", "bound", "stmt-new", "stmt-edit", "loop-del"]
+
+
+def run_analyze(analyze, path, extra=()):
+    """One omega-analyze --json run; returns (stdout, stderr)."""
+    proc = subprocess.run(
+        [analyze, "--json", *extra, path],
+        capture_output=True, text=True, check=True,
+    )
+    return proc.stdout, proc.stderr
+
+
+def check_accounting(tag, doc, total, failures):
+    """pairsReused + pairsResolved + pairsNew must equal the program's
+    access-pair group count (measured by a baseline-less delta run, where
+    every group classifies "new")."""
+    delta = doc["metrics"].get("delta")
+    if delta is None:
+        print(f"{tag}: no metrics.delta in incremental response")
+        return failures + 1
+    got = delta["pairsReused"] + delta["pairsResolved"] + delta["pairsNew"]
+    if got != total:
+        print(f"{tag}: delta accounts for {got} pairs, program has {total}")
+        return failures + 1
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--serve", required=True)
+    ap.add_argument("--analyze", required=True)
+    ap.add_argument("--edits", default="tests/corpus/edits")
+    args = ap.parse_args()
+
+    base = os.path.join(args.edits, "base.tiny")
+    edits = [os.path.join(args.edits, e + ".tiny") for e in EDITS]
+    for path in [base] + edits:
+        if not os.path.exists(path):
+            print(f"missing corpus file {path}")
+            return 1
+
+    validator = Validator(json.load(open(SCHEMA_PATH)))
+    failures = 0
+
+    # From-scratch expectations, schema validity of the CLI documents, and
+    # each program's pair-group total (a delta run with no baseline to
+    # consult classifies every group "new").
+    expected = {}
+    totals = {}
+    for path in [base] + edits:
+        out, _ = run_analyze(args.analyze, path)
+        doc = json.loads(out)
+        errs = validator.validate(doc, validator.root)
+        if errs:
+            print(f"scratch {path}: schema violation: {errs[0]}")
+            failures += 1
+        expected[path] = result_bytes(out)
+        out, _ = run_analyze(args.analyze, path,
+                             ["--save-baseline", os.devnull])
+        delta = json.loads(out)["metrics"].get("delta") or {}
+        totals[path] = delta.get("pairsNew", -1)
+        if totals[path] < 0 or delta.get("pairsReused") or \
+                delta.get("pairsResolved"):
+            print(f"{path}: baseline-less delta should be all-new, "
+                  f"got {delta}")
+            failures += 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- CLI surface: --save-baseline then --baseline per edit --------
+        baseline = os.path.join(tmp, "base.baseline")
+        run_analyze(args.analyze, base, ["--save-baseline", baseline])
+        if not os.path.exists(baseline):
+            print("omega-analyze --save-baseline wrote no baseline file")
+            return 1
+        for path in edits:
+            out, _ = run_analyze(args.analyze, path, ["--baseline", baseline])
+            doc = json.loads(out)
+            errs = validator.validate(doc, validator.root)
+            if errs:
+                print(f"incremental {path}: schema violation: {errs[0]}")
+                failures += 1
+            if result_bytes(out) != expected[path]:
+                print(f"incremental {path}: result differs from scratch run")
+                failures += 1
+            failures = check_accounting(f"incremental {path}", doc,
+                                        totals[path], failures)
+
+        # -- corrupt baselines must degrade to scratch, bit-identically ---
+        blob = open(baseline, "rb").read()
+        corrupt = {
+            "truncated.baseline": blob[: len(blob) // 2],
+            "bitflip.baseline": blob[:-1] + bytes([blob[-1] ^ 0x40]),
+        }
+        for name, data in corrupt.items():
+            bad = os.path.join(tmp, name)
+            with open(bad, "wb") as f:
+                f.write(data)
+            out, err = run_analyze(args.analyze, edits[0],
+                                   ["--baseline", bad])
+            if "warning" not in err:
+                print(f"{name}: expected a load warning on stderr")
+                failures += 1
+            if result_bytes(out) != expected[edits[0]]:
+                print(f"{name}: corrupt baseline changed the result")
+                failures += 1
+
+        # -- serve surface: one session across base + every edit ----------
+        sock_path = os.path.join(tmp, "omega.sock")
+        daemon = subprocess.Popen(
+            [args.serve, "--socket", sock_path, "--workers", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            for _ in range(200):
+                if os.path.exists(sock_path):
+                    break
+                if daemon.poll() is not None:
+                    print("daemon exited early:", daemon.stderr.read())
+                    return 1
+                time.sleep(0.05)
+            else:
+                print("daemon never created its socket")
+                return 1
+
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(sock_path)
+            buf = b""
+
+            def ask(rid, path):
+                nonlocal buf
+                req = {"id": rid, "source": open(path).read(),
+                       "session": "edit-corpus"}
+                sock.sendall((json.dumps(req) + "\n").encode())
+                while b"\n" not in buf:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        raise RuntimeError("connection closed mid-request")
+                    buf += chunk
+                line, buf = buf.split(b"\n", 1)
+                return line.decode()
+
+            line = ask(1, base)
+            doc = json.loads(line)
+            errs = validator.validate(doc, validator.root)
+            if errs:
+                print(f"session base: schema violation: {errs[0]}")
+                failures += 1
+            if result_bytes(line) != expected[base]:
+                print("session base: result differs from scratch run")
+                failures += 1
+            for rid, path in enumerate(edits, start=2):
+                line = ask(rid, path)
+                doc = json.loads(line)
+                errs = validator.validate(doc, validator.root)
+                if errs:
+                    print(f"session {path}: schema violation: {errs[0]}")
+                    failures += 1
+                if result_bytes(line) != expected[path]:
+                    print(f"session {path}: result differs from scratch run")
+                    failures += 1
+                failures = check_accounting(f"session {path}", doc,
+                                            totals[path], failures)
+                delta = doc["metrics"].get("delta") or {}
+                if not delta.get("pairsReused"):
+                    print(f"session {path}: expected pair reuse, got {delta}")
+                    failures += 1
+            sock.sendall(b'{"id": 99, "op": "shutdown"}\n')
+            sock.close()
+            try:
+                daemon.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                print("daemon ignored the shutdown op")
+                failures += 1
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print(f"{len(edits)} edits via CLI baseline + serve session + corrupt "
+          f"baselines: {'OK' if not failures else f'{failures} FAILURES'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

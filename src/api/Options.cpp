@@ -40,7 +40,7 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
        "shard each analysis over N worker threads (0 = hardware); "
        "results are identical for every N"},
       {"--json", nullptr, ToolAnalyze, false, nullptr,
-       "machine-readable schema-2 output instead of tables"},
+       "machine-readable schema-3 output instead of tables"},
       {"--trace", nullptr, ToolAnalyze, true, "FILE",
        "record a Chrome trace_event JSON of the run"},
       {"--profile", "profile", AS, false, nullptr,
@@ -75,6 +75,16 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
       {"--cache-file", nullptr, AS, true, "PATH",
        "warm-start: load the persisted query cache from PATH if it "
        "exists, save it back on exit"},
+      {"--snapshot-cache-cap", nullptr, AS, true, "N",
+       "bound the cache's elimination-snapshot store to N entries, "
+       "evicting least-recently-used beyond that (0 = unbounded)"},
+      {"--baseline", nullptr, ToolAnalyze, true, "PATH",
+       "incremental re-analysis: reuse results from the baseline file "
+       "for pairs whose fingerprints are unchanged (byte-identical "
+       "output either way)"},
+      {"--save-baseline", nullptr, ToolAnalyze, true, "PATH",
+       "record this run's results as a baseline file for a future "
+       "--baseline run"},
       {"--transforms", nullptr, ToolAnalyze, false, nullptr,
        "report transformation opportunities"},
       {"--restraints", nullptr, ToolAnalyze, false, nullptr,
@@ -93,6 +103,9 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
       {"--deadline-ms", nullptr, ToolServe, true, "MS",
        "default per-request deadline; overdue queued requests are shed "
        "with 'deadline_exceeded' (0 = none)"},
+      {"--max-sessions", nullptr, ToolServe, true, "N",
+       "incremental sessions whose baselines stay retained, LRU-evicted "
+       "beyond N (requests opt in with a \"session\" key)"},
   };
   return Specs;
 }
@@ -162,6 +175,14 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     O.UseQueryCache = false;
   else if (Flag == "--cache-file")
     O.CacheFile = Val;
+  else if (Flag == "--snapshot-cache-cap") {
+    if (!parseUnsigned(Val, U))
+      return BadNum();
+    O.SnapshotCacheCap = U;
+  } else if (Flag == "--baseline")
+    O.BaselineFile = Val;
+  else if (Flag == "--save-baseline")
+    O.SaveBaselineFile = Val;
   else if (Flag == "--transforms")
     O.Transforms = true;
   else if (Flag == "--restraints")
@@ -184,6 +205,10 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     if (!parseUnsigned(Val, U))
       return BadNum();
     O.DeadlineMs = U;
+  } else if (Flag == "--max-sessions") {
+    if (!parseUnsigned(Val, U) || U == 0)
+      return BadNum();
+    O.MaxSessions = static_cast<unsigned>(U);
   } else {
     Err = "unhandled shared option " + Flag;
     return false;

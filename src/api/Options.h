@@ -69,12 +69,19 @@ struct AnalysisOptions {
   unsigned Jobs = 1;         ///< --jobs N (0 = hardware)
   bool UseQueryCache = true; ///< --no-cache
   std::string CacheFile;     ///< --cache-file=PATH persistence
+  /// Snapshot-store bound: at most N elimination snapshots stay resident
+  /// in the query cache, LRU-evicted beyond that (0 = unbounded).
+  uint64_t SnapshotCacheCap = 0; ///< --snapshot-cache-cap N
+
+  // -- incremental re-analysis ------------------------------------------
+  std::string BaselineFile;     ///< --baseline PATH (analyze-only)
+  std::string SaveBaselineFile; ///< --save-baseline PATH (analyze-only)
 
   // -- output selection --------------------------------------------------
   bool All = false;      ///< --all: also anti/output tables
   bool Compress = false; ///< --compress split rows
   bool Stats = false;    ///< --stats: per-pair cost classes
-  bool Json = false;     ///< --json: schema-2 machine output
+  bool Json = false;     ///< --json: schema-3 machine output
   enum ProfileMode : uint8_t { ProfileOff, ProfileText, ProfileJson };
   ProfileMode Profile = ProfileOff; ///< --profile[=json] / "profile": true
   bool Explain = false;             ///< --explain
@@ -91,6 +98,8 @@ struct AnalysisOptions {
   unsigned ServeWorkers = 4;     ///< --workers N concurrent requests
   unsigned MaxQueue = 64;        ///< --max-queue N admission bound
   uint64_t DeadlineMs = 0;       ///< --deadline-ms N (0 = none)
+  /// Incremental sessions whose baselines stay retained (LRU beyond N).
+  unsigned MaxSessions = 64;     ///< --max-sessions N
 
   /// Lowers the option set into the engine's request struct.
   engine::AnalysisRequest toEngineRequest() const;

@@ -123,13 +123,27 @@ std::string api::renderMetrics(const engine::AnalysisResult &R, unsigned Jobs,
          ", \"quicktestGcd\": " + std::to_string(S.QuickTestGCD) +
          ", \"quicktestBounds\": " + std::to_string(S.QuickTestBounds) +
          ", \"quicktestTrivialDep\": " + std::to_string(S.QuickTestTrivialDep) +
-         ", \"quicktestDecided\": " + std::to_string(S.QuickTestDecided) + "}";
+         ", \"quicktestDecided\": " + std::to_string(S.QuickTestDecided) +
+         ", \"snapshotEvictions\": " + std::to_string(S.SnapshotEvictions) +
+         ", \"deltaPairsReused\": " + std::to_string(S.DeltaPairsReused) +
+         ", \"deltaPairsResolved\": " + std::to_string(S.DeltaPairsResolved) +
+         ", \"deltaPairsNew\": " + std::to_string(S.DeltaPairsNew) + "}";
 
   Out += ", \"cache\": {\"satHits\": " + std::to_string(R.Cache.SatHits) +
          ", \"satMisses\": " + std::to_string(R.Cache.SatMisses) +
          ", \"gistHits\": " + std::to_string(R.Cache.GistHits) +
          ", \"gistMisses\": " + std::to_string(R.Cache.GistMisses) +
          ", \"entries\": " + std::to_string(R.CacheEntries) + "}";
+  if (R.Delta.Active)
+    Out += ", \"delta\": {\"pairsReused\": " +
+           std::to_string(R.Delta.PairsReused) +
+           ", \"pairsResolved\": " + std::to_string(R.Delta.PairsResolved) +
+           ", \"pairsNew\": " + std::to_string(R.Delta.PairsNew) +
+           ", \"pairsRemoved\": " + std::to_string(R.Delta.PairsRemoved) +
+           ", \"killGroupsReused\": " +
+           std::to_string(R.Delta.KillGroupsReused) +
+           ", \"killGroupsTotal\": " + std::to_string(R.Delta.KillGroupsTotal) +
+           "}";
   if (!ProfileJson.empty()) {
     std::string Profile = ProfileJson;
     // The tracer's JSON report is pretty-printed; the response document is

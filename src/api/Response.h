@@ -6,14 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Schema 2 of the machine-readable analysis output, shared byte-for-byte
+/// Schema 3 of the machine-readable analysis output, shared byte-for-byte
 /// by `omega-analyze --json` and omega-serve responses (the checked-in
 /// JSON schema file schema/analysis_response.schema.json describes it and
 /// CI validates both producers against it).
 ///
 /// The document separates what is deterministic from what is not:
 ///
-///   {"schema": 2, "ok": true, "result": {...}, "metrics": {...}}
+///   {"schema": 3, "ok": true, "result": {...}, "metrics": {...}}
 ///
 ///  * "result" holds the structural analysis outcome -- dependences,
 ///    splits, pair and kill records without timings. The engine guarantees
@@ -26,7 +26,11 @@
 ///    reports misses).
 ///
 /// Schema 1 (the PR 1-5 format) interleaved timings with structure and
-/// had no version marker; it is gone.
+/// had no version marker; it is gone. Schema 3 extends schema 2 with the
+/// edit-incremental counters: four new "stats" entries (snapshotEvictions
+/// and the deltaPairs* classification) and, when a baseline was consulted,
+/// an optional "delta" object under "metrics". The "result" section is
+/// unchanged -- incremental reuse is result-invisible by construction.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,7 +46,7 @@ namespace omega {
 namespace api {
 
 /// The version stamped into every response document.
-constexpr int SchemaVersion = 2;
+constexpr int SchemaVersion = 3;
 
 /// Renders the deterministic structural section: flow/anti/output
 /// dependences with their splits, pair records (hasFlow, usedGeneralTest,
@@ -57,7 +61,7 @@ std::string renderMetrics(const engine::AnalysisResult &R, unsigned Jobs,
                           double WallMs, const std::string &ProfileJson,
                           const std::string &ExplainLog);
 
-/// The complete CLI document: {"schema": 2, "ok": true, "result": R,
+/// The complete CLI document: {"schema": 3, "ok": true, "result": R,
 /// "metrics": M} plus a trailing newline.
 std::string renderDocument(const std::string &Result,
                            const std::string &Metrics);
@@ -67,7 +71,7 @@ std::string renderDocument(const std::string &Result,
 std::string renderServerOk(uint64_t Id, const std::string &Result,
                            const std::string &Metrics);
 
-/// A typed error response line: {"schema": 2, "id": ..., "ok": false,
+/// A typed error response line: {"schema": 3, "id": ..., "ok": false,
 /// "error": {"code": ..., "message": ...}}. \p HasId distinguishes a
 /// request whose id never parsed (id becomes null).
 std::string renderServerError(bool HasId, uint64_t Id, const std::string &Code,

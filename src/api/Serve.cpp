@@ -34,6 +34,7 @@ using namespace omega::api;
 Server::Server(const Config &C) : Cfg(C) {
   if (Cfg.Defaults.UseQueryCache) {
     Cache = std::make_unique<QueryCache>();
+    Cache->setSnapshotCapacity(Cfg.Defaults.SnapshotCacheCap);
     if (!Cfg.CacheFile.empty()) {
       std::ifstream In(Cfg.CacheFile, std::ios::binary);
       std::string Err;
@@ -175,6 +176,14 @@ void Server::submit(std::string Line,
     return Fail("bad_request", "\"source\" must be a string");
   R.Source = Src->asString();
 
+  if (const json::Value *V = Doc.get("session")) {
+    if (!V->isString())
+      return Fail("bad_request", "\"session\" must be a string");
+    R.Session = V->asString();
+    if (R.Session.empty())
+      return Fail("bad_request", "\"session\" must be non-empty");
+  }
+
   R.Opts = Cfg.Defaults;
   if (const json::Value *O = Doc.get("options")) {
     if (!O->isObject())
@@ -252,9 +261,22 @@ void Server::runOne(Request &R, unsigned Index) {
   }
 
   engine::DependenceEngine &Engine = *Engines[Index];
-  Engine.applyOptions(R.Opts.toEngineRequest());
+  engine::AnalysisRequest EReq = R.Opts.toEngineRequest();
+  // Session requests run in delta mode: consult the session's retained
+  // baseline (if any) and record a fresh one for the next request. The
+  // shared_ptr keeps the prior baseline alive for the whole run even if
+  // a concurrent request on the same session replaces it.
+  std::shared_ptr<const engine::BaselineResult> Prior;
+  if (!R.Session.empty()) {
+    Prior = sessionBaseline(R.Session);
+    EReq.Baseline = Prior.get();
+    EReq.BuildBaseline = true;
+  }
+  Engine.applyOptions(EReq);
   auto Start = std::chrono::steady_clock::now();
   engine::AnalysisResult Result = Engine.analyze(AP);
+  if (!R.Session.empty() && Result.Baseline)
+    retainSession(R.Session, Result.Baseline);
   double WallMs =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 Start)
@@ -263,6 +285,40 @@ void Server::runOne(Request &R, unsigned Index) {
   std::string Metrics = renderMetrics(Result, Engine.jobs(), WallMs,
                                       /*ProfileJson=*/"", /*ExplainLog=*/"");
   R.Respond(renderServerOk(R.Id, ResultJson, Metrics));
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental sessions
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const engine::BaselineResult>
+Server::sessionBaseline(const std::string &Session) {
+  std::lock_guard<std::mutex> Lock(SessionsMu);
+  auto It = Sessions.find(Session);
+  if (It == Sessions.end())
+    return nullptr;
+  SessionLRU.splice(SessionLRU.begin(), SessionLRU, It->second.Recency);
+  return It->second.Baseline;
+}
+
+void Server::retainSession(
+    const std::string &Session,
+    std::shared_ptr<const engine::BaselineResult> Baseline) {
+  std::lock_guard<std::mutex> Lock(SessionsMu);
+  auto It = Sessions.find(Session);
+  if (It != Sessions.end()) {
+    It->second.Baseline = std::move(Baseline);
+    SessionLRU.splice(SessionLRU.begin(), SessionLRU, It->second.Recency);
+    return;
+  }
+  SessionLRU.push_front(Session);
+  Sessions.emplace(Session, SessionEntry{std::move(Baseline),
+                                         SessionLRU.begin()});
+  std::size_t Cap = Cfg.MaxSessions ? Cfg.MaxSessions : 1;
+  while (Sessions.size() > Cap) {
+    Sessions.erase(SessionLRU.back());
+    SessionLRU.pop_back();
+  }
 }
 
 //===----------------------------------------------------------------------===//

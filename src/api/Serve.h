@@ -14,7 +14,7 @@
 ///   {"id": 1, "source": "for i = 1 to n { a[i] = a[i-1]; }",
 ///    "options": {"quicktests": false}, "deadlineMs": 500}
 ///
-/// Responses are schema-2 documents (api/Response.h) with the request id
+/// Responses are schema-3 documents (api/Response.h) with the request id
 /// spliced in; `{"id": 2, "op": "shutdown"}` stops the server. Because
 /// the engine's structural result is deterministic for every Jobs value
 /// and cache state, a server response's "result" section is byte-identical
@@ -31,6 +31,15 @@
 /// error, and a request whose deadline passed while queued is answered
 /// "deadline_exceeded" instead of being run.
 ///
+/// Edit-incremental sessions: a request may carry a "session" string.
+/// The server retains the last analysis baseline (engine/DeltaPlanner.h)
+/// per session, LRU-bounded at Config::MaxSessions, and hands it to the
+/// engine on the session's next request, so re-analyzing an edited
+/// program only solves the pairs the edit touched. Reuse is
+/// result-invisible -- the response's "result" section stays
+/// byte-identical to an uncached run -- and "metrics.delta" reports the
+/// pair classification.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OMEGA_API_SERVE_H
@@ -45,10 +54,12 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace omega {
@@ -74,6 +85,10 @@ public:
     /// Warm-start file: loaded (if present and valid) at construction,
     /// saved at stop(). Empty disables persistence.
     std::string CacheFile;
+    /// Incremental-session retention bound: baselines for the most
+    /// recently used MaxSessions session ids stay resident; older ones
+    /// are dropped (their next request runs from scratch, never wrong).
+    std::size_t MaxSessions = 64;
   };
 
   explicit Server(const Config &C);
@@ -119,6 +134,7 @@ private:
     bool HasId = false;
     std::uint64_t Id = 0;
     std::string Source;
+    std::string Session; ///< incremental-session id, empty = stateless
     AnalysisOptions Opts;
     std::chrono::steady_clock::time_point Deadline;
     bool HasDeadline = false;
@@ -129,6 +145,15 @@ private:
   void workerLoop(unsigned Index);
   void runOne(Request &R, unsigned Index);
 
+  /// The retained baseline for \p Session (null if none), bumped to
+  /// most-recently-used. Thread-safe.
+  std::shared_ptr<const engine::BaselineResult>
+  sessionBaseline(const std::string &Session);
+  /// Retains \p Baseline as \p Session's latest, evicting the least
+  /// recently used session beyond Config::MaxSessions. Thread-safe.
+  void retainSession(const std::string &Session,
+                     std::shared_ptr<const engine::BaselineResult> Baseline);
+
   Config Cfg;
   std::unique_ptr<QueryCache> Cache;
   std::string StartupNote;
@@ -137,6 +162,14 @@ private:
   std::condition_variable QueueCV;
   std::deque<Request> Queue;
   bool Draining = false; ///< stop() begun: no admissions, workers drain
+
+  struct SessionEntry {
+    std::shared_ptr<const engine::BaselineResult> Baseline;
+    std::list<std::string>::iterator Recency; ///< position in SessionLRU
+  };
+  std::mutex SessionsMu;
+  std::unordered_map<std::string, SessionEntry> Sessions;
+  std::list<std::string> SessionLRU; ///< most recently used at the front
 
   std::vector<std::unique_ptr<engine::DependenceEngine>> Engines;
   std::vector<std::thread> Workers;

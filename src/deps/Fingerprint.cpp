@@ -1,0 +1,223 @@
+//===- deps/Fingerprint.cpp -----------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "deps/Fingerprint.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace omega;
+using namespace omega::deps;
+using omega::ir::Access;
+using omega::ir::AffineExpr;
+using omega::ir::LoopInfo;
+using omega::ir::SymId;
+using omega::ir::SymKind;
+
+//===----------------------------------------------------------------------===//
+// Serialization walk
+//===----------------------------------------------------------------------===//
+//
+// The key is built by walking the instance list in a fixed order --
+// instance 0's loops outermost-first, then instance 1's, ..., then each
+// instance's subscripts -- and assigning dense local ids to symbols and
+// loops at first use. Because ids depend only on the walk order (never
+// on SymId creation order or names), two structurally identical pairs
+// built from different programs produce identical keys.
+//
+// Grammar (all fields ';'/','-free except where quoted):
+//   key       := inst*  pairBits
+//   inst      := "|I{w=" 0/1 ";L=[" loopRef,* "];S=[" expr,* "]}"
+//   loopRef   := "l" id                      -- back reference
+//              | "l" id "!{i=" symRef ";r=" 0/1 ";st=" int
+//                ";lo=[" expr,* "];up=[" expr,* "]}"   -- first use
+//   symRef    := "#" id                      -- back reference
+//              | "#" id "!I"                 -- loop iteration symbol
+//              | "#" id "!S"                 -- symbolic constant
+//              | "#" id "!T[p=" symRef,* ";x=" 0/1 0/1 "]"  -- term:
+//                loop params, (index-array read, array written) bits
+//   expr      := "(" const {"," symRef "*" coeff} ")"  -- TermList order
+//   pairBits  := "|O{" ("s" | "ab=" 0/1 ";ba=" 0/1 ...) "}"
+//
+// Shared loops between instances serialize as back references, so the
+// key captures numCommonLoops exactly; shared symbols likewise capture
+// the shared-variable structure DepSpace builds.
+
+namespace {
+
+class Walk {
+public:
+  Walk(const ir::AnalyzedProgram &AP, const std::set<std::string> &Written)
+      : AP(AP), Written(Written) {}
+
+  std::string take() { return std::move(Out); }
+
+  void instance(const Access &A) {
+    Out += "|I{w=";
+    Out += A.IsWrite ? '1' : '0';
+    Out += ";L=[";
+    for (unsigned D = 0; D != A.Loops.size(); ++D) {
+      if (D)
+        Out += ',';
+      loopRef(A.Loops[D]);
+    }
+    Out += "];S=[";
+    for (unsigned S = 0; S != A.Subscripts.size(); ++S) {
+      if (S)
+        Out += ',';
+      expr(A.Subscripts[S]);
+    }
+    Out += "]}";
+  }
+
+private:
+  void loopRef(const LoopInfo *L) {
+    auto [It, New] = LoopIds.emplace(L, LoopIds.size());
+    Out += 'l';
+    Out += std::to_string(It->second);
+    if (!New)
+      return;
+    Out += "!{i=";
+    symRef(L->IterSym);
+    Out += ";r=";
+    Out += L->Reversed ? '1' : '0';
+    Out += ";st=";
+    Out += std::to_string(L->Stride);
+    Out += ";lo=[";
+    for (unsigned I = 0; I != L->Lower.size(); ++I) {
+      if (I)
+        Out += ',';
+      expr(L->Lower[I]);
+    }
+    Out += "];up=[";
+    for (unsigned I = 0; I != L->Upper.size(); ++I) {
+      if (I)
+        Out += ',';
+      expr(L->Upper[I]);
+    }
+    Out += "]}";
+  }
+
+  void symRef(SymId S) {
+    auto [It, New] = SymIds.emplace(S, SymIds.size());
+    Out += '#';
+    Out += std::to_string(It->second);
+    if (!New)
+      return;
+    const ir::SymbolInfo &Info = AP.Symbols.info(S);
+    switch (Info.Kind) {
+    case SymKind::LoopIter:
+      Out += "!I";
+      break;
+    case SymKind::SymConst:
+      Out += "!S";
+      break;
+    case SymKind::Term:
+      Out += "!T[p=";
+      for (unsigned I = 0; I != Info.LoopParams.size(); ++I) {
+        if (I)
+          Out += ',';
+        symRef(Info.LoopParams[I]);
+      }
+      Out += ";x=";
+      Out += Info.IsIndexArrayRead ? '1' : '0';
+      Out += Info.IsIndexArrayRead && Written.count(Info.IndexArray) ? '1'
+                                                                    : '0';
+      Out += ']';
+      break;
+    }
+  }
+
+  void expr(const AffineExpr &E) {
+    Out += '(';
+    Out += std::to_string(E.getConstant());
+    for (const auto &[Sym, Coeff] : E.terms()) {
+      Out += ',';
+      symRef(Sym);
+      Out += '*';
+      Out += std::to_string(Coeff);
+    }
+    Out += ')';
+  }
+
+  const ir::AnalyzedProgram &AP;
+  const std::set<std::string> &Written;
+  std::string Out;
+  std::map<const LoopInfo *, unsigned> LoopIds;
+  std::map<SymId, unsigned> SymIds;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FingerprintBuilder
+//===----------------------------------------------------------------------===//
+
+FingerprintBuilder::FingerprintBuilder(const ir::AnalyzedProgram &AP)
+    : AP(AP) {
+  for (const Access &A : AP.Accesses)
+    if (A.IsWrite)
+      WrittenArrays.insert(A.Array);
+}
+
+std::string
+FingerprintBuilder::serialize(const std::vector<const Access *> &Insts) const {
+  Walk W(AP, WrittenArrays);
+  for (const Access *A : Insts)
+    W.instance(*A);
+  std::string Key = W.take();
+  Key += "|O{";
+  if (Insts.size() == 2 && Insts[0] == Insts[1]) {
+    Key += 's'; // self pair: both schedule relations are trivially known
+  } else {
+    for (unsigned I = 0; I != Insts.size(); ++I)
+      for (unsigned J = 0; J != Insts.size(); ++J) {
+        if (I == J)
+          continue;
+        Key += ir::AnalyzedProgram::textuallyBefore(*Insts[I], *Insts[J])
+                   ? '1'
+                   : '0';
+      }
+  }
+  Key += '}';
+  return Key;
+}
+
+PairFingerprint FingerprintBuilder::pair(const Access &A,
+                                         const Access &B) const {
+  if (&A == &B)
+    return {serialize({&A, &B}), false};
+  std::string AB = serialize({&A, &B});
+  std::string BA = serialize({&B, &A});
+  // Lexicographic minimum of the two orientations is the canonical key.
+  // The orientations can only tie when both serializations are
+  // byte-identical, which requires equal read/write roles and equal
+  // schedule bits -- impossible for the write/read and write/write pairs
+  // the engine groups (distinct accesses always differ in their Path's
+  // final read/write entry or their textual order). Prefer the caller's
+  // orientation on a tie anyway, keeping Swapped deterministic.
+  if (BA < AB)
+    return {std::move(BA), true};
+  return {std::move(AB), false};
+}
+
+std::string FingerprintBuilder::killGroup(
+    const Access &Read, const std::vector<const Access *> &Writes) const {
+  std::vector<const Access *> Insts;
+  Insts.reserve(Writes.size() + 1);
+  Insts.push_back(&Read);
+  Insts.insert(Insts.end(), Writes.begin(), Writes.end());
+  return serialize(Insts);
+}
+
+uint64_t omega::deps::fingerprintHash(const std::string &Key) {
+  uint64_t H = mix64(Key.size());
+  for (char C : Key)
+    H = mix64(H ^ static_cast<uint64_t>(static_cast<unsigned char>(C)));
+  return H;
+}

@@ -54,7 +54,7 @@ void PairSolver::ensureSnapshot() {
       return;
     }
     Snap.emplace(*Pair, Keep, Ctx);
-    Ctx.Cache->storeSnapshot(Key, *Snap);
+    Ctx.Cache->storeSnapshot(Key, *Snap, &Ctx.Stats);
     return;
   }
   Snap.emplace(*Pair, Keep, Ctx);

@@ -8,6 +8,7 @@
 
 #include "analysis/Kills.h"
 #include "analysis/Refine.h"
+#include "deps/Fingerprint.h"
 #include "deps/PairSolver.h"
 #include "engine/WorkerPool.h"
 #include "obs/Trace.h"
@@ -120,6 +121,12 @@ void DependenceEngine::applyOptions(const AnalysisRequest &O) {
   Req.PairQuickTests = O.PairQuickTests;
   Req.Incremental = O.Incremental;
   Req.ShareSnapshots = O.ShareSnapshots;
+  Req.Baseline = O.Baseline;
+  Req.BuildBaseline = O.BuildBaseline;
+  // Per-request parallelism: clamp to the pool built at construction (0
+  // asks for the full pool). Threads are reused, never respawned.
+  Req.Jobs = O.Jobs;
+  Pool->setActiveWorkers(O.Jobs);
   Pool->forEachContext([&](OmegaContext &Ctx) {
     Ctx.PairQuickTests = Req.PairQuickTests;
     Ctx.IncrementalSnapshots = Req.Incremental;
@@ -128,6 +135,8 @@ void DependenceEngine::applyOptions(const AnalysisRequest &O) {
 }
 
 unsigned DependenceEngine::jobs() const { return Pool->jobs(); }
+
+unsigned DependenceEngine::maxJobs() const { return Pool->maxJobs(); }
 
 AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   AnalysisResult Result;
@@ -191,6 +200,7 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   // write/write pair). Group order is the serial first-appearance order,
   // so task keys -- and with them the merged trace -- stay deterministic.
   std::vector<std::vector<std::size_t>> Groups;
+  std::vector<std::size_t> QueryGroup(Queries.size());
   {
     std::map<std::pair<unsigned, unsigned>, std::size_t> GroupOf;
     for (std::size_t I = 0; I != Queries.size(); ++I) {
@@ -200,12 +210,137 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       if (New)
         Groups.emplace_back();
       Groups[It->second].push_back(I);
+      QueryGroup[I] = It->second;
+    }
+  }
+
+  // Delta planning (cross-version incrementality). Disabled entirely
+  // under Terminate: phase 4 kills across group boundaries, outside the
+  // per-group reuse model. A baseline recorded under other pipeline
+  // switches is ignored by the planner.
+  const bool DeltaActive =
+      (Req.Baseline != nullptr || Req.BuildBaseline) && !Req.Terminate;
+  const bool BuildBL = Req.BuildBaseline && !Req.Terminate;
+  PipelineSig Sig;
+  Sig.Refine = Req.Refine;
+  Sig.Cover = Req.Cover;
+  Sig.Kill = Req.Kill;
+  Sig.QuickTests = Req.QuickTests;
+  DeltaPlanner Planner(DeltaActive ? Req.Baseline : nullptr, Sig);
+  DeltaMetrics Delta;
+  Delta.Active = DeltaActive;
+
+  std::optional<deps::FingerprintBuilder> FPB;
+  std::vector<deps::PairFingerprint> GroupFP;
+  // Reused group -> its baseline outcome; per-query pointers into it.
+  std::vector<const PairOutcome *> GroupReuse(Groups.size(), nullptr);
+  std::vector<const PortableDep *> QueryReuse(Queries.size(), nullptr);
+
+  // Role of an access within its group's canonical pair orientation:
+  // 0 == the fingerprint's first instance. For write/read and write/write
+  // groups the two accesses always differ in role (their serializations
+  // differ in the read/write or textual-order bits), so roles address the
+  // stored queries unambiguously; self pairs use (0, 0).
+  auto roleOf = [&](std::size_t GI, const ir::Access *A) -> uint8_t {
+    const PairQuery &First = Queries[Groups[GI].front()];
+    const ir::Access *CanonFirst =
+        GroupFP[GI].Swapped ? First.Dst : First.Src;
+    return A == CanonFirst ? 0 : 1;
+  };
+
+  if (DeltaActive) {
+    FPB.emplace(AP);
+    GroupFP.resize(Groups.size());
+    // Pure string building; parallel and trace-silent.
+    Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &) {
+      const PairQuery &First = Queries[Groups[GI].front()];
+      GroupFP[GI] = FPB->pair(*First.Src, *First.Dst);
+    });
+    // Classification (serial: planner bookkeeping + reuse binding).
+    for (std::size_t GI = 0; GI != Groups.size(); ++GI) {
+      const PairOutcome *O = Planner.matchPair(GroupFP[GI].Key);
+      bool Reusable = O && O->Queries.size() == Groups[GI].size();
+      if (Reusable) {
+        // Bind every query to a distinct stored answer by (kind, roles).
+        std::vector<bool> Used(O->Queries.size(), false);
+        for (std::size_t QI : Groups[GI]) {
+          const PairQuery &Q = Queries[QI];
+          uint8_t SrcRole = roleOf(GI, Q.Src), DstRole = roleOf(GI, Q.Dst);
+          const PortableDep *Found = nullptr;
+          for (std::size_t J = 0; J != O->Queries.size(); ++J) {
+            const PortableDep &P = O->Queries[J];
+            if (!Used[J] && P.Kind == static_cast<uint8_t>(Q.Kind) &&
+                P.SrcRole == SrcRole && P.DstRole == DstRole) {
+              Used[J] = true;
+              Found = &P;
+              break;
+            }
+          }
+          if (!Found) {
+            Reusable = false;
+            break;
+          }
+          QueryReuse[QI] = Found;
+          if (Q.Kind == DepKind::Flow && !O->HasFlowRecord)
+            Reusable = false;
+        }
+      }
+      if (Reusable) {
+        GroupReuse[GI] = O;
+        ++Delta.PairsReused;
+      } else {
+        // A fingerprint miss (or, defensively, a malformed match) is an
+        // edited pair when its array was in the baseline, new data
+        // otherwise. Metrics-only distinction; both solve from scratch.
+        for (std::size_t QI : Groups[GI])
+          QueryReuse[QI] = nullptr;
+        const PairQuery &First = Queries[Groups[GI].front()];
+        if (O || Planner.knownArray(First.Src->Array))
+          ++Delta.PairsResolved;
+        else
+          ++Delta.PairsNew;
+      }
     }
   }
 
   std::vector<std::optional<Dependence>> QueryDeps(Queries.size());
   std::vector<double> QuerySecs(Queries.size(), 0.0);
-  Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &Ctx) {
+
+  // Materialize reused groups before scheduling the rest: their stored
+  // answers (post-refinement, post-cover) land in the same per-query
+  // slots a solve would fill, so the merges below cannot tell the
+  // difference. Trace decisions go to the first context from this
+  // coordinating thread (workers are idle between parallelFor calls).
+  std::vector<std::size_t> RunGroups;
+  if (DeltaActive) {
+    obs::TraceBuffer *TB = Req.Trace ? Pool->firstContext().Trace : nullptr;
+    for (std::size_t GI = 0; GI != Groups.size(); ++GI) {
+      if (!GroupReuse[GI]) {
+        RunGroups.push_back(GI);
+        continue;
+      }
+      for (std::size_t QI : Groups[GI]) {
+        const PairQuery &Q = Queries[QI];
+        const PortableDep &P = *QueryReuse[QI];
+        if (P.Present)
+          QueryDeps[QI] = materializeDep(P, Q.Src, Q.Dst);
+      }
+      if (TB) {
+        const PairQuery &First = Queries[Groups[GI].front()];
+        obs::TaskScope Task(TB, taskKey(1, GI),
+                            "pair " + accessLabel(*First.Src) + " <-> " +
+                                accessLabel(*First.Dst));
+        TB->decision("delta: pair reused from baseline");
+      }
+    }
+  } else {
+    RunGroups.resize(Groups.size());
+    for (std::size_t GI = 0; GI != Groups.size(); ++GI)
+      RunGroups[GI] = GI;
+  }
+
+  Pool->parallelFor(RunGroups.size(), [&](std::size_t RI, OmegaContext &Ctx) {
+    std::size_t GI = RunGroups[RI];
     const std::vector<std::size_t> &Group = Groups[GI];
     const PairQuery &First = Queries[Group.front()];
     obs::TaskScope Task(Ctx.Trace, taskKey(1, GI),
@@ -220,15 +355,23 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       QuerySecs[QI] = secondsSince(Start);
     }
   });
+  // Positions of each query's final record, for baseline capture: index
+  // into Result.Output/Anti (ordered kinds) or Result.Flow, -1 if absent.
+  std::vector<std::ptrdiff_t> QueryLoc(Queries.size(), -1);
   for (std::size_t I = 0; I != NumOrderedQueries; ++I)
-    if (QueryDeps[I])
-      (I < NumOutputQueries ? Result.Output : Result.Anti)
-          .push_back(std::move(*QueryDeps[I]));
+    if (QueryDeps[I]) {
+      std::vector<Dependence> &Into =
+          I < NumOutputQueries ? Result.Output : Result.Anti;
+      QueryLoc[I] = static_cast<std::ptrdiff_t>(Into.size());
+      Into.push_back(std::move(*QueryDeps[I]));
+    }
   OutputDepInfo OutInfo = buildOutputInfo(Result.Output);
 
   // Phase 2: per (read, write) pair, refinement and coverage on top of the
   // flow dependence phase 1 computed. Tasks enumerate read-major like the
-  // serial driver; each touches only its own slot.
+  // serial driver; each touches only its own slot. Reused pairs skip the
+  // refine/cover work entirely: their stored flow answers already carry
+  // the post-phase-2 splits and cover flags.
   struct FlowSlot {
     analysis::PairRecord Record;
     std::optional<Dependence> Dep;
@@ -244,6 +387,16 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     FlowSlot &Slot = Slots[I];
     Slot.Record.Write = Write;
     Slot.Record.Read = Read;
+
+    if (const PairOutcome *O = GroupReuse[QueryGroup[NumOrderedQueries + I]]) {
+      Slot.Dep = std::move(QueryDeps[NumOrderedQueries + I]);
+      Slot.Record.HasFlow = O->RecHasFlow;
+      Slot.Record.UsedGeneralTest = O->RecUsedGeneralTest;
+      Slot.Record.SplitVectors = O->RecSplitVectors;
+      if (Ctx.Trace)
+        Ctx.Trace->decision("delta: flow record reused from baseline");
+      return;
+    }
 
     Slot.Dep = std::move(QueryDeps[NumOrderedQueries + I]);
     Slot.Record.StandardSecs = QuerySecs[NumOrderedQueries + I];
@@ -282,12 +435,54 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   });
 
   std::map<unsigned, std::vector<unsigned>> FlowByRead; // read id -> indices
-  for (FlowSlot &Slot : Slots) {
+  for (std::size_t I = 0; I != Slots.size(); ++I) {
+    FlowSlot &Slot = Slots[I];
     if (Slot.Dep) {
+      QueryLoc[NumOrderedQueries + I] =
+          static_cast<std::ptrdiff_t>(Result.Flow.size());
       FlowByRead[Slot.Record.Read->Id].push_back(Result.Flow.size());
       Result.Flow.push_back(std::move(*Slot.Dep));
     }
     Result.Pairs.push_back(Slot.Record);
+  }
+
+  // Baseline capture point: output/anti records are final here, and flow
+  // records hold their post-refinement, post-cover, pre-kill state -- the
+  // exact state a future reuse must restore before its own kill phase.
+  std::shared_ptr<BaselineResult> NewBL;
+  if (BuildBL) {
+    NewBL = std::make_shared<BaselineResult>();
+    NewBL->Sig = Sig;
+    for (const ir::Access &A : AP.Accesses)
+      NewBL->Arrays.insert(A.Array);
+    for (std::size_t GI = 0; GI != Groups.size(); ++GI) {
+      PairOutcome O;
+      for (std::size_t QI : Groups[GI]) {
+        const PairQuery &Q = Queries[QI];
+        const Dependence *D = nullptr;
+        if (QueryLoc[QI] >= 0) {
+          const std::vector<Dependence> &From =
+              Q.Kind == DepKind::Flow
+                  ? Result.Flow
+                  : (QI < NumOutputQueries ? Result.Output : Result.Anti);
+          D = &From[QueryLoc[QI]];
+        }
+        O.Queries.push_back(portableDep(D, static_cast<uint8_t>(Q.Kind),
+                                        roleOf(GI, Q.Src),
+                                        roleOf(GI, Q.Dst)));
+        if (Q.Kind == DepKind::Flow) {
+          const analysis::PairRecord &Rec =
+              Slots[QI - NumOrderedQueries].Record;
+          O.HasFlowRecord = true;
+          O.RecHasFlow = Rec.HasFlow;
+          O.RecUsedGeneralTest = Rec.UsedGeneralTest;
+          O.RecSplitVectors = Rec.SplitVectors;
+        }
+      }
+      // emplace: duplicate fingerprints keep the first outcome (equal
+      // keys imply equal outcomes, so either would do).
+      NewBL->Pairs.emplace(GroupFP[GI].Key, std::move(O));
+    }
   }
 
   // Phase 3: covers kill dependences from writes that completely precede
@@ -299,14 +494,94 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       const std::vector<unsigned> *DepIndices;
       std::vector<analysis::KillRecord> Records;
     };
-    std::vector<KillGroup> Groups;
-    Groups.reserve(FlowByRead.size());
+    std::vector<KillGroup> KGroups;
+    KGroups.reserve(FlowByRead.size());
     for (auto &[ReadId, DepIndices] : FlowByRead) {
       (void)ReadId;
-      Groups.push_back({&DepIndices, {}});
+      KGroups.push_back({&DepIndices, {}});
     }
-    Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &Ctx) {
-      KillGroup &G = Groups[GI];
+
+    // Write positions within each array's write list (enumeration
+    // order): the portable identity kill records travel under.
+    std::map<std::string, std::vector<const ir::Access *>> WritesOf;
+    std::map<unsigned, uint32_t> WritePosOfId;
+    std::vector<std::string> KillFP(KGroups.size());
+    std::vector<char> KillReused(KGroups.size(), 0);
+    if (DeltaActive) {
+      for (const ir::Access *W : Writes) {
+        std::vector<const ir::Access *> &V = WritesOf[W->Array];
+        WritePosOfId[W->Id] = static_cast<uint32_t>(V.size());
+        V.push_back(W);
+      }
+      for (std::size_t GI = 0; GI != KGroups.size(); ++GI) {
+        const ir::Access *Read =
+            Result.Flow[KGroups[GI].DepIndices->front()].Dst;
+        KillFP[GI] = FPB->killGroup(*Read, WritesOf[Read->Array]);
+      }
+      Delta.KillGroupsTotal = KGroups.size();
+    }
+
+    // Reuse pass (serial): a matching kill-group fingerprint covers the
+    // footprints and pairwise schedule of the read and every write of
+    // its array, which determines the whole group's pre-kill state and
+    // therefore every phase-3 decision -- even for members that were
+    // themselves re-solved this run. Validation failures fall back to
+    // running the group (correct either way; the KillGroupsReused
+    // counter is what would expose a fingerprint bug).
+    for (std::size_t GI = 0; GI != KGroups.size(); ++GI) {
+      const KillGroupOutcome *O =
+          DeltaActive ? Planner.matchKillGroup(KillFP[GI]) : nullptr;
+      if (!O)
+        continue;
+      KillGroup &G = KGroups[GI];
+      const std::vector<unsigned> &DepIndices = *G.DepIndices;
+      const ir::Access *Read = Result.Flow[DepIndices.front()].Dst;
+      const std::vector<const ir::Access *> &AW = WritesOf[Read->Array];
+      bool Valid = O->States.size() == DepIndices.size();
+      for (std::size_t I = 0; Valid && I != DepIndices.size(); ++I) {
+        const KillGroupOutcome::DepState &S = O->States[I];
+        const Dependence &Dep = Result.Flow[DepIndices[I]];
+        Valid = S.WritePos == WritePosOfId[Dep.Src->Id] &&
+                S.Splits.size() == Dep.Splits.size();
+      }
+      for (const PortableKillRecord &KR : O->Records)
+        Valid = Valid && KR.VictimPos < AW.size() && KR.KillerPos < AW.size();
+      if (!Valid)
+        continue;
+      for (std::size_t I = 0; I != DepIndices.size(); ++I) {
+        Dependence &Dep = Result.Flow[DepIndices[I]];
+        for (std::size_t S = 0; S != Dep.Splits.size(); ++S) {
+          Dep.Splits[S].Dead = O->States[I].Splits[S].first;
+          Dep.Splits[S].DeadReason = O->States[I].Splits[S].second;
+        }
+      }
+      for (const PortableKillRecord &PKR : O->Records) {
+        analysis::KillRecord KR;
+        KR.From = AW[PKR.VictimPos];
+        KR.Killer = AW[PKR.KillerPos];
+        KR.To = Read;
+        KR.UsedOmega = PKR.UsedOmega;
+        KR.Killed = PKR.Killed;
+        G.Records.push_back(KR);
+      }
+      KillReused[GI] = 1;
+      ++Delta.KillGroupsReused;
+      if (Req.Trace) {
+        obs::TraceBuffer *TB = Pool->firstContext().Trace;
+        obs::TaskScope Task(TB, taskKey(3, GI),
+                            "kills into " + accessLabel(*Read));
+        TB->decision("delta: kill group reused from baseline");
+      }
+    }
+
+    std::vector<std::size_t> RunKills;
+    for (std::size_t GI = 0; GI != KGroups.size(); ++GI)
+      if (!KillReused[GI])
+        RunKills.push_back(GI);
+
+    Pool->parallelFor(RunKills.size(), [&](std::size_t RI, OmegaContext &Ctx) {
+      std::size_t GI = RunKills[RI];
+      KillGroup &G = KGroups[GI];
       const std::vector<unsigned> &DepIndices = *G.DepIndices;
       obs::TaskScope Task(
           Ctx.Trace, taskKey(3, GI),
@@ -374,9 +649,37 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
         }
       }
     });
-    for (KillGroup &G : Groups)
+    for (KillGroup &G : KGroups)
       for (analysis::KillRecord &KR : G.Records)
         Result.Kills.push_back(KR);
+
+    // Kill outcomes captured post-phase-3; the reused groups' rebound
+    // records re-serialize the same way, so a chained baseline (edit of
+    // an edit) is as complete as a cold one.
+    if (BuildBL) {
+      for (std::size_t GI = 0; GI != KGroups.size(); ++GI) {
+        const KillGroup &G = KGroups[GI];
+        const std::vector<unsigned> &DepIndices = *G.DepIndices;
+        KillGroupOutcome KG;
+        for (const analysis::KillRecord &KR : G.Records) {
+          PortableKillRecord PKR;
+          PKR.VictimPos = WritePosOfId[KR.From->Id];
+          PKR.KillerPos = WritePosOfId[KR.Killer->Id];
+          PKR.UsedOmega = KR.UsedOmega;
+          PKR.Killed = KR.Killed;
+          KG.Records.push_back(PKR);
+        }
+        for (unsigned Idx : DepIndices) {
+          const Dependence &Dep = Result.Flow[Idx];
+          KillGroupOutcome::DepState S;
+          S.WritePos = WritePosOfId[Dep.Src->Id];
+          for (const DepSplit &Split : Dep.Splits)
+            S.Splits.emplace_back(Split.Dead, Split.DeadReason);
+          KG.States.push_back(std::move(S));
+        }
+        NewBL->KillGroups.emplace(KillFP[GI], std::move(KG));
+      }
+    }
   }
 
   // Phase 4 (optional extension): terminating analysis (Section 4.3). If
@@ -418,6 +721,14 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   }
 
   Result.Stats = Pool->mergedStats();
+  if (DeltaActive) {
+    Delta.PairsRemoved = Planner.removedCount();
+    Result.Stats.DeltaPairsReused = Delta.PairsReused;
+    Result.Stats.DeltaPairsResolved = Delta.PairsResolved;
+    Result.Stats.DeltaPairsNew = Delta.PairsNew;
+  }
+  Result.Delta = Delta;
+  Result.Baseline = std::move(NewBL);
   if (Cache) {
     // This run's cache traffic comes from the merged per-context counters,
     // not global before/after deltas: several engines may share one cache

@@ -27,6 +27,7 @@
 #define OMEGA_ENGINE_DEPENDENCEENGINE_H
 
 #include "analysis/Driver.h"
+#include "engine/DeltaPlanner.h"
 #include "omega/QueryCache.h"
 
 #include <cstdint>
@@ -79,6 +80,17 @@ struct AnalysisRequest {
   /// Jobs value. Null disables tracing (the zero-overhead path). Not
   /// owned; must outlive the engine.
   obs::Tracer *Trace = nullptr;
+  /// Prior-version results keyed by canonical pair fingerprint: groups
+  /// whose fingerprints match are materialized from the baseline instead
+  /// of solved. Result-identical by construction (equal fingerprints
+  /// imply equal solves). Not owned; must outlive the analyze() call.
+  /// Ignored when Terminate is set (phase 4 mutates across group
+  /// boundaries, outside the per-group reuse model).
+  const BaselineResult *Baseline = nullptr;
+  /// Record a BaselineResult for this run into AnalysisResult::Baseline,
+  /// for a future incremental run (or --save-baseline). Also ignored
+  /// under Terminate.
+  bool BuildBaseline = false;
 
   static AnalysisRequest fromDriverOptions(const analysis::DriverOptions &O) {
     AnalysisRequest R;
@@ -99,6 +111,13 @@ struct AnalysisResult : analysis::AnalysisResult {
   QueryCacheStats Cache;
   /// Entries resident in the engine's cache after the run.
   std::uint64_t CacheEntries = 0;
+  /// Cross-version reuse accounting (Active only when a baseline was
+  /// consulted or recorded).
+  DeltaMetrics Delta;
+  /// This run's recorded baseline (null unless BuildBaseline was set).
+  /// Shared so the serving stack can retain it per session while the
+  /// result itself is dropped.
+  std::shared_ptr<const BaselineResult> Baseline;
 };
 
 class DependenceEngine {
@@ -114,15 +133,21 @@ public:
   AnalysisResult analyze(const ir::AnalyzedProgram &AP);
 
   /// Re-points the pipeline and tier toggles (QuickTests, Refine, Cover,
-  /// Kill, Terminate, PairQuickTests, Incremental, ShareSnapshots) at \p
-  /// O's values without rebuilding the pool or cache. The serving stack
-  /// uses this to honor per-request options on a long-lived engine; the
-  /// structural fields (Jobs, UseQueryCache, SharedCache, Trace) are
-  /// fixed at construction and ignored here.
+  /// Kill, Terminate, PairQuickTests, Incremental, ShareSnapshots), the
+  /// delta fields (Baseline, BuildBaseline), and the active worker count
+  /// (Jobs, clamped to the pool built at construction) at \p O's values
+  /// without rebuilding the pool or cache. The serving stack uses this
+  /// to honor per-request options on a long-lived engine; the remaining
+  /// structural fields (UseQueryCache, SharedCache, Trace) are fixed at
+  /// construction and ignored here.
   void applyOptions(const AnalysisRequest &O);
 
-  /// Effective worker count (after resolving Jobs == 0).
+  /// Effective worker count: Jobs resolved against the hardware and
+  /// clamped to the pool's capability.
   unsigned jobs() const;
+
+  /// The pool's capability: the most workers a request can ask for.
+  unsigned maxJobs() const;
 
   const AnalysisRequest &request() const { return Req; }
 

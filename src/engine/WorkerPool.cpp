@@ -21,6 +21,7 @@ WorkerPool::WorkerPool(unsigned Jobs, QueryCache *Cache, obs::Tracer *Tracer) {
       Jobs = 1;
   }
   NumWorkers = Jobs;
+  ActiveWorkers = Jobs;
   Contexts.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I) {
     Contexts.push_back(std::make_unique<OmegaContext>(Cache));
@@ -34,6 +35,12 @@ WorkerPool::WorkerPool(unsigned Jobs, QueryCache *Cache, obs::Tracer *Tracer) {
       Threads.emplace_back(
           [this, I](std::stop_token St) { workerMain(St, I); });
   }
+}
+
+void WorkerPool::setActiveWorkers(unsigned Wanted) {
+  if (Wanted == 0 || Wanted > NumWorkers)
+    Wanted = NumWorkers;
+  ActiveWorkers = Wanted;
 }
 
 WorkerPool::~WorkerPool() {
@@ -56,6 +63,11 @@ void WorkerPool::workerMain(std::stop_token St, unsigned WorkerIdx) {
       if (St.stop_requested())
         return;
       SeenGen = Generation;
+      // Per-request jobs clamp: workers beyond the generation's count sit
+      // it out entirely -- they neither claim indices nor join the Active
+      // countdown, so the participants' final decrement still reaches 0.
+      if (WorkerIdx >= GenWorkers)
+        continue;
       Fn = Task;
       N = TaskCount;
     }
@@ -72,20 +84,24 @@ void WorkerPool::workerMain(std::stop_token St, unsigned WorkerIdx) {
 void WorkerPool::parallelFor(std::size_t NumTasks, const TaskFn &Fn) {
   if (NumTasks == 0)
     return;
-  if (Threads.empty()) {
-    // Inline pool: same context discipline as a worker thread.
+  if (Threads.empty() || ActiveWorkers <= 1) {
+    // Inline pool, or a request clamped to one job: same context
+    // discipline as a worker thread. Safe while threads exist -- idle
+    // workers wait on WorkCV and never touch Contexts[0], and
+    // parallelFor is not reentrant.
     OmegaContextScope Scope(*Contexts[0]);
     for (std::size_t I = 0; I != NumTasks; ++I)
       Fn(I, *Contexts[0]);
     return;
   }
+  unsigned Act = ActiveWorkers;
   {
     std::lock_guard<std::mutex> G(M);
     Task = &Fn;
     TaskCount = NumTasks;
+    GenWorkers = Act;
     Next.store(0, std::memory_order_relaxed);
-    Active.store(static_cast<unsigned>(Threads.size()),
-                 std::memory_order_relaxed);
+    Active.store(Act, std::memory_order_relaxed);
     ++Generation;
   }
   WorkCV.notify_all();

@@ -63,12 +63,29 @@ public:
   WorkerPool(const WorkerPool &) = delete;
   WorkerPool &operator=(const WorkerPool &) = delete;
 
-  /// Effective parallelism (1 for the inline pool).
-  unsigned jobs() const { return NumWorkers; }
+  /// Effective parallelism: the active worker count (1 for the inline
+  /// pool), after any setActiveWorkers clamp.
+  unsigned jobs() const { return ActiveWorkers; }
+
+  /// The pool's capability: the worker count it was built with.
+  unsigned maxJobs() const { return NumWorkers; }
+
+  /// Limits how many workers participate in subsequent parallelFor calls
+  /// (0 restores the full pool; values clamp to [1, maxJobs()]). Threads
+  /// are never spawned or joined -- excess workers skip the generation --
+  /// so per-request `jobs` can shrink a long-lived pool cheaply. Only
+  /// call while no parallelFor is in flight.
+  void setActiveWorkers(unsigned Wanted);
 
   /// Runs Fn(I, Ctx) for every I in [0, NumTasks) and returns when all
   /// calls have finished. Not reentrant; call from one thread at a time.
   void parallelFor(std::size_t NumTasks, const TaskFn &Fn);
+
+  /// The first worker context (the inline-execution context). For
+  /// single-threaded bookkeeping between parallelFor calls (e.g. trace
+  /// decisions recorded by the coordinating thread); never touch while a
+  /// parallelFor is in flight.
+  OmegaContext &firstContext() { return *Contexts.front(); }
 
   /// Sum of every worker's stats, merged in worker-index order. Only
   /// meaningful while no parallelFor is in flight.
@@ -89,17 +106,20 @@ private:
   void workerMain(std::stop_token St, unsigned WorkerIdx);
 
   unsigned NumWorkers = 1;
+  unsigned ActiveWorkers = 1;
   std::vector<std::unique_ptr<OmegaContext>> Contexts;
   std::vector<std::jthread> Threads;
 
-  // Work-dispatch protocol: parallelFor publishes {Task, TaskCount} under
-  // the mutex and bumps Generation; workers wake on the bump, drain the
-  // atomic index, and the last one out signals DoneCV.
+  // Work-dispatch protocol: parallelFor publishes {Task, TaskCount,
+  // GenWorkers} under the mutex and bumps Generation; workers wake on the
+  // bump, the first GenWorkers of them drain the atomic index (the rest
+  // skip the generation), and the last participant out signals DoneCV.
   std::mutex M;
   std::condition_variable_any WorkCV;
   std::condition_variable DoneCV;
   std::uint64_t Generation = 0;
   std::size_t TaskCount = 0;
+  unsigned GenWorkers = 0;
   const TaskFn *Task = nullptr;
   std::atomic<std::size_t> Next{0};
   std::atomic<unsigned> Active{0};

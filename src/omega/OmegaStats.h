@@ -52,6 +52,17 @@ struct OmegaStats {
   uint64_t SnapshotFallbacks = 0;   // cases sent back to the scratch path
   uint64_t SnapshotCacheHits = 0;   // snapshots adopted from the QueryCache
   uint64_t SnapshotCacheMisses = 0; // snapshot lookups that missed
+  uint64_t SnapshotEvictions = 0;   // snapshots dropped by the LRU cap
+
+  // Edit-incremental re-analysis (engine/DeltaPlanner.h): how this run's
+  // access pairs were classified against the baseline. Reused pairs adopt
+  // recorded outcomes without solving; Resolved pairs re-ran because their
+  // fingerprint changed (or conservatively failed to match); New pairs
+  // touch an array the baseline never saw. The three always sum to the
+  // run's pair count when delta analysis is active.
+  uint64_t DeltaPairsReused = 0;
+  uint64_t DeltaPairsResolved = 0;
+  uint64_t DeltaPairsNew = 0;
 
   // Quick-test pre-filter: dependence queries decided with no Omega call,
   // by class. QuickTestDecided always equals the sum of the four classes
@@ -95,6 +106,10 @@ private:
     SnapshotFallbacks += Sign * O.SnapshotFallbacks;
     SnapshotCacheHits += Sign * O.SnapshotCacheHits;
     SnapshotCacheMisses += Sign * O.SnapshotCacheMisses;
+    SnapshotEvictions += Sign * O.SnapshotEvictions;
+    DeltaPairsReused += Sign * O.DeltaPairsReused;
+    DeltaPairsResolved += Sign * O.DeltaPairsResolved;
+    DeltaPairsNew += Sign * O.DeltaPairsNew;
     QuickTestZIV += Sign * O.QuickTestZIV;
     QuickTestGCD += Sign * O.QuickTestGCD;
     QuickTestBounds += Sign * O.QuickTestBounds;

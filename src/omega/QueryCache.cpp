@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <istream>
 #include <iterator>
+#include <list>
 #include <map>
 #include <ostream>
 
@@ -24,7 +25,27 @@ struct QueryCache::Shard {
   std::mutex M;
   std::unordered_map<std::string, bool> Sat;
   std::unordered_map<std::string, std::vector<Constraint>> Gist;
-  std::unordered_map<std::string, EliminationSnapshot> Snap;
+  /// Snapshots carry an LRU hook: SnapLRU orders keys most-recent-first,
+  /// and entries beyond SnapCap are evicted from the tail on store.
+  struct SnapEntry {
+    EliminationSnapshot Snap;
+    std::list<std::string>::iterator Recency;
+  };
+  std::unordered_map<std::string, SnapEntry> Snap;
+  std::list<std::string> SnapLRU;
+  std::size_t SnapCap = 0; ///< 0 = unbounded
+
+  /// Drops least-recently-used snapshots down to the cap (caller locks).
+  /// Returns how many were evicted.
+  std::size_t enforceSnapCap() {
+    std::size_t Evicted = 0;
+    while (SnapCap != 0 && Snap.size() > SnapCap) {
+      Snap.erase(SnapLRU.back());
+      SnapLRU.pop_back();
+      ++Evicted;
+    }
+    return Evicted;
+  }
 };
 
 QueryCache::QueryCache(unsigned ShardCount) {
@@ -98,16 +119,50 @@ QueryCache::lookupSnapshot(const std::string &Key, OmegaStats *Stats) {
       ++Stats->SnapshotCacheMisses;
     return std::nullopt;
   }
+  S.SnapLRU.splice(S.SnapLRU.begin(), S.SnapLRU, It->second.Recency);
   if (Stats)
     ++Stats->SnapshotCacheHits;
-  return It->second;
+  return It->second.Snap;
 }
 
 void QueryCache::storeSnapshot(const std::string &Key,
-                               const EliminationSnapshot &Snap) {
+                               const EliminationSnapshot &Snap,
+                               OmegaStats *Stats) {
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> Lock(S.M);
-  S.Snap.emplace(Key, Snap);
+  std::size_t Evicted = 0;
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Snap.find(Key);
+    if (It != S.Snap.end()) {
+      S.SnapLRU.splice(S.SnapLRU.begin(), S.SnapLRU, It->second.Recency);
+    } else {
+      S.SnapLRU.push_front(Key);
+      S.Snap.emplace(Key, Shard::SnapEntry{Snap, S.SnapLRU.begin()});
+      Evicted = S.enforceSnapCap();
+    }
+  }
+  if (Evicted) {
+    SnapEvictions.fetch_add(Evicted, std::memory_order_relaxed);
+    if (Stats)
+      Stats->SnapshotEvictions += Evicted;
+  }
+}
+
+void QueryCache::setSnapshotCapacity(std::uint64_t Cap) {
+  // Shards split the budget evenly; a nonzero cap grants each shard at
+  // least one entry, so the effective total is at least the shard count.
+  std::size_t PerShard =
+      Cap == 0 ? 0
+               : std::max<std::size_t>(1, static_cast<std::size_t>(
+                                              Cap / Shards.size()));
+  std::size_t Evicted = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    S->SnapCap = PerShard;
+    Evicted += S->enforceSnapCap();
+  }
+  if (Evicted)
+    SnapEvictions.fetch_add(Evicted, std::memory_order_relaxed);
 }
 
 QueryCacheStats QueryCache::stats() const {

@@ -86,7 +86,22 @@ public:
   /// are in-memory only -- save()/load() persist just sat/gist entries.
   std::optional<EliminationSnapshot>
   lookupSnapshot(const std::string &Key, OmegaStats *Stats = nullptr);
-  void storeSnapshot(const std::string &Key, const EliminationSnapshot &Snap);
+  /// Stores a snapshot, evicting least-recently-used entries beyond the
+  /// configured capacity. Evictions count on the cache's atomic and on
+  /// \p Stats' SnapshotEvictions when non-null. Eviction only ever
+  /// forces a rebuild on a future miss -- never a wrong answer.
+  void storeSnapshot(const std::string &Key, const EliminationSnapshot &Snap,
+                     OmegaStats *Stats = nullptr);
+
+  /// Bounds the snapshot store to \p Cap entries across all shards
+  /// (0 = unbounded, the default). Shards split the budget evenly, one
+  /// entry minimum each. Lowering the cap evicts immediately.
+  void setSnapshotCapacity(std::uint64_t Cap);
+
+  /// Snapshots evicted over the cache's lifetime.
+  uint64_t snapshotEvictions() const {
+    return SnapEvictions.load(std::memory_order_relaxed);
+  }
 
   QueryCacheStats stats() const;
   /// Number of memoized entries (all kinds).
@@ -119,6 +134,7 @@ private:
   std::vector<std::unique_ptr<Shard>> Shards;
   std::atomic<uint64_t> SatHits{0}, SatMisses{0};
   std::atomic<uint64_t> GistHits{0}, GistMisses{0};
+  std::atomic<uint64_t> SnapEvictions{0};
 };
 
 /// Builds the satisfiability cache key of \p P: the problem is copied and

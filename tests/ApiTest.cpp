@@ -5,7 +5,7 @@
 //
 // The api layer's contract: one option table drives the CLI parser, the
 // JSON request parser, and the help text (spellings can never drift); the
-// response document is schema 2 with a deterministic "result" section.
+// response document is schema 3 with a deterministic "result" section.
 //
 //===----------------------------------------------------------------------===//
 
@@ -218,7 +218,7 @@ TEST(ApiJson, EscapeRoundTripsThroughParse) {
 // Response documents
 //===----------------------------------------------------------------------===//
 
-TEST(ApiResponse, DocumentsAreSchema2AndParse) {
+TEST(ApiResponse, DocumentsAreSchema3AndParse) {
   ir::AnalyzedProgram AP = ir::analyzeSource(kernels::example1());
   ASSERT_TRUE(AP.ok());
   engine::DependenceEngine Engine((engine::AnalysisRequest()));
@@ -233,7 +233,7 @@ TEST(ApiResponse, DocumentsAreSchema2AndParse) {
   std::string Err;
   ASSERT_TRUE(json::parse(Doc, V, Err)) << Err;
   EXPECT_EQ(V.get("schema")->asInt(), SchemaVersion);
-  EXPECT_EQ(SchemaVersion, 2);
+  EXPECT_EQ(SchemaVersion, 3);
   EXPECT_TRUE(V.get("ok")->asBool());
   ASSERT_NE(V.get("result"), nullptr);
   ASSERT_NE(V.get("metrics"), nullptr);
@@ -270,7 +270,7 @@ TEST(ApiResponse, ResultIsDeterministicAcrossJobsAndCache) {
 
 TEST(ApiResponse, ServerVariantsCarryIdAndTypedErrors) {
   std::string Ok = renderServerOk(7, "{}", "{}");
-  EXPECT_NE(Ok.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(Ok.find("\"schema\": 3"), std::string::npos);
   EXPECT_NE(Ok.find("\"id\": 7"), std::string::npos);
   EXPECT_NE(Ok.find("\"ok\": true"), std::string::npos);
 

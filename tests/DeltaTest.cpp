@@ -1,0 +1,624 @@
+//===- tests/DeltaTest.cpp - Edit-incremental re-analysis -----------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// The incremental contract, end to end: canonical pair fingerprints are
+// name-free and semantics-sensitive; baselines round-trip through their
+// binary format and reject corruption; an analysis replayed against a
+// baseline renders byte-identical results while classifying every pair
+// group exactly once; snapshot stores evict LRU under a capacity bound;
+// and the serving stack retains per-session baselines and clamps
+// per-request parallelism to the worker pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Json.h"
+#include "api/Response.h"
+#include "api/Serve.h"
+#include "deps/Fingerprint.h"
+#include "engine/DeltaPlanner.h"
+#include "engine/DependenceEngine.h"
+#include "ir/Sema.h"
+#include "omega/Problem.h"
+#include "omega/QueryCache.h"
+#include "omega/Snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace omega;
+
+namespace {
+
+std::string readEdit(const std::string &Name) {
+  std::ifstream In(std::string(OMEGA_EDITS_DIR) + "/" + Name + ".tiny");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+ir::AnalyzedProgram analyzeOk(const std::string &Source) {
+  ir::AnalyzedProgram AP = ir::analyzeSource(Source);
+  EXPECT_TRUE(AP.ok()) << Source;
+  return AP;
+}
+
+/// The access-pair group count of \p AP, measured the way the planner
+/// counts: a delta run with no baseline to consult classifies every
+/// group "new".
+uint64_t groupTotal(const ir::AnalyzedProgram &AP) {
+  engine::AnalysisRequest Req;
+  Req.BuildBaseline = true;
+  engine::DependenceEngine Engine(Req);
+  engine::AnalysisResult R = Engine.analyze(AP);
+  EXPECT_TRUE(R.Delta.Active);
+  EXPECT_EQ(R.Delta.PairsReused, 0u);
+  EXPECT_EQ(R.Delta.PairsResolved, 0u);
+  return R.Delta.PairsNew;
+}
+
+/// First access of \p Array with the requested role.
+const ir::Access &find(const ir::AnalyzedProgram &AP, const std::string &Array,
+                       bool IsWrite) {
+  for (const ir::Access &A : AP.Accesses)
+    if (A.Array == Array && A.IsWrite == IsWrite)
+      return A;
+  ADD_FAILURE() << "no " << (IsWrite ? "write" : "read") << " of " << Array;
+  return AP.Accesses.front();
+}
+
+/// One BuildBaseline run over \p Source; returns the recorded baseline.
+std::shared_ptr<const engine::BaselineResult>
+recordBaseline(const std::string &Source) {
+  engine::AnalysisRequest Req;
+  Req.BuildBaseline = true;
+  engine::DependenceEngine Engine(Req);
+  engine::AnalysisResult R = Engine.analyze(analyzeOk(Source));
+  EXPECT_NE(R.Baseline, nullptr);
+  return R.Baseline;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+// Renaming loop variables, arrays, and symbolic constants leaves every
+// pair and kill-group fingerprint unchanged: the two baselines carry
+// identical key sets.
+TEST(Fingerprint, NameFree) {
+  std::shared_ptr<const engine::BaselineResult> Base =
+      recordBaseline(readEdit("base"));
+  std::shared_ptr<const engine::BaselineResult> Renamed =
+      recordBaseline(readEdit("rename"));
+  ASSERT_NE(Base, nullptr);
+  ASSERT_NE(Renamed, nullptr);
+
+  std::vector<std::string> BaseKeys, RenamedKeys;
+  for (const auto &KV : Base->Pairs)
+    BaseKeys.push_back(KV.first);
+  for (const auto &KV : Renamed->Pairs)
+    RenamedKeys.push_back(KV.first);
+  EXPECT_EQ(BaseKeys, RenamedKeys);
+
+  std::vector<std::string> BaseKills, RenamedKills;
+  for (const auto &KV : Base->KillGroups)
+    BaseKills.push_back(KV.first);
+  for (const auto &KV : Renamed->KillGroups)
+    RenamedKills.push_back(KV.first);
+  EXPECT_EQ(BaseKills, RenamedKills);
+}
+
+// An array rename alone also preserves fingerprints (names never enter
+// the serialization), while semantic edits -- a different subscript or a
+// different loop bound -- change the affected pair's key.
+TEST(Fingerprint, SemanticEditsChangeKeysRenamesDoNot) {
+  const std::string Base = "symbolic n;\n"
+                           "for i := 1 to n do\n"
+                           "  a(i) := a(i-1) + 1;\n"
+                           "endfor\n";
+  const std::string Renamed = "symbolic m;\n"
+                              "for k := 1 to m do\n"
+                              "  zz(k) := zz(k-1) + 1;\n"
+                              "endfor\n";
+  const std::string Subscript = "symbolic n;\n"
+                                "for i := 1 to n do\n"
+                                "  a(i) := a(i-2) + 1;\n"
+                                "endfor\n";
+  const std::string Bound = "symbolic n;\n"
+                            "for i := 2 to n do\n"
+                            "  a(i) := a(i-1) + 1;\n"
+                            "endfor\n";
+
+  ir::AnalyzedProgram APBase = analyzeOk(Base);
+  deps::FingerprintBuilder FBBase(APBase);
+  deps::PairFingerprint Orig =
+      FBBase.pair(find(APBase, "a", true), find(APBase, "a", false));
+
+  ir::AnalyzedProgram APRen = analyzeOk(Renamed);
+  EXPECT_EQ(Orig.Key, deps::FingerprintBuilder(APRen).pair(
+                          find(APRen, "zz", true), find(APRen, "zz", false))
+                          .Key);
+
+  ir::AnalyzedProgram APSub = analyzeOk(Subscript);
+  EXPECT_NE(Orig.Key, deps::FingerprintBuilder(APSub).pair(
+                          find(APSub, "a", true), find(APSub, "a", false))
+                          .Key);
+
+  ir::AnalyzedProgram APBound = analyzeOk(Bound);
+  EXPECT_NE(Orig.Key, deps::FingerprintBuilder(APBound)
+                          .pair(find(APBound, "a", true),
+                                find(APBound, "a", false))
+                          .Key);
+}
+
+// The unordered-pair key is orientation-canonical: both argument orders
+// produce the same key, with Swapped recording which order the canonical
+// serialization lists. Self pairs are never swapped.
+TEST(Fingerprint, OrientationCanonical) {
+  ir::AnalyzedProgram AP = analyzeOk("symbolic n;\n"
+                                     "for i := 1 to n do\n"
+                                     "  a(i) := a(i-1) + 1;\n"
+                                     "endfor\n");
+  deps::FingerprintBuilder FB(AP);
+  const ir::Access &W = find(AP, "a", true);
+  const ir::Access &R = find(AP, "a", false);
+
+  deps::PairFingerprint WR = FB.pair(W, R);
+  deps::PairFingerprint RW = FB.pair(R, W);
+  EXPECT_EQ(WR.Key, RW.Key);
+  EXPECT_NE(WR.Swapped, RW.Swapped);
+
+  deps::PairFingerprint Self = FB.pair(W, W);
+  EXPECT_FALSE(Self.Swapped);
+  EXPECT_NE(Self.Key, WR.Key);
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline persistence
+//===----------------------------------------------------------------------===//
+
+TEST(Baseline, SerializeRoundTrip) {
+  std::shared_ptr<const engine::BaselineResult> Base =
+      recordBaseline(readEdit("base"));
+  ASSERT_NE(Base, nullptr);
+  EXPECT_FALSE(Base->Pairs.empty());
+  EXPECT_FALSE(Base->Arrays.empty());
+
+  std::string Bytes = Base->serialize();
+  engine::BaselineResult Loaded;
+  std::string Err;
+  ASSERT_TRUE(engine::BaselineResult::deserialize(Bytes, &Loaded, &Err))
+      << Err;
+  EXPECT_TRUE(Loaded.Sig == Base->Sig);
+  EXPECT_EQ(Loaded.Arrays, Base->Arrays);
+  ASSERT_EQ(Loaded.Pairs.size(), Base->Pairs.size());
+  ASSERT_EQ(Loaded.KillGroups.size(), Base->KillGroups.size());
+  // Deterministic serialization: a round-trip reproduces the bytes.
+  EXPECT_EQ(Loaded.serialize(), Bytes);
+}
+
+TEST(Baseline, CorruptionRejected) {
+  std::shared_ptr<const engine::BaselineResult> Base =
+      recordBaseline(readEdit("base"));
+  ASSERT_NE(Base, nullptr);
+  std::string Bytes = Base->serialize();
+
+  engine::BaselineResult Out;
+  std::string Err;
+  EXPECT_FALSE(engine::BaselineResult::deserialize(
+      Bytes.substr(0, Bytes.size() / 2), &Out, &Err));
+  EXPECT_FALSE(Err.empty());
+
+  std::string Flipped = Bytes;
+  Flipped.back() = static_cast<char>(Flipped.back() ^ 0x40);
+  Err.clear();
+  EXPECT_FALSE(engine::BaselineResult::deserialize(Flipped, &Out, &Err));
+  EXPECT_FALSE(Err.empty());
+
+  std::string BadMagic = Bytes;
+  BadMagic.front() = static_cast<char>(BadMagic.front() ^ 0x01);
+  Err.clear();
+  EXPECT_FALSE(engine::BaselineResult::deserialize(BadMagic, &Out, &Err));
+  EXPECT_FALSE(Err.empty());
+
+  Err.clear();
+  EXPECT_FALSE(engine::BaselineResult::deserialize(std::string(), &Out, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Baseline, SaveLoadFile) {
+  std::shared_ptr<const engine::BaselineResult> Base =
+      recordBaseline(readEdit("base"));
+  ASSERT_NE(Base, nullptr);
+
+  std::string Path = ::testing::TempDir() + "delta_test.baseline";
+  std::string Err;
+  ASSERT_TRUE(Base->saveFile(Path, &Err)) << Err;
+
+  engine::BaselineResult Loaded;
+  ASSERT_TRUE(engine::BaselineResult::loadFile(Path, &Loaded, &Err)) << Err;
+  EXPECT_EQ(Loaded.serialize(), Base->serialize());
+  std::remove(Path.c_str());
+
+  EXPECT_FALSE(engine::BaselineResult::loadFile(
+      ::testing::TempDir() + "delta_test_missing.baseline", &Loaded, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental analysis over the edit corpus
+//===----------------------------------------------------------------------===//
+
+// The central gate: for every entry of the edit corpus, replaying the
+// base program's baseline renders a byte-identical result, reuses at
+// least one pair, and classifies every pair group exactly once.
+TEST(Delta, CorpusByteIdentityAndAccounting) {
+  std::shared_ptr<const engine::BaselineResult> Base =
+      recordBaseline(readEdit("base"));
+  ASSERT_NE(Base, nullptr);
+
+  const char *Edits[] = {"rename", "bound", "stmt-new", "stmt-edit",
+                         "loop-del"};
+  for (const char *Name : Edits) {
+    SCOPED_TRACE(Name);
+    ir::AnalyzedProgram AP = analyzeOk(readEdit(Name));
+
+    engine::DependenceEngine Scratch;
+    std::string Expected = api::renderResult(Scratch.analyze(AP));
+
+    engine::AnalysisRequest Req;
+    Req.Baseline = Base.get();
+    Req.BuildBaseline = true;
+    engine::DependenceEngine Engine(Req);
+    engine::AnalysisResult R = Engine.analyze(AP);
+
+    EXPECT_EQ(api::renderResult(R), Expected);
+    ASSERT_TRUE(R.Delta.Active);
+    EXPECT_GT(R.Delta.PairsReused, 0u);
+    EXPECT_EQ(R.Delta.PairsReused + R.Delta.PairsResolved + R.Delta.PairsNew,
+              groupTotal(AP));
+    // The stats mirror carries the same tallies.
+    EXPECT_EQ(R.Stats.DeltaPairsReused, R.Delta.PairsReused);
+    EXPECT_EQ(R.Stats.DeltaPairsResolved, R.Delta.PairsResolved);
+    EXPECT_EQ(R.Stats.DeltaPairsNew, R.Delta.PairsNew);
+  }
+}
+
+// Every class has a witness. A structurally novel pair on an unknown
+// array is "new" (the corpus itself never produces one: its added pairs
+// all structurally match existing fingerprints); an edited pair on a
+// known array is "resolved"; its orphaned baseline key is "removed".
+TEST(Delta, ClassificationWitnesses) {
+  const std::string Base = "symbolic n;\n"
+                           "for i := 1 to n do\n"
+                           "  a(i) := a(i-1) + 1;\n"
+                           "endfor\n";
+  std::shared_ptr<const engine::BaselineResult> BP = recordBaseline(Base);
+  ASSERT_NE(BP, nullptr);
+
+  // A second nest on a new array, transposed 2-D subscripts: nothing in
+  // the baseline matches structurally, and "z" is not a known array.
+  const std::string AddsNewArray = Base +
+                                   "for i := 1 to n do\n"
+                                   "  for j := 1 to n do\n"
+                                   "    z(i,j) := z(j,i) + 1;\n"
+                                   "  endfor\n"
+                                   "endfor\n";
+  // Same arrays, different subscript: fingerprints miss on a known array.
+  const std::string EditsPair = "symbolic n;\n"
+                                "for i := 1 to n do\n"
+                                "  a(i) := a(i-2) + 1;\n"
+                                "endfor\n";
+
+  struct Case {
+    const char *Tag;
+    const std::string &Source;
+    bool WantNew, WantResolved, WantRemoved;
+  } Cases[] = {
+      {"new-array", AddsNewArray, true, false, false},
+      {"edited-pair", EditsPair, false, true, true},
+  };
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.Tag);
+    ir::AnalyzedProgram AP = analyzeOk(C.Source);
+
+    engine::DependenceEngine Scratch;
+    std::string Expected = api::renderResult(Scratch.analyze(AP));
+
+    engine::AnalysisRequest Req;
+    Req.Baseline = BP.get();
+    Req.BuildBaseline = true;
+    engine::DependenceEngine Engine(Req);
+    engine::AnalysisResult R = Engine.analyze(AP);
+
+    EXPECT_EQ(api::renderResult(R), Expected);
+    ASSERT_TRUE(R.Delta.Active);
+    EXPECT_GT(R.Delta.PairsReused, 0u);
+    EXPECT_EQ(R.Delta.PairsNew > 0, C.WantNew);
+    EXPECT_EQ(R.Delta.PairsResolved > 0, C.WantResolved);
+    EXPECT_EQ(R.Delta.PairsRemoved > 0, C.WantRemoved);
+    EXPECT_EQ(R.Delta.PairsReused + R.Delta.PairsResolved + R.Delta.PairsNew,
+              groupTotal(AP));
+  }
+}
+
+// An identical replay reuses every pair and every kill group.
+TEST(Delta, IdenticalReplayReusesEverything) {
+  std::string Source = readEdit("base");
+  std::shared_ptr<const engine::BaselineResult> Base = recordBaseline(Source);
+  ASSERT_NE(Base, nullptr);
+  ir::AnalyzedProgram AP = analyzeOk(Source);
+
+  engine::AnalysisRequest Req;
+  Req.Baseline = Base.get();
+  Req.BuildBaseline = true;
+  engine::DependenceEngine Engine(Req);
+  engine::AnalysisResult R = Engine.analyze(AP);
+
+  ASSERT_TRUE(R.Delta.Active);
+  EXPECT_EQ(R.Delta.PairsResolved, 0u);
+  EXPECT_EQ(R.Delta.PairsNew, 0u);
+  EXPECT_EQ(R.Delta.PairsRemoved, 0u);
+  EXPECT_EQ(R.Delta.PairsReused, groupTotal(AP));
+  EXPECT_GT(R.Delta.KillGroupsTotal, 0u);
+  EXPECT_EQ(R.Delta.KillGroupsReused, R.Delta.KillGroupsTotal);
+}
+
+// A baseline recorded under a different pipeline signature is unusable;
+// Terminate opts out of the delta model entirely.
+TEST(Delta, SignatureMismatchAndTerminateDisable) {
+  std::string Source = readEdit("base");
+  std::shared_ptr<const engine::BaselineResult> Base = recordBaseline(Source);
+  ASSERT_NE(Base, nullptr);
+  ir::AnalyzedProgram AP = analyzeOk(Source);
+
+  engine::AnalysisRequest Req;
+  Req.Baseline = Base.get();
+  Req.BuildBaseline = true;
+  Req.Refine = false; // signature mismatch: everything classifies new
+  engine::DependenceEngine Mismatch(Req);
+  engine::AnalysisResult R = Mismatch.analyze(AP);
+  ASSERT_TRUE(R.Delta.Active);
+  EXPECT_EQ(R.Delta.PairsReused, 0u);
+
+  engine::AnalysisRequest TReq;
+  TReq.Baseline = Base.get();
+  TReq.BuildBaseline = true;
+  TReq.Terminate = true;
+  engine::DependenceEngine Terminating(TReq);
+  engine::AnalysisResult TR = Terminating.analyze(AP);
+  EXPECT_FALSE(TR.Delta.Active);
+  EXPECT_EQ(TR.Baseline, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot-store capacity
+//===----------------------------------------------------------------------===//
+
+// A single-shard cache makes the budget exact: stores beyond the cap
+// evict in LRU order (lookups refresh recency), the evictions land on
+// both the cache's counter and the passed OmegaStats, and lowering the
+// cap evicts immediately.
+TEST(SnapshotStore, LRUEvictionAndCounters) {
+  Problem P;
+  VarId X = P.addVar("x");
+  P.addGEQ({{X, 1}}, 0);
+  std::vector<bool> Keep(16, true);
+  EliminationSnapshot Snap(P, Keep);
+
+  QueryCache Cache(1);
+  Cache.setSnapshotCapacity(2);
+  OmegaStats Stats;
+
+  Cache.storeSnapshot("k1", Snap, &Stats);
+  Cache.storeSnapshot("k2", Snap, &Stats);
+  EXPECT_EQ(Cache.snapshotEvictions(), 0u);
+
+  // Refresh k1, then overflow: k2 is now least recent and goes first.
+  EXPECT_TRUE(Cache.lookupSnapshot("k1", &Stats).has_value());
+  Cache.storeSnapshot("k3", Snap, &Stats);
+  EXPECT_EQ(Cache.snapshotEvictions(), 1u);
+  EXPECT_EQ(Stats.SnapshotEvictions, 1u);
+  EXPECT_FALSE(Cache.lookupSnapshot("k2", &Stats).has_value());
+  EXPECT_TRUE(Cache.lookupSnapshot("k1", &Stats).has_value());
+  EXPECT_TRUE(Cache.lookupSnapshot("k3", &Stats).has_value());
+
+  // Lowering the cap evicts down to the new bound right away; the
+  // most recently touched key survives.
+  Cache.setSnapshotCapacity(1);
+  EXPECT_EQ(Cache.snapshotEvictions(), 2u);
+  EXPECT_TRUE(Cache.lookupSnapshot("k3", &Stats).has_value());
+  EXPECT_FALSE(Cache.lookupSnapshot("k1", &Stats).has_value());
+
+  // Re-storing an existing key is an update, not an eviction.
+  Cache.storeSnapshot("k3", Snap, &Stats);
+  EXPECT_EQ(Cache.snapshotEvictions(), 2u);
+
+  // Capacity 0 is unbounded again.
+  Cache.setSnapshotCapacity(0);
+  Cache.storeSnapshot("k4", Snap, &Stats);
+  Cache.storeSnapshot("k5", Snap, &Stats);
+  EXPECT_EQ(Cache.snapshotEvictions(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Jobs clamp
+//===----------------------------------------------------------------------===//
+
+// applyOptions clamps the requested parallelism to the pool built at
+// construction; jobs() always reports the effective count.
+TEST(JobsClamp, RequestsClampToPool) {
+  engine::AnalysisRequest Req;
+  Req.Jobs = 2;
+  engine::DependenceEngine Engine(Req);
+  ASSERT_EQ(Engine.maxJobs(), 2u);
+  EXPECT_EQ(Engine.jobs(), 2u);
+
+  engine::AnalysisRequest O = Req;
+  O.Jobs = 16;
+  Engine.applyOptions(O);
+  EXPECT_EQ(Engine.jobs(), 2u);
+
+  O.Jobs = 1;
+  Engine.applyOptions(O);
+  EXPECT_EQ(Engine.jobs(), 1u);
+
+  O.Jobs = 0; // "ask the hardware" resolves to the pool's capability
+  Engine.applyOptions(O);
+  EXPECT_EQ(Engine.jobs(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Serving stack: sessions and per-request jobs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Submits one request line and blocks until its response arrives.
+std::string ask(api::Server &Server, const std::string &Line) {
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::string Response;
+  bool Done = false;
+  Server.submit(Line, [&](std::string R) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Response = std::move(R);
+    Done = true;
+    CV.notify_one();
+  });
+  std::unique_lock<std::mutex> Lock(Mu);
+  CV.wait(Lock, [&] { return Done; });
+  return Response;
+}
+
+std::string sessionRequest(uint64_t Id, const std::string &Session,
+                           const std::string &Source) {
+  return "{\"id\": " + std::to_string(Id) + ", \"session\": \"" + Session +
+         "\", \"source\": \"" + api::json::escape(Source) + "\"}";
+}
+
+/// metrics.delta.<Field> of a response line, or -1 when absent.
+int64_t deltaField(const std::string &Response, const std::string &Field) {
+  api::json::Value Doc;
+  std::string Err;
+  if (!api::json::parse(Response, Doc, Err))
+    return -1;
+  if (const api::json::Value *M = Doc.get("metrics"))
+    if (const api::json::Value *D = M->get("delta"))
+      if (const api::json::Value *F = D->get(Field))
+        return F->asInt();
+  return -1;
+}
+
+/// The raw bytes of the top-level "result" object of a response line.
+std::string resultBytes(const std::string &Response) {
+  std::size_t At = Response.find("\"result\": ");
+  if (At == std::string::npos)
+    return std::string();
+  At += 10;
+  int Depth = 0;
+  bool InString = false;
+  for (std::size_t I = At; I != Response.size(); ++I) {
+    char C = Response[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Depth;
+    else if (C == '}' && --Depth == 0)
+      return Response.substr(At, I + 1 - At);
+  }
+  return std::string();
+}
+
+} // namespace
+
+// A session's second request reuses the baseline its first request
+// recorded, with the result still byte-identical to a one-shot run; the
+// session map holds MaxSessions baselines and evicts the least recently
+// used one, which then starts over as all-new.
+TEST(ServeSessions, RetainReuseAndEvict) {
+  api::Server::Config Cfg;
+  Cfg.Workers = 1;
+  Cfg.Defaults.Jobs = 1;
+  Cfg.MaxSessions = 2;
+  api::Server Server(Cfg);
+
+  std::string Base = readEdit("base");
+  std::string Edit = readEdit("stmt-edit");
+
+  engine::DependenceEngine Reference;
+  std::string Expected =
+      api::renderResult(Reference.analyze(analyzeOk(Edit)));
+
+  // First request of a session: nothing to reuse, everything new.
+  std::string R1 = ask(Server, sessionRequest(1, "s1", Base));
+  EXPECT_EQ(deltaField(R1, "pairsReused"), 0);
+  int64_t BaseGroups = deltaField(R1, "pairsNew");
+  EXPECT_GT(BaseGroups, 0);
+
+  // Second request: the edit reuses the retained baseline.
+  std::string R2 = ask(Server, sessionRequest(2, "s1", Edit));
+  EXPECT_GT(deltaField(R2, "pairsReused"), 0);
+  EXPECT_EQ(resultBytes(R2), resultBytes(
+                                 "{\"result\": " + Expected + "}"));
+
+  // Two more sessions overflow MaxSessions = 2 and evict s1 (least
+  // recently used); s1 then starts from scratch again.
+  ask(Server, sessionRequest(3, "s2", Base));
+  ask(Server, sessionRequest(4, "s3", Base));
+  std::string R5 = ask(Server, sessionRequest(5, "s1", Edit));
+  EXPECT_EQ(deltaField(R5, "pairsReused"), 0);
+  EXPECT_EQ(resultBytes(R5), resultBytes(R2));
+
+  // Sessionless requests never activate the delta layer.
+  std::string R6 = ask(Server, "{\"id\": 6, \"source\": \"" +
+                                   api::json::escape(Edit) + "\"}");
+  EXPECT_EQ(deltaField(R6, "pairsReused"), -1);
+  EXPECT_EQ(resultBytes(R6), resultBytes(R2));
+}
+
+// Per-request jobs are honored but clamped to the worker's pool; the
+// effective value is what metrics reports.
+TEST(ServeSessions, PerRequestJobsClamped) {
+  api::Server::Config Cfg;
+  Cfg.Workers = 1;
+  Cfg.Defaults.Jobs = 2;
+  api::Server Server(Cfg);
+
+  std::string Source = readEdit("base");
+  auto jobsOf = [&](const std::string &OptionsJson) {
+    std::string Line = "{\"id\": 1, \"source\": \"" +
+                       api::json::escape(Source) + "\"";
+    if (!OptionsJson.empty())
+      Line += ", \"options\": " + OptionsJson;
+    Line += "}";
+    std::string Response = ask(Server, Line);
+    api::json::Value Doc;
+    std::string Err;
+    EXPECT_TRUE(api::json::parse(Response, Doc, Err)) << Err;
+    if (const api::json::Value *M = Doc.get("metrics"))
+      if (const api::json::Value *J = M->get("jobs"))
+        return J->asInt();
+    return int64_t(-1);
+  };
+
+  EXPECT_EQ(jobsOf(""), 2);                  // defaults
+  EXPECT_EQ(jobsOf("{\"jobs\": 16}"), 2);    // clamped to the pool
+  EXPECT_EQ(jobsOf("{\"jobs\": 1}"), 1);     // lower requests honored
+}

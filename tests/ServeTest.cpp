@@ -96,7 +96,7 @@ std::string errorCode(const std::string &Response) {
 }
 
 /// One-shot reference: a fresh engine run rendered through the same
-/// schema-2 result renderer (what `omega-analyze --json` emits).
+/// schema-3 result renderer (what `omega-analyze --json` emits).
 std::string oneShotResult(const ir::AnalyzedProgram &AP, unsigned Jobs,
                           bool Cache) {
   engine::AnalysisRequest Req;

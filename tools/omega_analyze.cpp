@@ -11,7 +11,7 @@
 // Options are the shared api::AnalysisOptions surface (see --help; the
 // same table drives omega-calc and omega-serve), plus two tool-specific
 // arguments: the input file positional and `--sym name=value` symbol
-// bindings for --run. Machine-readable output (--json) is the schema-2
+// bindings for --run. Machine-readable output (--json) is the schema-3
 // response document of api/Response.h, byte-identical in its "result"
 // section to an omega-serve response for the same program.
 //
@@ -172,7 +172,27 @@ int main(int Argc, char **Argv) {
     Req.Trace = Tracer.get();
   }
 
+  // --baseline replays the recorded pair outcomes of a previous run over
+  // this (possibly edited) program; --save-baseline records this run's.
+  // A missing or invalid baseline file degrades to a from-scratch run --
+  // the result is byte-identical either way, only the work differs.
+  engine::BaselineResult Baseline;
+  if (!Opts.BaselineFile.empty()) {
+    std::string LoadErr;
+    if (engine::BaselineResult::loadFile(Opts.BaselineFile, &Baseline,
+                                         &LoadErr)) {
+      Req.Baseline = &Baseline;
+    } else {
+      std::fprintf(stderr, "warning: ignoring baseline: %s\n",
+                   LoadErr.c_str());
+    }
+  }
+  if (!Opts.BaselineFile.empty() || !Opts.SaveBaselineFile.empty())
+    Req.BuildBaseline = true;
+
   engine::DependenceEngine Engine(Req);
+  if (Engine.cache())
+    Engine.cache()->setSnapshotCapacity(Opts.SnapshotCacheCap);
   // --cache-file warm-starts the engine's cache the way omega-serve does;
   // a missing or invalid file is simply a cold start.
   if (!Opts.CacheFile.empty() && Engine.cache()) {
@@ -194,6 +214,14 @@ int main(int Argc, char **Argv) {
     if (!CacheOut.is_open() || !Engine.cache()->save(CacheOut))
       std::fprintf(stderr, "warning: cannot write %s\n",
                    Opts.CacheFile.c_str());
+  }
+
+  if (!Opts.SaveBaselineFile.empty()) {
+    std::string SaveErr;
+    if (!R.Baseline || !R.Baseline->saveFile(Opts.SaveBaselineFile, &SaveErr))
+      std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                   Opts.SaveBaselineFile.c_str(),
+                   SaveErr.empty() ? "no baseline recorded" : SaveErr.c_str());
   }
 
   if (!Opts.TraceFile.empty()) {
@@ -292,6 +320,15 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(R.Cache.GistHits +
                                                 R.Cache.GistMisses),
                 static_cast<unsigned long long>(R.CacheEntries));
+    if (R.Delta.Active)
+      std::printf("incremental: %llu pairs reused, %llu re-solved, %llu "
+                  "new, %llu removed; %llu/%llu kill groups reused\n",
+                  static_cast<unsigned long long>(R.Delta.PairsReused),
+                  static_cast<unsigned long long>(R.Delta.PairsResolved),
+                  static_cast<unsigned long long>(R.Delta.PairsNew),
+                  static_cast<unsigned long long>(R.Delta.PairsRemoved),
+                  static_cast<unsigned long long>(R.Delta.KillGroupsReused),
+                  static_cast<unsigned long long>(R.Delta.KillGroupsTotal));
   }
 
   if (Opts.Profile != api::AnalysisOptions::ProfileOff) {

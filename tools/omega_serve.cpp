@@ -9,7 +9,7 @@
 //
 //   $ omega-serve --workers 4 --cache-file /tmp/omega.qc
 //   {"id": 1, "source": "for i = 1 to n { a[i] = a[i-1]; }"}
-//   {"schema": 2, "id": 1, "ok": true, "result": {...}, "metrics": {...}}
+//   {"schema": 3, "id": 1, "ok": true, "result": {...}, "metrics": {...}}
 //
 // Every response's "result" section is byte-identical to a one-shot
 // `omega-analyze --json` run of the same program: the engine's structural
@@ -65,6 +65,7 @@ int main(int Argc, char **Argv) {
   Cfg.MaxQueue = Parsed.Options.MaxQueue;
   Cfg.DeadlineMs = Parsed.Options.DeadlineMs;
   Cfg.CacheFile = Parsed.Options.CacheFile;
+  Cfg.MaxSessions = Parsed.Options.MaxSessions;
 
   api::Server Server(Cfg);
   if (!Server.startupNote().empty())
