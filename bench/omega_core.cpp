@@ -516,6 +516,49 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
                       ServerWarm[I].Identical;
   }
 
+  // -- server telemetry overhead: the same warm 4-client leg with the
+  // access log and Prometheus exposition on versus off. Recording is a
+  // few relaxed atomics plus one log line per request, so the wall-clock
+  // delta must stay inside the CI gate's few-percent bound, and results
+  // stay byte-identical either way.
+  ServerLegNumbers TeleOff, TeleOn;
+  bool TeleIdentical = true;
+  {
+    auto RunTelemetryLeg = [&](bool On) {
+      api::Server::Config Cfg;
+      Cfg.Workers = 4;
+      Cfg.MaxQueue = 1024;
+      std::string AccessPath = "omega_core_bench.access.jsonl";
+      std::string PromPath = "omega_core_bench.metrics.prom";
+      if (On) {
+        Cfg.AccessLog = AccessPath;
+        Cfg.MetricsFile = PromPath;
+      }
+      api::Server Server(Cfg);
+      ServerLegNumbers Cold =
+          runServerLeg(Server, 4, ServeLines, ServeExpected); // warm the cache
+      TeleIdentical = TeleIdentical && Cold.Identical;
+      // Best of three warm passes: the overhead gate compares a few
+      // percent, which single runs of a sub-second leg cannot resolve.
+      ServerLegNumbers Best;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        ServerLegNumbers N =
+            runServerLeg(Server, 4, ServeLines, ServeExpected);
+        TeleIdentical = TeleIdentical && N.Identical;
+        if (Rep == 0 || N.WallMs < Best.WallMs)
+          Best = N;
+      }
+      Server.stop();
+      if (On) {
+        std::remove(AccessPath.c_str());
+        std::remove(PromPath.c_str());
+      }
+      return Best;
+    };
+    TeleOff = RunTelemetryLeg(false);
+    TeleOn = RunTelemetryLeg(true);
+  }
+
   // -- incremental: edit-corpus replay against a recorded baseline -------
   // For each edited program, three legs re-analyze it EditReps times with
   // the cache state a fresh edit would see: cold (no cache at all), warm
@@ -661,6 +704,15 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
     writeServerLeg(W, "warm", ServerWarm[I]);
     W.endObject();
   }
+  W.beginObject("telemetry");
+  writeServerLeg(W, "off", TeleOff);
+  writeServerLeg(W, "on", TeleOn);
+  W.field("overhead_pct",
+          TeleOff.WallMs > 0
+              ? (TeleOn.WallMs / TeleOff.WallMs - 1.0) * 100.0
+              : 0.0);
+  W.field("results_identical", TeleIdentical);
+  W.endObject();
   W.field("results_identical", ServerIdentical);
   W.endObject();
   W.beginObject("incremental");
@@ -696,6 +748,12 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
               "(results %s)\n",
               ServerWarm[0].Rps, ServerWarm[1].Rps, ServerWarm[2].Rps,
               ServerIdentical ? "identical" : "DIFFER");
+  std::printf("telemetry: off %.1f ms, on %.1f ms (%+.1f%%, results %s)\n",
+              TeleOff.WallMs, TeleOn.WallMs,
+              TeleOff.WallMs > 0
+                  ? (TeleOn.WallMs / TeleOff.WallMs - 1.0) * 100.0
+                  : 0.0,
+              TeleIdentical ? "identical" : "DIFFER");
   std::printf("incremental: %.1f ms over %zu edits, single-statement "
               "speedup %.2fx vs warm (results %s)\n",
               IncSectionMs, EditLegs.size(), SingleStmtSpeedup,

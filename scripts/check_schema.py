@@ -9,9 +9,11 @@ properties, additionalProperties, items, oneOf, minimum, $ref (local
 Usage:
     check_schema.py FILE...      # each FILE holds one JSON document per line
     check_schema.py -            # read JSONL from stdin
+    check_schema.py --schema schema/metrics_response.schema.json FILE...
 
 Every non-empty line of every input must parse as JSON and validate.
-Exit status 0 when all documents validate, 1 otherwise.
+--schema selects a different schema file (default: the analysis response
+schema). Exit status 0 when all documents validate, 1 otherwise.
 """
 
 import json
@@ -119,11 +121,22 @@ class Validator:
 
 
 def main(argv):
-    inputs = argv[1:]
+    schema_path = SCHEMA_PATH
+    inputs = []
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--schema":
+            if not args:
+                print("--schema requires a path", file=sys.stderr)
+                return 2
+            schema_path = args.pop(0)
+        else:
+            inputs.append(arg)
     if not inputs:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(SCHEMA_PATH) as f:
+    with open(schema_path) as f:
         validator = Validator(json.load(f))
 
     checked = 0

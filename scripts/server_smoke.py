@@ -10,10 +10,19 @@ clients over every example program, and checks the serving contract:
     clients, and request interleaving must be invisible in results);
  3. the shutdown op stops the daemon cleanly.
 
+With --telemetry-dir DIR the daemon also runs with --metrics-file and
+--access-log pointing into DIR, and the driver scrapes the health and
+metrics ops mid-run: both documents must validate against
+schema/metrics_response.schema.json, and the metrics response, the final
+Prometheus exposition, and the access log are left in DIR for
+check_metrics.py to cross-check (DIR/metrics_response.jsonl,
+DIR/metrics.prom, DIR/access.jsonl).
+
 Usage:
     server_smoke.py --serve build/tools/omega-serve \
                     --analyze build/tools/omega-analyze \
-                    [--programs examples/programs] [--clients 4] [--rounds 2]
+                    [--programs examples/programs] [--clients 4] [--rounds 2] \
+                    [--telemetry-dir DIR]
 
 Exit status 0 on success, 1 on any violation.
 """
@@ -62,6 +71,21 @@ def result_bytes(line):
     return None
 
 
+def one_request(sock_path, req):
+    """Sends one request on a fresh connection; returns the response line."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(sock_path)
+    sock.sendall((json.dumps(req) + "\n").encode())
+    buf = b""
+    while b"\n" not in buf:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise RuntimeError("connection closed mid-request")
+        buf += chunk
+    sock.close()
+    return buf.split(b"\n", 1)[0].decode()
+
+
 def client(sock_path, requests, responses, errors, tag):
     """One closed-loop client: send each request, wait for its response."""
     try:
@@ -89,6 +113,10 @@ def main():
     ap.add_argument("--programs", default="examples/programs")
     ap.add_argument("--clients", type=int, default=4)
     ap.add_argument("--rounds", type=int, default=2)
+    ap.add_argument("--telemetry-dir",
+                    help="scrape health/metrics ops and leave the metrics "
+                         "response, Prometheus exposition, and access log "
+                         "here for check_metrics.py")
     args = ap.parse_args()
 
     programs = sorted(glob.glob(os.path.join(args.programs, "*.tiny")))
@@ -111,8 +139,15 @@ def main():
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:
         sock_path = os.path.join(tmp, "omega.sock")
+        cmd = [args.serve, "--socket", sock_path, "--workers", "4"]
+        if args.telemetry_dir:
+            os.makedirs(args.telemetry_dir, exist_ok=True)
+            cmd += ["--metrics-file",
+                    os.path.join(args.telemetry_dir, "metrics.prom"),
+                    "--access-log",
+                    os.path.join(args.telemetry_dir, "access.jsonl")]
         daemon = subprocess.Popen(
-            [args.serve, "--socket", sock_path, "--workers", "4"],
+            cmd,
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         )
         try:
@@ -185,6 +220,27 @@ def main():
             if total != want_total:
                 print(f"got {total} responses, want {want_total}")
                 failures += 1
+
+            # Telemetry scrape: the health and metrics ops must answer and
+            # validate while the server is live.
+            if args.telemetry_dir:
+                metrics_schema = os.path.join(
+                    os.path.dirname(SCHEMA_PATH),
+                    "metrics_response.schema.json")
+                tele_validator = Validator(json.load(open(metrics_schema)))
+                for op in ("health", "metrics"):
+                    line = one_request(sock_path,
+                                       {"id": 1000000, "op": op})
+                    errs = tele_validator.validate(
+                        json.loads(line), tele_validator.root)
+                    if errs:
+                        print(f"{op} op: schema violation: {errs[0]}")
+                        failures += 1
+                    if op == "metrics":
+                        out = os.path.join(args.telemetry_dir,
+                                           "metrics_response.jsonl")
+                        with open(out, "w") as f:
+                            f.write(line + "\n")
 
             # Clean shutdown through the protocol.
             fin = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)

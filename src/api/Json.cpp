@@ -23,6 +23,11 @@ const Value *Value::get(const std::string &Key) const {
 
 namespace {
 
+/// Recursion bound for nested arrays/objects: generous for any real
+/// request document, small enough that hostile input ("[[[[...") fails
+/// with a clean error instead of exhausting the stack.
+constexpr unsigned MaxDepth = 64;
+
 struct Parser {
   const std::string &Text;
   std::size_t Pos = 0;
@@ -56,6 +61,50 @@ struct Parser {
       return fail(std::string("bad literal (expected ") + Word + ")");
     Pos += Len;
     return true;
+  }
+
+  /// Reads exactly four hex digits into \p Code. On a short or malformed
+  /// run, Pos points at the offending byte so the error offset is exact.
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size()) {
+      Pos = Text.size();
+      return fail("truncated \\u escape");
+    }
+    Code = 0;
+    for (int I = 0; I != 4; ++I) {
+      char H = Text[Pos];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else
+        return fail("bad \\u escape digit");
+      ++Pos;
+    }
+    return true;
+  }
+
+  /// Appends \p Code as UTF-8 (Code is a scalar value; surrogates were
+  /// already combined or rejected by the caller).
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
   }
 
   bool parseString(std::string &Out) {
@@ -98,24 +147,27 @@ struct Parser {
           Out += '\t';
           break;
         case 'u': {
-          if (Pos + 4 > Text.size())
-            return fail("truncated \\u escape");
-          unsigned Code = 0;
-          for (int I = 0; I != 4; ++I) {
-            char H = Text[Pos++];
-            Code <<= 4;
-            if (H >= '0' && H <= '9')
-              Code |= static_cast<unsigned>(H - '0');
-            else if (H >= 'a' && H <= 'f')
-              Code |= static_cast<unsigned>(H - 'a' + 10);
-            else if (H >= 'A' && H <= 'F')
-              Code |= static_cast<unsigned>(H - 'A' + 10);
-            else
-              return fail("bad \\u escape digit");
+          unsigned Code;
+          if (!parseHex4(Code))
+            return false;
+          // RFC 8259 represents code points beyond the BMP as a surrogate
+          // pair of \u escapes. A high surrogate must be followed by a
+          // \u-escaped low surrogate; unpaired surrogates are malformed.
+          if (Code >= 0xD800 && Code <= 0xDBFF) {
+            if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+                Text[Pos + 1] != 'u')
+              return fail("unpaired high surrogate");
+            Pos += 2;
+            unsigned Low;
+            if (!parseHex4(Low))
+              return false;
+            if (Low < 0xDC00 || Low > 0xDFFF)
+              return fail("invalid low surrogate");
+            Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+          } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+            return fail("unpaired low surrogate");
           }
-          // ASCII decodes exactly; anything beyond is replaced. The
-          // protocol's own strings (tiny sources, option names) are ASCII.
-          Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+          appendUtf8(Out, Code);
           break;
         }
         default:
@@ -130,7 +182,7 @@ struct Parser {
   }
 
   bool parseValue(Value &Out) {
-    if (++Depth > 64)
+    if (++Depth > MaxDepth)
       return fail("nesting too deep");
     skipWS();
     if (Pos >= Text.size())

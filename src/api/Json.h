@@ -8,11 +8,13 @@
 /// \file
 /// A small, dependency-free JSON reader for the pieces of the serving
 /// stack that consume JSON: omega-serve's JSONL request lines and the
-/// option objects embedded in them. It parses a strict subset of RFC 8259
-/// (no surrogate-pair decoding; \uXXXX escapes above 0x7f are preserved
-/// as '?') which is ample for the protocol's own documents. Writing JSON
-/// stays string-building (api/Response.h) so the response bytes are
-/// reproducible -- the bit-identity gate diffs them directly.
+/// option objects embedded in them. It parses RFC 8259 documents with
+/// full \uXXXX decoding (surrogate pairs combine to UTF-8; unpaired
+/// surrogates are rejected), a bounded nesting depth so hostile input
+/// fails cleanly instead of exhausting the stack, and byte-exact error
+/// offsets for truncated input. Writing JSON stays string-building
+/// (api/Response.h) so the response bytes are reproducible -- the
+/// bit-identity gate diffs them directly.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -106,6 +106,18 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
       {"--max-sessions", nullptr, ToolServe, true, "N",
        "incremental sessions whose baselines stay retained, LRU-evicted "
        "beyond N (requests opt in with a \"session\" key)"},
+      {"--metrics-file", nullptr, ToolServe, true, "PATH",
+       "rewrite PATH atomically with a Prometheus text-format metrics "
+       "exposition (on every metrics op, periodically, and at shutdown)"},
+      {"--access-log", nullptr, ToolServe, true, "PATH",
+       "append one JSONL record per analyzed request to PATH (latency "
+       "decomposition, cache traffic, response code)"},
+      {"--slow-ms", nullptr, ToolServe, true, "MS",
+       "trace requests taking >= MS ms and flag them in the access log "
+       "(0 = off); with --slow-trace-dir the Chrome trace is saved"},
+      {"--slow-trace-dir", nullptr, ToolServe, true, "DIR",
+       "directory for per-request Chrome traces of slow requests "
+       "(requires --slow-ms)"},
   };
   return Specs;
 }
@@ -209,7 +221,17 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     if (!parseUnsigned(Val, U) || U == 0)
       return BadNum();
     O.MaxSessions = static_cast<unsigned>(U);
-  } else {
+  } else if (Flag == "--metrics-file")
+    O.MetricsFile = Val;
+  else if (Flag == "--access-log")
+    O.AccessLogFile = Val;
+  else if (Flag == "--slow-ms") {
+    if (!parseUnsigned(Val, U))
+      return BadNum();
+    O.SlowMs = U;
+  } else if (Flag == "--slow-trace-dir")
+    O.SlowTraceDir = Val;
+  else {
     Err = "unhandled shared option " + Flag;
     return false;
   }

@@ -101,6 +101,14 @@ struct AnalysisOptions {
   /// Incremental sessions whose baselines stay retained (LRU beyond N).
   unsigned MaxSessions = 64;     ///< --max-sessions N
 
+  // -- serve-only telemetry ---------------------------------------------
+  std::string MetricsFile;   ///< --metrics-file=PATH Prometheus exposition
+  std::string AccessLogFile; ///< --access-log=PATH JSONL request records
+  /// Requests at or above this wall time are flagged slow (and traced
+  /// when SlowTraceDir is set). 0 disables slow-request capture.
+  uint64_t SlowMs = 0;          ///< --slow-ms MS
+  std::string SlowTraceDir;     ///< --slow-trace-dir=DIR Chrome traces
+
   /// Lowers the option set into the engine's request struct.
   engine::AnalysisRequest toEngineRequest() const;
 };

@@ -176,6 +176,15 @@ std::string api::renderServerOk(uint64_t Id, const std::string &Result,
          ", \"metrics\": " + Metrics + "}";
 }
 
+std::string api::renderServerOp(bool HasId, uint64_t Id, const std::string &Op,
+                                const std::string &BodyKey,
+                                const std::string &Body) {
+  return "{\"schema\": " + std::to_string(SchemaVersion) +
+         ", \"id\": " + (HasId ? std::to_string(Id) : "null") +
+         ", \"ok\": true, \"op\": \"" + Op + "\", \"" + BodyKey +
+         "\": " + Body + "}";
+}
+
 std::string api::renderServerError(bool HasId, uint64_t Id,
                                    const std::string &Code,
                                    const std::string &Message) {

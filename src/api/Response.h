@@ -77,6 +77,13 @@ std::string renderServerOk(uint64_t Id, const std::string &Result,
 std::string renderServerError(bool HasId, uint64_t Id, const std::string &Code,
                               const std::string &Message);
 
+/// An operational response line (the telemetry ops: metrics, health, and
+/// the shutdown acknowledgment): {"schema": 3, "id": ..., "ok": true,
+/// "op": OP, BODYKEY: BODY}. \p Body is pre-rendered JSON
+/// (schema/metrics_response.schema.json describes the three documents).
+std::string renderServerOp(bool HasId, uint64_t Id, const std::string &Op,
+                           const std::string &BodyKey, const std::string &Body);
+
 } // namespace api
 } // namespace omega
 

@@ -9,14 +9,17 @@
 #include "api/Json.h"
 #include "api/Response.h"
 #include "ir/Sema.h"
+#include "obs/Trace.h"
 #include "omega/QueryCache.h"
 
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -28,10 +31,187 @@ using namespace omega;
 using namespace omega::api;
 
 //===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Latency histogram boundaries in microseconds: tight resolution where
+/// the corpus kernels live (sub-millisecond), decades above for queue
+/// pressure and pathological requests.
+const std::vector<uint64_t> LatencyBoundsUs = {
+    100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
+    1000000};
+
+std::string isoTimestamp() {
+  std::time_t T = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm Tm{};
+  gmtime_r(&T, &Tm);
+  char Buf[40];
+  std::strftime(Buf, sizeof(Buf), "%Y-%m-%dT%H:%M:%SZ", &Tm);
+  return Buf;
+}
+
+std::string msField(uint64_t Micros) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", static_cast<double>(Micros) / 1000.0);
+  return Buf;
+}
+
+} // namespace
+
+/// The server's instruments plus the access-log/exposition sinks. The
+/// registry is always on -- recording is a handful of relaxed atomics per
+/// request -- and the accounting discipline mirrors the paper's Figure 6:
+/// every submit() increments requests_total and exactly one per-op
+/// counter, every response increments exactly one per-code counter, and
+/// the engine-fed counters accumulate each request's own attribution, so
+/// at quiescence they equal the shared cache's global totals.
+struct Server::Telemetry {
+  obs::MetricsRegistry Registry;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+
+  // One per submit().
+  obs::Counter *RequestsTotal;
+  // Exactly one of these per submit(): the dispatched op, or "invalid"
+  // for lines rejected before dispatch (parse error, bad id, bad op).
+  obs::Counter *ReqAnalyze, *ReqHealth, *ReqMetrics, *ReqShutdown,
+      *ReqInvalid;
+  // Exactly one of these per response line.
+  obs::Counter *RespOk, *RespParseError, *RespBadRequest, *RespAnalysisError,
+      *RespOverloaded, *RespDeadline, *RespShutdown;
+  // Analyze requests answered ok (== solve/serialize histogram counts).
+  obs::Counter *AnalyzeOk;
+  // Engine-fed: per-request attribution summed into process totals.
+  obs::Counter *EngSatCalls, *EngSatHits, *EngSatMisses, *EngGistHits,
+      *EngGistMisses, *EngSnapHits, *EngSnapMisses, *EngQuickDecided,
+      *EngDeltaReused, *EngDeltaResolved, *EngDeltaNew;
+
+  obs::Gauge *QueueDepth, *ActiveWorkers, *LiveSessions, *CacheEntries,
+      *SnapshotEntries;
+
+  obs::Histogram *QueueWaitUs, *ParseUs, *SolveUs, *SerializeUs, *RequestUs;
+
+  std::mutex AccessMu;
+  std::ofstream AccessLog;
+  std::mutex FileMu;
+  std::atomic<uint64_t> SlowSeq{0};
+  std::atomic<uint64_t> Completed{0};
+
+  Telemetry() {
+    auto C = [&](const char *Name, const char *Help) {
+      return Registry.counter(Name, Help);
+    };
+    RequestsTotal = C("omega_serve_requests_total",
+                      "Request lines submitted (every op and every "
+                      "malformed line)");
+    ReqAnalyze = C("omega_serve_requests_analyze_total",
+                   "Requests dispatched as the analyze op");
+    ReqHealth = C("omega_serve_requests_health_total",
+                  "Requests dispatched as the health op");
+    ReqMetrics = C("omega_serve_requests_metrics_total",
+                   "Requests dispatched as the metrics op");
+    ReqShutdown = C("omega_serve_requests_shutdown_total",
+                    "Requests dispatched as the shutdown op");
+    ReqInvalid = C("omega_serve_requests_invalid_total",
+                   "Lines rejected before dispatch (parse error, bad id, "
+                   "unknown op)");
+    RespOk = C("omega_serve_responses_ok_total", "Responses with ok=true");
+    RespParseError = C("omega_serve_responses_parse_error_total",
+                       "parse_error responses");
+    RespBadRequest = C("omega_serve_responses_bad_request_total",
+                       "bad_request responses");
+    RespAnalysisError = C("omega_serve_responses_analysis_error_total",
+                          "analysis_error responses");
+    RespOverloaded = C("omega_serve_responses_overloaded_total",
+                       "overloaded responses (queue full)");
+    RespDeadline = C("omega_serve_responses_deadline_exceeded_total",
+                     "deadline_exceeded responses");
+    RespShutdown = C("omega_serve_responses_shutdown_total",
+                     "shutdown responses (admission refused while "
+                     "stopping)");
+    AnalyzeOk = C("omega_serve_analyze_ok_total",
+                  "Analyze requests answered with a result");
+    EngSatCalls = C("omega_engine_sat_calls_total",
+                    "Satisfiability calls made by worker engines");
+    EngSatHits = C("omega_engine_sat_cache_hits_total",
+                   "Sat verdicts answered from the shared cache");
+    EngSatMisses = C("omega_engine_sat_cache_misses_total",
+                     "Sat queries the shared cache could not answer");
+    EngGistHits = C("omega_engine_gist_cache_hits_total",
+                    "Gists answered from the shared cache");
+    EngGistMisses = C("omega_engine_gist_cache_misses_total",
+                      "Gist queries the shared cache could not answer");
+    EngSnapHits = C("omega_engine_snapshot_cache_hits_total",
+                    "Elimination snapshots adopted from the shared cache");
+    EngSnapMisses = C("omega_engine_snapshot_cache_misses_total",
+                      "Snapshot lookups the shared cache could not answer");
+    EngQuickDecided = C("omega_engine_quicktest_decided_total",
+                        "Pair queries decided by the ZIV/GCD/bounds "
+                        "pre-filter");
+    EngDeltaReused = C("omega_engine_delta_pairs_reused_total",
+                       "Pairs materialized from a session baseline");
+    EngDeltaResolved = C("omega_engine_delta_pairs_resolved_total",
+                         "Pairs re-solved because their fingerprint "
+                         "changed");
+    EngDeltaNew = C("omega_engine_delta_pairs_new_total",
+                    "Pairs with no baseline counterpart");
+
+    auto G = [&](const char *Name, const char *Help) {
+      return Registry.gauge(Name, Help);
+    };
+    QueueDepth = G("omega_serve_queue_depth",
+                   "Requests admitted but not yet claimed by a worker");
+    ActiveWorkers = G("omega_serve_active_workers",
+                      "Workers currently running a request");
+    LiveSessions = G("omega_serve_live_sessions",
+                     "Incremental sessions with a retained baseline");
+    CacheEntries = G("omega_serve_cache_entries",
+                     "Entries resident in the shared query cache");
+    SnapshotEntries = G("omega_serve_snapshot_store_entries",
+                        "Elimination snapshots resident in the shared "
+                        "cache's LRU store");
+
+    auto H = [&](const char *Name, const char *Help) {
+      return Registry.histogram(Name, Help, LatencyBoundsUs);
+    };
+    QueueWaitUs = H("omega_serve_queue_wait_us",
+                    "Admission-to-dequeue wait per run request");
+    ParseUs = H("omega_serve_parse_us",
+                "Source parse+sema time per run request");
+    SolveUs = H("omega_serve_solve_us",
+                "Engine analysis time per ok request");
+    SerializeUs = H("omega_serve_serialize_us",
+                    "Response rendering time per ok request");
+    RequestUs = H("omega_serve_request_us",
+                  "Admission-to-response total per run request");
+  }
+
+  obs::Counter *codeCounter(const std::string &Code) {
+    if (Code == "ok")
+      return RespOk;
+    if (Code == "parse_error")
+      return RespParseError;
+    if (Code == "bad_request")
+      return RespBadRequest;
+    if (Code == "analysis_error")
+      return RespAnalysisError;
+    if (Code == "overloaded")
+      return RespOverloaded;
+    if (Code == "deadline_exceeded")
+      return RespDeadline;
+    return RespShutdown;
+  }
+};
+
+//===----------------------------------------------------------------------===//
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
 Server::Server(const Config &C) : Cfg(C) {
+  Tele = std::make_unique<Telemetry>();
   if (Cfg.Defaults.UseQueryCache) {
     Cache = std::make_unique<QueryCache>();
     Cache->setSnapshotCapacity(Cfg.Defaults.SnapshotCacheCap);
@@ -48,6 +228,15 @@ Server::Server(const Config &C) : Cfg(C) {
     }
   } else if (!Cfg.CacheFile.empty()) {
     StartupNote = "cold start: caching disabled, ignoring " + Cfg.CacheFile;
+  }
+
+  if (!Cfg.AccessLog.empty()) {
+    Tele->AccessLog.open(Cfg.AccessLog, std::ios::app);
+    if (!Tele->AccessLog.is_open()) {
+      if (!StartupNote.empty())
+        StartupNote += "; ";
+      StartupNote += "access log unavailable: cannot open " + Cfg.AccessLog;
+    }
   }
 
   if (Cfg.Workers == 0)
@@ -122,6 +311,9 @@ void Server::stop() {
       std::remove(Tmp.c_str());
     }
   }
+  writeMetricsFile(); // final exposition reflects the fully drained state
+  if (Tele->AccessLog.is_open())
+    Tele->AccessLog.flush();
 }
 
 //===----------------------------------------------------------------------===//
@@ -130,9 +322,13 @@ void Server::stop() {
 
 void Server::submit(std::string Line,
                     std::function<void(std::string)> Respond) {
+  Tele->RequestsTotal->add();
+
   json::Value Doc;
   std::string Err;
   if (!json::parse(Line, Doc, Err) || !Doc.isObject()) {
+    Tele->ReqInvalid->add();
+    Tele->RespParseError->add();
     Respond(renderServerError(false, 0, "parse_error",
                               Err.empty() ? "request is not a JSON object"
                                           : Err));
@@ -143,6 +339,8 @@ void Server::submit(std::string Line,
   uint64_t Id = 0;
   if (const json::Value *V = Doc.get("id")) {
     if (!V->isNumber() || V->asNumber() < 0) {
+      Tele->ReqInvalid->add();
+      Tele->RespBadRequest->add();
       Respond(renderServerError(false, 0, "bad_request",
                                 "\"id\" must be a non-negative number"));
       return;
@@ -151,22 +349,51 @@ void Server::submit(std::string Line,
     Id = static_cast<uint64_t>(V->asNumber());
   }
   auto Fail = [&](const char *Code, const std::string &Message) {
+    Tele->codeCounter(Code)->add();
     Respond(renderServerError(HasId, Id, Code, Message));
   };
 
   std::string Op = "analyze";
   if (const json::Value *V = Doc.get("op")) {
-    if (!V->isString())
+    if (!V->isString()) {
+      Tele->ReqInvalid->add();
       return Fail("bad_request", "\"op\" must be a string");
+    }
     Op = V->asString();
   }
+  // The telemetry ops answer synchronously, bypassing the queue: an
+  // operator probing a saturated server still gets an answer. Each op
+  // counts its own request and response before snapshotting, so the
+  // numbers it reports already include it and the per-op/per-code sums
+  // equal requests_total inside every snapshot.
+  if (Op == "health") {
+    Tele->ReqHealth->add();
+    Tele->RespOk->add();
+    Respond(renderServerOp(HasId, Id, "health", "health", healthBody()));
+    return;
+  }
+  if (Op == "metrics") {
+    Tele->ReqMetrics->add();
+    Tele->RespOk->add();
+    Respond(renderServerOp(HasId, Id, "metrics", "metrics", metricsBody()));
+    writeMetricsFile();
+    return;
+  }
   if (Op == "shutdown") {
-    Respond(renderServerError(HasId, Id, "shutdown", "server stopping"));
+    Tele->ReqShutdown->add();
+    Tele->RespOk->add();
+    // The acknowledgment carries the final metrics snapshot: a client
+    // that stops the server gets the process totals with the last
+    // response line.
+    Respond(renderServerOp(HasId, Id, "shutdown", "metrics", metricsBody()));
     requestStop();
     return;
   }
-  if (Op != "analyze")
+  if (Op != "analyze") {
+    Tele->ReqInvalid->add();
     return Fail("bad_request", "unknown op \"" + Op + "\"");
+  }
+  Tele->ReqAnalyze->add();
 
   Request R;
   R.HasId = HasId;
@@ -204,20 +431,24 @@ void Server::submit(std::string Line,
                  std::chrono::milliseconds(DeadlineMs);
   }
   R.Respond = std::move(Respond);
+  R.Admitted = std::chrono::steady_clock::now();
 
   {
     std::lock_guard<std::mutex> Lock(QueueMu);
     if (Draining || StopFlag.load()) {
+      Tele->RespShutdown->add();
       R.Respond(renderServerError(HasId, Id, "shutdown", "server stopping"));
       return;
     }
     if (Queue.size() >= Cfg.MaxQueue) {
+      Tele->RespOverloaded->add();
       R.Respond(renderServerError(
           HasId, Id, "overloaded",
           "queue full (" + std::to_string(Cfg.MaxQueue) + " requests)"));
       return;
     }
     Queue.push_back(std::move(R));
+    Tele->QueueDepth->add(1);
   }
   QueueCV.notify_one();
 }
@@ -236,19 +467,100 @@ void Server::workerLoop(unsigned Index) {
         return; // draining and nothing left
       R = std::move(Queue.front());
       Queue.pop_front();
+      Tele->QueueDepth->add(-1);
     }
+    Tele->ActiveWorkers->add(1);
     runOne(R, Index);
+    Tele->ActiveWorkers->add(-1);
+    uint64_t Done =
+        Tele->Completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!Cfg.MetricsFile.empty() && Done % 64 == 0)
+      writeMetricsFile();
   }
 }
 
+namespace {
+
+struct RequestTimings {
+  uint64_t QueueWaitUs = 0;
+  uint64_t ParseUs = 0;
+  uint64_t SolveUs = 0;
+  uint64_t SerializeUs = 0;
+  uint64_t TotalUs = 0;
+};
+
+struct AccessRecord {
+  const char *Code = "ok";
+  unsigned Worker = 0;
+  unsigned Jobs = 0;
+  uint64_t SatCalls = 0;
+  uint64_t SatHits = 0;
+  uint64_t SatMisses = 0;
+  bool Slow = false;
+  std::string TraceFile;
+};
+
+uint64_t elapsedUs(std::chrono::steady_clock::time_point From,
+                   std::chrono::steady_clock::time_point To) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(To - From)
+          .count());
+}
+
+} // namespace
+
 void Server::runOne(Request &R, unsigned Index) {
-  if (R.HasDeadline && std::chrono::steady_clock::now() >= R.Deadline) {
+  using Clock = std::chrono::steady_clock;
+  RequestTimings T;
+  AccessRecord Rec;
+  Rec.Worker = Index;
+  T.QueueWaitUs = elapsedUs(R.Admitted, Clock::now());
+
+  // One access-log line per request that reached a worker, written (like
+  // all accounting) before Respond so a client that has seen the response
+  // can rely on the record existing.
+  auto LogAccess = [&] {
+    if (!Tele->AccessLog.is_open())
+      return;
+    std::string L = "{\"ts\": \"" + isoTimestamp() + "\", \"id\": " +
+                    (R.HasId ? std::to_string(R.Id) : "null") +
+                    ", \"session\": ";
+    L += R.Session.empty() ? "null" : "\"" + json::escape(R.Session) + "\"";
+    L += std::string(", \"code\": \"") + Rec.Code + "\"";
+    L += ", \"worker\": " + std::to_string(Rec.Worker);
+    L += ", \"jobs\": " + std::to_string(Rec.Jobs);
+    L += ", \"queueWaitMs\": " + msField(T.QueueWaitUs);
+    L += ", \"parseMs\": " + msField(T.ParseUs);
+    L += ", \"solveMs\": " + msField(T.SolveUs);
+    L += ", \"serializeMs\": " + msField(T.SerializeUs);
+    L += ", \"totalMs\": " + msField(T.TotalUs);
+    L += ", \"satCalls\": " + std::to_string(Rec.SatCalls);
+    L += ", \"satCacheHits\": " + std::to_string(Rec.SatHits);
+    L += ", \"satCacheMisses\": " + std::to_string(Rec.SatMisses);
+    L += std::string(", \"slow\": ") + (Rec.Slow ? "true" : "false");
+    if (!Rec.TraceFile.empty())
+      L += ", \"traceFile\": \"" + json::escape(Rec.TraceFile) + "\"";
+    L += "}";
+    std::lock_guard<std::mutex> Lock(Tele->AccessMu);
+    // Buffered, not flushed per line: stop() flushes, so by the time the
+    // process (or an in-process reader that called stop()) looks at the
+    // file, every record is there. Crash loss is bounded by one buffer.
+    Tele->AccessLog << L << "\n";
+  };
+
+  if (R.HasDeadline && Clock::now() >= R.Deadline) {
+    T.TotalUs = elapsedUs(R.Admitted, Clock::now());
+    Rec.Code = "deadline_exceeded";
+    Tele->RespDeadline->add();
+    LogAccess();
     R.Respond(renderServerError(R.HasId, R.Id, "deadline_exceeded",
                                 "deadline passed while queued"));
     return;
   }
 
+  auto ParseStart = Clock::now();
   ir::AnalyzedProgram AP = ir::analyzeSource(R.Source);
+  T.ParseUs = elapsedUs(ParseStart, Clock::now());
   if (!AP.ok()) {
     std::string Msg;
     for (const ir::Diagnostic &D : AP.Diags) {
@@ -256,6 +568,13 @@ void Server::runOne(Request &R, unsigned Index) {
         Msg += "; ";
       Msg += D.toString();
     }
+    T.TotalUs = elapsedUs(R.Admitted, Clock::now());
+    Rec.Code = "analysis_error";
+    Tele->QueueWaitUs->observe(T.QueueWaitUs);
+    Tele->ParseUs->observe(T.ParseUs);
+    Tele->RequestUs->observe(T.TotalUs);
+    Tele->RespAnalysisError->add();
+    LogAccess();
     R.Respond(renderServerError(R.HasId, R.Id, "analysis_error", Msg));
     return;
   }
@@ -273,18 +592,75 @@ void Server::runOne(Request &R, unsigned Index) {
     EReq.BuildBaseline = true;
   }
   Engine.applyOptions(EReq);
-  auto Start = std::chrono::steady_clock::now();
+
+  // Slow-request capture: attach a per-request tracer to the (otherwise
+  // trace-disabled) engine, keep the trace only when the request turns
+  // out slow. Tracing is result-invisible; it costs only when --slow-ms
+  // is set.
+  std::optional<obs::Tracer> Tracer;
+  if (Cfg.SlowMs > 0) {
+    Tracer.emplace();
+    Engine.setTracer(&*Tracer);
+  }
+
+  auto Start = Clock::now();
   engine::AnalysisResult Result = Engine.analyze(AP);
+  T.SolveUs = elapsedUs(Start, Clock::now());
+  if (Tracer)
+    Engine.setTracer(nullptr);
   if (!R.Session.empty() && Result.Baseline)
     retainSession(R.Session, Result.Baseline);
-  double WallMs =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                Start)
-          .count();
+  double WallMs = static_cast<double>(T.SolveUs) / 1000.0;
+
+  auto SerializeStart = Clock::now();
   std::string ResultJson = renderResult(Result);
   std::string Metrics = renderMetrics(Result, Engine.jobs(), WallMs,
                                       /*ProfileJson=*/"", /*ExplainLog=*/"");
-  R.Respond(renderServerOk(R.Id, ResultJson, Metrics));
+  std::string Line = renderServerOk(R.Id, ResultJson, Metrics);
+  T.SerializeUs = elapsedUs(SerializeStart, Clock::now());
+  T.TotalUs = elapsedUs(R.Admitted, Clock::now());
+
+  // Engine-fed attribution: this run's own counters (not global deltas),
+  // so at quiescence the registry totals equal the shared cache's global
+  // counters -- the PR 6 accounting discipline, CI-checked.
+  Tele->EngSatCalls->add(Result.Stats.SatisfiabilityCalls);
+  Tele->EngSatHits->add(Result.Cache.SatHits);
+  Tele->EngSatMisses->add(Result.Cache.SatMisses);
+  Tele->EngGistHits->add(Result.Cache.GistHits);
+  Tele->EngGistMisses->add(Result.Cache.GistMisses);
+  Tele->EngSnapHits->add(Result.Stats.SnapshotCacheHits);
+  Tele->EngSnapMisses->add(Result.Stats.SnapshotCacheMisses);
+  Tele->EngQuickDecided->add(Result.Stats.QuickTestDecided);
+  Tele->EngDeltaReused->add(Result.Stats.DeltaPairsReused);
+  Tele->EngDeltaResolved->add(Result.Stats.DeltaPairsResolved);
+  Tele->EngDeltaNew->add(Result.Stats.DeltaPairsNew);
+
+  Tele->QueueWaitUs->observe(T.QueueWaitUs);
+  Tele->ParseUs->observe(T.ParseUs);
+  Tele->SolveUs->observe(T.SolveUs);
+  Tele->SerializeUs->observe(T.SerializeUs);
+  Tele->RequestUs->observe(T.TotalUs);
+  Tele->AnalyzeOk->add();
+  Tele->RespOk->add();
+
+  Rec.Jobs = Engine.jobs();
+  Rec.SatCalls = Result.Stats.SatisfiabilityCalls;
+  Rec.SatHits = Result.Cache.SatHits;
+  Rec.SatMisses = Result.Cache.SatMisses;
+  Rec.Slow = Cfg.SlowMs > 0 && T.TotalUs >= Cfg.SlowMs * 1000;
+  if (Rec.Slow && Tracer && !Cfg.SlowTraceDir.empty()) {
+    uint64_t Seq = Tele->SlowSeq.fetch_add(1, std::memory_order_relaxed);
+    std::string Path = Cfg.SlowTraceDir + "/slow-" + std::to_string(Seq) +
+                       "-" + std::to_string(R.HasId ? R.Id : 0) +
+                       ".trace.json";
+    std::ofstream Out(Path, std::ios::trunc);
+    if (Out.is_open()) {
+      Out << Tracer->chromeTraceJson();
+      Rec.TraceFile = Path;
+    }
+  }
+  LogAccess();
+  R.Respond(std::move(Line));
 }
 
 //===----------------------------------------------------------------------===//
@@ -318,6 +694,91 @@ void Server::retainSession(
   while (Sessions.size() > Cap) {
     Sessions.erase(SessionLRU.back());
     SessionLRU.pop_back();
+  }
+  // Under SessionsMu, so set() never races another setter.
+  Tele->LiveSessions->set(static_cast<int64_t>(Sessions.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry exposition
+//===----------------------------------------------------------------------===//
+
+obs::MetricsSnapshot Server::metricsSnapshot() const {
+  // Sampled gauges: refreshed here rather than maintained inline, since
+  // cache occupancy only changes inside engine runs that don't know about
+  // the server's registry.
+  obs::set(Tele->CacheEntries,
+           Cache ? static_cast<int64_t>(Cache->size()) : 0);
+  obs::set(Tele->SnapshotEntries,
+           Cache ? static_cast<int64_t>(Cache->snapshotCount()) : 0);
+  return Tele->Registry.snapshot();
+}
+
+std::string Server::metricsBody() const {
+  obs::MetricsSnapshot S = metricsSnapshot();
+  uint64_t UptimeMs = elapsedUs(Tele->Epoch, std::chrono::steady_clock::now()) /
+                      1000;
+  // metricsJson renders {"counters": ..., "gauges": ..., "histograms":
+  // ...}; splice its members into the op body alongside uptime and the
+  // shared cache's own global counters (the external accounting
+  // cross-check: at quiescence the omega_engine_* registry totals equal
+  // these).
+  std::string Inner = obs::metricsJson(S);
+  QueryCacheStats CS = Cache ? Cache->stats() : QueryCacheStats{};
+  std::string Out = "{\"uptimeMs\": " + std::to_string(UptimeMs) + ", ";
+  Out += Inner.substr(1, Inner.size() - 2);
+  Out += ", \"cache\": {\"satHits\": " + std::to_string(CS.SatHits) +
+         ", \"satMisses\": " + std::to_string(CS.SatMisses) +
+         ", \"gistHits\": " + std::to_string(CS.GistHits) +
+         ", \"gistMisses\": " + std::to_string(CS.GistMisses) +
+         ", \"entries\": " + std::to_string(Cache ? Cache->size() : 0) +
+         ", \"snapshots\": " +
+         std::to_string(Cache ? Cache->snapshotCount() : 0) + "}}";
+  return Out;
+}
+
+std::string Server::healthBody() const {
+  std::size_t Depth;
+  bool Stopping;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Depth = Queue.size();
+    Stopping = Draining || StopFlag.load();
+  }
+  uint64_t UptimeMs = elapsedUs(Tele->Epoch, std::chrono::steady_clock::now()) /
+                      1000;
+  std::string Out = std::string("{\"status\": \"") +
+                    (Stopping ? "draining" : "ok") + "\"";
+  Out += ", \"workers\": " + std::to_string(Cfg.Workers);
+  Out += ", \"activeWorkers\": " +
+         std::to_string(Tele->ActiveWorkers->value());
+  Out += ", \"queueDepth\": " + std::to_string(Depth);
+  Out += ", \"queueCapacity\": " + std::to_string(Cfg.MaxQueue);
+  Out += ", \"uptimeMs\": " + std::to_string(UptimeMs);
+  Out += ", \"requestsTotal\": " +
+         std::to_string(Tele->RequestsTotal->value());
+  Out += ", \"liveSessions\": " + std::to_string(Tele->LiveSessions->value());
+  Out += ", \"sessionCapacity\": " + std::to_string(Cfg.MaxSessions);
+  Out += ", \"cacheEntries\": " + std::to_string(Cache ? Cache->size() : 0);
+  Out += ", \"cacheNote\": \"" + json::escape(StartupNote) + "\"}";
+  return Out;
+}
+
+void Server::writeMetricsFile() {
+  if (Cfg.MetricsFile.empty())
+    return;
+  std::string Text = obs::prometheusText(metricsSnapshot());
+  // Atomic rewrite, same pattern as the cache-file save: a scraper never
+  // sees a torn exposition.
+  std::lock_guard<std::mutex> Lock(Tele->FileMu);
+  std::string Tmp = Cfg.MetricsFile + ".tmp";
+  std::ofstream Out(Tmp, std::ios::trunc);
+  if (Out.is_open()) {
+    Out << Text;
+    Out.close();
+    std::rename(Tmp.c_str(), Cfg.MetricsFile.c_str());
+  } else {
+    std::remove(Tmp.c_str());
   }
 }
 

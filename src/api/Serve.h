@@ -46,6 +46,7 @@
 #define OMEGA_API_SERVE_H
 
 #include "api/Options.h"
+#include "obs/Metrics.h"
 
 #include <atomic>
 #include <chrono>
@@ -89,6 +90,23 @@ public:
     /// recently used MaxSessions session ids stay resident; older ones
     /// are dropped (their next request runs from scratch, never wrong).
     std::size_t MaxSessions = 64;
+
+    // -- telemetry sinks (the registry itself is always on; recording is
+    // -- a few relaxed atomics per request and never touches results) ----
+    /// Prometheus text-format exposition file, rewritten atomically
+    /// (tmp + rename) on every metrics op, every 64th completed request,
+    /// and at stop(). Empty disables the file.
+    std::string MetricsFile;
+    /// JSONL access log: one record per analyzed request (latency
+    /// decomposition, cache traffic, response code). Empty disables it.
+    std::string AccessLog;
+    /// Slow-request threshold in milliseconds: requests at or above it
+    /// are traced (a per-request obs::Tracer attached to the worker's
+    /// engine) and flagged "slow" in the access log. 0 disables capture.
+    std::uint64_t SlowMs = 0;
+    /// Where slow-request Chrome traces land (slow-<seq>-<id>.trace.json);
+    /// empty keeps the flag-only behavior.
+    std::string SlowTraceDir;
   };
 
   explicit Server(const Config &C);
@@ -119,6 +137,12 @@ public:
   /// The shared cache, or null when Defaults.UseQueryCache is false.
   QueryCache *cache() { return Cache.get(); }
 
+  /// A deterministic snapshot of the server's metrics registry with the
+  /// sampled gauges (cache occupancy, live sessions) refreshed first.
+  /// What the metrics op, the health op, the exposition file, and the
+  /// shutdown acknowledgment all render; public for in-process tests.
+  obs::MetricsSnapshot metricsSnapshot() const;
+
   /// Serves JSONL request lines from \p In until EOF or a shutdown op,
   /// writing one response line each to \p Out (interleaved across workers;
   /// match by id). Calls stop() before returning. Returns an exit code.
@@ -138,12 +162,25 @@ private:
     AnalysisOptions Opts;
     std::chrono::steady_clock::time_point Deadline;
     bool HasDeadline = false;
+    /// When submit() accepted the request; queue wait and total latency
+    /// are measured from here.
+    std::chrono::steady_clock::time_point Admitted;
     std::function<void(std::string)> Respond;
   };
   struct Conn;
+  struct Telemetry;
 
   void workerLoop(unsigned Index);
   void runOne(Request &R, unsigned Index);
+
+  /// Renders and atomically rewrites Config::MetricsFile (no-op when the
+  /// path is empty). Serialized internally; safe from any thread.
+  void writeMetricsFile();
+  /// The metrics-op response body (uptime + snapshot + shared-cache
+  /// attribution for the accounting cross-check).
+  std::string metricsBody() const;
+  /// The health-op response body.
+  std::string healthBody() const;
 
   /// The retained baseline for \p Session (null if none), bumped to
   /// most-recently-used. Thread-safe.
@@ -157,8 +194,9 @@ private:
   Config Cfg;
   std::unique_ptr<QueryCache> Cache;
   std::string StartupNote;
+  std::unique_ptr<Telemetry> Tele;
 
-  std::mutex QueueMu;
+  mutable std::mutex QueueMu; ///< const healthBody() samples queue depth
   std::condition_variable QueueCV;
   std::deque<Request> Queue;
   bool Draining = false; ///< stop() begun: no admissions, workers drain

@@ -134,6 +134,11 @@ void DependenceEngine::applyOptions(const AnalysisRequest &O) {
   });
 }
 
+void DependenceEngine::setTracer(obs::Tracer *T) {
+  Req.Trace = T;
+  Pool->setTracer(T);
+}
+
 unsigned DependenceEngine::jobs() const { return Pool->jobs(); }
 
 unsigned DependenceEngine::maxJobs() const { return Pool->maxJobs(); }

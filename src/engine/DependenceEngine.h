@@ -142,6 +142,15 @@ public:
   /// construction and ignored here.
   void applyOptions(const AnalysisRequest &O);
 
+  /// Attaches \p T (null detaches) for subsequent analyze() calls:
+  /// re-points the request's Trace and registers per-worker buffers on
+  /// the long-lived pool. This is the one exception to "Trace is fixed at
+  /// construction" -- omega-serve's slow-request capture traces a single
+  /// request on an otherwise trace-disabled engine. Each engine is owned
+  /// by exactly one server worker, so attach/analyze/detach never races.
+  /// Must not be called while analyze() is in flight.
+  void setTracer(obs::Tracer *T);
+
   /// Effective worker count: Jobs resolved against the hardware and
   /// clamped to the pool's capability.
   unsigned jobs() const;

@@ -112,6 +112,15 @@ void WorkerPool::parallelFor(std::size_t NumTasks, const TaskFn &Fn) {
   Task = nullptr;
 }
 
+void WorkerPool::setTracer(obs::Tracer *Tracer) {
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Contexts[I]->Trace = Tracer
+                             ? &Tracer->registerBuffer(
+                                   "worker-" + std::to_string(I),
+                                   &Contexts[I]->Stats)
+                             : nullptr;
+}
+
 OmegaStats WorkerPool::mergedStats() const {
   OmegaStats S;
   for (const std::unique_ptr<OmegaContext> &Ctx : Contexts)

@@ -102,6 +102,13 @@ public:
       Fn(*C);
   }
 
+  /// Points every worker context at \p Tracer (null detaches), registering
+  /// one "worker-N" buffer per context exactly like the constructor does.
+  /// Lets a long-lived pool trace selected runs only -- omega-serve's
+  /// slow-request capture attaches a tracer for one request and detaches
+  /// it after. Only call while no parallelFor is in flight.
+  void setTracer(obs::Tracer *Tracer);
+
 private:
   void workerMain(std::stop_token St, unsigned WorkerIdx);
 

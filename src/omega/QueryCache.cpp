@@ -183,6 +183,15 @@ std::size_t QueryCache::size() const {
   return N;
 }
 
+std::size_t QueryCache::snapshotCount() const {
+  std::size_t N = 0;
+  for (const auto &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Snap.size();
+  }
+  return N;
+}
+
 void QueryCache::clear() {
   for (const auto &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->M);

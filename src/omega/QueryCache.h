@@ -106,6 +106,9 @@ public:
   QueryCacheStats stats() const;
   /// Number of memoized entries (all kinds).
   std::size_t size() const;
+  /// Number of resident elimination snapshots (the LRU-bounded store's
+  /// occupancy; the serving stack exposes it as a gauge).
+  std::size_t snapshotCount() const;
   void clear();
 
   //===--------------------------------------------------------------------===//

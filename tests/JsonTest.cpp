@@ -1,0 +1,151 @@
+//===- tests/JsonTest.cpp - The request-protocol JSON reader --------------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+// Fuzz-style edge cases for api/Json.h: the omega-serve request parser
+// faces arbitrary client bytes, so \uXXXX decoding (including surrogate
+// pairs), the nesting depth bound, and truncated-input error offsets are
+// contract, not nicety.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace omega::api;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, Err)) << Text << " -> " << Err;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse(Text, V, Err)) << Text << " parsed unexpectedly";
+  return Err;
+}
+
+TEST(Json, BasicDocuments) {
+  json::Value V = parseOk(R"({"id": 3, "ok": true, "x": null, "a": [1, -2.5]})");
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.get("id")->asInt(), 3);
+  EXPECT_TRUE(V.get("ok")->asBool());
+  EXPECT_TRUE(V.get("x")->isNull());
+  ASSERT_EQ(V.get("a")->asArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(V.get("a")->asArray()[1].asNumber(), -2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// \uXXXX decoding
+//===----------------------------------------------------------------------===//
+
+TEST(Json, UnicodeEscapeAscii) {
+  EXPECT_EQ(parseOk(R"("\u0041\u007a")").asString(), "Az");
+  // Escaped control characters decode like the named escapes do.
+  EXPECT_EQ(parseOk(R"("\u0009")").asString(), "\t");
+}
+
+TEST(Json, UnicodeEscapeTwoByte) {
+  // U+00E9 LATIN SMALL LETTER E WITH ACUTE -> C3 A9.
+  EXPECT_EQ(parseOk(R"("caf\u00e9")").asString(), "caf\xc3\xa9");
+}
+
+TEST(Json, UnicodeEscapeThreeByte) {
+  // U+20AC EURO SIGN -> E2 82 AC.
+  EXPECT_EQ(parseOk(R"("\u20ac")").asString(), "\xe2\x82\xac");
+  // Case-insensitive hex digits.
+  EXPECT_EQ(parseOk(R"("\u20AC")").asString(), "\xe2\x82\xac");
+}
+
+TEST(Json, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 GRINNING FACE = \uD83D\uDE00 -> F0 9F 98 80.
+  EXPECT_EQ(parseOk(R"("\ud83d\ude00")").asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, UnpairedSurrogatesAreRejected) {
+  EXPECT_NE(parseErr(R"("\ud83d")").find("unpaired high surrogate"),
+            std::string::npos);
+  EXPECT_NE(parseErr(R"("\ud83dx")").find("unpaired high surrogate"),
+            std::string::npos);
+  EXPECT_NE(parseErr(R"("\ud83d\n")").find("unpaired high surrogate"),
+            std::string::npos);
+  EXPECT_NE(parseErr(R"("\ude00")").find("unpaired low surrogate"),
+            std::string::npos);
+  // A high surrogate followed by a \u escape that is not a low surrogate.
+  EXPECT_NE(parseErr(R"("\ud83d\u0041")").find("invalid low surrogate"),
+            std::string::npos);
+}
+
+TEST(Json, MalformedUnicodeEscapes) {
+  EXPECT_NE(parseErr(R"("\u12")").find("truncated \\u escape"),
+            std::string::npos);
+  EXPECT_NE(parseErr(R"("\uzzzz")").find("bad \\u escape digit"),
+            std::string::npos);
+  // The offset points at the offending digit, not the string start.
+  EXPECT_EQ(parseErr(R"("\u12g4")"), "bad \\u escape digit at byte 5");
+}
+
+TEST(Json, EscapeParseRoundTrip) {
+  std::string Raw = "line1\nline2\t\"quoted\" \\slash\x01";
+  json::Value V = parseOk("\"" + json::escape(Raw) + "\"");
+  EXPECT_EQ(V.asString(), Raw);
+}
+
+//===----------------------------------------------------------------------===//
+// Depth bound
+//===----------------------------------------------------------------------===//
+
+TEST(Json, NestingWithinBoundParses) {
+  // 63 arrays around a number: depth 64 at the innermost value.
+  std::string Doc(63, '[');
+  Doc += "1";
+  Doc += std::string(63, ']');
+  json::Value V = parseOk(Doc);
+  EXPECT_TRUE(V.isArray());
+}
+
+TEST(Json, NestingBeyondBoundFailsCleanly) {
+  // 200 opening brackets would recurse unboundedly without the limit;
+  // the parser must fail with a typed error instead.
+  std::string Doc(200, '[');
+  EXPECT_NE(parseErr(Doc).find("nesting too deep"), std::string::npos);
+  std::string Objs;
+  for (int I = 0; I != 100; ++I)
+    Objs += "{\"k\":";
+  EXPECT_NE(parseErr(Objs).find("nesting too deep"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Truncated input: typed errors with exact byte offsets
+//===----------------------------------------------------------------------===//
+
+TEST(Json, TruncatedInputErrorPositions) {
+  EXPECT_EQ(parseErr(""), "unexpected end of input at byte 0");
+  EXPECT_EQ(parseErr("\"abc"), "unterminated string at byte 4");
+  EXPECT_EQ(parseErr("{\"a\": 1"), "unterminated object at byte 7");
+  EXPECT_EQ(parseErr("[1, 2"), "unterminated array at byte 5");
+  EXPECT_EQ(parseErr("[1, "), "unexpected end of input at byte 4");
+  EXPECT_EQ(parseErr("\"\\"), "unterminated escape at byte 2");
+  EXPECT_EQ(parseErr("\"\\u00"), "truncated \\u escape at byte 5");
+}
+
+TEST(Json, MalformedDocuments) {
+  EXPECT_NE(parseErr("01").find("malformed number"), std::string::npos);
+  EXPECT_NE(parseErr("1 2").find("trailing characters"), std::string::npos);
+  EXPECT_NE(parseErr("troo").find("bad literal"), std::string::npos);
+  EXPECT_NE(parseErr("{\"a\" 1}").find("expected ':'"), std::string::npos);
+  EXPECT_NE(parseErr("\"a\nb\"").find("raw control character"),
+            std::string::npos);
+  EXPECT_NE(parseErr("\"\\q\"").find("unknown escape"), std::string::npos);
+}
+
+} // namespace

@@ -35,7 +35,12 @@ int usage(FILE *To) {
                "\nJSONL protocol, one request per line:\n"
                "  {\"id\": N, \"source\": \"...\", \"options\": {...}, "
                "\"deadlineMs\": M}\n"
-               "  {\"id\": N, \"op\": \"shutdown\"}\n"
+               "  {\"id\": N, \"op\": \"health\"}     liveness/readiness "
+               "probe\n"
+               "  {\"id\": N, \"op\": \"metrics\"}    telemetry snapshot "
+               "(and exposition rewrite)\n"
+               "  {\"id\": N, \"op\": \"shutdown\"}   stop; the ack carries "
+               "the final metrics\n"
                "\nShared analysis options (request \"options\" keys use the "
                "same table):\n%s",
                api::optionsHelp(api::ToolServe).c_str());
@@ -66,6 +71,10 @@ int main(int Argc, char **Argv) {
   Cfg.DeadlineMs = Parsed.Options.DeadlineMs;
   Cfg.CacheFile = Parsed.Options.CacheFile;
   Cfg.MaxSessions = Parsed.Options.MaxSessions;
+  Cfg.MetricsFile = Parsed.Options.MetricsFile;
+  Cfg.AccessLog = Parsed.Options.AccessLogFile;
+  Cfg.SlowMs = Parsed.Options.SlowMs;
+  Cfg.SlowTraceDir = Parsed.Options.SlowTraceDir;
 
   api::Server Server(Cfg);
   if (!Server.startupNote().empty())
