@@ -37,6 +37,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -370,6 +371,77 @@ void writeServerLeg(bench::JsonWriter &W, const char *K,
   W.endObject();
 }
 
+/// Submits one request line and blocks for its response.
+std::string submitAndWait(api::Server &Server, const std::string &Line) {
+  std::mutex Mu;
+  std::condition_variable CV;
+  bool Done = false;
+  std::string Response;
+  Server.submit(Line, [&](std::string R) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Response = std::move(R);
+    Done = true;
+    CV.notify_one();
+  });
+  std::unique_lock<std::mutex> Lock(Mu);
+  CV.wait(Lock, [&] { return Done; });
+  return Response;
+}
+
+/// Reads an integer stats counter (e.g. resultStoreHits) out of a
+/// response line; the stats keys are unique within a document.
+uint64_t statCounter(const std::string &Line, const std::string &Name) {
+  std::string Marker = "\"" + Name + "\": ";
+  std::size_t At = Line.find(Marker);
+  if (At == std::string::npos)
+    return 0;
+  return std::strtoull(Line.c_str() + At + Marker.size(), nullptr, 10);
+}
+
+/// The cross-session pair: four 3-D nests whose solve (with the pair
+/// quick tests disabled per request) takes tens of milliseconds. Gen-2 is
+/// gen-1 under a rename that also REORDERS first mentions -- the symbolic
+/// declaration order flips and every variable and array gets a name whose
+/// lexical order reverses -- the hardest rename for a result store keyed
+/// on canonical, name-free fingerprints.
+std::string crossSessionProgram(bool Renamed) {
+  const char *N = Renamed ? "zz" : "n";
+  const char *M = Renamed ? "yy" : "m";
+  const char *P = Renamed ? "xx" : "p";
+  const char *I = Renamed ? "w" : "i";
+  const char *J = Renamed ? "v" : "j";
+  const char *K = Renamed ? "u" : "k";
+  const char *A = Renamed ? "h" : "a";
+  const char *B = Renamed ? "g" : "b";
+  const char *C = Renamed ? "f" : "c";
+  const char *D = Renamed ? "e" : "d";
+  std::string Text =
+      Renamed ? "symbolic xx, yy, zz;\n" : "symbolic n, m, p;\n";
+  for (int Nest = 0; Nest != 4; ++Nest) {
+    std::string S = std::to_string(Nest);
+    std::string AN = A + S, BN = B + S, CN = C + S, DN = D + S;
+    std::string IJK = std::string(I) + "," + J + "," + K;
+    Text += std::string("for ") + I + " := 2 to " + N + " do\n" +
+            "  for " + J + " := 2 to " + M + " do\n" +
+            "    for " + K + " := 2 to " + P + " do\n" +
+            "      " + AN + "(" + IJK + ") := " + AN + "(" + I + "-1," + J +
+            "," + K + ") + " + AN + "(" + I + "," + J + "-1," + K + ") + " +
+            BN + "(" + I + "-1," + J + "-1," + K + ") + " + CN + "(" + I +
+            "," + J + "," + K + "-1);\n" +
+            "      " + BN + "(" + IJK + ") := " + AN + "(" + IJK + ") + " +
+            BN + "(" + I + "-1," + J + "," + K + "-1) + " + CN + "(" + I +
+            "," + J + "-1," + K + ");\n" +
+            "      " + CN + "(" + IJK + ") := " + BN + "(" + I + "," + J +
+            "-1," + K + ") + " + CN + "(" + I + "-1," + J + "," + K +
+            ") + " + AN + "(" + I + "-1," + J + "," + K + "-1);\n" +
+            "      " + DN + "(" + IJK + ") := " + DN + "(" + I + "-1," + J +
+            "-1," + K + "-1) + " + CN + "(" + IJK + ") + " + BN + "(" +
+            IJK + ");\n" +
+            "    endfor\n  endfor\nendfor\n";
+  }
+  return Text;
+}
+
 int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   // -- core_ops: sat + gist + projection on the synthetic suite ----------
   std::vector<Problem> SatSuite;
@@ -559,6 +631,72 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
     TeleOn = RunTelemetryLeg(true);
   }
 
+  // -- server.cross_session: the global result store across "restarts" --
+  // Cold solves gen-2 on a fresh server (empty store); warm feeds gen-1
+  // into a fresh server's store first, then gen-2 -- a rename of gen-1
+  // that reorders first mentions -- arrives sessionless and must
+  // materialize every pair and kill group from the store. The hit/miss
+  // counters come from the responses themselves and are exact,
+  // machine-independent gates.
+  struct CrossSessionNumbers {
+    double ColdMs = 0, WarmMs = 0;
+    uint64_t ColdHits = 0, ColdMisses = 0, WarmHits = 0, WarmMisses = 0;
+    bool Identical = true;
+  } Cross;
+  const unsigned CrossReps = 5;
+  {
+    std::string Gen1 = crossSessionProgram(/*Renamed=*/false);
+    std::string Gen2 = crossSessionProgram(/*Renamed=*/true);
+    auto Line = [](const std::string &Src, int Id) {
+      return "{\"id\": " + std::to_string(Id) + ", \"source\": \"" +
+             api::json::escape(Src) +
+             "\", \"options\": {\"quicktests\": false}}";
+    };
+    std::string Expected;
+    {
+      engine::AnalysisRequest OneShot;
+      OneShot.Jobs = 1;
+      OneShot.UseQueryCache = false;
+      OneShot.PairQuickTests = false;
+      engine::DependenceEngine OneShotEngine(OneShot);
+      ir::AnalyzedProgram AP = ir::analyzeSource(Gen2);
+      Expected = api::renderResult(OneShotEngine.analyze(AP));
+    }
+    for (unsigned R = 0; R != CrossReps; ++R) {
+      {
+        api::Server::Config Cfg;
+        Cfg.Workers = 1;
+        api::Server Server(Cfg);
+        Clock::time_point Start = Clock::now();
+        std::string Resp = submitAndWait(Server, Line(Gen2, 1));
+        Cross.ColdMs += msSince(Start);
+        Server.stop();
+        Cross.Identical =
+            Cross.Identical && serverResultBytes(Resp) == Expected;
+        if (R == 0) {
+          Cross.ColdHits = statCounter(Resp, "resultStoreHits");
+          Cross.ColdMisses = statCounter(Resp, "resultStoreMisses");
+        }
+      }
+      {
+        api::Server::Config Cfg;
+        Cfg.Workers = 1;
+        api::Server Server(Cfg);
+        submitAndWait(Server, Line(Gen1, 2)); // feed the store, untimed
+        Clock::time_point Start = Clock::now();
+        std::string Resp = submitAndWait(Server, Line(Gen2, 3));
+        Cross.WarmMs += msSince(Start);
+        Server.stop();
+        Cross.Identical =
+            Cross.Identical && serverResultBytes(Resp) == Expected;
+        if (R == 0) {
+          Cross.WarmHits = statCounter(Resp, "resultStoreHits");
+          Cross.WarmMisses = statCounter(Resp, "resultStoreMisses");
+        }
+      }
+    }
+  }
+
   // -- incremental: edit-corpus replay against a recorded baseline -------
   // For each edited program, three legs re-analyze it EditReps times with
   // the cache state a fresh edit would see: cold (no cache at all), warm
@@ -592,7 +730,9 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
                  {"bound", false},
                  {"stmt-new", true},
                  {"stmt-edit", true},
-                 {"loop-del", false}};
+                 {"loop-del", false},
+                 {"interchange", false},
+                 {"rename-reorder", false}};
     for (const auto &E : Edits) {
       ir::AnalyzedProgram EditAP = ir::analyzeSource(ReadEdit(E.Name));
       if (!BaseAP.ok() || !EditAP.ok())
@@ -713,6 +853,17 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
               : 0.0);
   W.field("results_identical", TeleIdentical);
   W.endObject();
+  W.beginObject("cross_session");
+  W.field("reps", static_cast<uint64_t>(CrossReps));
+  W.field("cold_wall_ms", Cross.ColdMs);
+  W.field("warm_wall_ms", Cross.WarmMs);
+  W.field("speedup", Cross.WarmMs > 0 ? Cross.ColdMs / Cross.WarmMs : 0.0);
+  W.field("cold_store_hits", Cross.ColdHits);
+  W.field("cold_store_misses", Cross.ColdMisses);
+  W.field("warm_store_hits", Cross.WarmHits);
+  W.field("warm_store_misses", Cross.WarmMisses);
+  W.field("results_identical", Cross.Identical);
+  W.endObject();
   W.field("results_identical", ServerIdentical);
   W.endObject();
   W.beginObject("incremental");
@@ -754,6 +905,13 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
                   ? (TeleOn.WallMs / TeleOff.WallMs - 1.0) * 100.0
                   : 0.0,
               TeleIdentical ? "identical" : "DIFFER");
+  std::printf("cross_session: cold %.1f ms, warm-renamed %.1f ms (%.2fx), "
+              "store %llu/%llu warm hits/misses (results %s)\n",
+              Cross.ColdMs, Cross.WarmMs,
+              Cross.WarmMs > 0 ? Cross.ColdMs / Cross.WarmMs : 0.0,
+              static_cast<unsigned long long>(Cross.WarmHits),
+              static_cast<unsigned long long>(Cross.WarmMisses),
+              Cross.Identical ? "identical" : "DIFFER");
   std::printf("incremental: %.1f ms over %zu edits, single-statement "
               "speedup %.2fx vs warm (results %s)\n",
               IncSectionMs, EditLegs.size(), SingleStmtSpeedup,

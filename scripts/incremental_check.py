@@ -38,7 +38,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from check_schema import SCHEMA_PATH, Validator  # noqa: E402
 from server_smoke import result_bytes  # noqa: E402
 
-EDITS = ["rename", "bound", "stmt-new", "stmt-edit", "loop-del"]
+EDITS = ["rename", "bound", "stmt-new", "stmt-edit", "loop-del",
+         "interchange", "rename-reorder"]
 
 
 def run_analyze(analyze, path, extra=()):

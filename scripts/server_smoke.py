@@ -8,15 +8,24 @@ clients over every example program, and checks the serving contract:
  2. every response's "result" section is byte-identical to a one-shot
     `omega-analyze --json` run of the same program (warm cache, concurrent
     clients, and request interleaving must be invisible in results);
- 3. the shutdown op stops the daemon cleanly.
+ 3. in-flight coalescing: a burst of identical concurrent requests on an
+    otherwise idle server performs exactly ONE engine solve -- the engine
+    analyses counter moves by 1, the coalesced counter by K-1, and every
+    client's result section is byte-identical to the one-shot run;
+ 4. the shutdown op stops the daemon cleanly.
 
 With --telemetry-dir DIR the daemon also runs with --metrics-file and
 --access-log pointing into DIR, and the driver scrapes the health and
 metrics ops mid-run: both documents must validate against
-schema/metrics_response.schema.json, and the metrics response, the final
-Prometheus exposition, and the access log are left in DIR for
+schema/metrics_response.schema.json, and the metrics response, the
+Prometheus expositions, and the access log are left in DIR for
 check_metrics.py to cross-check (DIR/metrics_response.jsonl,
-DIR/metrics.prom, DIR/access.jsonl).
+DIR/metrics_prereset.prom, DIR/metrics.prom, DIR/access.jsonl). The
+driver then exercises {"op": "metrics", "reset": true}: the reset
+response must carry the pre-reset totals, and a follow-up plain metrics
+op must see a fresh window in which it is the only request
+(DIR/metrics_after_reset.jsonl, for check_metrics.py with
+--expect-analyze-ok 0).
 
 Usage:
     server_smoke.py --serve build/tools/omega-serve \
@@ -84,6 +93,115 @@ def one_request(sock_path, req):
         buf += chunk
     sock.close()
     return buf.split(b"\n", 1)[0].decode()
+
+
+def heavy_program():
+    """The coalescing burst program: four 3-D nests whose solve (with the
+    pair quick tests disabled per request) takes tens of milliseconds, so
+    a burst of identical requests against an idle server parks on the
+    first request's solve instead of each running its own."""
+    text = "symbolic n, m, p;\n"
+    for k in range(4):
+        s = str(k)
+        text += (
+            f"for i := 2 to n do\n"
+            f"  for j := 2 to m do\n"
+            f"    for k := 2 to p do\n"
+            f"      a{s}(i,j,k) := a{s}(i-1,j,k) + a{s}(i,j-1,k)"
+            f" + b{s}(i-1,j-1,k) + c{s}(i,j,k-1);\n"
+            f"      b{s}(i,j,k) := a{s}(i,j,k) + b{s}(i-1,j,k-1)"
+            f" + c{s}(i,j-1,k);\n"
+            f"      c{s}(i,j,k) := b{s}(i,j-1,k) + c{s}(i-1,j,k)"
+            f" + a{s}(i-1,j,k-1);\n"
+            f"      d{s}(i,j,k) := d{s}(i-1,j-1,k-1) + c{s}(i,j,k)"
+            f" + b{s}(i,j,k);\n"
+            f"    endfor\n"
+            f"  endfor\n"
+            f"endfor\n"
+        )
+    return text
+
+
+def scrape_counters(sock_path, rid):
+    line = one_request(sock_path, {"id": rid, "op": "metrics"})
+    return json.loads(line)["metrics"]["counters"]
+
+
+def burst_client(sock_path, barrier, req_line, responses, errors, tag):
+    """Connects, then sends one pre-encoded request on the barrier."""
+    try:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(sock_path)
+        barrier.wait()
+        sock.sendall(req_line)
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("connection closed mid-request")
+            buf += chunk
+        responses.append(buf.split(b"\n", 1)[0].decode())
+        sock.close()
+    except Exception as e:  # noqa: BLE001 - report, don't crash the driver
+        errors.append(f"{tag}: {e}")
+
+
+def check_coalescing(sock_path, analyze, tmp, k=8):
+    """Returns the number of failed checks for the coalescing contract."""
+    failures = 0
+    heavy = heavy_program()
+    heavy_path = os.path.join(tmp, "heavy.tiny")
+    with open(heavy_path, "w") as f:
+        f.write(heavy)
+    out = subprocess.run(
+        [analyze, "--json", "--no-quicktests", heavy_path],
+        capture_output=True, text=True, check=True,
+    ).stdout
+    expected = result_bytes(out)
+    if expected is None:
+        print("coalescing: one-shot run of the burst program has no result")
+        return 1
+
+    before = scrape_counters(sock_path, 2000000)
+    barrier = threading.Barrier(k)
+    responses = []
+    errors = []
+    threads = []
+    for i in range(k):
+        req = (json.dumps({"id": 2000001 + i, "source": heavy,
+                           "options": {"quicktests": False}}) + "\n").encode()
+        threads.append(threading.Thread(
+            target=burst_client,
+            args=(sock_path, barrier, req, responses, errors, f"burst{i}")))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for err in errors:
+        print("coalescing client error:", err)
+        failures += 1
+    after = scrape_counters(sock_path, 2000100)
+
+    for i, line in enumerate(responses):
+        if result_bytes(line) != expected:
+            print(f"coalescing: response {i} differs from the one-shot run")
+            failures += 1
+    analyses = (after["omega_engine_analyses_total"] -
+                before["omega_engine_analyses_total"])
+    coalesced = (after["omega_serve_requests_coalesced_total"] -
+                 before["omega_serve_requests_coalesced_total"])
+    if analyses != 1:
+        print(f"coalescing: burst of {k} ran {analyses} engine solves, "
+              "want exactly 1")
+        failures += 1
+    if coalesced != k - 1:
+        print(f"coalescing: burst of {k} coalesced {coalesced} requests, "
+              f"want {k - 1}")
+        failures += 1
+    if not failures:
+        print(f"coalescing: {k} identical concurrent requests shared "
+              "1 engine solve, results byte-identical")
+    return failures
 
 
 def client(sock_path, requests, responses, errors, tag):
@@ -221,6 +339,10 @@ def main():
                 print(f"got {total} responses, want {want_total}")
                 failures += 1
 
+            # In-flight coalescing: with the main phase drained, a burst
+            # of identical heavy requests must share one engine solve.
+            failures += check_coalescing(sock_path, args.analyze, tmp)
+
             # Telemetry scrape: the health and metrics ops must answer and
             # validate while the server is live.
             if args.telemetry_dir:
@@ -241,6 +363,68 @@ def main():
                                            "metrics_response.jsonl")
                         with open(out, "w") as f:
                             f.write(line + "\n")
+                        scrape_total = json.loads(line)["metrics"][
+                            "counters"]["omega_serve_requests_total"]
+
+                # The metrics op rewrites --metrics-file (atomically)
+                # after answering; wait for that rewrite to land, then
+                # keep a copy so the reset below cannot erase the
+                # full-run exposition from the checked artifacts.
+                prom = os.path.join(args.telemetry_dir, "metrics.prom")
+                needle = f"omega_serve_requests_total {scrape_total}"
+                text = ""
+                for _ in range(200):
+                    if os.path.exists(prom):
+                        with open(prom) as f:
+                            text = f.read()
+                        if needle in text:
+                            break
+                    time.sleep(0.05)
+                else:
+                    print(f"metrics.prom never showed {needle!r}")
+                    failures += 1
+                with open(os.path.join(args.telemetry_dir,
+                                       "metrics_prereset.prom"), "w") as f:
+                    f.write(text)
+
+                # Metrics reset: the reset response carries the pre-reset
+                # snapshot (including its own request), and the next plain
+                # metrics op sees a fresh window in which it is the only
+                # request ever counted.
+                line = one_request(sock_path, {"id": 1000001,
+                                               "op": "metrics",
+                                               "reset": True})
+                doc = json.loads(line)
+                errs = tele_validator.validate(doc, tele_validator.root)
+                if errs:
+                    print(f"metrics reset op: schema violation: {errs[0]}")
+                    failures += 1
+                pre = doc["metrics"]["counters"]
+                if pre["omega_serve_requests_total"] != scrape_total + 1:
+                    print("metrics reset op: pre-reset requests_total "
+                          f"{pre['omega_serve_requests_total']} != "
+                          f"{scrape_total + 1}")
+                    failures += 1
+                line = one_request(sock_path, {"id": 1000002,
+                                               "op": "metrics"})
+                doc = json.loads(line)
+                errs = tele_validator.validate(doc, tele_validator.root)
+                if errs:
+                    print(f"post-reset metrics: schema violation: {errs[0]}")
+                    failures += 1
+                post = doc["metrics"]["counters"]
+                if (post["omega_serve_requests_total"] != 1 or
+                        post["omega_serve_analyze_ok_total"] != 0):
+                    print("post-reset metrics: window not fresh: "
+                          f"requests_total "
+                          f"{post['omega_serve_requests_total']}, "
+                          f"analyze_ok "
+                          f"{post['omega_serve_analyze_ok_total']}")
+                    failures += 1
+                out = os.path.join(args.telemetry_dir,
+                                   "metrics_after_reset.jsonl")
+                with open(out, "w") as f:
+                    f.write(line + "\n")
 
             # Clean shutdown through the protocol.
             fin = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)

@@ -78,6 +78,13 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
       {"--snapshot-cache-cap", nullptr, AS, true, "N",
        "bound the cache's elimination-snapshot store to N entries, "
        "evicting least-recently-used beyond that (0 = unbounded)"},
+      {"--result-cache-file", nullptr, AS, true, "PATH",
+       "warm-start the global pair-result store from PATH if it exists "
+       "and save it back on exit (corrupt or version-skewed files are "
+       "ignored with a warning: cold start, never a wrong answer)"},
+      {"--result-store-cap", nullptr, AS, true, "N",
+       "bound the global pair-result store to N solved outcomes, "
+       "evicting least-recently-used beyond that (0 = unbounded)"},
       {"--baseline", nullptr, ToolAnalyze, true, "PATH",
        "incremental re-analysis: reuse results from the baseline file "
        "for pairs whose fingerprints are unchanged (byte-identical "
@@ -106,6 +113,9 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
       {"--max-sessions", nullptr, ToolServe, true, "N",
        "incremental sessions whose baselines stay retained, LRU-evicted "
        "beyond N (requests opt in with a \"session\" key)"},
+      {"--no-coalesce", nullptr, ToolServe, false, nullptr,
+       "do not coalesce concurrent identical sessionless requests onto "
+       "one engine solve"},
       {"--metrics-file", nullptr, ToolServe, true, "PATH",
        "rewrite PATH atomically with a Prometheus text-format metrics "
        "exposition (on every metrics op, periodically, and at shutdown)"},
@@ -118,6 +128,10 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
       {"--slow-trace-dir", nullptr, ToolServe, true, "DIR",
        "directory for per-request Chrome traces of slow requests "
        "(requires --slow-ms)"},
+      {"--access-log-max-mb", nullptr, ToolServe, true, "MB",
+       "rotate the access log once it exceeds MB megabytes: the file is "
+       "flushed and atomically renamed to PATH.1, and logging continues "
+       "in a fresh PATH (one rotation kept; 0 = never rotate)"},
   };
   return Specs;
 }
@@ -191,6 +205,12 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     if (!parseUnsigned(Val, U))
       return BadNum();
     O.SnapshotCacheCap = U;
+  } else if (Flag == "--result-cache-file")
+    O.ResultCacheFile = Val;
+  else if (Flag == "--result-store-cap") {
+    if (!parseUnsigned(Val, U))
+      return BadNum();
+    O.ResultStoreCap = U;
   } else if (Flag == "--baseline")
     O.BaselineFile = Val;
   else if (Flag == "--save-baseline")
@@ -221,7 +241,9 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     if (!parseUnsigned(Val, U) || U == 0)
       return BadNum();
     O.MaxSessions = static_cast<unsigned>(U);
-  } else if (Flag == "--metrics-file")
+  } else if (Flag == "--no-coalesce")
+    O.Coalesce = false;
+  else if (Flag == "--metrics-file")
     O.MetricsFile = Val;
   else if (Flag == "--access-log")
     O.AccessLogFile = Val;
@@ -231,7 +253,11 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     O.SlowMs = U;
   } else if (Flag == "--slow-trace-dir")
     O.SlowTraceDir = Val;
-  else {
+  else if (Flag == "--access-log-max-mb") {
+    if (!parseUnsigned(Val, U))
+      return BadNum();
+    O.AccessLogMaxMB = U;
+  } else {
     Err = "unhandled shared option " + Flag;
     return false;
   }

@@ -77,6 +77,14 @@ struct AnalysisOptions {
   std::string BaselineFile;     ///< --baseline PATH (analyze-only)
   std::string SaveBaselineFile; ///< --save-baseline PATH (analyze-only)
 
+  // -- global result store ----------------------------------------------
+  /// Persist the cross-request pair-result store: load from PATH at
+  /// startup (corruption -> warned cold start), save back on exit.
+  std::string ResultCacheFile; ///< --result-cache-file=PATH
+  /// Result-store bound: at most N solved pair/kill-group outcomes stay
+  /// resident, LRU-evicted beyond that (0 = unbounded).
+  uint64_t ResultStoreCap = 1 << 16; ///< --result-store-cap N
+
   // -- output selection --------------------------------------------------
   bool All = false;      ///< --all: also anti/output tables
   bool Compress = false; ///< --compress split rows
@@ -100,6 +108,9 @@ struct AnalysisOptions {
   uint64_t DeadlineMs = 0;       ///< --deadline-ms N (0 = none)
   /// Incremental sessions whose baselines stay retained (LRU beyond N).
   unsigned MaxSessions = 64;     ///< --max-sessions N
+  /// Singleflight: concurrent sessionless requests with identical source
+  /// and options share one solve and response document.
+  bool Coalesce = true;          ///< --no-coalesce
 
   // -- serve-only telemetry ---------------------------------------------
   std::string MetricsFile;   ///< --metrics-file=PATH Prometheus exposition
@@ -108,6 +119,9 @@ struct AnalysisOptions {
   /// when SlowTraceDir is set). 0 disables slow-request capture.
   uint64_t SlowMs = 0;          ///< --slow-ms MS
   std::string SlowTraceDir;     ///< --slow-trace-dir=DIR Chrome traces
+  /// Rotate the access log (rename to PATH.1) when it exceeds this many
+  /// megabytes; 0 disables rotation.
+  uint64_t AccessLogMaxMB = 0;  ///< --access-log-max-mb MB
 
   /// Lowers the option set into the engine's request struct.
   engine::AnalysisRequest toEngineRequest() const;

@@ -127,7 +127,11 @@ std::string api::renderMetrics(const engine::AnalysisResult &R, unsigned Jobs,
          ", \"snapshotEvictions\": " + std::to_string(S.SnapshotEvictions) +
          ", \"deltaPairsReused\": " + std::to_string(S.DeltaPairsReused) +
          ", \"deltaPairsResolved\": " + std::to_string(S.DeltaPairsResolved) +
-         ", \"deltaPairsNew\": " + std::to_string(S.DeltaPairsNew) + "}";
+         ", \"deltaPairsNew\": " + std::to_string(S.DeltaPairsNew) +
+         ", \"resultStoreHits\": " + std::to_string(S.ResultStoreHits) +
+         ", \"resultStoreMisses\": " + std::to_string(S.ResultStoreMisses) +
+         ", \"resultStoreEvictions\": " +
+         std::to_string(S.ResultStoreEvictions) + "}";
 
   Out += ", \"cache\": {\"satHits\": " + std::to_string(R.Cache.SatHits) +
          ", \"satMisses\": " + std::to_string(R.Cache.SatMisses) +

@@ -84,18 +84,29 @@ struct Server::Telemetry {
       *RespOverloaded, *RespDeadline, *RespShutdown;
   // Analyze requests answered ok (== solve/serialize histogram counts).
   obs::Counter *AnalyzeOk;
+  // Analyze requests answered from a concurrent leader's solve instead of
+  // their own engine run (a subset of AnalyzeOk).
+  obs::Counter *ReqCoalesced;
+  // Actual engine runs performed. The coalescing witness:
+  // analyses_total + coalesced_total == analyze_ok at quiescence (session
+  // requests never coalesce, so each is one analysis).
+  obs::Counter *EngAnalyses;
   // Engine-fed: per-request attribution summed into process totals.
   obs::Counter *EngSatCalls, *EngSatHits, *EngSatMisses, *EngGistHits,
       *EngGistMisses, *EngSnapHits, *EngSnapMisses, *EngQuickDecided,
-      *EngDeltaReused, *EngDeltaResolved, *EngDeltaNew;
+      *EngDeltaReused, *EngDeltaResolved, *EngDeltaNew, *StoreHits,
+      *StoreMisses, *StoreEvictions;
 
   obs::Gauge *QueueDepth, *ActiveWorkers, *LiveSessions, *CacheEntries,
-      *SnapshotEntries;
+      *SnapshotEntries, *ResultStoreEntries;
 
   obs::Histogram *QueueWaitUs, *ParseUs, *SolveUs, *SerializeUs, *RequestUs;
 
   std::mutex AccessMu;
   std::ofstream AccessLog;
+  /// Bytes written to the current access-log file (rotation trigger);
+  /// guarded by AccessMu.
+  uint64_t AccessLogBytes = 0;
   std::mutex FileMu;
   std::atomic<uint64_t> SlowSeq{0};
   std::atomic<uint64_t> Completed{0};
@@ -134,6 +145,11 @@ struct Server::Telemetry {
                      "stopping)");
     AnalyzeOk = C("omega_serve_analyze_ok_total",
                   "Analyze requests answered with a result");
+    ReqCoalesced = C("omega_serve_requests_coalesced_total",
+                     "Analyze requests answered from a concurrent "
+                     "identical request's solve");
+    EngAnalyses = C("omega_engine_analyses_total",
+                    "Engine analysis runs actually performed");
     EngSatCalls = C("omega_engine_sat_calls_total",
                     "Satisfiability calls made by worker engines");
     EngSatHits = C("omega_engine_sat_cache_hits_total",
@@ -158,6 +174,13 @@ struct Server::Telemetry {
                          "changed");
     EngDeltaNew = C("omega_engine_delta_pairs_new_total",
                     "Pairs with no baseline counterpart");
+    StoreHits = C("omega_result_store_hits_total",
+                  "Pair/kill-group solves materialized from the global "
+                  "result store");
+    StoreMisses = C("omega_result_store_misses_total",
+                    "Result-store consultations that had to solve");
+    StoreEvictions = C("omega_result_store_evictions_total",
+                       "Result-store entries LRU-evicted at capacity");
 
     auto G = [&](const char *Name, const char *Help) {
       return Registry.gauge(Name, Help);
@@ -173,6 +196,9 @@ struct Server::Telemetry {
     SnapshotEntries = G("omega_serve_snapshot_store_entries",
                         "Elimination snapshots resident in the shared "
                         "cache's LRU store");
+    ResultStoreEntries = G("omega_result_store_entries",
+                           "Solved outcomes resident in the global "
+                           "result store");
 
     auto H = [&](const char *Name, const char *Help) {
       return Registry.histogram(Name, Help, LatencyBoundsUs);
@@ -210,8 +236,13 @@ struct Server::Telemetry {
 // Lifecycle
 //===----------------------------------------------------------------------===//
 
-Server::Server(const Config &C) : Cfg(C) {
+Server::Server(const Config &C) : Cfg(C), Store(C.ResultStoreCap) {
   Tele = std::make_unique<Telemetry>();
+  auto Note = [&](const std::string &S) {
+    if (!StartupNote.empty())
+      StartupNote += "; ";
+    StartupNote += S;
+  };
   if (Cfg.Defaults.UseQueryCache) {
     Cache = std::make_unique<QueryCache>();
     Cache->setSnapshotCapacity(Cfg.Defaults.SnapshotCacheCap);
@@ -230,12 +261,31 @@ Server::Server(const Config &C) : Cfg(C) {
     StartupNote = "cold start: caching disabled, ignoring " + Cfg.CacheFile;
   }
 
+  if (!Cfg.ResultCacheFile.empty()) {
+    // A missing file is the normal first boot; anything else that fails
+    // to load is corruption or version skew, warned and cold-started
+    // (deserialize left the store empty -- never a wrong answer).
+    std::ifstream Probe(Cfg.ResultCacheFile, std::ios::binary);
+    std::string Err;
+    if (!Probe.is_open())
+      Note("result store cold start: no file at " + Cfg.ResultCacheFile);
+    else if (Probe.close(), Store.loadFile(Cfg.ResultCacheFile, &Err))
+      Note("result store warm start: loaded " + std::to_string(Store.size()) +
+           " entries from " + Cfg.ResultCacheFile);
+    else
+      Note("result store cold start: " + Err);
+  }
+
   if (!Cfg.AccessLog.empty()) {
     Tele->AccessLog.open(Cfg.AccessLog, std::ios::app);
     if (!Tele->AccessLog.is_open()) {
-      if (!StartupNote.empty())
-        StartupNote += "; ";
-      StartupNote += "access log unavailable: cannot open " + Cfg.AccessLog;
+      Note("access log unavailable: cannot open " + Cfg.AccessLog);
+    } else {
+      // Appending to an existing file: rotation measures total file size,
+      // so start the byte counter at the current end.
+      std::ofstream::pos_type End = Tele->AccessLog.tellp();
+      Tele->AccessLogBytes =
+          End > 0 ? static_cast<uint64_t>(End) : 0;
     }
   }
 
@@ -244,6 +294,7 @@ Server::Server(const Config &C) : Cfg(C) {
   engine::AnalysisRequest Base = Cfg.Defaults.toEngineRequest();
   Base.SharedCache = Cache.get();
   Base.UseQueryCache = Cache != nullptr;
+  Base.Store = &Store;
   for (unsigned I = 0; I != Cfg.Workers; ++I)
     Engines.push_back(std::make_unique<engine::DependenceEngine>(Base));
   for (unsigned I = 0; I != Cfg.Workers; ++I)
@@ -311,6 +362,15 @@ void Server::stop() {
       std::remove(Tmp.c_str());
     }
   }
+  if (!Cfg.ResultCacheFile.empty()) {
+    // Same tmp+rename discipline as the cache file: a crash mid-save
+    // leaves the previous generation intact, never a torn file.
+    std::string Tmp = Cfg.ResultCacheFile + ".tmp";
+    if (Store.saveFile(Tmp, nullptr))
+      std::rename(Tmp.c_str(), Cfg.ResultCacheFile.c_str());
+    else
+      std::remove(Tmp.c_str());
+  }
   writeMetricsFile(); // final exposition reflects the fully drained state
   if (Tele->AccessLog.is_open())
     Tele->AccessLog.flush();
@@ -374,8 +434,22 @@ void Server::submit(std::string Line,
   }
   if (Op == "metrics") {
     Tele->ReqMetrics->add();
+    bool Reset = false;
+    if (const json::Value *V = Doc.get("reset")) {
+      if (!V->isBool())
+        return Fail("bad_request", "\"reset\" must be a boolean");
+      Reset = V->asBool();
+    }
     Tele->RespOk->add();
-    Respond(renderServerOp(HasId, Id, "metrics", "metrics", metricsBody()));
+    // The response always carries the PRE-reset snapshot (including this
+    // request's own counts), so a measurement window reads its totals and
+    // zeroes the instruments in one round trip. Gauges are levels and
+    // survive the reset; the exposition file is rewritten after it, so
+    // scrapers see the fresh window.
+    std::string Body = metricsBody();
+    if (Reset)
+      Tele->Registry.reset();
+    Respond(renderServerOp(HasId, Id, "metrics", "metrics", Body));
     writeMetricsFile();
     return;
   }
@@ -496,6 +570,7 @@ struct AccessRecord {
   uint64_t SatCalls = 0;
   uint64_t SatHits = 0;
   uint64_t SatMisses = 0;
+  bool Coalesced = false;
   bool Slow = false;
   std::string TraceFile;
 };
@@ -507,6 +582,32 @@ uint64_t elapsedUs(std::chrono::steady_clock::time_point From,
           .count());
 }
 
+/// The singleflight identity of a sessionless analyze request: every
+/// option that flows into the engine run or the response document, plus
+/// the source. Two requests with equal keys produce byte-identical
+/// "result" sections (the engine's determinism guarantee), so they may
+/// share one solve.
+std::string coalesceKey(const AnalysisOptions &O, const std::string &Source) {
+  std::string K;
+  auto B = [&K](bool V) { K += V ? '1' : '0'; };
+  B(O.Refine);
+  B(O.Cover);
+  B(O.Kill);
+  B(O.QuickTests);
+  B(O.Terminate);
+  B(O.PairQuickTests);
+  B(O.Incremental);
+  B(O.ShareSnapshots);
+  B(O.UseQueryCache);
+  K += '|';
+  K += std::to_string(O.Jobs);
+  K += '|';
+  K += std::to_string(O.SnapshotCacheCap);
+  K += '\n';
+  K += Source;
+  return K;
+}
+
 } // namespace
 
 void Server::runOne(Request &R, unsigned Index) {
@@ -516,47 +617,80 @@ void Server::runOne(Request &R, unsigned Index) {
   Rec.Worker = Index;
   T.QueueWaitUs = elapsedUs(R.Admitted, Clock::now());
 
-  // One access-log line per request that reached a worker, written (like
-  // all accounting) before Respond so a client that has seen the response
-  // can rely on the record existing.
-  auto LogAccess = [&] {
+  // One access-log line per request that reached a worker (coalesced
+  // followers included), written (like all accounting) before Respond so
+  // a client that has seen the response can rely on the record existing.
+  auto LogAccess = [&](const Request &Req, const AccessRecord &Rc,
+                       const RequestTimings &Tm) {
     if (!Tele->AccessLog.is_open())
       return;
     std::string L = "{\"ts\": \"" + isoTimestamp() + "\", \"id\": " +
-                    (R.HasId ? std::to_string(R.Id) : "null") +
+                    (Req.HasId ? std::to_string(Req.Id) : "null") +
                     ", \"session\": ";
-    L += R.Session.empty() ? "null" : "\"" + json::escape(R.Session) + "\"";
-    L += std::string(", \"code\": \"") + Rec.Code + "\"";
-    L += ", \"worker\": " + std::to_string(Rec.Worker);
-    L += ", \"jobs\": " + std::to_string(Rec.Jobs);
-    L += ", \"queueWaitMs\": " + msField(T.QueueWaitUs);
-    L += ", \"parseMs\": " + msField(T.ParseUs);
-    L += ", \"solveMs\": " + msField(T.SolveUs);
-    L += ", \"serializeMs\": " + msField(T.SerializeUs);
-    L += ", \"totalMs\": " + msField(T.TotalUs);
-    L += ", \"satCalls\": " + std::to_string(Rec.SatCalls);
-    L += ", \"satCacheHits\": " + std::to_string(Rec.SatHits);
-    L += ", \"satCacheMisses\": " + std::to_string(Rec.SatMisses);
-    L += std::string(", \"slow\": ") + (Rec.Slow ? "true" : "false");
-    if (!Rec.TraceFile.empty())
-      L += ", \"traceFile\": \"" + json::escape(Rec.TraceFile) + "\"";
+    L += Req.Session.empty() ? "null"
+                             : "\"" + json::escape(Req.Session) + "\"";
+    L += std::string(", \"code\": \"") + Rc.Code + "\"";
+    L += ", \"worker\": " + std::to_string(Rc.Worker);
+    L += ", \"jobs\": " + std::to_string(Rc.Jobs);
+    L += ", \"queueWaitMs\": " + msField(Tm.QueueWaitUs);
+    L += ", \"parseMs\": " + msField(Tm.ParseUs);
+    L += ", \"solveMs\": " + msField(Tm.SolveUs);
+    L += ", \"serializeMs\": " + msField(Tm.SerializeUs);
+    L += ", \"totalMs\": " + msField(Tm.TotalUs);
+    L += ", \"satCalls\": " + std::to_string(Rc.SatCalls);
+    L += ", \"satCacheHits\": " + std::to_string(Rc.SatHits);
+    L += ", \"satCacheMisses\": " + std::to_string(Rc.SatMisses);
+    L += std::string(", \"coalesced\": ") + (Rc.Coalesced ? "true" : "false");
+    L += std::string(", \"slow\": ") + (Rc.Slow ? "true" : "false");
+    if (!Rc.TraceFile.empty())
+      L += ", \"traceFile\": \"" + json::escape(Rc.TraceFile) + "\"";
     L += "}";
-    std::lock_guard<std::mutex> Lock(Tele->AccessMu);
-    // Buffered, not flushed per line: stop() flushes, so by the time the
-    // process (or an in-process reader that called stop()) looks at the
-    // file, every record is there. Crash loss is bounded by one buffer.
-    Tele->AccessLog << L << "\n";
+    logAccessLine(L);
   };
 
   if (R.HasDeadline && Clock::now() >= R.Deadline) {
     T.TotalUs = elapsedUs(R.Admitted, Clock::now());
     Rec.Code = "deadline_exceeded";
     Tele->RespDeadline->add();
-    LogAccess();
+    LogAccess(R, Rec, T);
     R.Respond(renderServerError(R.HasId, R.Id, "deadline_exceeded",
                                 "deadline passed while queued"));
     return;
   }
+
+  // Singleflight: a sessionless analyze request that matches a solve
+  // already in flight parks on it as a follower and frees this worker
+  // slot immediately; the leader answers it (under the follower's own
+  // id) when the shared solve completes. Session requests never
+  // coalesce -- their baseline side effects are per-request.
+  bool Leader = false;
+  std::string CKey;
+  if (Cfg.Coalesce && R.Session.empty()) {
+    CKey = coalesceKey(R.Opts, R.Source);
+    std::lock_guard<std::mutex> Lock(CoalesceMu);
+    auto It = Inflight.find(CKey);
+    if (It != Inflight.end()) {
+      It->second.Waiters.push_back(Waiter{std::move(R), T.QueueWaitUs});
+      return;
+    }
+    Inflight.emplace(CKey, InflightEntry{});
+    Leader = true;
+  }
+  // Collects (and detaches) the followers parked on this leader. Runs
+  // after the leader's outcome is known: a request arriving later finds
+  // no in-flight entry and becomes a fresh leader.
+  auto TakeFollowers = [&] {
+    std::vector<Waiter> Fs;
+    if (Leader) {
+      std::lock_guard<std::mutex> Lock(CoalesceMu);
+      auto It = Inflight.find(CKey);
+      if (It != Inflight.end()) {
+        Fs = std::move(It->second.Waiters);
+        Inflight.erase(It);
+      }
+    }
+    return Fs;
+  };
 
   auto ParseStart = Clock::now();
   ir::AnalyzedProgram AP = ir::analyzeSource(R.Source);
@@ -574,8 +708,27 @@ void Server::runOne(Request &R, unsigned Index) {
     Tele->ParseUs->observe(T.ParseUs);
     Tele->RequestUs->observe(T.TotalUs);
     Tele->RespAnalysisError->add();
-    LogAccess();
+    LogAccess(R, Rec, T);
     R.Respond(renderServerError(R.HasId, R.Id, "analysis_error", Msg));
+    // Followers share the leader's verdict: the source is identical, so
+    // it fails identically. Each gets its own error line and accounting.
+    for (Waiter &W : TakeFollowers()) {
+      RequestTimings FT;
+      FT.QueueWaitUs = W.QueueWaitUs;
+      FT.TotalUs = elapsedUs(W.R.Admitted, Clock::now());
+      AccessRecord FRec;
+      FRec.Code = "analysis_error";
+      FRec.Worker = Index;
+      FRec.Coalesced = true;
+      Tele->ReqCoalesced->add();
+      Tele->QueueWaitUs->observe(FT.QueueWaitUs);
+      Tele->ParseUs->observe(FT.ParseUs);
+      Tele->RequestUs->observe(FT.TotalUs);
+      Tele->RespAnalysisError->add();
+      LogAccess(W.R, FRec, FT);
+      W.R.Respond(renderServerError(W.R.HasId, W.R.Id, "analysis_error",
+                                    Msg));
+    }
     return;
   }
 
@@ -591,6 +744,9 @@ void Server::runOne(Request &R, unsigned Index) {
     EReq.Baseline = Prior.get();
     EReq.BuildBaseline = true;
   }
+  // Every run -- stateless or session -- consults and feeds the global
+  // result store; the engine checks its session baseline first.
+  EReq.Store = &Store;
   Engine.applyOptions(EReq);
 
   // Slow-request capture: attach a per-request tracer to the (otherwise
@@ -606,6 +762,7 @@ void Server::runOne(Request &R, unsigned Index) {
   auto Start = Clock::now();
   engine::AnalysisResult Result = Engine.analyze(AP);
   T.SolveUs = elapsedUs(Start, Clock::now());
+  Tele->EngAnalyses->add();
   if (Tracer)
     Engine.setTracer(nullptr);
   if (!R.Session.empty() && Result.Baseline)
@@ -634,6 +791,9 @@ void Server::runOne(Request &R, unsigned Index) {
   Tele->EngDeltaReused->add(Result.Stats.DeltaPairsReused);
   Tele->EngDeltaResolved->add(Result.Stats.DeltaPairsResolved);
   Tele->EngDeltaNew->add(Result.Stats.DeltaPairsNew);
+  Tele->StoreHits->add(Result.Stats.ResultStoreHits);
+  Tele->StoreMisses->add(Result.Stats.ResultStoreMisses);
+  Tele->StoreEvictions->add(Result.Stats.ResultStoreEvictions);
 
   Tele->QueueWaitUs->observe(T.QueueWaitUs);
   Tele->ParseUs->observe(T.ParseUs);
@@ -659,8 +819,66 @@ void Server::runOne(Request &R, unsigned Index) {
       Rec.TraceFile = Path;
     }
   }
-  LogAccess();
+  LogAccess(R, Rec, T);
   R.Respond(std::move(Line));
+
+  // Answer the coalesced followers from the shared solve. Each follower
+  // gets the leader's byte-identical "result" section under its own id,
+  // with a metrics block showing zero engine work (the leader already
+  // attributed the cache traffic; double-counting would break the
+  // registry-vs-cache accounting cross-check).
+  for (Waiter &W : TakeFollowers()) {
+    auto FSerializeStart = Clock::now();
+    engine::AnalysisResult Blank;
+    std::string FMetrics =
+        renderMetrics(Blank, Rec.Jobs, WallMs, /*ProfileJson=*/"",
+                      /*ExplainLog=*/"");
+    std::string FLine = renderServerOk(W.R.Id, ResultJson, FMetrics);
+    RequestTimings FT;
+    FT.QueueWaitUs = W.QueueWaitUs;
+    FT.SolveUs = T.SolveUs; // the shared solve IS this request's solve
+    FT.SerializeUs = elapsedUs(FSerializeStart, Clock::now());
+    FT.TotalUs = elapsedUs(W.R.Admitted, Clock::now());
+    AccessRecord FRec;
+    FRec.Worker = Index;
+    FRec.Jobs = Rec.Jobs;
+    FRec.Coalesced = true;
+    Tele->ReqCoalesced->add();
+    Tele->QueueWaitUs->observe(FT.QueueWaitUs);
+    Tele->ParseUs->observe(FT.ParseUs);
+    Tele->SolveUs->observe(FT.SolveUs);
+    Tele->SerializeUs->observe(FT.SerializeUs);
+    Tele->RequestUs->observe(FT.TotalUs);
+    Tele->AnalyzeOk->add();
+    Tele->RespOk->add();
+    LogAccess(W.R, FRec, FT);
+    W.R.Respond(std::move(FLine));
+  }
+}
+
+void Server::logAccessLine(const std::string &Line) {
+  std::lock_guard<std::mutex> Lock(Tele->AccessMu);
+  if (!Tele->AccessLog.is_open())
+    return;
+  // Buffered, not flushed per line: stop() flushes, so by the time the
+  // process (or an in-process reader that called stop()) looks at the
+  // file, every record is there. Crash loss is bounded by one buffer.
+  Tele->AccessLog << Line << "\n";
+  Tele->AccessLogBytes += Line.size() + 1;
+  if (Cfg.AccessLogMaxMB == 0 ||
+      Tele->AccessLogBytes < (Cfg.AccessLogMaxMB << 20))
+    return;
+  // Size-based rotation: flush everything buffered (records are written
+  // whole under AccessMu, so the renamed file never ends mid-line),
+  // move the file to PATH.1 (replacing the previous rotation), and open
+  // a fresh PATH. On reopen failure the log goes quiet rather than
+  // crashing the server.
+  Tele->AccessLog.flush();
+  Tele->AccessLog.close();
+  std::string Rotated = Cfg.AccessLog + ".1";
+  std::rename(Cfg.AccessLog.c_str(), Rotated.c_str());
+  Tele->AccessLog.open(Cfg.AccessLog, std::ios::trunc);
+  Tele->AccessLogBytes = 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -711,6 +929,7 @@ obs::MetricsSnapshot Server::metricsSnapshot() const {
            Cache ? static_cast<int64_t>(Cache->size()) : 0);
   obs::set(Tele->SnapshotEntries,
            Cache ? static_cast<int64_t>(Cache->snapshotCount()) : 0);
+  obs::set(Tele->ResultStoreEntries, static_cast<int64_t>(Store.size()));
   return Tele->Registry.snapshot();
 }
 
@@ -733,7 +952,14 @@ std::string Server::metricsBody() const {
          ", \"gistMisses\": " + std::to_string(CS.GistMisses) +
          ", \"entries\": " + std::to_string(Cache ? Cache->size() : 0) +
          ", \"snapshots\": " +
-         std::to_string(Cache ? Cache->snapshotCount() : 0) + "}}";
+         std::to_string(Cache ? Cache->snapshotCount() : 0) + "}";
+  // The store's own lifetime counters (lookup-level, unlike the
+  // engine-attributed registry totals, which count materializations).
+  engine::ResultStoreStats RS = Store.stats();
+  Out += ", \"resultStore\": {\"hits\": " + std::to_string(RS.Hits) +
+         ", \"misses\": " + std::to_string(RS.Misses) +
+         ", \"evictions\": " + std::to_string(RS.Evictions) +
+         ", \"entries\": " + std::to_string(RS.Entries) + "}}";
   return Out;
 }
 
@@ -760,6 +986,7 @@ std::string Server::healthBody() const {
   Out += ", \"liveSessions\": " + std::to_string(Tele->LiveSessions->value());
   Out += ", \"sessionCapacity\": " + std::to_string(Cfg.MaxSessions);
   Out += ", \"cacheEntries\": " + std::to_string(Cache ? Cache->size() : 0);
+  Out += ", \"resultStoreEntries\": " + std::to_string(Store.size());
   Out += ", \"cacheNote\": \"" + json::escape(StartupNote) + "\"}";
   return Out;
 }

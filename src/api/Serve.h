@@ -40,12 +40,24 @@
 /// byte-identical to an uncached run -- and "metrics.delta" reports the
 /// pair classification.
 ///
+/// Above the session tier sit two cross-request reuse tiers. A global
+/// engine::ResultStore (fingerprint-keyed solved outcomes, shared by all
+/// workers, persisted via Config::ResultCacheFile) lets ANY request --
+/// stateless, fresh session, or restarted server -- materialize pairs a
+/// structurally identical program solved before. And in-flight request
+/// coalescing (singleflight) merges concurrent sessionless requests with
+/// identical source and options: one leader solves, the followers' worker
+/// slots are freed immediately, and the leader answers every follower
+/// with the shared result document under each follower's own id. Both
+/// tiers are result-invisible by the same byte-identity gate.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OMEGA_API_SERVE_H
 #define OMEGA_API_SERVE_H
 
 #include "api/Options.h"
+#include "engine/ResultStore.h"
 #include "obs/Metrics.h"
 
 #include <atomic>
@@ -90,6 +102,16 @@ public:
     /// recently used MaxSessions session ids stay resident; older ones
     /// are dropped (their next request runs from scratch, never wrong).
     std::size_t MaxSessions = 64;
+    /// Result-store persistence file: loaded (if present and valid) at
+    /// construction -- corruption warns and cold-starts -- and saved
+    /// atomically at stop(). Empty disables persistence (the in-memory
+    /// store still runs).
+    std::string ResultCacheFile;
+    /// Result-store entry bound (0 = unbounded), LRU-evicted beyond it.
+    std::size_t ResultStoreCap = engine::ResultStore::DefaultCapacity;
+    /// In-flight coalescing: concurrent sessionless analyze requests with
+    /// identical source and options share one engine solve.
+    bool Coalesce = true;
 
     // -- telemetry sinks (the registry itself is always on; recording is
     // -- a few relaxed atomics per request and never touches results) ----
@@ -107,6 +129,12 @@ public:
     /// Where slow-request Chrome traces land (slow-<seq>-<id>.trace.json);
     /// empty keeps the flag-only behavior.
     std::string SlowTraceDir;
+    /// Rotate the access log when it exceeds this many megabytes: the
+    /// current file is flushed and renamed to AccessLog + ".1" (replacing
+    /// any previous rotation) and a fresh file is opened. Records are
+    /// written whole under one lock, so rotation never tears a line.
+    /// 0 disables rotation.
+    std::uint64_t AccessLogMaxMB = 0;
   };
 
   explicit Server(const Config &C);
@@ -136,6 +164,10 @@ public:
 
   /// The shared cache, or null when Defaults.UseQueryCache is false.
   QueryCache *cache() { return Cache.get(); }
+
+  /// The global cross-request result store (always present; every worker
+  /// engine consults and feeds it). Public for in-process tests/bench.
+  engine::ResultStore &resultStore() { return Store; }
 
   /// A deterministic snapshot of the server's metrics registry with the
   /// sampled gauges (cache occupancy, live sessions) refreshed first.
@@ -170,8 +202,26 @@ private:
   struct Conn;
   struct Telemetry;
 
+  /// A coalesced follower parked on an in-flight leader: the original
+  /// request plus its already-measured queue wait (observed when its
+  /// worker dequeued it, before the worker slot was freed).
+  struct Waiter {
+    Request R;
+    std::uint64_t QueueWaitUs = 0;
+  };
+  /// One in-flight sessionless solve, keyed by source + engine-relevant
+  /// options. Present in the map exactly while a leader is running.
+  struct InflightEntry {
+    std::vector<Waiter> Waiters;
+  };
+
   void workerLoop(unsigned Index);
   void runOne(Request &R, unsigned Index);
+
+  /// Appends one access-log line (under the log lock) and rotates the
+  /// file when Config::AccessLogMaxMB is exceeded. No-op when the log is
+  /// not open.
+  void logAccessLine(const std::string &Line);
 
   /// Renders and atomically rewrites Config::MetricsFile (no-op when the
   /// path is empty). Serialized internally; safe from any thread.
@@ -208,6 +258,12 @@ private:
   std::mutex SessionsMu;
   std::unordered_map<std::string, SessionEntry> Sessions;
   std::list<std::string> SessionLRU; ///< most recently used at the front
+
+  /// The global result store, shared by every worker engine.
+  engine::ResultStore Store;
+
+  std::mutex CoalesceMu;
+  std::unordered_map<std::string, InflightEntry> Inflight;
 
   std::vector<std::unique_ptr<engine::DependenceEngine>> Engines;
   std::vector<std::thread> Workers;

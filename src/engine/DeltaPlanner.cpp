@@ -13,15 +13,15 @@
 
 using namespace omega;
 using namespace omega::engine;
+using namespace omega::engine::detail;
 
 //===----------------------------------------------------------------------===//
 // Persistence (mirrors QueryCache's on-disk conventions)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-const char BaselineMagic[4] = {'O', 'M', 'B', 'L'};
-constexpr uint32_t BaselineFormatVersion = 1;
+namespace omega {
+namespace engine {
+namespace detail {
 
 /// FNV-1a, the same checksum the query-cache file uses.
 uint64_t checksum64(const std::string &Bytes) {
@@ -43,66 +43,66 @@ void appendU64(std::string &Out, uint64_t V) {
     Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
 }
 
-void appendI64(std::string &Out, int64_t V) {
-  appendU64(Out, static_cast<uint64_t>(V));
-}
-
 void appendLenString(std::string &Out, const std::string &S) {
   appendU64(Out, S.size());
   Out += S;
 }
 
-struct Reader {
-  const std::string &Buf;
-  std::size_t Pos = 0;
-  bool Ok = true;
+uint8_t ByteReader::u8() {
+  uint8_t C = 0;
+  take(&C, 1);
+  return C;
+}
 
-  bool take(void *Dst, std::size_t N) {
-    if (!Ok || Pos + N > Buf.size()) {
-      Ok = false;
-      return false;
-    }
-    std::memcpy(Dst, Buf.data() + Pos, N);
-    Pos += N;
-    return true;
+uint32_t ByteReader::u32() {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I) {
+    unsigned char C = 0;
+    if (!take(&C, 1))
+      return 0;
+    V |= static_cast<uint32_t>(C) << (8 * I);
   }
-  uint32_t u32() {
-    uint32_t V = 0;
-    for (int I = 0; I != 4; ++I) {
-      unsigned char C = 0;
-      if (!take(&C, 1))
-        return 0;
-      V |= static_cast<uint32_t>(C) << (8 * I);
-    }
-    return V;
+  return V;
+}
+
+uint64_t ByteReader::u64() {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I) {
+    unsigned char C = 0;
+    if (!take(&C, 1))
+      return 0;
+    V |= static_cast<uint64_t>(C) << (8 * I);
   }
-  uint64_t u64() {
-    uint64_t V = 0;
-    for (int I = 0; I != 8; ++I) {
-      unsigned char C = 0;
-      if (!take(&C, 1))
-        return 0;
-      V |= static_cast<uint64_t>(C) << (8 * I);
-    }
-    return V;
+  return V;
+}
+
+int64_t ByteReader::i64() { return static_cast<int64_t>(u64()); }
+
+std::string ByteReader::lenString() {
+  uint64_t N = u64();
+  if (!Ok || Pos + N > Bytes.size()) {
+    Ok = false;
+    return {};
   }
-  int64_t i64() { return static_cast<int64_t>(u64()); }
-  uint8_t u8() {
-    uint8_t C = 0;
-    take(&C, 1);
-    return C;
-  }
-  std::string lenString() {
-    uint64_t N = u64();
-    if (!Ok || Pos + N > Buf.size()) {
-      Ok = false;
-      return {};
-    }
-    std::string S = Buf.substr(Pos, N);
-    Pos += N;
-    return S;
-  }
-};
+  std::string S = Bytes.substr(Pos, N);
+  Pos += N;
+  return S;
+}
+
+} // namespace detail
+} // namespace engine
+} // namespace omega
+
+namespace {
+
+const char BaselineMagic[4] = {'O', 'M', 'B', 'L'};
+constexpr uint32_t BaselineFormatVersion = 1;
+
+using Reader = detail::ByteReader;
+
+void appendI64(std::string &Out, int64_t V) {
+  appendU64(Out, static_cast<uint64_t>(V));
+}
 
 void appendRange(std::string &Out, const PortableRange &R) {
   Out.push_back(static_cast<char>((R.HasMin ? 1 : 0) | (R.HasMax ? 2 : 0) |
@@ -169,6 +169,12 @@ PortableDep readDep(Reader &R) {
     D.Splits.push_back(readSplit(R));
   return D;
 }
+
+} // namespace
+
+namespace omega {
+namespace engine {
+namespace detail {
 
 void appendPairOutcome(std::string &Out, const PairOutcome &P) {
   Out.push_back(static_cast<char>(
@@ -238,7 +244,9 @@ KillGroupOutcome readKillGroup(Reader &R) {
   return G;
 }
 
-} // namespace
+} // namespace detail
+} // namespace engine
+} // namespace omega
 
 std::string BaselineResult::serialize() const {
   std::string Payload;
@@ -274,7 +282,7 @@ bool BaselineResult::deserialize(const std::string &Bytes, BaselineResult *Out,
       *Err = Why;
     return false;
   };
-  Reader R{Bytes};
+  Reader R(Bytes);
   char Magic[4];
   if (!R.take(Magic, 4) || std::memcmp(Magic, BaselineMagic, 4) != 0)
     return Reject("not a baseline file (bad magic)");

@@ -40,6 +40,7 @@
 #define OMEGA_ENGINE_DELTAPLANNER_H
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <optional>
 #include <set>
@@ -223,6 +224,53 @@ PortableDep portableDep(const deps::Dependence *Dep, uint8_t Kind,
 /// \p P.Present; the caller resolves roles to accesses.
 deps::Dependence materializeDep(const PortableDep &P, const ir::Access *Src,
                                 const ir::Access *Dst);
+
+//===----------------------------------------------------------------------===//
+// Wire-format helpers (shared with ResultStore)
+//===----------------------------------------------------------------------===//
+
+/// The little-endian length-prefixed encoding BaselineResult persists with.
+/// ResultStore reuses it so a pair outcome has exactly one byte form.
+namespace detail {
+
+/// FNV-1a over a byte string; the checksum every persisted artifact carries.
+uint64_t checksum64(const std::string &Bytes);
+
+void appendU32(std::string &Out, uint32_t V);
+void appendU64(std::string &Out, uint64_t V);
+void appendLenString(std::string &Out, const std::string &S);
+
+/// Bounds-checked cursor over a serialized byte string. All take/uN calls
+/// set Ok=false (and return zeros) past the end instead of reading wild.
+struct ByteReader {
+  const std::string &Bytes;
+  std::size_t Pos = 0;
+  bool Ok = true;
+
+  explicit ByteReader(const std::string &B) : Bytes(B) {}
+
+  bool take(void *Dst, std::size_t N) {
+    if (!Ok || Pos + N > Bytes.size()) {
+      Ok = false;
+      return false;
+    }
+    std::memcpy(Dst, Bytes.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  int64_t i64();
+  std::string lenString();
+};
+
+void appendPairOutcome(std::string &Out, const PairOutcome &P);
+PairOutcome readPairOutcome(ByteReader &R);
+void appendKillGroup(std::string &Out, const KillGroupOutcome &G);
+KillGroupOutcome readKillGroup(ByteReader &R);
+
+} // namespace detail
 
 } // namespace engine
 } // namespace omega

@@ -10,6 +10,7 @@
 #include "analysis/Refine.h"
 #include "deps/Fingerprint.h"
 #include "deps/PairSolver.h"
+#include "engine/ResultStore.h"
 #include "engine/WorkerPool.h"
 #include "obs/Trace.h"
 
@@ -123,6 +124,7 @@ void DependenceEngine::applyOptions(const AnalysisRequest &O) {
   Req.ShareSnapshots = O.ShareSnapshots;
   Req.Baseline = O.Baseline;
   Req.BuildBaseline = O.BuildBaseline;
+  Req.Store = O.Store;
   // Per-request parallelism: clamp to the pool built at construction (0
   // asks for the full pool). Threads are reused, never respawned.
   Req.Jobs = O.Jobs;
@@ -226,6 +228,13 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   const bool DeltaActive =
       (Req.Baseline != nullptr || Req.BuildBaseline) && !Req.Terminate;
   const bool BuildBL = Req.BuildBaseline && !Req.Terminate;
+  // The global cross-request store is a second reuse tier below the
+  // session baseline: consulted for every group the baseline missed, fed
+  // every outcome this run produces. It never activates delta accounting
+  // by itself (stateless requests keep reporting no delta section); its
+  // traffic lands in the ResultStore* stats instead.
+  ResultStore *Store = Req.Terminate ? nullptr : Req.Store;
+  const bool FPActive = DeltaActive || Store != nullptr;
   PipelineSig Sig;
   Sig.Refine = Req.Refine;
   Sig.Cover = Req.Cover;
@@ -234,6 +243,7 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   DeltaPlanner Planner(DeltaActive ? Req.Baseline : nullptr, Sig);
   DeltaMetrics Delta;
   Delta.Active = DeltaActive;
+  uint64_t StoreHits = 0, StoreMisses = 0, StoreEvictions = 0;
 
   std::optional<deps::FingerprintBuilder> FPB;
   std::vector<deps::PairFingerprint> GroupFP;
@@ -253,17 +263,36 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     return A == CanonFirst ? 0 : 1;
   };
 
-  if (DeltaActive) {
+  // Store-materialized groups own their outcome copies here so the
+  // QueryReuse pointers stay stable (resized once, never reallocated).
+  std::vector<PairOutcome> StoreOutcomes;
+  std::vector<char> GroupFromStore;
+  if (FPActive) {
     FPB.emplace(AP);
     GroupFP.resize(Groups.size());
+    StoreOutcomes.resize(Groups.size());
+    GroupFromStore.assign(Groups.size(), 0);
     // Pure string building; parallel and trace-silent.
     Pool->parallelFor(Groups.size(), [&](std::size_t GI, OmegaContext &) {
       const PairQuery &First = Queries[Groups[GI].front()];
       GroupFP[GI] = FPB->pair(*First.Src, *First.Dst);
     });
     // Classification (serial: planner bookkeeping + reuse binding).
+    // Tier order per group: session baseline first (free, already
+    // validated against this program lineage), then the global store.
     for (std::size_t GI = 0; GI != Groups.size(); ++GI) {
-      const PairOutcome *O = Planner.matchPair(GroupFP[GI].Key);
+      const PairOutcome *O =
+          DeltaActive ? Planner.matchPair(GroupFP[GI].Key) : nullptr;
+      bool Consulted = false; // this group asked the global store
+      if (!O && Store) {
+        Consulted = true;
+        if (std::optional<PairOutcome> SO =
+                Store->lookupPair(GroupFP[GI].Key, Sig)) {
+          StoreOutcomes[GI] = std::move(*SO);
+          O = &StoreOutcomes[GI];
+          GroupFromStore[GI] = 1;
+        }
+      }
       bool Reusable = O && O->Queries.size() == Groups[GI].size();
       if (Reusable) {
         // Bind every query to a distinct stored answer by (kind, roles).
@@ -292,18 +321,26 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       }
       if (Reusable) {
         GroupReuse[GI] = O;
-        ++Delta.PairsReused;
+        if (GroupFromStore[GI])
+          ++StoreHits;
+        if (DeltaActive)
+          ++Delta.PairsReused;
       } else {
         // A fingerprint miss (or, defensively, a malformed match) is an
         // edited pair when its array was in the baseline, new data
         // otherwise. Metrics-only distinction; both solve from scratch.
+        GroupFromStore[GI] = 0;
+        if (Consulted)
+          ++StoreMisses;
         for (std::size_t QI : Groups[GI])
           QueryReuse[QI] = nullptr;
-        const PairQuery &First = Queries[Groups[GI].front()];
-        if (O || Planner.knownArray(First.Src->Array))
-          ++Delta.PairsResolved;
-        else
-          ++Delta.PairsNew;
+        if (DeltaActive) {
+          const PairQuery &First = Queries[Groups[GI].front()];
+          if (O || Planner.knownArray(First.Src->Array))
+            ++Delta.PairsResolved;
+          else
+            ++Delta.PairsNew;
+        }
       }
     }
   }
@@ -317,7 +354,7 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   // difference. Trace decisions go to the first context from this
   // coordinating thread (workers are idle between parallelFor calls).
   std::vector<std::size_t> RunGroups;
-  if (DeltaActive) {
+  if (FPActive) {
     obs::TraceBuffer *TB = Req.Trace ? Pool->firstContext().Trace : nullptr;
     for (std::size_t GI = 0; GI != Groups.size(); ++GI) {
       if (!GroupReuse[GI]) {
@@ -335,7 +372,9 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
         obs::TaskScope Task(TB, taskKey(1, GI),
                             "pair " + accessLabel(*First.Src) + " <-> " +
                                 accessLabel(*First.Dst));
-        TB->decision("delta: pair reused from baseline");
+        TB->decision(GroupFromStore[GI]
+                         ? "delta: pair reused from result store"
+                         : "delta: pair reused from baseline");
       }
     }
   } else {
@@ -399,7 +438,10 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       Slot.Record.UsedGeneralTest = O->RecUsedGeneralTest;
       Slot.Record.SplitVectors = O->RecSplitVectors;
       if (Ctx.Trace)
-        Ctx.Trace->decision("delta: flow record reused from baseline");
+        Ctx.Trace->decision(
+            GroupFromStore[QueryGroup[NumOrderedQueries + I]]
+                ? "delta: flow record reused from result store"
+                : "delta: flow record reused from baseline");
       return;
     }
 
@@ -455,11 +497,13 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
   // records hold their post-refinement, post-cover, pre-kill state -- the
   // exact state a future reuse must restore before its own kill phase.
   std::shared_ptr<BaselineResult> NewBL;
-  if (BuildBL) {
-    NewBL = std::make_shared<BaselineResult>();
-    NewBL->Sig = Sig;
-    for (const ir::Access &A : AP.Accesses)
-      NewBL->Arrays.insert(A.Array);
+  if (BuildBL || Store) {
+    if (BuildBL) {
+      NewBL = std::make_shared<BaselineResult>();
+      NewBL->Sig = Sig;
+      for (const ir::Access &A : AP.Accesses)
+        NewBL->Arrays.insert(A.Array);
+    }
     for (std::size_t GI = 0; GI != Groups.size(); ++GI) {
       PairOutcome O;
       for (std::size_t QI : Groups[GI]) {
@@ -484,9 +528,15 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
           O.RecSplitVectors = Rec.SplitVectors;
         }
       }
+      // Feed the global store everything this run did not take from it
+      // (solves and baseline-reused groups alike; a re-insert of an
+      // equal key only refreshes recency).
+      if (Store && !GroupFromStore[GI])
+        StoreEvictions += Store->storePair(GroupFP[GI].Key, Sig, O);
       // emplace: duplicate fingerprints keep the first outcome (equal
       // keys imply equal outcomes, so either would do).
-      NewBL->Pairs.emplace(GroupFP[GI].Key, std::move(O));
+      if (BuildBL)
+        NewBL->Pairs.emplace(GroupFP[GI].Key, std::move(O));
     }
   }
 
@@ -512,7 +562,9 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     std::map<unsigned, uint32_t> WritePosOfId;
     std::vector<std::string> KillFP(KGroups.size());
     std::vector<char> KillReused(KGroups.size(), 0);
-    if (DeltaActive) {
+    std::vector<KillGroupOutcome> KillStoreOutcomes(KGroups.size());
+    std::vector<char> KillFromStore(KGroups.size(), 0);
+    if (FPActive) {
       for (const ir::Access *W : Writes) {
         std::vector<const ir::Access *> &V = WritesOf[W->Array];
         WritePosOfId[W->Id] = static_cast<uint32_t>(V.size());
@@ -523,7 +575,8 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
             Result.Flow[KGroups[GI].DepIndices->front()].Dst;
         KillFP[GI] = FPB->killGroup(*Read, WritesOf[Read->Array]);
       }
-      Delta.KillGroupsTotal = KGroups.size();
+      if (DeltaActive)
+        Delta.KillGroupsTotal = KGroups.size();
     }
 
     // Reuse pass (serial): a matching kill-group fingerprint covers the
@@ -536,8 +589,21 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     for (std::size_t GI = 0; GI != KGroups.size(); ++GI) {
       const KillGroupOutcome *O =
           DeltaActive ? Planner.matchKillGroup(KillFP[GI]) : nullptr;
-      if (!O)
+      bool Consulted = false;
+      if (!O && Store && FPActive) {
+        Consulted = true;
+        if (std::optional<KillGroupOutcome> SO =
+                Store->lookupKillGroup(KillFP[GI], Sig)) {
+          KillStoreOutcomes[GI] = std::move(*SO);
+          O = &KillStoreOutcomes[GI];
+          KillFromStore[GI] = 1;
+        }
+      }
+      if (!O) {
+        if (Consulted)
+          ++StoreMisses;
         continue;
+      }
       KillGroup &G = KGroups[GI];
       const std::vector<unsigned> &DepIndices = *G.DepIndices;
       const ir::Access *Read = Result.Flow[DepIndices.front()].Dst;
@@ -551,8 +617,12 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
       }
       for (const PortableKillRecord &KR : O->Records)
         Valid = Valid && KR.VictimPos < AW.size() && KR.KillerPos < AW.size();
-      if (!Valid)
+      if (!Valid) {
+        KillFromStore[GI] = 0;
+        if (Consulted)
+          ++StoreMisses;
         continue;
+      }
       for (std::size_t I = 0; I != DepIndices.size(); ++I) {
         Dependence &Dep = Result.Flow[DepIndices[I]];
         for (std::size_t S = 0; S != Dep.Splits.size(); ++S) {
@@ -570,12 +640,17 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
         G.Records.push_back(KR);
       }
       KillReused[GI] = 1;
-      ++Delta.KillGroupsReused;
+      if (KillFromStore[GI])
+        ++StoreHits;
+      if (DeltaActive)
+        ++Delta.KillGroupsReused;
       if (Req.Trace) {
         obs::TraceBuffer *TB = Pool->firstContext().Trace;
         obs::TaskScope Task(TB, taskKey(3, GI),
                             "kills into " + accessLabel(*Read));
-        TB->decision("delta: kill group reused from baseline");
+        TB->decision(KillFromStore[GI]
+                         ? "delta: kill group reused from result store"
+                         : "delta: kill group reused from baseline");
       }
     }
 
@@ -661,7 +736,7 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     // Kill outcomes captured post-phase-3; the reused groups' rebound
     // records re-serialize the same way, so a chained baseline (edit of
     // an edit) is as complete as a cold one.
-    if (BuildBL) {
+    if (BuildBL || Store) {
       for (std::size_t GI = 0; GI != KGroups.size(); ++GI) {
         const KillGroup &G = KGroups[GI];
         const std::vector<unsigned> &DepIndices = *G.DepIndices;
@@ -682,7 +757,10 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
             S.Splits.emplace_back(Split.Dead, Split.DeadReason);
           KG.States.push_back(std::move(S));
         }
-        NewBL->KillGroups.emplace(KillFP[GI], std::move(KG));
+        if (Store && !KillFromStore[GI])
+          StoreEvictions += Store->storeKillGroup(KillFP[GI], Sig, KG);
+        if (BuildBL)
+          NewBL->KillGroups.emplace(KillFP[GI], std::move(KG));
       }
     }
   }
@@ -731,6 +809,11 @@ AnalysisResult DependenceEngine::analyze(const ir::AnalyzedProgram &AP) {
     Result.Stats.DeltaPairsReused = Delta.PairsReused;
     Result.Stats.DeltaPairsResolved = Delta.PairsResolved;
     Result.Stats.DeltaPairsNew = Delta.PairsNew;
+  }
+  if (Store) {
+    Result.Stats.ResultStoreHits = StoreHits;
+    Result.Stats.ResultStoreMisses = StoreMisses;
+    Result.Stats.ResultStoreEvictions = StoreEvictions;
   }
   Result.Delta = Delta;
   Result.Baseline = std::move(NewBL);

@@ -41,6 +41,7 @@ class Tracer;
 
 namespace engine {
 
+class ResultStore;
 class WorkerPool;
 
 /// What analyzeProgram-style runs should do and how to execute them.
@@ -91,6 +92,15 @@ struct AnalysisRequest {
   /// for a future incremental run (or --save-baseline). Also ignored
   /// under Terminate.
   bool BuildBaseline = false;
+  /// Global cross-request result store (engine/ResultStore.h): consulted
+  /// for every pair and kill group the baseline above did not already
+  /// cover, and fed every outcome this run solves. Independent of
+  /// Baseline/BuildBaseline -- stateless requests benefit too -- and
+  /// gated identically (sig-qualified exact fingerprint match, shape
+  /// re-validation, byte-identical materialization). Not owned; must be
+  /// thread-safe (it is) and outlive the analyze() call. Ignored when
+  /// Terminate is set, for the same reason Baseline is.
+  ResultStore *Store = nullptr;
 
   static AnalysisRequest fromDriverOptions(const analysis::DriverOptions &O) {
     AnalysisRequest R;
@@ -134,8 +144,8 @@ public:
 
   /// Re-points the pipeline and tier toggles (QuickTests, Refine, Cover,
   /// Kill, Terminate, PairQuickTests, Incremental, ShareSnapshots), the
-  /// delta fields (Baseline, BuildBaseline), and the active worker count
-  /// (Jobs, clamped to the pool built at construction) at \p O's values
+  /// reuse fields (Baseline, BuildBaseline, Store), and the active worker
+  /// count (Jobs, clamped to the pool built at construction) at \p O's values
   /// without rebuilding the pool or cache. The serving stack uses this
   /// to honor per-request options on a long-lived engine; the remaining
   /// structural fields (UseQueryCache, SharedCache, Trace) are fixed at

@@ -1,0 +1,269 @@
+//===- engine/ResultStore.cpp ---------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ResultStore.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <utility>
+#include <vector>
+
+using namespace omega;
+using namespace omega::engine;
+using namespace omega::engine::detail;
+
+namespace {
+
+const char StoreMagic[4] = {'O', 'M', 'R', 'S'};
+
+/// Qualifies a fingerprint with the entry kind and the pipeline
+/// signature: an outcome recorded under one pipeline is invisible under
+/// another, mirroring DeltaPlanner's sig gate.
+std::string makeKey(char Kind, const PipelineSig &Sig,
+                    const std::string &Fingerprint) {
+  std::string Key;
+  Key.reserve(Fingerprint.size() + 6);
+  Key.push_back(Kind);
+  Key.push_back(Sig.Refine ? '1' : '0');
+  Key.push_back(Sig.Cover ? '1' : '0');
+  Key.push_back(Sig.Kill ? '1' : '0');
+  Key.push_back(Sig.QuickTests ? '1' : '0');
+  Key.push_back('|');
+  Key += Fingerprint;
+  return Key;
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::size_t Capacity) : Capacity(Capacity) {}
+
+ResultStore::Shard &ResultStore::shardFor(const std::string &Key) {
+  return Shards[std::hash<std::string>{}(Key) % NumShards];
+}
+
+const ResultStore::Shard &ResultStore::shardFor(const std::string &Key) const {
+  return Shards[std::hash<std::string>{}(Key) % NumShards];
+}
+
+std::size_t ResultStore::perShardCap() const {
+  std::size_t Cap = Capacity.load(std::memory_order_relaxed);
+  if (Cap == 0)
+    return 0;
+  return std::max<std::size_t>(1, (Cap + NumShards - 1) / NumShards);
+}
+
+std::optional<std::string> ResultStore::lookupBytes(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end())
+    return std::nullopt;
+  S.LRU.splice(S.LRU.begin(), S.LRU, It->second.LRUPos);
+  return It->second.Bytes;
+}
+
+std::size_t ResultStore::storeBytes(const std::string &Key,
+                                    std::string Bytes) {
+  Shard &S = shardFor(Key);
+  std::size_t Cap = perShardCap();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(Key);
+  if (It != S.Map.end()) {
+    It->second.Bytes = std::move(Bytes);
+    S.LRU.splice(S.LRU.begin(), S.LRU, It->second.LRUPos);
+    return 0;
+  }
+  S.LRU.push_front(Key);
+  S.Map.emplace(Key, Shard::Entry{std::move(Bytes), S.LRU.begin()});
+  std::size_t Evicted = 0;
+  while (Cap != 0 && S.Map.size() > Cap) {
+    S.Map.erase(S.LRU.back());
+    S.LRU.pop_back();
+    ++Evicted;
+  }
+  EvictionCount.fetch_add(Evicted, std::memory_order_relaxed);
+  return Evicted;
+}
+
+std::optional<PairOutcome>
+ResultStore::lookupPair(const std::string &Fingerprint,
+                        const PipelineSig &Sig) {
+  std::string Key = makeKey('P', Sig, Fingerprint);
+  std::optional<std::string> Bytes = lookupBytes(Key);
+  if (Bytes) {
+    ByteReader R(*Bytes);
+    PairOutcome P = readPairOutcome(R);
+    if (R.Ok && R.Pos == Bytes->size()) {
+      HitCount.fetch_add(1, std::memory_order_relaxed);
+      return P;
+    }
+  }
+  MissCount.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+std::size_t ResultStore::storePair(const std::string &Fingerprint,
+                                   const PipelineSig &Sig,
+                                   const PairOutcome &Outcome) {
+  std::string Bytes;
+  appendPairOutcome(Bytes, Outcome);
+  return storeBytes(makeKey('P', Sig, Fingerprint), std::move(Bytes));
+}
+
+std::optional<KillGroupOutcome>
+ResultStore::lookupKillGroup(const std::string &Fingerprint,
+                             const PipelineSig &Sig) {
+  std::string Key = makeKey('K', Sig, Fingerprint);
+  std::optional<std::string> Bytes = lookupBytes(Key);
+  if (Bytes) {
+    ByteReader R(*Bytes);
+    KillGroupOutcome G = readKillGroup(R);
+    if (R.Ok && R.Pos == Bytes->size()) {
+      HitCount.fetch_add(1, std::memory_order_relaxed);
+      return G;
+    }
+  }
+  MissCount.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+std::size_t ResultStore::storeKillGroup(const std::string &Fingerprint,
+                                        const PipelineSig &Sig,
+                                        const KillGroupOutcome &Outcome) {
+  std::string Bytes;
+  appendKillGroup(Bytes, Outcome);
+  return storeBytes(makeKey('K', Sig, Fingerprint), std::move(Bytes));
+}
+
+void ResultStore::setCapacity(std::size_t NewCapacity) {
+  Capacity.store(NewCapacity, std::memory_order_relaxed);
+  std::size_t Cap = perShardCap();
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    std::size_t Evicted = 0;
+    while (Cap != 0 && S.Map.size() > Cap) {
+      S.Map.erase(S.LRU.back());
+      S.LRU.pop_back();
+      ++Evicted;
+    }
+    EvictionCount.fetch_add(Evicted, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ResultStore::size() const {
+  std::size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Map.size();
+  }
+  return N;
+}
+
+ResultStoreStats ResultStore::stats() const {
+  ResultStoreStats St;
+  St.Hits = HitCount.load(std::memory_order_relaxed);
+  St.Misses = MissCount.load(std::memory_order_relaxed);
+  St.Evictions = EvictionCount.load(std::memory_order_relaxed);
+  St.Entries = size();
+  return St;
+}
+
+void ResultStore::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+    S.LRU.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+
+std::string ResultStore::serialize() const {
+  std::vector<std::pair<std::string, std::string>> Entries;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Key, E] : S.Map)
+      Entries.emplace_back(Key, E.Bytes);
+  }
+  std::sort(Entries.begin(), Entries.end());
+
+  std::string Payload;
+  appendU64(Payload, Entries.size());
+  for (const auto &[Key, Bytes] : Entries) {
+    appendLenString(Payload, Key);
+    appendLenString(Payload, Bytes);
+  }
+
+  std::string Out(StoreMagic, sizeof(StoreMagic));
+  appendU32(Out, PersistFormatVersion);
+  appendU64(Out, checksum64(Payload));
+  Out += Payload;
+  return Out;
+}
+
+bool ResultStore::deserialize(const std::string &Bytes, std::string *Err) {
+  clear();
+  auto Reject = [&](const char *Why) {
+    clear();
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  ByteReader R(Bytes);
+  char Magic[4];
+  if (!R.take(Magic, 4) || std::memcmp(Magic, StoreMagic, 4) != 0)
+    return Reject("not a result-store file (bad magic)");
+  if (R.u32() != PersistFormatVersion)
+    return Reject("unsupported result-store format version");
+  uint64_t Sum = R.u64();
+  if (!R.Ok || checksum64(Bytes.substr(R.Pos)) != Sum)
+    return Reject("result-store checksum mismatch");
+
+  uint64_t N = R.u64();
+  for (uint64_t I = 0; R.Ok && I != N; ++I) {
+    std::string Key = R.lenString();
+    std::string Value = R.lenString();
+    if (R.Ok)
+      storeBytes(std::move(Key), std::move(Value));
+  }
+  if (!R.Ok || R.Pos != Bytes.size())
+    return Reject("result-store payload truncated or oversized");
+  return true;
+}
+
+bool ResultStore::saveFile(const std::string &Path, std::string *Err) const {
+  std::string Bytes = serialize();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path + " for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok && Err)
+    *Err = "short write to " + Path;
+  return Ok;
+}
+
+bool ResultStore::loadFile(const std::string &Path, std::string *Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  std::string Bytes;
+  char Buf[1 << 16];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.append(Buf, N);
+  std::fclose(F);
+  return deserialize(Bytes, Err);
+}

@@ -109,6 +109,13 @@ Histogram *MetricsRegistry::histogram(std::string Name, std::string Help,
   return HistogramList.back().get();
 }
 
+void MetricsRegistry::reset() {
+  for (const std::unique_ptr<Counter> &C : CounterList)
+    C->reset();
+  for (const std::unique_ptr<Histogram> &H : HistogramList)
+    H->reset();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot S;
   S.Counters.reserve(CounterList.size());

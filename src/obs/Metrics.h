@@ -81,6 +81,13 @@ public:
       Sum += C.V.load(std::memory_order_relaxed);
     return Sum;
   }
+  /// Zeroes every cell. Not atomic with respect to concurrent add()s: a
+  /// racing increment lands before or after the reset, never torn. Meant
+  /// for quiescent test rigs via {"op":"metrics","reset":true}.
+  void reset() noexcept {
+    for (detail::MetricCell &C : Cells)
+      C.V.store(0, std::memory_order_relaxed);
+  }
   const std::string &name() const { return Name; }
 
 private:
@@ -162,6 +169,14 @@ public:
       Sum += C.V.load(std::memory_order_relaxed);
     return Sum;
   }
+  /// Zeroes every bucket and the sum; same caveats as Counter::reset().
+  void reset() noexcept {
+    for (unsigned B = 0; B != (unsigned)(Bounds.size() + 1) * MetricShards;
+         ++B)
+      BucketCells[B].V.store(0, std::memory_order_relaxed);
+    for (detail::MetricCell &C : SumCells)
+      C.V.store(0, std::memory_order_relaxed);
+  }
   const std::string &name() const { return Name; }
 
 private:
@@ -242,6 +257,15 @@ public:
                        std::vector<uint64_t> Bounds);
 
   MetricsSnapshot snapshot() const;
+
+  /// Zeroes every counter and histogram; gauges are levels (queue depth,
+  /// live sessions) and are left alone -- their owners keep set()ing
+  /// them. Not a barrier: increments racing the reset land wholly before
+  /// or after it. Backs {"op":"metrics","reset":true}, which is meant
+  /// for per-window measurement on otherwise quiescent rigs; note that
+  /// cross-source invariants against non-registry totals (the shared
+  /// cache's global counters) only hold over a full process lifetime.
+  void reset();
 
 private:
   std::vector<std::unique_ptr<Counter>> CounterList;

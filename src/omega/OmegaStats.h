@@ -64,6 +64,14 @@ struct OmegaStats {
   uint64_t DeltaPairsResolved = 0;
   uint64_t DeltaPairsNew = 0;
 
+  // Global result store (engine/ResultStore.h): pair and kill groups this
+  // run materialized from the cross-request store (hits), looked up but
+  // had to solve (misses), and entries the store's LRU bound dropped while
+  // this run inserted (evictions). All zero when no store is attached.
+  uint64_t ResultStoreHits = 0;
+  uint64_t ResultStoreMisses = 0;
+  uint64_t ResultStoreEvictions = 0;
+
   // Quick-test pre-filter: dependence queries decided with no Omega call,
   // by class. QuickTestDecided always equals the sum of the four classes
   // (each decision bumps its class and the total together).
@@ -110,6 +118,9 @@ private:
     DeltaPairsReused += Sign * O.DeltaPairsReused;
     DeltaPairsResolved += Sign * O.DeltaPairsResolved;
     DeltaPairsNew += Sign * O.DeltaPairsNew;
+    ResultStoreHits += Sign * O.ResultStoreHits;
+    ResultStoreMisses += Sign * O.ResultStoreMisses;
+    ResultStoreEvictions += Sign * O.ResultStoreEvictions;
     QuickTestZIV += Sign * O.QuickTestZIV;
     QuickTestGCD += Sign * O.QuickTestGCD;
     QuickTestBounds += Sign * O.QuickTestBounds;

@@ -7,9 +7,12 @@
 // name-free and semantics-sensitive; baselines round-trip through their
 // binary format and reject corruption; an analysis replayed against a
 // baseline renders byte-identical results while classifying every pair
-// group exactly once; snapshot stores evict LRU under a capacity bound;
-// and the serving stack retains per-session baselines and clamps
-// per-request parallelism to the worker pool.
+// group exactly once; the global result store answers structurally-seen
+// pairs across unrelated requests (LRU-bounded, sig-gated, thread-safe,
+// with checksummed persistence that rejects corruption whole); snapshot
+// stores evict LRU under a capacity bound; and the serving stack retains
+// per-session baselines, falls back to the global store after eviction,
+// and clamps per-request parallelism to the worker pool.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +22,7 @@
 #include "deps/Fingerprint.h"
 #include "engine/DeltaPlanner.h"
 #include "engine/DependenceEngine.h"
+#include "engine/ResultStore.h"
 #include "ir/Sema.h"
 #include "omega/Problem.h"
 #include "omega/QueryCache.h"
@@ -26,11 +30,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace omega;
@@ -255,6 +262,264 @@ TEST(Baseline, SaveLoadFile) {
 }
 
 //===----------------------------------------------------------------------===//
+// Global result store
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A minimal but non-trivial pair outcome for store unit tests.
+engine::PairOutcome samplePair(unsigned Tag) {
+  engine::PairOutcome Out;
+  engine::PortableDep D;
+  D.Kind = static_cast<uint8_t>(Tag & 0x7);
+  D.Present = true;
+  Out.Queries.push_back(D);
+  Out.HasFlowRecord = (Tag & 1) != 0;
+  Out.RecHasFlow = Out.HasFlowRecord;
+  return Out;
+}
+
+engine::KillGroupOutcome sampleKillGroup(unsigned Tag) {
+  engine::KillGroupOutcome Out;
+  engine::PortableKillRecord Rec;
+  Rec.VictimPos = Tag;
+  Rec.Killed = true;
+  Out.Records.push_back(Rec);
+  engine::KillGroupOutcome::DepState St;
+  St.WritePos = Tag;
+  St.Splits.emplace_back(true, 'K');
+  Out.States.push_back(St);
+  return Out;
+}
+
+} // namespace
+
+// Lookups hit only under the (kind, pipeline signature) they were stored
+// with, and every lookup lands on exactly one of the hit/miss counters.
+TEST(ResultStore, HitMissSigAndKindSeparation) {
+  engine::ResultStore Store(0); // unbounded
+  engine::PipelineSig Sig;
+  EXPECT_FALSE(Store.lookupPair("fp", Sig).has_value()); // miss 1
+
+  EXPECT_EQ(Store.storePair("fp", Sig, samplePair(1)), 0u);
+  EXPECT_EQ(Store.size(), 1u);
+
+  std::optional<engine::PairOutcome> Hit = Store.lookupPair("fp", Sig);
+  ASSERT_TRUE(Hit.has_value()); // hit 1
+  ASSERT_EQ(Hit->Queries.size(), 1u);
+  EXPECT_TRUE(Hit->Queries[0].Present);
+
+  // The pipeline signature is part of the key ...
+  engine::PipelineSig Other;
+  Other.Kill = false;
+  EXPECT_FALSE(Store.lookupPair("fp", Other).has_value()); // miss 2
+  // ... and so is the entry kind: a pair entry never answers a
+  // kill-group lookup of the same fingerprint.
+  EXPECT_FALSE(Store.lookupKillGroup("fp", Sig).has_value()); // miss 3
+
+  EXPECT_EQ(Store.storeKillGroup("fp", Sig, sampleKillGroup(2)), 0u);
+  EXPECT_EQ(Store.size(), 2u);
+  std::optional<engine::KillGroupOutcome> KHit =
+      Store.lookupKillGroup("fp", Sig); // hit 2
+  ASSERT_TRUE(KHit.has_value());
+  ASSERT_EQ(KHit->Records.size(), 1u);
+  EXPECT_TRUE(KHit->Records[0].Killed);
+
+  // Re-storing an existing key refreshes in place, no growth.
+  EXPECT_EQ(Store.storePair("fp", Sig, samplePair(3)), 0u);
+  EXPECT_EQ(Store.size(), 2u);
+
+  engine::ResultStoreStats St = Store.stats();
+  EXPECT_EQ(St.Hits, 2u);
+  EXPECT_EQ(St.Misses, 3u);
+  EXPECT_EQ(St.Evictions, 0u);
+  EXPECT_EQ(St.Entries, 2u);
+}
+
+TEST(ResultStore, CapacityBoundAndLRURecency) {
+  engine::PipelineSig Sig;
+
+  // Capacity 16 over 16 shards bounds every shard to one entry, so two
+  // fingerprints evict each other iff they share a shard. Probe for two
+  // fingerprints that collide with "seed".
+  auto collides = [&](const std::string &FP) {
+    engine::ResultStore Probe(16);
+    Probe.storePair("seed", Sig, samplePair(0));
+    return Probe.storePair(FP, Sig, samplePair(0)) == 1;
+  };
+  std::vector<std::string> Colliders;
+  for (unsigned I = 0; I != 4096 && Colliders.size() < 2; ++I) {
+    std::string FP = "cand" + std::to_string(I);
+    if (collides(FP))
+      Colliders.push_back(FP);
+  }
+  ASSERT_EQ(Colliders.size(), 2u) << "no shard colliders found";
+
+  // Per-shard capacity 2 (total 32): seed and the first collider fit. A
+  // lookup refreshes seed's recency, so the second collider evicts the
+  // first collider, not seed.
+  engine::ResultStore Store(32);
+  Store.storePair("seed", Sig, samplePair(0));
+  Store.storePair(Colliders[0], Sig, samplePair(1));
+  EXPECT_TRUE(Store.lookupPair("seed", Sig).has_value());
+  EXPECT_EQ(Store.storePair(Colliders[1], Sig, samplePair(2)), 1u);
+  EXPECT_TRUE(Store.lookupPair("seed", Sig).has_value());
+  EXPECT_FALSE(Store.lookupPair(Colliders[0], Sig).has_value());
+  EXPECT_TRUE(Store.lookupPair(Colliders[1], Sig).has_value());
+  EXPECT_EQ(Store.stats().Evictions, 1u);
+
+  // The bound holds under churn: 64 distinct entries through capacity
+  // 16 leave at most 16 alive, the overflow counted as evictions, and
+  // the most recent store always survives.
+  engine::ResultStore Small(16);
+  for (unsigned I = 0; I != 64; ++I)
+    Small.storePair("fp" + std::to_string(I), Sig, samplePair(I));
+  EXPECT_LE(Small.size(), 16u);
+  EXPECT_EQ(Small.stats().Evictions, 64u - Small.size());
+  EXPECT_TRUE(Small.lookupPair("fp63", Sig).has_value());
+
+  // Capacity 0 lifts the bound; shrinking re-imposes it immediately.
+  Small.setCapacity(0);
+  std::size_t Before = Small.size();
+  for (unsigned I = 100; I != 164; ++I)
+    Small.storePair("fp" + std::to_string(I), Sig, samplePair(I));
+  EXPECT_EQ(Small.size(), Before + 64u);
+  Small.setCapacity(16);
+  EXPECT_LE(Small.size(), 16u);
+}
+
+// The 'OMRS' file: save -> load -> save is bit-identical, loaded entries
+// answer under their recorded signature, and every corruption flavor
+// (empty, bad magic, version skew, checksum flip, truncation, trailing
+// garbage) rejects the whole file and leaves the store empty.
+TEST(ResultStore, PersistenceRoundTripAndCorruption) {
+  engine::PipelineSig Sig;
+  engine::PipelineSig Alt;
+  Alt.QuickTests = false;
+
+  engine::ResultStore Store(0);
+  for (unsigned I = 0; I != 8; ++I)
+    Store.storePair("p" + std::to_string(I), I % 2 ? Sig : Alt,
+                    samplePair(I));
+  for (unsigned I = 0; I != 4; ++I)
+    Store.storeKillGroup("k" + std::to_string(I), Sig, sampleKillGroup(I));
+
+  std::string Bytes = Store.serialize();
+  engine::ResultStore Loaded(0);
+  std::string Err;
+  ASSERT_TRUE(Loaded.deserialize(Bytes, &Err)) << Err;
+  EXPECT_EQ(Loaded.size(), Store.size());
+  EXPECT_EQ(Loaded.serialize(), Bytes);
+  EXPECT_TRUE(Loaded.lookupPair("p1", Sig).has_value());
+  EXPECT_TRUE(Loaded.lookupPair("p0", Alt).has_value());
+  EXPECT_FALSE(Loaded.lookupPair("p0", Sig).has_value());
+  EXPECT_TRUE(Loaded.lookupKillGroup("k3", Sig).has_value());
+
+  struct Corrupt {
+    const char *Tag;
+    std::string Bytes;
+  } Cases[] = {
+      {"empty", std::string()},
+      {"bad-magic",
+       [&] {
+         std::string B = Bytes;
+         B[0] = static_cast<char>(B[0] ^ 0x20);
+         return B;
+       }()},
+      {"version-skew",
+       [&] {
+         std::string B = Bytes;
+         B[4] = static_cast<char>(B[4] ^ 0x01);
+         return B;
+       }()},
+      {"checksum",
+       [&] {
+         std::string B = Bytes;
+         B.back() = static_cast<char>(B.back() ^ 0x01);
+         return B;
+       }()},
+      {"truncated", Bytes.substr(0, Bytes.size() / 2)},
+      {"oversized", Bytes + "x"},
+  };
+  for (const Corrupt &C : Cases) {
+    SCOPED_TRACE(C.Tag);
+    engine::ResultStore Victim(0);
+    Victim.storePair("stale", Sig, samplePair(9));
+    Err.clear();
+    EXPECT_FALSE(Victim.deserialize(C.Bytes, &Err));
+    EXPECT_FALSE(Err.empty());
+    EXPECT_EQ(Victim.size(), 0u);
+  }
+
+  std::string Path = ::testing::TempDir() + "delta_test.resultstore";
+  ASSERT_TRUE(Store.saveFile(Path, &Err)) << Err;
+  engine::ResultStore FromFile(0);
+  ASSERT_TRUE(FromFile.loadFile(Path, &Err)) << Err;
+  EXPECT_EQ(FromFile.serialize(), Bytes);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(FromFile.loadFile(Path, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+// N threads hammer one store with mixed lookups, stores, capacity
+// changes, and serializations (run under TSan in CI). The at-rest gates:
+// exact hit+miss accounting, the capacity bound, and a clean round-trip
+// of whatever population survived.
+TEST(ResultStore, ConcurrentHammer) {
+  engine::ResultStore Store(64);
+  engine::PipelineSig Sig;
+  constexpr unsigned Threads = 8, Ops = 600, KeySpace = 48;
+  std::atomic<uint64_t> Lookups{0};
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&Store, &Sig, &Lookups, T] {
+      for (unsigned I = 0; I != Ops; ++I) {
+        std::string FP = "fp" + std::to_string((T * 7 + I) % KeySpace);
+        switch (I % 5) {
+        case 0:
+          Store.storePair(FP, Sig, samplePair(I));
+          break;
+        case 1:
+          Store.lookupPair(FP, Sig);
+          Lookups.fetch_add(1);
+          break;
+        case 2:
+          Store.storeKillGroup(FP, Sig, sampleKillGroup(I));
+          break;
+        case 3:
+          Store.lookupKillGroup(FP, Sig);
+          Lookups.fetch_add(1);
+          break;
+        case 4:
+          if (I % 100 == 4) {
+            Store.serialize();
+          } else {
+            Store.lookupPair(FP, Sig);
+            Lookups.fetch_add(1);
+          }
+          break;
+        }
+        if (T == 0 && I % 200 == 199)
+          Store.setCapacity(I % 400 == 199 ? 32 : 64);
+      }
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  engine::ResultStoreStats St = Store.stats();
+  EXPECT_EQ(St.Hits + St.Misses, Lookups.load());
+  Store.setCapacity(64);
+  EXPECT_LE(Store.size(), 64u);
+
+  std::string Bytes = Store.serialize();
+  engine::ResultStore Copy(0);
+  std::string Err;
+  ASSERT_TRUE(Copy.deserialize(Bytes, &Err)) << Err;
+  EXPECT_EQ(Copy.serialize(), Bytes);
+}
+
+//===----------------------------------------------------------------------===//
 // Incremental analysis over the edit corpus
 //===----------------------------------------------------------------------===//
 
@@ -266,8 +531,9 @@ TEST(Delta, CorpusByteIdentityAndAccounting) {
       recordBaseline(readEdit("base"));
   ASSERT_NE(Base, nullptr);
 
-  const char *Edits[] = {"rename", "bound", "stmt-new", "stmt-edit",
-                         "loop-del"};
+  const char *Edits[] = {"rename",   "bound",       "stmt-new",
+                         "stmt-edit", "loop-del",   "interchange",
+                         "rename-reorder"};
   for (const char *Name : Edits) {
     SCOPED_TRACE(Name);
     ir::AnalyzedProgram AP = analyzeOk(readEdit(Name));
@@ -371,6 +637,83 @@ TEST(Delta, IdenticalReplayReusesEverything) {
   EXPECT_EQ(R.Delta.PairsReused, groupTotal(AP));
   EXPECT_GT(R.Delta.KillGroupsTotal, 0u);
   EXPECT_EQ(R.Delta.KillGroupsReused, R.Delta.KillGroupsTotal);
+}
+
+// The rename gate, both tiers: plain renames and renames that reorder
+// first mentions are 100% reused per-session (full baseline reuse) AND
+// via the global result store with no baseline or session at all.
+TEST(Delta, RenameEditsFullyReusedViaStore) {
+  std::string BaseSrc = readEdit("base");
+  for (const char *Name : {"rename", "rename-reorder"}) {
+    SCOPED_TRACE(Name);
+    ir::AnalyzedProgram AP = analyzeOk(readEdit(Name));
+    uint64_t Pairs = groupTotal(AP);
+
+    // Per-session: replaying base's baseline reuses every pair and
+    // every kill group.
+    std::shared_ptr<const engine::BaselineResult> Base =
+        recordBaseline(BaseSrc);
+    ASSERT_NE(Base, nullptr);
+    engine::AnalysisRequest SReq;
+    SReq.Baseline = Base.get();
+    SReq.BuildBaseline = true;
+    engine::DependenceEngine Session(SReq);
+    engine::AnalysisResult SR = Session.analyze(AP);
+    ASSERT_TRUE(SR.Delta.Active);
+    EXPECT_EQ(SR.Delta.PairsResolved, 0u);
+    EXPECT_EQ(SR.Delta.PairsNew, 0u);
+    EXPECT_EQ(SR.Delta.PairsReused, Pairs);
+    EXPECT_GT(SR.Delta.KillGroupsTotal, 0u);
+    EXPECT_EQ(SR.Delta.KillGroupsReused, SR.Delta.KillGroupsTotal);
+
+    // Global store: feed it with a baseline-less, session-less run of
+    // the base program ...
+    engine::ResultStore Store;
+    engine::AnalysisRequest Feed;
+    Feed.Store = &Store;
+    engine::DependenceEngine Feeder(Feed);
+    engine::AnalysisResult FR = Feeder.analyze(analyzeOk(BaseSrc));
+    EXPECT_EQ(FR.Stats.ResultStoreHits, 0u);
+    EXPECT_GT(FR.Stats.ResultStoreMisses, 0u);
+    // Structurally identical groups share one entry, so the population
+    // is at most (and usually below) the miss count.
+    EXPECT_GT(Store.size(), 0u);
+    EXPECT_LE(Store.size(), FR.Stats.ResultStoreMisses);
+
+    // ... then a fresh engine on the renamed program materializes every
+    // pair and every kill group, byte-identical to a from-scratch run.
+    engine::AnalysisRequest Use;
+    Use.Store = &Store;
+    engine::DependenceEngine User(Use);
+    engine::AnalysisResult UR = User.analyze(AP);
+    EXPECT_EQ(UR.Stats.ResultStoreMisses, 0u);
+    EXPECT_EQ(UR.Stats.ResultStoreHits, Pairs + SR.Delta.KillGroupsTotal);
+
+    engine::DependenceEngine Scratch;
+    EXPECT_EQ(api::renderResult(UR), api::renderResult(Scratch.analyze(AP)));
+  }
+}
+
+// Partial structural overlap reuses exactly the overlap: the interchange
+// edit re-solves the second nest, and the untouched nests materialize
+// from the store -- results still byte-identical to scratch.
+TEST(Delta, StorePartialReuseOnInterchange) {
+  engine::ResultStore Store;
+  engine::AnalysisRequest Feed;
+  Feed.Store = &Store;
+  engine::DependenceEngine Feeder(Feed);
+  Feeder.analyze(analyzeOk(readEdit("base")));
+
+  ir::AnalyzedProgram AP = analyzeOk(readEdit("interchange"));
+  engine::AnalysisRequest Use;
+  Use.Store = &Store;
+  engine::DependenceEngine User(Use);
+  engine::AnalysisResult UR = User.analyze(AP);
+  EXPECT_GT(UR.Stats.ResultStoreHits, 0u);
+  EXPECT_GT(UR.Stats.ResultStoreMisses, 0u);
+
+  engine::DependenceEngine Scratch;
+  EXPECT_EQ(api::renderResult(UR), api::renderResult(Scratch.analyze(AP)));
 }
 
 // A baseline recorded under a different pipeline signature is unusable;
@@ -519,6 +862,19 @@ int64_t deltaField(const std::string &Response, const std::string &Field) {
   return -1;
 }
 
+/// metrics.stats.<Field> of a response line, or -1 when absent.
+int64_t statsField(const std::string &Response, const std::string &Field) {
+  api::json::Value Doc;
+  std::string Err;
+  if (!api::json::parse(Response, Doc, Err))
+    return -1;
+  if (const api::json::Value *M = Doc.get("metrics"))
+    if (const api::json::Value *S = M->get("stats"))
+      if (const api::json::Value *F = S->get(Field))
+        return F->asInt();
+  return -1;
+}
+
 /// The raw bytes of the top-level "result" object of a response line.
 std::string resultBytes(const std::string &Response) {
   std::size_t At = Response.find("\"result\": ");
@@ -551,7 +907,8 @@ std::string resultBytes(const std::string &Response) {
 // A session's second request reuses the baseline its first request
 // recorded, with the result still byte-identical to a one-shot run; the
 // session map holds MaxSessions baselines and evicts the least recently
-// used one, which then starts over as all-new.
+// used one, which then falls back to the global result store instead of
+// starting over; sessionless requests consult the store too.
 TEST(ServeSessions, RetainReuseAndEvict) {
   api::Server::Config Cfg;
   Cfg.Workers = 1;
@@ -579,17 +936,28 @@ TEST(ServeSessions, RetainReuseAndEvict) {
                                  "{\"result\": " + Expected + "}"));
 
   // Two more sessions overflow MaxSessions = 2 and evict s1 (least
-  // recently used); s1 then starts from scratch again.
+  // recently used). s1's baseline is gone, but every pair of the edit
+  // was already solved under this server, so the replay materializes
+  // entirely from the global result store: all-reused, nothing
+  // re-solved, and still byte-identical.
   ask(Server, sessionRequest(3, "s2", Base));
   ask(Server, sessionRequest(4, "s3", Base));
   std::string R5 = ask(Server, sessionRequest(5, "s1", Edit));
-  EXPECT_EQ(deltaField(R5, "pairsReused"), 0);
+  EXPECT_EQ(deltaField(R5, "pairsReused"),
+            deltaField(R2, "pairsReused") + deltaField(R2, "pairsResolved") +
+                deltaField(R2, "pairsNew"));
+  EXPECT_EQ(deltaField(R5, "pairsResolved"), 0);
+  EXPECT_EQ(deltaField(R5, "pairsNew"), 0);
+  EXPECT_GT(statsField(R5, "resultStoreHits"), 0);
   EXPECT_EQ(resultBytes(R5), resultBytes(R2));
 
-  // Sessionless requests never activate the delta layer.
+  // Sessionless requests never activate the delta layer, but they do
+  // consult the store: the whole program materializes without a solve.
   std::string R6 = ask(Server, "{\"id\": 6, \"source\": \"" +
                                    api::json::escape(Edit) + "\"}");
   EXPECT_EQ(deltaField(R6, "pairsReused"), -1);
+  EXPECT_GT(statsField(R6, "resultStoreHits"), 0);
+  EXPECT_EQ(statsField(R6, "resultStoreMisses"), 0);
   EXPECT_EQ(resultBytes(R6), resultBytes(R2));
 }
 

@@ -7,7 +7,11 @@
 // over the whole corpus get responses whose "result" section is
 // byte-identical to a one-shot engine run (any jobs value, warm or cold
 // cache); admission control sheds with typed errors; per-request metrics
-// attribute cache traffic to the request that caused it.
+// attribute cache traffic to the request that caused it; identical
+// concurrent sessionless requests coalesce onto one solve; the global
+// result store persists across server restarts (corruption degrades to
+// a cold start); metrics reset on request; the access log rotates by
+// size without tearing records.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,7 +25,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -111,6 +118,39 @@ api::Server::Config basicConfig(unsigned Workers = 4) {
   Cfg.Workers = Workers;
   Cfg.Defaults.Jobs = 1;
   return Cfg;
+}
+
+/// metrics.counters.<Name> of a metrics-op response, or -1 when absent.
+int64_t counterOf(const std::string &Response, const std::string &Name) {
+  api::json::Value Doc;
+  std::string Err;
+  if (!api::json::parse(Response, Doc, Err))
+    return -1;
+  if (const api::json::Value *M = Doc.get("metrics"))
+    if (const api::json::Value *C = M->get("counters"))
+      if (const api::json::Value *V = C->get(Name))
+        return V->asInt();
+  return -1;
+}
+
+/// metrics.stats.<Field> of an analyze response, or -1 when absent.
+int64_t statsOf(const std::string &Response, const std::string &Field) {
+  api::json::Value Doc;
+  std::string Err;
+  if (!api::json::parse(Response, Doc, Err))
+    return -1;
+  if (const api::json::Value *M = Doc.get("metrics"))
+    if (const api::json::Value *S = M->get("stats"))
+      if (const api::json::Value *F = S->get(Field))
+        return F->asInt();
+  return -1;
+}
+
+std::string readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
 }
 
 } // namespace
@@ -352,6 +392,257 @@ TEST(Serve, PerRequestOptionsAreHonored) {
                 ->asInt(),
             0);
   Server.stop();
+}
+
+// In-flight coalescing: identical sessionless requests submitted while
+// the pool is wedged collapse onto one engine solve. Every client's
+// "result" bytes are identical, at least one follower coalesced, and
+// the accounting witness holds exactly: engine analyses performed plus
+// requests coalesced equals analyze_ok.
+TEST(Serve, CoalescingSharesOneSolve) {
+  api::Server::Config Cfg = basicConfig(2);
+  Cfg.MaxQueue = 64;
+  api::Server Server(Cfg);
+
+  // A deliberately expensive burst program (four 3-D nests, quick tests
+  // disabled per-request): its solve takes tens of milliseconds,
+  // dwarfing the cheap wedge below.
+  std::string Heavy = "symbolic n, m, p;\n";
+  for (int K = 0; K != 4; ++K) {
+    std::string S = std::to_string(K);
+    Heavy += "for i := 2 to n do\n"
+             "  for j := 2 to m do\n"
+             "    for k := 2 to p do\n"
+             "      a" + S + "(i,j,k) := a" + S + "(i-1,j,k) + a" + S +
+             "(i,j-1,k) + b" + S + "(i-1,j-1,k) + c" + S + "(i,j,k-1);\n"
+             "      b" + S + "(i,j,k) := a" + S + "(i,j,k) + b" + S +
+             "(i-1,j,k-1) + c" + S + "(i,j-1,k);\n"
+             "      c" + S + "(i,j,k) := b" + S + "(i,j-1,k) + c" + S +
+             "(i-1,j,k) + a" + S + "(i-1,j,k-1);\n"
+             "      d" + S + "(i,j,k) := d" + S + "(i-1,j-1,k-1) + c" + S +
+             "(i,j,k) + b" + S + "(i,j,k);\n"
+             "    endfor\n"
+             "  endfor\n"
+             "endfor\n";
+  }
+  ASSERT_TRUE(ir::analyzeSource(Heavy).ok());
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  unsigned Done = 0;
+  // Wedge exactly one of the two workers with a trivial session request
+  // (sessions never coalesce). The other worker picks up the first
+  // heavy request and becomes its leader; the wedge clears in well
+  // under a millisecond, and its worker then dequeues the rest of the
+  // burst while the leader is deep in its tens-of-milliseconds solve,
+  // so every remaining request parks on the leader.
+  const std::string Wedge =
+      "for i := 1 to 8 do\n  t(i) := t(i-1) + 1;\nendfor\n";
+  ASSERT_TRUE(ir::analyzeSource(Wedge).ok());
+  Server.submit("{\"id\": 100, \"session\": \"w\", \"source\": \"" +
+                    api::json::escape(Wedge) + "\"}",
+                [&](std::string) {
+                  std::lock_guard<std::mutex> Lock(Mu);
+                  ++Done;
+                  CV.notify_one();
+                });
+
+  constexpr unsigned K = 8;
+  std::vector<std::string> Resps(K);
+  for (unsigned I = 0; I != K; ++I)
+    Server.submit(requestLine(I, Heavy, "{\"quicktests\": false}"),
+                  [&, I](std::string R) {
+                    std::lock_guard<std::mutex> Lock(Mu);
+                    Resps[I] = std::move(R);
+                    ++Done;
+                    CV.notify_one();
+                  });
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    CV.wait(Lock, [&] { return Done == K + 1; });
+  }
+
+  std::string First = resultBytes(Resps[0]);
+  ASSERT_FALSE(First.empty());
+  for (unsigned I = 1; I != K; ++I)
+    EXPECT_EQ(resultBytes(Resps[I]), First) << "response " << I;
+
+  std::string M = ask(Server, "{\"id\": 9, \"op\": \"metrics\"}");
+  int64_t Analyses = counterOf(M, "omega_engine_analyses_total");
+  int64_t Coalesced = counterOf(M, "omega_serve_requests_coalesced_total");
+  int64_t Ok = counterOf(M, "omega_serve_analyze_ok_total");
+  EXPECT_GT(Coalesced, 0);
+  EXPECT_EQ(Analyses + Coalesced, Ok);
+  EXPECT_EQ(Ok, int64_t(K + 1));
+  Server.stop();
+}
+
+// With coalescing disabled, every request is its own solve: nothing
+// coalesces and engine analyses equal analyze_ok.
+TEST(Serve, CoalescingDisabledByConfig) {
+  api::Server::Config Cfg = basicConfig(2);
+  Cfg.MaxQueue = 64;
+  Cfg.Coalesce = false;
+  api::Server Server(Cfg);
+  const std::string Source = kernels::corpus().front().Source;
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  unsigned Done = 0;
+  constexpr unsigned K = 6;
+  for (unsigned I = 0; I != K; ++I)
+    Server.submit(requestLine(I, Source), [&](std::string) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Done;
+      CV.notify_one();
+    });
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    CV.wait(Lock, [&] { return Done == K; });
+  }
+  std::string M = ask(Server, "{\"id\": 9, \"op\": \"metrics\"}");
+  EXPECT_EQ(counterOf(M, "omega_serve_requests_coalesced_total"), 0);
+  EXPECT_EQ(counterOf(M, "omega_engine_analyses_total"),
+            counterOf(M, "omega_serve_analyze_ok_total"));
+  Server.stop();
+}
+
+// The metrics op with "reset": true answers with the pre-reset snapshot,
+// then zeroes counters and histograms; a non-bool "reset" is rejected.
+TEST(Serve, MetricsResetOp) {
+  api::Server Server(basicConfig(1));
+  const std::string Source = kernels::corpus().front().Source;
+  ask(Server, requestLine(1, Source));
+
+  std::string Pre =
+      ask(Server, "{\"id\": 2, \"op\": \"metrics\", \"reset\": true}");
+  EXPECT_EQ(counterOf(Pre, "omega_engine_analyses_total"), 1);
+  EXPECT_GE(counterOf(Pre, "omega_serve_requests_total"), 2);
+
+  std::string Post = ask(Server, "{\"id\": 3, \"op\": \"metrics\"}");
+  EXPECT_EQ(counterOf(Post, "omega_engine_analyses_total"), 0);
+  EXPECT_EQ(counterOf(Post, "omega_serve_analyze_ok_total"), 0);
+  // The post-reset metrics request itself is the only one on record.
+  EXPECT_EQ(counterOf(Post, "omega_serve_requests_total"), 1);
+
+  EXPECT_EQ(errorCode(ask(
+                Server, "{\"id\": 4, \"op\": \"metrics\", \"reset\": 1}")),
+            "bad_request");
+  Server.stop();
+}
+
+// The global result store survives a restart through the versioned
+// checksummed --result-cache-file: the second server warm-starts and
+// materializes every pair from the store, saving again is bit-identical,
+// and a corrupted file degrades to a warned cold start -- never a wrong
+// answer.
+TEST(Serve, ResultStorePersistsAcrossRestart) {
+  std::string Path = ::testing::TempDir() + "serve_test.resultstore";
+  std::remove(Path.c_str());
+  const std::string Source = kernels::corpus().front().Source;
+
+  std::string First;
+  {
+    api::Server::Config Cfg = basicConfig(1);
+    Cfg.ResultCacheFile = Path;
+    api::Server Server(Cfg);
+    EXPECT_NE(Server.startupNote().find("result store cold start"),
+              std::string::npos)
+        << Server.startupNote();
+    std::string R1 = ask(Server, requestLine(1, Source));
+    First = resultBytes(R1);
+    ASSERT_FALSE(First.empty());
+    EXPECT_EQ(statsOf(R1, "resultStoreHits"), 0);
+    EXPECT_GT(statsOf(R1, "resultStoreMisses"), 0);
+    Server.stop(); // persists the store
+  }
+  std::string Saved = readFileBytes(Path);
+  ASSERT_FALSE(Saved.empty());
+
+  {
+    api::Server::Config Cfg = basicConfig(1);
+    Cfg.ResultCacheFile = Path;
+    api::Server Server(Cfg);
+    EXPECT_NE(Server.startupNote().find("result store warm start"),
+              std::string::npos)
+        << Server.startupNote();
+    EXPECT_GT(Server.resultStore().size(), 0u);
+    std::string R2 = ask(Server, requestLine(2, Source));
+    EXPECT_EQ(resultBytes(R2), First);
+    EXPECT_GT(statsOf(R2, "resultStoreHits"), 0);
+    EXPECT_EQ(statsOf(R2, "resultStoreMisses"), 0);
+    Server.stop();
+  }
+  // Same population, same sorted dump: save -> load -> save is
+  // bit-identical.
+  EXPECT_EQ(readFileBytes(Path), Saved);
+
+  // Corruption: truncate the file; the next server cold-starts with a
+  // warning and still answers correctly from scratch.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Saved.data(),
+              static_cast<std::streamsize>(Saved.size() / 2));
+  }
+  {
+    api::Server::Config Cfg = basicConfig(1);
+    Cfg.ResultCacheFile = Path;
+    api::Server Server(Cfg);
+    EXPECT_NE(Server.startupNote().find("result store cold start"),
+              std::string::npos)
+        << Server.startupNote();
+    EXPECT_EQ(Server.resultStore().size(), 0u);
+    EXPECT_EQ(resultBytes(ask(Server, requestLine(3, Source))), First);
+    Server.stop();
+  }
+  std::remove(Path.c_str());
+}
+
+// Size-based access-log rotation: once the live file crosses the bound
+// it is renamed to ".1" and a fresh file is started. Every record lands
+// in exactly one of the two files, and each is a complete JSON line --
+// flushed records are never torn.
+TEST(Serve, AccessLogRotatesBySize) {
+  std::string Path = ::testing::TempDir() + "serve_test.access.log";
+  std::string Rolled = Path + ".1";
+  std::remove(Path.c_str());
+  std::remove(Rolled.c_str());
+
+  api::Server::Config Cfg = basicConfig(1);
+  Cfg.AccessLog = Path;
+  Cfg.AccessLogMaxMB = 1;
+  api::Server Server(Cfg);
+
+  // Inflate each record with a ~120 KB session name: record 9 crosses
+  // the 1 MB bound and rotates; records 10..13 land in the fresh file.
+  const std::string Source = kernels::corpus().front().Source;
+  std::string Session(120 * 1024, 's');
+  constexpr unsigned N = 13;
+  for (unsigned I = 0; I != N; ++I)
+    ask(Server, "{\"id\": " + std::to_string(I) + ", \"session\": \"" +
+                    Session + "\", \"source\": \"" +
+                    api::json::escape(Source) + "\"}");
+  Server.stop();
+
+  std::ifstream Old(Rolled), Live(Path);
+  ASSERT_TRUE(Old.is_open()) << "no rotation happened";
+  ASSERT_TRUE(Live.is_open());
+  unsigned Count = 0;
+  for (std::ifstream *F : {&Old, &Live}) {
+    std::string Line;
+    while (std::getline(*F, Line)) {
+      api::json::Value Doc;
+      std::string Err;
+      ASSERT_TRUE(api::json::parse(Line, Doc, Err)) << Err;
+      const api::json::Value *S = Doc.get("session");
+      ASSERT_NE(S, nullptr);
+      EXPECT_EQ(S->asString(), Session);
+      ++Count;
+    }
+  }
+  EXPECT_EQ(Count, N);
+  std::remove(Path.c_str());
+  std::remove(Rolled.c_str());
 }
 
 // A warm server and a cold server produce identical result bytes (the

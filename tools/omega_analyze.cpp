@@ -22,6 +22,7 @@
 #include "api/Response.h"
 #include "deps/DepSpace.h"
 #include "engine/DependenceEngine.h"
+#include "engine/ResultStore.h"
 #include "ir/Interp.h"
 #include "obs/Trace.h"
 #include "transform/Apply.h"
@@ -190,6 +191,24 @@ int main(int Argc, char **Argv) {
   if (!Opts.BaselineFile.empty() || !Opts.SaveBaselineFile.empty())
     Req.BuildBaseline = true;
 
+  // --result-cache-file attaches the cross-request result store the way
+  // omega-serve does: load (missing or corrupt files cold-start with a
+  // warning), consult and feed during the run, save back after. Reuse is
+  // result-invisible; only "stats" reports the store traffic.
+  engine::ResultStore Store(
+      static_cast<std::size_t>(Opts.ResultStoreCap));
+  if (!Opts.ResultCacheFile.empty()) {
+    std::ifstream Probe(Opts.ResultCacheFile, std::ios::binary);
+    if (Probe.is_open()) {
+      Probe.close();
+      std::string LoadErr;
+      if (!Store.loadFile(Opts.ResultCacheFile, &LoadErr))
+        std::fprintf(stderr, "warning: result store cold start: %s\n",
+                     LoadErr.c_str());
+    }
+    Req.Store = &Store;
+  }
+
   engine::DependenceEngine Engine(Req);
   if (Engine.cache())
     Engine.cache()->setSnapshotCapacity(Opts.SnapshotCacheCap);
@@ -214,6 +233,18 @@ int main(int Argc, char **Argv) {
     if (!CacheOut.is_open() || !Engine.cache()->save(CacheOut))
       std::fprintf(stderr, "warning: cannot write %s\n",
                    Opts.CacheFile.c_str());
+  }
+
+  if (!Opts.ResultCacheFile.empty()) {
+    std::string Tmp = Opts.ResultCacheFile + ".tmp";
+    std::string SaveErr;
+    if (Store.saveFile(Tmp, &SaveErr)) {
+      std::rename(Tmp.c_str(), Opts.ResultCacheFile.c_str());
+    } else {
+      std::remove(Tmp.c_str());
+      std::fprintf(stderr, "warning: cannot write %s: %s\n",
+                   Opts.ResultCacheFile.c_str(), SaveErr.c_str());
+    }
   }
 
   if (!Opts.SaveBaselineFile.empty()) {

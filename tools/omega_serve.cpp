@@ -39,6 +39,9 @@ int usage(FILE *To) {
                "probe\n"
                "  {\"id\": N, \"op\": \"metrics\"}    telemetry snapshot "
                "(and exposition rewrite)\n"
+               "  {\"id\": N, \"op\": \"metrics\", \"reset\": true}\n"
+               "                               ...then zero counters/"
+               "histograms (gauges stay)\n"
                "  {\"id\": N, \"op\": \"shutdown\"}   stop; the ack carries "
                "the final metrics\n"
                "\nShared analysis options (request \"options\" keys use the "
@@ -71,10 +74,15 @@ int main(int Argc, char **Argv) {
   Cfg.DeadlineMs = Parsed.Options.DeadlineMs;
   Cfg.CacheFile = Parsed.Options.CacheFile;
   Cfg.MaxSessions = Parsed.Options.MaxSessions;
+  Cfg.ResultCacheFile = Parsed.Options.ResultCacheFile;
+  Cfg.ResultStoreCap =
+      static_cast<std::size_t>(Parsed.Options.ResultStoreCap);
+  Cfg.Coalesce = Parsed.Options.Coalesce;
   Cfg.MetricsFile = Parsed.Options.MetricsFile;
   Cfg.AccessLog = Parsed.Options.AccessLogFile;
   Cfg.SlowMs = Parsed.Options.SlowMs;
   Cfg.SlowTraceDir = Parsed.Options.SlowTraceDir;
+  Cfg.AccessLogMaxMB = Parsed.Options.AccessLogMaxMB;
 
   api::Server Server(Cfg);
   if (!Server.startupNote().empty())
