@@ -27,6 +27,7 @@
 #include "api/Serve.h"
 #include "deps/DependenceAnalysis.h"
 #include "kernels/Kernels.h"
+#include "transform/Pipeline.h"
 #include "omega/Gist.h"
 #include "omega/Projection.h"
 #include "omega/Satisfiability.h"
@@ -800,6 +801,68 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
       }
   }
 
+  // -- transform.pipeline: statement PDGs + PS-DSWP stage partitioning ---
+  // Planning runs over the kernel corpus plus the shipped pipeline4
+  // showcase. The per-loop stage counts and parallel flags are exact,
+  // machine-independent gates; the schema-4 documents with the pipeline
+  // block must be byte-identical for jobs 1 and jobs 4.
+  struct PipelineLoopNumbers {
+    std::string Key; ///< "<kernel>/<ordinal>:<loop var>@<depth>"
+    uint64_t Stages = 0;
+    bool Parallel = false;
+  };
+  std::vector<PipelineLoopNumbers> PipeLoops;
+  bool PipeIdentical = true;
+  double PipeMs = 0;
+  unsigned PipeReps = std::max(1u, CorpusReps * 10);
+  {
+    std::vector<std::pair<std::string, ir::AnalyzedProgram>> Named;
+    for (const kernels::Kernel &K : kernels::corpus()) {
+      ir::AnalyzedProgram AP = ir::analyzeSource(K.Source);
+      if (AP.ok())
+        Named.emplace_back(K.Name, std::move(AP));
+    }
+    {
+      std::ifstream In(std::string(OMEGA_EXAMPLES_DIR) + "/pipeline4.tiny");
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      ir::AnalyzedProgram AP = ir::analyzeSource(SS.str());
+      if (AP.ok())
+        Named.emplace_back("pipeline4", std::move(AP));
+    }
+
+    engine::AnalysisRequest P1;
+    P1.Jobs = 1;
+    P1.UseQueryCache = false;
+    engine::AnalysisRequest P4 = P1;
+    P4.Jobs = 4;
+    std::vector<engine::AnalysisResult> Analyses;
+    for (auto &[Name, AP] : Named) {
+      engine::DependenceEngine E1(P1), E4(P4);
+      engine::AnalysisResult R1 = E1.analyze(AP);
+      engine::AnalysisResult R4 = E4.analyze(AP);
+      PipeIdentical = PipeIdentical && api::renderResult(R1, &AP) ==
+                                           api::renderResult(R4, &AP);
+      unsigned Ordinal = 0;
+      for (const transform::PipelineFacts &F :
+           transform::analyzePipelines(AP, R1)) {
+        PipelineLoopNumbers N;
+        N.Key = Name + "/" + std::to_string(Ordinal++) + ":" +
+                F.Loop->SourceVar + "@" + std::to_string(F.Loop->Depth + 1);
+        N.Stages = F.Plan.valid() ? F.Plan.Stages.size() : 0;
+        N.Parallel = F.Plan.hasParallelStage();
+        PipeLoops.push_back(std::move(N));
+      }
+      Analyses.push_back(std::move(R1));
+    }
+
+    Clock::time_point Start = Clock::now();
+    for (unsigned R = 0; R != PipeReps; ++R)
+      for (unsigned I = 0; I != Named.size(); ++I)
+        transform::analyzePipelines(Named[I].second, Analyses[I]);
+    PipeMs = msSince(Start);
+  }
+
   std::FILE *Out = std::fopen(Path, "w");
   if (!Out) {
     std::fprintf(stderr, "cannot open %s for writing\n", Path);
@@ -886,6 +949,19 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
   W.field("single_stmt_speedup", SingleStmtSpeedup);
   W.field("results_identical", IncIdentical);
   W.endObject();
+  W.beginObject("transform.pipeline");
+  W.field("reps", static_cast<uint64_t>(PipeReps));
+  W.field("wall_ms", PipeMs);
+  W.field("results_identical", PipeIdentical);
+  W.beginObject("loops");
+  for (const PipelineLoopNumbers &N : PipeLoops) {
+    W.beginObject(N.Key.c_str());
+    W.field("stages", N.Stages);
+    W.field("parallel", N.Parallel);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
   W.field("total_wall_ms", CoreMs + CorpusMs + ScratchMs + IncMs);
   W.field("peak_rss_kb", bench::peakRSSKB());
   W.finish();
@@ -916,6 +992,17 @@ int runJsonMode(const char *Path, unsigned CoreReps, unsigned CorpusReps) {
               "speedup %.2fx vs warm (results %s)\n",
               IncSectionMs, EditLegs.size(), SingleStmtSpeedup,
               IncIdentical ? "identical" : "DIFFER");
+  {
+    unsigned Planned = 0, ParallelLoops = 0;
+    for (const PipelineLoopNumbers &N : PipeLoops) {
+      Planned += N.Stages >= 2;
+      ParallelLoops += N.Parallel;
+    }
+    std::printf("transform.pipeline: %.1f ms, %u/%zu loops planned, "
+                "%u with a parallel stage (jobs 1 vs 4 results %s)\n",
+                PipeMs, Planned, PipeLoops.size(), ParallelLoops,
+                PipeIdentical ? "identical" : "DIFFER");
+  }
   return 0;
 }
 

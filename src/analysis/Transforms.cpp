@@ -13,17 +13,20 @@ using namespace omega::analysis;
 using omega::deps::Dependence;
 using omega::deps::DepSplit;
 
-namespace {
-
-/// Depth of \p L among the loops common to the dependence's endpoints,
-/// or -1 when L is not common to both.
-int commonDepthOf(const Dependence &D, const ir::LoopInfo *L) {
+int analysis::commonLoopDepth(const Dependence &D, const ir::LoopInfo *L) {
   unsigned Common =
       ir::AnalyzedProgram::numCommonLoops(*D.Src, *D.Dst);
   for (unsigned K = 0; K != Common; ++K)
     if (D.Src->Loops[K] == L)
       return static_cast<int>(K);
   return -1;
+}
+
+namespace {
+
+/// Local alias for the exported helper; reads better at call sites.
+int commonDepthOf(const Dependence &D, const ir::LoopInfo *L) {
+  return analysis::commonLoopDepth(D, L);
 }
 
 /// Does some live split of \p D run across iterations of \p L (i.e. carry

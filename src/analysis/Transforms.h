@@ -34,6 +34,14 @@
 namespace omega {
 namespace analysis {
 
+/// Depth of loop \p L among the loops common to both endpoints of \p D
+/// (0-based), or -1 when L does not enclose both. Splits at levels
+/// [1, depth] are carried by loops outside L; level depth+1 is carried by
+/// L itself; level 0 and levels beyond depth+1 stay within one iteration
+/// of L. Shared by the legality queries here and the pipeline PDG builder
+/// in transform/Pdg.h.
+int commonLoopDepth(const deps::Dependence &D, const ir::LoopInfo *L);
+
 /// Per-loop transformation facts derived from one analysis result.
 struct LoopFacts {
   const ir::LoopInfo *Loop = nullptr;

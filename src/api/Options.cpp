@@ -40,7 +40,7 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
        "shard each analysis over N worker threads (0 = hardware); "
        "results are identical for every N"},
       {"--json", nullptr, ToolAnalyze, false, nullptr,
-       "machine-readable schema-3 output instead of tables"},
+       "machine-readable schema-4 output instead of tables"},
       {"--trace", nullptr, ToolAnalyze, true, "FILE",
        "record a Chrome trace_event JSON of the run"},
       {"--profile", "profile", AS, false, nullptr,
@@ -100,6 +100,9 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
        "print a parallel schedule"},
       {"--run", nullptr, ToolAnalyze, false, nullptr,
        "interpret the program (needs every symbol bound via --sym)"},
+      {"--pipeline", "pipeline", AS, false, nullptr,
+       "plan a PS-DSWP pipeline partition per loop over the live "
+       "dependence PDG (stages, parallel stage, enabling kills)"},
       {"--socket", nullptr, ToolServe, true, "PATH",
        "listen on a Unix domain socket instead of stdin JSONL"},
       {"--workers", nullptr, ToolServe, true, "N",
@@ -132,6 +135,10 @@ const std::vector<OptionSpec> &omega::api::optionSpecs() {
        "rotate the access log once it exceeds MB megabytes: the file is "
        "flushed and atomically renamed to PATH.1, and logging continues "
        "in a fresh PATH (one rotation kept; 0 = never rotate)"},
+      {"--latency-buckets-us", nullptr, ToolServe, true, "US,...",
+       "request-latency histogram bucket upper bounds in microseconds, "
+       "comma-separated and strictly increasing (default "
+       "100,250,...,1000000)"},
   };
   return Specs;
 }
@@ -223,6 +230,8 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     O.Schedule = true;
   else if (Flag == "--run")
     O.Run = true;
+  else if (Flag == "--pipeline")
+    O.Pipeline = true;
   else if (Flag == "--socket")
     O.SocketPath = Val;
   else if (Flag == "--workers") {
@@ -257,6 +266,25 @@ bool applyFlag(AnalysisOptions &O, const std::string &Flag,
     if (!parseUnsigned(Val, U))
       return BadNum();
     O.AccessLogMaxMB = U;
+  } else if (Flag == "--latency-buckets-us") {
+    std::vector<uint64_t> Bounds;
+    std::size_t Pos = 0;
+    while (Pos <= Val.size()) {
+      std::size_t Comma = Val.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Val.size();
+      if (!parseUnsigned(Val.substr(Pos, Comma - Pos), U))
+        return BadNum();
+      if (!Bounds.empty() && U <= Bounds.back()) {
+        Err = "--latency-buckets-us bounds must be strictly increasing";
+        return false;
+      }
+      Bounds.push_back(U);
+      Pos = Comma + 1;
+    }
+    if (Bounds.empty())
+      return BadNum();
+    O.LatencyBucketsUs = std::move(Bounds);
   } else {
     Err = "unhandled shared option " + Flag;
     return false;
@@ -319,6 +347,8 @@ bool applyJsonKey(AnalysisOptions &O, const std::string &Key,
     return Bool(O.Incremental);
   if (Key == "snapshotSharing")
     return Bool(O.ShareSnapshots);
+  if (Key == "pipeline")
+    return Bool(O.Pipeline);
   Err = "unknown option '" + Key + "'";
   return false;
 }

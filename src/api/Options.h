@@ -89,7 +89,7 @@ struct AnalysisOptions {
   bool All = false;      ///< --all: also anti/output tables
   bool Compress = false; ///< --compress split rows
   bool Stats = false;    ///< --stats: per-pair cost classes
-  bool Json = false;     ///< --json: schema-3 machine output
+  bool Json = false;     ///< --json: schema-4 machine output
   enum ProfileMode : uint8_t { ProfileOff, ProfileText, ProfileJson };
   ProfileMode Profile = ProfileOff; ///< --profile[=json] / "profile": true
   bool Explain = false;             ///< --explain
@@ -100,6 +100,13 @@ struct AnalysisOptions {
   bool Restraints = false; ///< --restraints
   bool Schedule = false;   ///< --schedule
   bool Run = false;        ///< --run (interpret)
+
+  // -- pipeline partitioning --------------------------------------------
+  /// Plan a PS-DSWP pipeline partition for every loop (stages over the
+  /// SCC-DAG of the live dependence PDG) and report it: staged schedule
+  /// text for omega-analyze, the schema-4 "pipeline" result block for
+  /// JSON and serve responses.
+  bool Pipeline = false; ///< --pipeline / "pipeline": true
 
   // -- serve-only --------------------------------------------------------
   std::string SocketPath;        ///< --socket=PATH (default: stdin JSONL)
@@ -122,6 +129,9 @@ struct AnalysisOptions {
   /// Rotate the access log (rename to PATH.1) when it exceeds this many
   /// megabytes; 0 disables rotation.
   uint64_t AccessLogMaxMB = 0;  ///< --access-log-max-mb MB
+  /// Request-latency histogram bucket upper bounds in microseconds,
+  /// strictly increasing; empty uses the server's built-in boundaries.
+  std::vector<uint64_t> LatencyBucketsUs; ///< --latency-buckets-us US,...
 
   /// Lowers the option set into the engine's request struct.
   engine::AnalysisRequest toEngineRequest() const;

@@ -7,6 +7,7 @@
 #include "api/Response.h"
 
 #include "api/Json.h"
+#include "transform/Pipeline.h"
 
 #include <cstdio>
 
@@ -49,9 +50,73 @@ void appendDeps(std::string &Out, const std::vector<deps::Dependence> &Deps) {
   Out += "]";
 }
 
+const char *enablingReasonName(char R) {
+  switch (R) {
+  case 'p':
+    return "privatization";
+  case 'c':
+    return "covered";
+  default:
+    return "killed";
+  }
+}
+
+/// The schema-4 "pipeline" array: one deterministic entry per loop.
+void appendPipeline(std::string &Out, const ir::AnalyzedProgram &AP,
+                    const analysis::AnalysisResult &R) {
+  Out += "[";
+  bool FirstLoop = true;
+  for (const transform::PipelineFacts &F : transform::analyzePipelines(AP, R)) {
+    if (!FirstLoop)
+      Out += ", ";
+    FirstLoop = false;
+    Out += "{\"loop\": \"" + json::escape(F.Loop->SourceVar) +
+           "\", \"depth\": " + std::to_string(F.Loop->Depth + 1) +
+           ", \"statements\": " + std::to_string(F.Statements) +
+           ", \"sccs\": " + std::to_string(F.Sccs) +
+           ", \"planned\": " + (F.Plan.valid() ? "true" : "false");
+    if (F.Plan.valid()) {
+      Out += ", \"stages\": [";
+      bool FirstStage = true;
+      for (const transform::PipelineStage &S : F.Plan.Stages) {
+        if (!FirstStage)
+          Out += ", ";
+        FirstStage = false;
+        Out += "{\"stmts\": [";
+        for (unsigned I = 0; I != S.StmtLabels.size(); ++I)
+          Out += (I ? ", " : "") + std::to_string(S.StmtLabels[I]);
+        Out += "], \"parallel\": ";
+        Out += S.Parallel ? "true" : "false";
+        Out += ", \"weight\": " + std::to_string(S.Weight) + "}";
+      }
+      Out += "], \"privatized\": [";
+      for (unsigned I = 0; I != F.Plan.PrivatizedArrays.size(); ++I)
+        Out += (I ? ", \"" : "\"") +
+               json::escape(F.Plan.PrivatizedArrays[I]) + "\"";
+      Out += "], \"enabledBy\": [";
+      bool FirstKill = true;
+      for (const transform::EnablingKill &K : F.Plan.EnablingKills) {
+        if (!FirstKill)
+          Out += ", ";
+        FirstKill = false;
+        Out += "{\"from\": " + std::to_string(K.SrcLabel) +
+               ", \"to\": " + std::to_string(K.DstLabel) + ", \"kind\": \"" +
+               depKindName(K.Kind) + "\", \"reason\": \"" +
+               enablingReasonName(K.Reason) + "\"}";
+      }
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.2f", F.Plan.EstimatedSpeedup);
+      Out += std::string("], \"estSpeedup\": ") + Buf;
+    }
+    Out += "}";
+  }
+  Out += "]";
+}
+
 } // namespace
 
-std::string api::renderResult(const analysis::AnalysisResult &R) {
+std::string api::renderResult(const analysis::AnalysisResult &R,
+                              const ir::AnalyzedProgram *PipelineAP) {
   std::string Out = "{\"flow\": ";
   appendDeps(Out, R.Flow);
   Out += ", \"anti\": ";
@@ -83,7 +148,12 @@ std::string api::renderResult(const analysis::AnalysisResult &R) {
            ", \"usedOmega\": " + (K.UsedOmega ? "true" : "false") +
            ", \"killed\": " + (K.Killed ? "true" : "false") + "}";
   }
-  Out += "]}";
+  Out += "]";
+  if (PipelineAP) {
+    Out += ", \"pipeline\": ";
+    appendPipeline(Out, *PipelineAP, R);
+  }
+  Out += "}";
   return Out;
 }
 

@@ -6,14 +6,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Schema 3 of the machine-readable analysis output, shared byte-for-byte
+/// Schema 4 of the machine-readable analysis output, shared byte-for-byte
 /// by `omega-analyze --json` and omega-serve responses (the checked-in
 /// JSON schema file schema/analysis_response.schema.json describes it and
 /// CI validates both producers against it).
 ///
 /// The document separates what is deterministic from what is not:
 ///
-///   {"schema": 3, "ok": true, "result": {...}, "metrics": {...}}
+///   {"schema": 4, "ok": true, "result": {...}, "metrics": {...}}
 ///
 ///  * "result" holds the structural analysis outcome -- dependences,
 ///    splits, pair and kill records without timings. The engine guarantees
@@ -29,8 +29,11 @@
 /// had no version marker; it is gone. Schema 3 extends schema 2 with the
 /// edit-incremental counters: four new "stats" entries (snapshotEvictions
 /// and the deltaPairs* classification) and, when a baseline was consulted,
-/// an optional "delta" object under "metrics". The "result" section is
-/// unchanged -- incremental reuse is result-invisible by construction.
+/// an optional "delta" object under "metrics". Schema 4 adds an optional
+/// "pipeline" array to "result" (requests opting in with --pipeline /
+/// "pipeline": true): per loop, the PS-DSWP stage partition, privatized
+/// arrays, and the kills that enabled the parallel stage. Like the rest
+/// of "result" it is fully deterministic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,16 +46,24 @@
 #include <string>
 
 namespace omega {
+namespace ir {
+struct AnalyzedProgram;
+} // namespace ir
+
 namespace api {
 
 /// The version stamped into every response document.
-constexpr int SchemaVersion = 3;
+constexpr int SchemaVersion = 4;
 
 /// Renders the deterministic structural section: flow/anti/output
 /// dependences with their splits, pair records (hasFlow, usedGeneralTest,
 /// splitVectors), and kill records (usedOmega, killed). Single line, no
-/// timings -- byte-identical for every Jobs value and cache state.
-std::string renderResult(const analysis::AnalysisResult &R);
+/// timings -- byte-identical for every Jobs value and cache state. When
+/// \p PipelineAP is non-null (the request asked for --pipeline), a
+/// "pipeline" array is appended: one entry per loop with the planned
+/// stage partition.
+std::string renderResult(const analysis::AnalysisResult &R,
+                         const ir::AnalyzedProgram *PipelineAP = nullptr);
 
 /// Renders the per-run metrics section: jobs, wall time, the full merged
 /// OmegaStats, this run's cache traffic, and (when requested) the profile
@@ -61,7 +72,7 @@ std::string renderMetrics(const engine::AnalysisResult &R, unsigned Jobs,
                           double WallMs, const std::string &ProfileJson,
                           const std::string &ExplainLog);
 
-/// The complete CLI document: {"schema": 3, "ok": true, "result": R,
+/// The complete CLI document: {"schema": 4, "ok": true, "result": R,
 /// "metrics": M} plus a trailing newline.
 std::string renderDocument(const std::string &Result,
                            const std::string &Metrics);
@@ -71,14 +82,14 @@ std::string renderDocument(const std::string &Result,
 std::string renderServerOk(uint64_t Id, const std::string &Result,
                            const std::string &Metrics);
 
-/// A typed error response line: {"schema": 3, "id": ..., "ok": false,
+/// A typed error response line: {"schema": 4, "id": ..., "ok": false,
 /// "error": {"code": ..., "message": ...}}. \p HasId distinguishes a
 /// request whose id never parsed (id becomes null).
 std::string renderServerError(bool HasId, uint64_t Id, const std::string &Code,
                               const std::string &Message);
 
 /// An operational response line (the telemetry ops: metrics, health, and
-/// the shutdown acknowledgment): {"schema": 3, "id": ..., "ok": true,
+/// the shutdown acknowledgment): {"schema": 4, "id": ..., "ok": true,
 /// "op": OP, BODYKEY: BODY}. \p Body is pre-rendered JSON
 /// (schema/metrics_response.schema.json describes the three documents).
 std::string renderServerOp(bool HasId, uint64_t Id, const std::string &Op,

@@ -36,10 +36,11 @@ using namespace omega::api;
 
 namespace {
 
-/// Latency histogram boundaries in microseconds: tight resolution where
-/// the corpus kernels live (sub-millisecond), decades above for queue
-/// pressure and pathological requests.
-const std::vector<uint64_t> LatencyBoundsUs = {
+/// Default latency histogram boundaries in microseconds: tight resolution
+/// where the corpus kernels live (sub-millisecond), decades above for
+/// queue pressure and pathological requests. Config::LatencyBoundsUs
+/// (--latency-buckets-us) overrides them.
+const std::vector<uint64_t> DefaultLatencyBoundsUs = {
     100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000,
     1000000};
 
@@ -111,7 +112,7 @@ struct Server::Telemetry {
   std::atomic<uint64_t> SlowSeq{0};
   std::atomic<uint64_t> Completed{0};
 
-  Telemetry() {
+  explicit Telemetry(const std::vector<uint64_t> &LatencyBoundsUs) {
     auto C = [&](const char *Name, const char *Help) {
       return Registry.counter(Name, Help);
     };
@@ -237,7 +238,9 @@ struct Server::Telemetry {
 //===----------------------------------------------------------------------===//
 
 Server::Server(const Config &C) : Cfg(C), Store(C.ResultStoreCap) {
-  Tele = std::make_unique<Telemetry>();
+  Tele = std::make_unique<Telemetry>(Cfg.LatencyBoundsUs.empty()
+                                         ? DefaultLatencyBoundsUs
+                                         : Cfg.LatencyBoundsUs);
   auto Note = [&](const std::string &S) {
     if (!StartupNote.empty())
       StartupNote += "; ";
@@ -599,6 +602,7 @@ std::string coalesceKey(const AnalysisOptions &O, const std::string &Source) {
   B(O.Incremental);
   B(O.ShareSnapshots);
   B(O.UseQueryCache);
+  B(O.Pipeline);
   K += '|';
   K += std::to_string(O.Jobs);
   K += '|';
@@ -770,7 +774,8 @@ void Server::runOne(Request &R, unsigned Index) {
   double WallMs = static_cast<double>(T.SolveUs) / 1000.0;
 
   auto SerializeStart = Clock::now();
-  std::string ResultJson = renderResult(Result);
+  std::string ResultJson =
+      renderResult(Result, R.Opts.Pipeline ? &AP : nullptr);
   std::string Metrics = renderMetrics(Result, Engine.jobs(), WallMs,
                                       /*ProfileJson=*/"", /*ExplainLog=*/"");
   std::string Line = renderServerOk(R.Id, ResultJson, Metrics);

@@ -14,7 +14,7 @@
 ///   {"id": 1, "source": "for i = 1 to n { a[i] = a[i-1]; }",
 ///    "options": {"quicktests": false}, "deadlineMs": 500}
 ///
-/// Responses are schema-3 documents (api/Response.h) with the request id
+/// Responses are schema-4 documents (api/Response.h) with the request id
 /// spliced in; `{"id": 2, "op": "shutdown"}` stops the server. Because
 /// the engine's structural result is deterministic for every Jobs value
 /// and cache state, a server response's "result" section is byte-identical
@@ -135,6 +135,10 @@ public:
     /// written whole under one lock, so rotation never tears a line.
     /// 0 disables rotation.
     std::uint64_t AccessLogMaxMB = 0;
+    /// Latency-histogram bucket upper bounds in microseconds, strictly
+    /// increasing (--latency-buckets-us). Empty uses the built-in
+    /// boundaries (100us..1s, tight sub-millisecond resolution).
+    std::vector<std::uint64_t> LatencyBoundsUs;
   };
 
   explicit Server(const Config &C);

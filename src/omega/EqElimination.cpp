@@ -78,10 +78,15 @@ Step findStep(const Problem &P,
       return UnitStep;
     // Mod-hat can always make progress when the equality is entirely over
     // eliminable variables (choosing the smallest coefficient guarantees
-    // termination [Pug91]), and also when at least two eliminable
-    // variables are present (the substitution shrinks coefficients until a
-    // unit appears). Remember the first such opportunity but keep scanning
-    // for a cheaper unit step.
+    // termination [Pug91]). With at least two eliminable variables present
+    // the substitution usually shrinks coefficients until a unit appears,
+    // but when protected variables sit in the row that is NOT guaranteed:
+    // the eliminable coefficients can cycle (stride wildcards tied to
+    // protected distance variables alternate between, e.g., {2} and {2,6})
+    // while each substitution multiplies the inequality coefficients. The
+    // caller's loop stops once the arithmetic saturates, and saturated
+    // systems are never trusted for an unsat verdict. Remember the first
+    // such opportunity but keep scanning for a cheaper unit step.
     if (((AnyVar && AllEliminable) || NumEliminable >= 2) && MinVar >= 0 &&
         Fallback.Kind == Step::None)
       Fallback = Step{Step::ModHat, I, MinVar};
@@ -101,12 +106,20 @@ omega::solveEqualities(Problem &P,
   obs::ScopedSpan Span(Ctx.Trace, obs::SpanKind::EqSolve,
                        static_cast<uint32_t>(P.getNumVars()),
                        static_cast<uint32_t>(P.constraints().size()));
+  // A False verdict derived from saturated (clamped) rows is garbage; the
+  // caller's overflow scope decides what to do with the sticky flag.
   if (P.normalize() == Problem::NormalizeResult::False)
-    return SolveResult::False;
+    return arithOverflowFlag() ? SolveResult::Ok : SolveResult::False;
 
-  [[maybe_unused]] unsigned Iterations = 0;
+  unsigned Iterations = 0;
   while (true) {
-    assert(++Iterations < 100000 && "equality elimination failed to converge");
+    // Mod-hat over rows that mix eliminable and protected variables has no
+    // termination guarantee (see findStep); diverging runs normally stop at
+    // arithmetic saturation, but cap the iteration count too so a cycle
+    // that never overflows cannot spin. Residual equalities are fine: every
+    // caller tolerates them (stride isolation / InEq masking).
+    if (++Iterations > 10000)
+      return SolveResult::Ok;
     // Saturated arithmetic: stop making progress; callers consult the
     // sticky flag and fall back conservatively.
     if (arithOverflowFlag())
@@ -151,7 +164,7 @@ omega::solveEqualities(Problem &P,
     }
 
     if (P.normalize() == Problem::NormalizeResult::False)
-      return SolveResult::False;
+      return arithOverflowFlag() ? SolveResult::Ok : SolveResult::False;
   }
 }
 

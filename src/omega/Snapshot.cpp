@@ -36,7 +36,7 @@ EliminationSnapshot::EliminationSnapshot(const Problem &P,
   // also re-establishes the FM precondition (an eliminable candidate never
   // appears in an equality).
   if (solveEqualities(Reduced, MayElim, Ctx) == SolveResult::False) {
-    St = State::ProvedUnsat;
+    St = Scope.overflowed() ? State::Saturated : State::ProvedUnsat;
     return;
   }
 
@@ -90,7 +90,7 @@ EliminationSnapshot::EliminationSnapshot(const Problem &P,
     ++Ctx.Stats.ExactEliminations;
     Reduced = std::move(R.RealShadow);
     if (Reduced.normalize() == Problem::NormalizeResult::False) {
-      St = State::ProvedUnsat;
+      St = Scope.overflowed() ? State::Saturated : State::ProvedUnsat;
       return;
     }
     // normalize() may synthesize equalities from opposed inequalities;
@@ -98,7 +98,7 @@ EliminationSnapshot::EliminationSnapshot(const Problem &P,
     // equality when the next FM step runs.
     if (Reduced.getNumEQs() != 0 &&
         solveEqualities(Reduced, MayElim, Ctx) == SolveResult::False) {
-      St = State::ProvedUnsat;
+      St = Scope.overflowed() ? State::Saturated : State::ProvedUnsat;
       return;
     }
     Skip.resize(Reduced.getNumVars(), false);

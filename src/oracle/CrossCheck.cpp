@@ -8,6 +8,7 @@
 
 #include "engine/DependenceEngine.h"
 #include "oracle/Metamorphic.h"
+#include "oracle/ScheduleOracle.h"
 
 using namespace omega;
 using namespace omega::oracle;
@@ -63,6 +64,12 @@ oracle::crossCheckProgram(const std::string &Source,
             " incremental=" + std::to_string(A.Incremental) +
             " jobs=" + std::to_string(A.Jobs) + "): " + M);
   }
+
+  // Every pipelined schedule the planner proposes must be
+  // interpreter-equivalent to the original program.
+  ScheduleReport Schedules = checkPipelineSchedules(Source, Opts);
+  for (const std::string &M : Schedules.Mismatches)
+    Mismatches.push_back("schedule oracle: " + M);
 
   // Widening monotonicity for memory-based dependences.
   if (std::optional<ir::Program> Wide = widenLoopBounds(AP.Source, 2)) {

@@ -1,0 +1,83 @@
+//===- oracle/ScheduleOracle.h - Pipelined-schedule equivalence oracle ----===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable ground truth for the pipeline partitioner: every plan
+/// transform::planPipeline proposes is applied to a fresh copy of the
+/// program (transform::applyPipeline) and both versions are run under the
+/// reference interpreter. Final memory must agree on every array except
+/// the "@p" scratch copies privatization introduces -- a disagreement
+/// means the partition ordered two dependent statements wrongly, i.e. the
+/// kill/privatization reasoning that licensed the schedule was unsound.
+///
+/// The same machinery powers the omega-fuzz canary: injectPipelineBug
+/// deletes one live loop-carried edge from the PDG (a deliberately
+/// unsound "kill"), re-plans, and requires the interpreter to catch the
+/// resulting misordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_ORACLE_SCHEDULEORACLE_H
+#define OMEGA_ORACLE_SCHEDULEORACLE_H
+
+#include "oracle/TraceOracle.h"
+#include "transform/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace oracle {
+
+/// Outcome of proving a program's pipeline plans schedule-equivalent.
+struct ScheduleReport {
+  unsigned LoopsConsidered = 0;  ///< loops the planner looked at
+  unsigned PlansChecked = 0;     ///< valid plans executed and compared
+  unsigned ParallelPlans = 0;    ///< checked plans with a parallel stage
+  std::vector<std::string> Mismatches;
+
+  bool ok() const { return Mismatches.empty(); }
+};
+
+/// Symbol bindings for executing \p AP: any symbolic constant unbound in
+/// \p Base gets the corpus convention (n=5, m=4, everything else 3), so
+/// generated programs always execute.
+std::map<std::string, int64_t>
+scheduleSymbols(const ir::AnalyzedProgram &AP,
+                const std::map<std::string, int64_t> &Base);
+
+/// Applies \p Plan to a fresh copy of AP.Source and interprets both
+/// versions, comparing final memory outside the "@p" scratch arrays.
+/// Appends one string per disagreement to \p Mismatches. Returns false
+/// when the comparison was vacuous (plan failed to apply is NOT vacuous
+/// -- that is reported as a mismatch -- but a base program that fails or
+/// exceeds the step budget is).
+bool checkPlanEquivalence(const ir::AnalyzedProgram &AP,
+                          const transform::PipelinePlan &Plan,
+                          const TraceOracleOptions &Opts,
+                          std::vector<std::string> &Mismatches);
+
+/// Plans a pipeline for every loop of \p Source (Section 4 analysis fully
+/// enabled) and proves each valid plan equivalent under the interpreter.
+/// Programs the front end rejects pass vacuously.
+ScheduleReport
+checkPipelineSchedules(const std::string &Source,
+                       const TraceOracleOptions &Opts = TraceOracleOptions());
+
+/// Fuzz canary: for each live loop-carried edge of each loop's PDG in
+/// turn, deletes it (simulating an unsound kill), re-plans, applies, and
+/// interprets. Returns true as soon as one deletion yields a plan the
+/// interpreter refutes (final-state mismatch), filling \p Mismatches with
+/// the evidence; false when no deletion produces a catchable misordering.
+bool injectPipelineBug(const std::string &Source,
+                       const TraceOracleOptions &Opts,
+                       std::vector<std::string> &Mismatches);
+
+} // namespace oracle
+} // namespace omega
+
+#endif // OMEGA_ORACLE_SCHEDULEORACLE_H

@@ -8,7 +8,10 @@
 
 #include "analysis/Transforms.h"
 
+#include <cstdio>
 #include <functional>
+#include <iterator>
+#include <set>
 
 using namespace omega;
 using namespace omega::transform;
@@ -23,8 +26,17 @@ const char *transform::applyResultName(ApplyResult R) {
     return "bounds depend on the outer variable";
   case ApplyResult::NoSuchLoops:
     return "no such loop pair";
+  case ApplyResult::BadPlan:
+    return "invalid pipeline plan";
   }
   return "?";
+}
+
+bool transform::isPipelineTempArray(const std::string &Name) {
+  std::string Suffix = PipelineTempSuffix;
+  return Name.size() > Suffix.size() &&
+         Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) ==
+             0;
 }
 
 namespace {
@@ -50,7 +62,280 @@ ir::ForStmt *findLoop(std::vector<ir::Stmt> &Body, const std::string &Var) {
   return nullptr;
 }
 
+//===--------------------------------------------------------------------===//
+// Pipeline application
+//===--------------------------------------------------------------------===//
+
+/// Rebuilds \p E with every access of a privatized array X renamed to
+/// X@p and the partitioned loop's variable prepended to its subscripts
+/// (per-iteration expansion).
+ir::Expr rewriteExpr(const ir::Expr &E, const std::set<std::string> &Priv,
+                     const std::string &LoopVar) {
+  using Kind = ir::Expr::Kind;
+  auto rewriteAll = [&](const std::vector<ir::Expr> &In) {
+    std::vector<ir::Expr> Out;
+    Out.reserve(In.size());
+    for (const ir::Expr &A : In)
+      Out.push_back(rewriteExpr(A, Priv, LoopVar));
+    return Out;
+  };
+  switch (E.getKind()) {
+  case Kind::IntLit:
+    return ir::Expr::intLit(E.getIntValue(), E.getLoc());
+  case Kind::VarRef:
+    return ir::Expr::varRef(E.getName(), E.getLoc());
+  case Kind::Read: {
+    std::vector<ir::Expr> Subs = rewriteAll(E.args());
+    if (Priv.count(E.getName())) {
+      std::vector<ir::Expr> All;
+      All.reserve(Subs.size() + 1);
+      All.push_back(ir::Expr::varRef(LoopVar, E.getLoc()));
+      for (ir::Expr &S : Subs)
+        All.push_back(std::move(S));
+      return ir::Expr::read(E.getName() + PipelineTempSuffix,
+                            std::move(All), E.getLoc());
+    }
+    return ir::Expr::read(E.getName(), std::move(Subs), E.getLoc());
+  }
+  case Kind::Add:
+    return ir::Expr::add(rewriteExpr(E.args()[0], Priv, LoopVar),
+                         rewriteExpr(E.args()[1], Priv, LoopVar));
+  case Kind::Sub:
+    return ir::Expr::sub(rewriteExpr(E.args()[0], Priv, LoopVar),
+                         rewriteExpr(E.args()[1], Priv, LoopVar));
+  case Kind::Mul:
+    return ir::Expr::mul(rewriteExpr(E.args()[0], Priv, LoopVar),
+                         rewriteExpr(E.args()[1], Priv, LoopVar));
+  case Kind::Neg:
+    return ir::Expr::neg(rewriteExpr(E.args()[0], Priv, LoopVar));
+  case Kind::Min:
+    return ir::Expr::min(rewriteAll(E.args()), E.getLoc());
+  case Kind::Max:
+    return ir::Expr::max(rewriteAll(E.args()), E.getLoc());
+  }
+  return E;
+}
+
+/// One stage's view of a statement list: keeps assignments whose label is
+/// in the stage, filters nested loops recursively (dropping emptied
+/// ones), renames privatized arrays, and mirrors each privatized write
+/// into the original array so final memory outside the scratch copies
+/// matches the unstaged program.
+std::vector<ir::Stmt> filterStmts(const std::vector<ir::Stmt> &In,
+                                  const std::set<unsigned> &Keep,
+                                  const std::set<std::string> &Priv,
+                                  const std::string &LoopVar) {
+  std::vector<ir::Stmt> Out;
+  for (const ir::Stmt &S : In) {
+    if (S.isFor()) {
+      const ir::ForStmt &F = S.asFor();
+      ir::ForStmt Copy;
+      Copy.Var = F.Var;
+      Copy.Lo = rewriteExpr(F.Lo, Priv, LoopVar);
+      Copy.Hi = rewriteExpr(F.Hi, Priv, LoopVar);
+      Copy.Step = F.Step;
+      Copy.Loc = F.Loc;
+      Copy.Body = filterStmts(F.Body, Keep, Priv, LoopVar);
+      if (Copy.Body.empty())
+        continue;
+      ir::Stmt W;
+      W.Node = std::move(Copy);
+      Out.push_back(std::move(W));
+      continue;
+    }
+    const ir::AssignStmt &A = S.asAssign();
+    if (!Keep.count(A.Label))
+      continue;
+    ir::AssignStmt B;
+    B.Array = A.Array;
+    B.RHS = rewriteExpr(A.RHS, Priv, LoopVar);
+    for (const ir::Expr &Sub : A.Subscripts)
+      B.Subscripts.push_back(rewriteExpr(Sub, Priv, LoopVar));
+    B.Label = A.Label;
+    B.Loc = A.Loc;
+    if (Priv.count(A.Array)) {
+      // Renamed store first, then the duplicate into the original array.
+      // Both evaluate the same rewritten RHS at the same point, so the
+      // original array sees exactly the values the source program wrote.
+      ir::AssignStmt Dup = B;
+      B.Array = A.Array + PipelineTempSuffix;
+      B.Subscripts.insert(B.Subscripts.begin(),
+                          ir::Expr::varRef(LoopVar, A.Loc));
+      ir::Stmt WB;
+      WB.Node = std::move(B);
+      Out.push_back(std::move(WB));
+      ir::Stmt WD;
+      WD.Node = std::move(Dup);
+      Out.push_back(std::move(WD));
+    } else {
+      ir::Stmt W;
+      W.Node = std::move(B);
+      Out.push_back(std::move(W));
+    }
+  }
+  return Out;
+}
+
+/// Does any statement of \p Body access an array that looks like one of
+/// our scratch copies? Such programs cannot be transformed safely.
+bool usesTempNames(const ir::Expr &E) {
+  if (E.getKind() == ir::Expr::Kind::Read &&
+      transform::isPipelineTempArray(E.getName()))
+    return true;
+  for (const ir::Expr &A : E.args())
+    if (usesTempNames(A))
+      return true;
+  return false;
+}
+
+bool usesTempNames(const std::vector<ir::Stmt> &Body) {
+  for (const ir::Stmt &S : Body) {
+    if (S.isFor()) {
+      const ir::ForStmt &F = S.asFor();
+      if (usesTempNames(F.Lo) || usesTempNames(F.Hi) ||
+          usesTempNames(F.Body))
+        return true;
+      continue;
+    }
+    const ir::AssignStmt &A = S.asAssign();
+    if (transform::isPipelineTempArray(A.Array) || usesTempNames(A.RHS))
+      return true;
+    for (const ir::Expr &Sub : A.Subscripts)
+      if (usesTempNames(Sub))
+        return true;
+  }
+  return false;
+}
+
+/// Builds the staged loops for \p Plan from the original loop \p Orig.
+std::vector<ir::Stmt> buildStagedLoops(const ir::ForStmt &Orig,
+                                       const transform::PipelinePlan &Plan) {
+  std::set<std::string> Priv(Plan.PrivatizedArrays.begin(),
+                             Plan.PrivatizedArrays.end());
+  std::vector<ir::Stmt> Staged;
+  for (const transform::PipelineStage &Stage : Plan.Stages) {
+    std::set<unsigned> Keep(Stage.StmtLabels.begin(),
+                            Stage.StmtLabels.end());
+    ir::ForStmt F;
+    F.Var = Orig.Var;
+    F.Lo = rewriteExpr(Orig.Lo, Priv, Orig.Var);
+    F.Hi = rewriteExpr(Orig.Hi, Priv, Orig.Var);
+    F.Step = Orig.Step;
+    F.Loc = Orig.Loc;
+    F.Body = filterStmts(Orig.Body, Keep, Priv, Orig.Var);
+    if (F.Body.empty())
+      return {};
+    ir::Stmt W;
+    W.Node = std::move(F);
+    Staged.push_back(std::move(W));
+  }
+  return Staged;
+}
+
+/// Renders one statement like the source, two-space indent per level.
+void printStmt(const ir::Stmt &S, unsigned Indent, std::string &Out) {
+  Out.append(Indent, ' ');
+  if (S.isFor()) {
+    const ir::ForStmt &F = S.asFor();
+    Out += "for " + F.Var + " := " + F.Lo.toString() + " to " +
+           F.Hi.toString();
+    if (F.Step != 1)
+      Out += " step " + std::to_string(F.Step);
+    Out += " do\n";
+    for (const ir::Stmt &C : F.Body)
+      printStmt(C, Indent + 2, Out);
+    Out.append(Indent, ' ');
+    Out += "endfor\n";
+  } else {
+    Out += S.asAssign().toString() + "\n";
+  }
+}
+
+/// Walks \p LoopInfo::Path (body indices from the root, the last one
+/// indexing the for itself) and returns the matching loop, or null when
+/// the program does not match the analysis (stale Path).
+const ir::ForStmt *loopAtPath(const ir::Program &P, const ir::LoopInfo *L) {
+  if (!L || L->Path.empty())
+    return nullptr;
+  const std::vector<ir::Stmt> *Body = &P.Body;
+  for (size_t I = 0; I + 1 < L->Path.size(); ++I) {
+    if (L->Path[I] >= Body->size() || !(*Body)[L->Path[I]].isFor())
+      return nullptr;
+    Body = &(*Body)[L->Path[I]].asFor().Body;
+  }
+  if (L->Path.back() >= Body->size())
+    return nullptr;
+  const ir::Stmt &S = (*Body)[L->Path.back()];
+  if (!S.isFor() || S.asFor().Var != L->SourceVar)
+    return nullptr;
+  return &S.asFor();
+}
+
 } // namespace
+
+ApplyResult transform::applyPipeline(ir::Program &P,
+                                     const PipelinePlan &Plan) {
+  if (!Plan.valid() || !Plan.Loop || Plan.Loop->Path.empty())
+    return ApplyResult::BadPlan;
+  // A source program already using our scratch suffix would collide with
+  // the expanded copies; refuse rather than silently alias.
+  if (usesTempNames(P.Body))
+    return ApplyResult::BadPlan;
+
+  std::vector<ir::Stmt> *Body = &P.Body;
+  const std::vector<unsigned> &Path = Plan.Loop->Path;
+  for (size_t I = 0; I + 1 < Path.size(); ++I) {
+    if (Path[I] >= Body->size() || !(*Body)[Path[I]].isFor())
+      return ApplyResult::NoSuchLoops;
+    Body = &(*Body)[Path[I]].asFor().Body;
+  }
+  unsigned Idx = Path.back();
+  if (Idx >= Body->size() || !(*Body)[Idx].isFor() ||
+      (*Body)[Idx].asFor().Var != Plan.Loop->SourceVar)
+    return ApplyResult::NoSuchLoops;
+
+  ir::ForStmt Orig = std::move((*Body)[Idx].asFor());
+  std::vector<ir::Stmt> Staged = buildStagedLoops(Orig, Plan);
+  if (Staged.size() != Plan.Stages.size()) {
+    (*Body)[Idx].Node = std::move(Orig);
+    return ApplyResult::BadPlan;
+  }
+  Body->erase(Body->begin() + Idx);
+  Body->insert(Body->begin() + Idx,
+               std::make_move_iterator(Staged.begin()),
+               std::make_move_iterator(Staged.end()));
+  return ApplyResult::Applied;
+}
+
+std::string
+transform::renderPipelineSchedule(const ir::AnalyzedProgram &AP,
+                                  const analysis::AnalysisResult &R) {
+  std::string Out;
+  for (const PipelineFacts &F : analyzePipelines(AP, R)) {
+    Out += "loop " + F.Loop->SourceVar + " (depth " +
+           std::to_string(F.Loop->Depth + 1) + "): ";
+    const ir::ForStmt *Orig = loopAtPath(AP.Source, F.Loop);
+    std::vector<ir::Stmt> Staged;
+    if (F.Plan.valid() && Orig)
+      Staged = buildStagedLoops(*Orig, F.Plan);
+    if (Staged.size() != F.Plan.Stages.size() || Staged.empty()) {
+      Out += "no pipeline\n";
+      continue;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2f", F.Plan.EstimatedSpeedup);
+    Out += std::to_string(F.Plan.Stages.size()) + " stages, est speedup " +
+           Buf + "\n";
+    for (unsigned I = 0; I != Staged.size(); ++I) {
+      const PipelineStage &S = F.Plan.Stages[I];
+      Out += "stage " + std::to_string(I + 1) + " (" +
+             (S.Parallel ? "parallel" : "sequential") + "), weight " +
+             std::to_string(S.Weight) + ":\n";
+      printStmt(Staged[I], 2, Out);
+    }
+  }
+  return Out;
+}
 
 ApplyResult transform::interchange(ir::Program &P,
                                    const std::string &OuterVar,

@@ -19,6 +19,7 @@
 
 #include "analysis/Driver.h"
 #include "ir/AST.h"
+#include "transform/Pipeline.h"
 
 #include <string>
 
@@ -31,6 +32,7 @@ enum class ApplyResult {
   NotPerfectlyNested, ///< the outer loop's body is not exactly the inner
   BoundsDependOnOuter, ///< triangular bounds: a pure header swap is wrong
   NoSuchLoops,
+  BadPlan, ///< pipeline plan invalid or temp names collide
 };
 
 const char *applyResultName(ApplyResult R);
@@ -45,6 +47,35 @@ ApplyResult interchange(ir::Program &P, const std::string &OuterVar,
 /// Renders the program with "parallel for" on every loop the analysis
 /// proves carries no live dependence (the DOALL schedule).
 std::string renderParallelSchedule(const ir::AnalyzedProgram &AP,
+                                   const analysis::AnalysisResult &R);
+
+/// Suffix of the per-iteration expanded copies applyPipeline introduces
+/// for privatized arrays ("t" becomes "t@p"). '@' cannot appear in a
+/// parsed identifier, so transformed programs can never collide with
+/// source arrays; equivalence checks compare final memory on every array
+/// except these scratch copies.
+inline constexpr const char PipelineTempSuffix[] = "@p";
+
+/// True for the scratch arrays applyPipeline introduces.
+bool isPipelineTempArray(const std::string &Name);
+
+/// Rewrites loop \p Plan.Loop of \p P (a fresh parse of the analyzed
+/// source) into the staged schedule: one consecutive loop per stage, each
+/// keeping exactly its stage's statements (nested loops are filtered per
+/// stage and dropped when emptied). Arrays in Plan.PrivatizedArrays are
+/// expanded per-iteration -- every access X(subs) becomes
+/// X@p(loopvar, subs) -- and each write additionally keeps a duplicate
+/// store to the original array so final memory outside the scratch copies
+/// is byte-identical to the unstaged program. Stage order is topological
+/// over every live dependence, so executing the staged program preserves
+/// the original semantics; oracle/ScheduleOracle.h proves it by running
+/// both under the interpreter.
+ApplyResult applyPipeline(ir::Program &P, const PipelinePlan &Plan);
+
+/// Renders every loop's pipeline plan as executable staged loops, with
+/// "stage k (parallel xN | sequential):" headers (omega-analyze
+/// --pipeline). Loops without a valid plan are listed as such.
+std::string renderPipelineSchedule(const ir::AnalyzedProgram &AP,
                                    const analysis::AnalysisResult &R);
 
 } // namespace transform

@@ -1,0 +1,120 @@
+//===- transform/Pdg.cpp --------------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pdg.h"
+
+#include "analysis/Transforms.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace omega;
+using namespace omega::transform;
+using omega::deps::Dependence;
+using omega::deps::DepKind;
+using omega::deps::DepSplit;
+
+int Pdg::nodeOf(unsigned Label) const {
+  for (unsigned I = 0; I != StmtLabels.size(); ++I)
+    if (StmtLabels[I] == Label)
+      return static_cast<int>(I);
+  return -1;
+}
+
+namespace {
+
+/// Classifies the splits of one dependence relative to loop L and emits
+/// at most one edge per (LoopCarried, Dead) class -- several splits of
+/// the same class would duplicate an identical edge.
+void edgesOf(const Dependence &D, DepKind Kind, const ir::LoopInfo *L,
+             const std::map<unsigned, unsigned> &NodeOf,
+             std::vector<PdgEdge> &Out) {
+  auto SrcIt = NodeOf.find(D.Src->StmtLabel);
+  auto DstIt = NodeOf.find(D.Dst->StmtLabel);
+  if (SrcIt == NodeOf.end() || DstIt == NodeOf.end())
+    return;
+  int Depth = analysis::commonLoopDepth(D, L);
+  if (Depth < 0)
+    return;
+  // (LoopCarried, Dead) -> DeadReason of the first such split.
+  bool Seen[2][2] = {{false, false}, {false, false}};
+  char Reason[2][2] = {{0, 0}, {0, 0}};
+  for (const DepSplit &S : D.Splits) {
+    // Splits carried outside L order whole L-instances; they do not
+    // constrain the partition of L's body.
+    if (S.Level >= 1 && S.Level <= static_cast<unsigned>(Depth))
+      continue;
+    bool Carried = S.Level == static_cast<unsigned>(Depth) + 1;
+    if (!Seen[Carried][S.Dead]) {
+      Seen[Carried][S.Dead] = true;
+      Reason[Carried][S.Dead] = S.Dead ? S.DeadReason : static_cast<char>(0);
+    }
+  }
+  for (int Carried = 0; Carried != 2; ++Carried)
+    for (int Dead = 0; Dead != 2; ++Dead) {
+      if (!Seen[Carried][Dead])
+        continue;
+      PdgEdge E;
+      E.Src = SrcIt->second;
+      E.Dst = DstIt->second;
+      E.Kind = Kind;
+      E.LoopCarried = Carried != 0;
+      E.Dead = Dead != 0;
+      E.DeadReason = Reason[Carried][Dead];
+      E.Array = D.Src->Array;
+      Out.push_back(std::move(E));
+    }
+}
+
+} // namespace
+
+Pdg transform::buildPdg(const ir::AnalyzedProgram &AP,
+                        const analysis::AnalysisResult &R,
+                        const ir::LoopInfo *L) {
+  Pdg G;
+  G.Loop = L;
+
+  // Nodes: statements (by label, program order) whose nests include L.
+  std::map<unsigned, unsigned> NodeOf;
+  for (const ir::Access &A : AP.Accesses) {
+    if (std::find(A.Loops.begin(), A.Loops.end(), L) == A.Loops.end())
+      continue;
+    if (!NodeOf.count(A.StmtLabel)) {
+      NodeOf[A.StmtLabel] = G.StmtLabels.size();
+      G.StmtLabels.push_back(A.StmtLabel);
+    }
+  }
+
+  for (const Dependence &D : R.Flow)
+    edgesOf(D, DepKind::Flow, L, NodeOf, G.Edges);
+  for (const Dependence &D : R.Anti)
+    edgesOf(D, DepKind::Anti, L, NodeOf, G.Edges);
+  for (const Dependence &D : R.Output)
+    edgesOf(D, DepKind::Output, L, NodeOf, G.Edges);
+
+  // Loop-carried anti dependences are storage artifacts: when every read
+  // of the array inside L is satisfied within its own iteration (the
+  // kill-powered privatizability test), per-iteration renaming removes
+  // them. Decide once per array that actually has such an edge.
+  std::map<std::string, bool> Privatizable;
+  for (PdgEdge &E : G.Edges) {
+    if (E.Kind != DepKind::Anti || !E.LoopCarried || E.Dead)
+      continue;
+    auto It = Privatizable.find(E.Array);
+    if (It == Privatizable.end())
+      It = Privatizable
+               .emplace(E.Array, analysis::isPrivatizable(AP, R, E.Array, L))
+               .first;
+    E.Removable = It->second;
+  }
+  std::set<std::string> Names;
+  for (const PdgEdge &E : G.Edges)
+    if (E.Removable)
+      Names.insert(E.Array);
+  G.PrivatizedArrays.assign(Names.begin(), Names.end());
+  return G;
+}

@@ -1,0 +1,81 @@
+//===- transform/Pdg.h - Statement-level program dependence graph ---------===//
+//
+// Part of the omega-deps project: a reproduction of Pugh & Wonnacott,
+// "Eliminating False Data Dependences using the Omega Test" (PLDI 1992).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement-level program dependence graph (PDG) of one loop, built
+/// over the kill-aware dependence table -- the input the PS-DSWP pipeline
+/// partitioner (transform/Pipeline.h) condenses into an SCC-DAG.
+///
+/// Nodes are the statements whose access nests include the loop L. One
+/// edge is emitted per dependence whose endpoints are both inside L,
+/// classified relative to L:
+///
+///  * splits carried by a loop *outside* L (level in [1, depth(L)]) order
+///    whole L-instances and are dropped, exactly as distributeLoop does;
+///  * a split at level depth(L)+1 is carried by L (`LoopCarried`);
+///  * level 0 and deeper levels stay within one L-iteration.
+///
+/// Edges keep their liveness: killed flow splits become `Dead` edges
+/// (present for the --no-kills ablation, absent from the live graph), and
+/// loop-carried anti dependences on privatizable arrays become
+/// `Removable` edges -- per-iteration renaming (what applyPipeline
+/// performs) eliminates them, which is the paper's "false data
+/// dependence" thesis applied to storage. The partitioner plans over
+/// live, non-removable edges only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OMEGA_TRANSFORM_PDG_H
+#define OMEGA_TRANSFORM_PDG_H
+
+#include "analysis/Driver.h"
+
+#include <string>
+#include <vector>
+
+namespace omega {
+namespace transform {
+
+/// One PDG edge (one contributing dependence split class).
+struct PdgEdge {
+  unsigned Src = 0; ///< node index into Pdg::StmtLabels
+  unsigned Dst = 0; ///< node index into Pdg::StmtLabels
+  deps::DepKind Kind = deps::DepKind::Flow;
+  bool LoopCarried = false; ///< carried by the PDG's loop itself
+  bool Dead = false;        ///< killed/covered flow split ('k'/'c')
+  char DeadReason = 0;      ///< 'k' killed, 'c' covered (when Dead)
+  bool Removable = false;   ///< carried anti on a privatizable array
+  std::string Array;        ///< the array the dependence is on
+};
+
+/// The PDG of one loop. Nodes are statement labels in program order;
+/// edges carry their liveness/removability classification.
+struct Pdg {
+  const ir::LoopInfo *Loop = nullptr;
+  std::vector<unsigned> StmtLabels; ///< node -> 1-based statement label
+  std::vector<PdgEdge> Edges;       ///< all edges, including dead/removable
+  /// Arrays whose loop-carried anti dependences are removable: every read
+  /// inside the loop is covered in the same iteration (isPrivatizable),
+  /// so per-iteration expansion renames the storage apart. Sorted.
+  std::vector<std::string> PrivatizedArrays;
+
+  /// Node index of \p Label, or -1 when the statement is not in the loop.
+  int nodeOf(unsigned Label) const;
+  /// Edges the partitioner plans over: live and not removable.
+  bool planningEdge(const PdgEdge &E) const {
+    return !E.Dead && !E.Removable;
+  }
+};
+
+/// Builds the PDG of loop \p L from the analysis result \p R.
+Pdg buildPdg(const ir::AnalyzedProgram &AP, const analysis::AnalysisResult &R,
+             const ir::LoopInfo *L);
+
+} // namespace transform
+} // namespace omega
+
+#endif // OMEGA_TRANSFORM_PDG_H

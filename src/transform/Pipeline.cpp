@@ -1,0 +1,481 @@
+//===- transform/Pipeline.cpp ---------------------------------------------===//
+//
+// Part of the omega-deps project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace omega;
+using namespace omega::transform;
+
+namespace {
+
+/// Iterative Tarjan SCC (the same shape analysis/Transforms.cpp uses for
+/// loop distribution). Components are numbered in *reverse* topological
+/// order; callers convert with NextComp - 1 - Comp[V].
+struct SCCFinder {
+  const std::vector<std::vector<unsigned>> &Adj;
+  std::vector<int> Index, Low, Comp;
+  std::vector<bool> OnStack;
+  std::vector<unsigned> Stack;
+  int NextIndex = 0, NextComp = 0;
+
+  explicit SCCFinder(const std::vector<std::vector<unsigned>> &Adj)
+      : Adj(Adj), Index(Adj.size(), -1), Low(Adj.size(), 0),
+        Comp(Adj.size(), -1), OnStack(Adj.size(), false) {
+    for (unsigned V = 0; V != Adj.size(); ++V)
+      if (Index[V] < 0)
+        strongConnect(V);
+  }
+
+  void strongConnect(unsigned Root) {
+    std::vector<std::pair<unsigned, unsigned>> Work{{Root, 0}};
+    while (!Work.empty()) {
+      auto &[V, Child] = Work.back();
+      if (Child == 0) {
+        Index[V] = Low[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      if (Child < Adj[V].size()) {
+        unsigned W = Adj[V][Child++];
+        if (Index[W] < 0) {
+          Work.push_back({W, 0});
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+        continue;
+      }
+      if (Low[V] == Index[V]) {
+        while (true) {
+          unsigned W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Comp[W] = NextComp;
+          if (W == V)
+            break;
+        }
+        ++NextComp;
+      }
+      unsigned Done = V;
+      Work.pop_back();
+      if (!Work.empty())
+        Low[Work.back().first] =
+            std::min(Low[Work.back().first], Low[Done]);
+    }
+  }
+};
+
+/// Estimated iterations of one loop: exact for constant rectangular
+/// bounds, a default of 10 for symbolic ones.
+uint64_t tripEstimate(const ir::LoopInfo &L) {
+  if (L.Lower.size() == 1 && L.Upper.size() == 1 &&
+      L.Lower[0].isConstant() && L.Upper[0].isConstant()) {
+    int64_t Lo = L.Lower[0].getConstant();
+    int64_t Hi = L.Upper[0].getConstant();
+    int64_t Stride = L.Stride > 0 ? L.Stride : 1;
+    if (Hi < Lo)
+      return 1; // zero-trip loops still weigh their body once
+    return static_cast<uint64_t>((Hi - Lo) / Stride + 1);
+  }
+  return 10;
+}
+
+/// Statement weight: the product of the trip estimates of the loops
+/// nested inside the partitioned loop around the statement (1 when the
+/// statement sits directly in the loop body).
+uint64_t stmtWeight(const ir::AnalyzedProgram &AP, const ir::LoopInfo *L,
+                    unsigned Label) {
+  for (const ir::Access &A : AP.Accesses) {
+    if (A.StmtLabel != Label)
+      continue;
+    auto It = std::find(A.Loops.begin(), A.Loops.end(), L);
+    if (It == A.Loops.end())
+      continue;
+    uint64_t W = 1;
+    for (++It; It != A.Loops.end(); ++It)
+      W *= tripEstimate(**It);
+    return W == 0 ? 1 : W;
+  }
+  return 1;
+}
+
+/// Whether the live planning graph uses edge \p E under \p Opts: the
+/// ablation folds dead and removable edges back in.
+bool liveEdge(const PdgEdge &E, const PipelineOptions &Opts) {
+  if (Opts.IncludeDead)
+    return true;
+  return !E.Dead && !E.Removable;
+}
+
+struct Condensation {
+  unsigned NumComps = 0;
+  std::vector<unsigned> CompOf;               ///< node -> topo comp index
+  std::vector<std::vector<unsigned>> Members; ///< comp -> nodes
+  std::vector<std::vector<bool>> Reach; ///< Reach[A][B]: path A -> B, A != B
+  std::vector<bool> Parallel;           ///< no internal loop-carried edge
+  std::vector<uint64_t> Weight;
+};
+
+Condensation condense(const ir::AnalyzedProgram &AP, const Pdg &G,
+                      const PipelineOptions &Opts) {
+  unsigned N = G.StmtLabels.size();
+  std::vector<std::vector<unsigned>> Adj(N);
+  for (const PdgEdge &E : G.Edges)
+    if (liveEdge(E, Opts))
+      Adj[E.Src].push_back(E.Dst);
+
+  SCCFinder SCC(Adj);
+  Condensation C;
+  C.NumComps = SCC.NextComp;
+  C.CompOf.resize(N);
+  C.Members.resize(C.NumComps);
+  for (unsigned V = 0; V != N; ++V) {
+    C.CompOf[V] = SCC.NextComp - 1 - SCC.Comp[V];
+    C.Members[C.CompOf[V]].push_back(V);
+  }
+
+  C.Parallel.assign(C.NumComps, true);
+  for (const PdgEdge &E : G.Edges)
+    if (liveEdge(E, Opts) && E.LoopCarried &&
+        C.CompOf[E.Src] == C.CompOf[E.Dst])
+      C.Parallel[C.CompOf[E.Src]] = false;
+
+  C.Weight.assign(C.NumComps, 0);
+  for (unsigned V = 0; V != N; ++V)
+    C.Weight[C.CompOf[V]] += stmtWeight(AP, G.Loop, G.StmtLabels[V]);
+
+  // Reachability over the comp DAG, walking topological order backwards:
+  // Reach[A] = union over comp successors S of {S} + Reach[S].
+  std::vector<std::set<unsigned>> Succs(C.NumComps);
+  for (const PdgEdge &E : G.Edges)
+    if (liveEdge(E, Opts) && C.CompOf[E.Src] != C.CompOf[E.Dst])
+      Succs[C.CompOf[E.Src]].insert(C.CompOf[E.Dst]);
+  C.Reach.assign(C.NumComps, std::vector<bool>(C.NumComps, false));
+  for (unsigned A = C.NumComps; A-- > 0;)
+    for (unsigned S : Succs[A]) {
+      C.Reach[A][S] = true;
+      for (unsigned B = 0; B != C.NumComps; ++B)
+        if (C.Reach[S][B])
+          C.Reach[A][B] = true;
+    }
+  return C;
+}
+
+/// Splits the topologically ordered comp list \p Comps into consecutive
+/// stages whose weights approach \p Target, never exceeding
+/// \p MaxNewStages stages. Any prefix of a topological order is closed
+/// under the DAG's edges, so every cut point is legal.
+std::vector<std::vector<unsigned>>
+balanceSequential(const std::vector<unsigned> &Comps,
+                  const std::vector<uint64_t> &Weight, uint64_t Target,
+                  unsigned MaxNewStages) {
+  std::vector<std::vector<unsigned>> Out;
+  if (Comps.empty())
+    return Out;
+  Out.push_back(Comps);
+  auto weightOf = [&](const std::vector<unsigned> &S) {
+    uint64_t W = 0;
+    for (unsigned Cmp : S)
+      W += Weight[Cmp];
+    return W;
+  };
+  bool Changed = true;
+  while (Changed && Out.size() < MaxNewStages) {
+    Changed = false;
+    // Heaviest over-target stage with at least two comps.
+    unsigned Best = Out.size();
+    uint64_t BestW = Target;
+    for (unsigned I = 0; I != Out.size(); ++I) {
+      uint64_t W = weightOf(Out[I]);
+      if (Out[I].size() >= 2 && W > BestW) {
+        Best = I;
+        BestW = W;
+      }
+    }
+    if (Best == Out.size())
+      break;
+    // Cut at the prefix point minimizing the heavier half (earliest cut
+    // on ties, for determinism).
+    const std::vector<unsigned> &S = Out[Best];
+    uint64_t Total = weightOf(S), Prefix = 0, BestMax = Total;
+    unsigned Cut = 0;
+    for (unsigned I = 0; I + 1 < S.size(); ++I) {
+      Prefix += Weight[S[I]];
+      uint64_t Max = std::max(Prefix, Total - Prefix);
+      if (Max < BestMax) {
+        BestMax = Max;
+        Cut = I + 1;
+      }
+    }
+    if (Cut == 0)
+      break; // a single comp dominates: no cut improves the bottleneck
+    std::vector<unsigned> Tail(S.begin() + Cut, S.end());
+    Out[Best].resize(Cut);
+    Out.insert(Out.begin() + Best + 1, std::move(Tail));
+    Changed = true;
+  }
+  return Out;
+}
+
+} // namespace
+
+PipelinePlan transform::planPipeline(const ir::AnalyzedProgram &AP,
+                                     const Pdg &G,
+                                     const PipelineOptions &Opts) {
+  PipelinePlan Plan;
+  Plan.Loop = G.Loop;
+  if (!Opts.IncludeDead)
+    Plan.PrivatizedArrays = G.PrivatizedArrays;
+  if (G.StmtLabels.empty())
+    return Plan;
+
+  Condensation C = condense(AP, G, Opts);
+  for (uint64_t W : C.Weight)
+    Plan.TotalWeight += W;
+
+  // The stage skeleton as comp-index lists, in execution order.
+  std::vector<std::vector<unsigned>> StageComps;
+  int ParallelStageIdx = -1;
+
+  // Pivot: the heaviest parallel SCC (smallest topo index on ties).
+  unsigned Pivot = C.NumComps;
+  for (unsigned Cmp = 0; Cmp != C.NumComps; ++Cmp)
+    if (C.Parallel[Cmp] &&
+        (Pivot == C.NumComps || C.Weight[Cmp] > C.Weight[Pivot]))
+      Pivot = Cmp;
+
+  unsigned Repl = std::max(1u, Opts.ReplicationFactor);
+  unsigned MaxStages = std::max(2u, Opts.MaxStages);
+
+  if (Pivot == C.NumComps) {
+    // No parallel SCC: fall back to a 2-stage balanced DSWP split.
+    std::vector<unsigned> All(C.NumComps);
+    for (unsigned Cmp = 0; Cmp != C.NumComps; ++Cmp)
+      All[Cmp] = Cmp;
+    StageComps = balanceSequential(All, C.Weight,
+                                   std::max<uint64_t>(1, Plan.TotalWeight / 2),
+                                   2);
+  } else {
+    // Grow the parallel stage: an antichain of mutually unreachable
+    // parallel SCCs around the pivot (unreachable implies no edges, so
+    // no loop-carried edge can join the stage).
+    std::vector<unsigned> Stage{Pivot};
+    for (unsigned Cmp = 0; Cmp != C.NumComps; ++Cmp) {
+      if (Cmp == Pivot || !C.Parallel[Cmp])
+        continue;
+      bool Compatible = true;
+      for (unsigned M : Stage)
+        if (C.Reach[Cmp][M] || C.Reach[M][Cmp]) {
+          Compatible = false;
+          break;
+        }
+      if (Compatible)
+        Stage.push_back(Cmp);
+    }
+    std::sort(Stage.begin(), Stage.end());
+    std::set<unsigned> InStage(Stage.begin(), Stage.end());
+
+    // pivot(): every other SCC is before (reaches the stage), after
+    // (reached from it), or flexible. Flexible SCCs join the before side
+    // when nothing must follow the parallel stage, the after side
+    // otherwise.
+    std::vector<unsigned> Before, After, Flexible;
+    for (unsigned Cmp = 0; Cmp != C.NumComps; ++Cmp) {
+      if (InStage.count(Cmp))
+        continue;
+      bool ReachesStage = false, ReachedFromStage = false;
+      for (unsigned M : Stage) {
+        ReachesStage |= C.Reach[Cmp][M];
+        ReachedFromStage |= C.Reach[M][Cmp];
+      }
+      if (ReachesStage)
+        Before.push_back(Cmp);
+      else if (ReachedFromStage)
+        After.push_back(Cmp);
+      else
+        Flexible.push_back(Cmp);
+    }
+    std::vector<unsigned> &Side = After.empty() ? Before : After;
+    Side.insert(Side.end(), Flexible.begin(), Flexible.end());
+    std::sort(Before.begin(), Before.end());
+    std::sort(After.begin(), After.end());
+
+    uint64_t ParallelWeight = 0;
+    for (unsigned M : Stage)
+      ParallelWeight += C.Weight[M];
+    uint64_t Target = std::max<uint64_t>(1, (ParallelWeight + Repl - 1) /
+                                                Repl);
+
+    std::vector<std::vector<unsigned>> BeforeStages =
+        balanceSequential(Before, C.Weight, Target, MaxStages);
+    std::vector<std::vector<unsigned>> AfterStages = balanceSequential(
+        After, C.Weight, Target,
+        MaxStages > BeforeStages.size() + 1
+            ? MaxStages - BeforeStages.size() - 1
+            : 1);
+    for (std::vector<unsigned> &S : BeforeStages)
+      StageComps.push_back(std::move(S));
+    ParallelStageIdx = StageComps.size();
+    StageComps.push_back(Stage);
+    for (std::vector<unsigned> &S : AfterStages)
+      StageComps.push_back(std::move(S));
+  }
+
+  // Materialize stages: labels ascending, weights summed.
+  for (unsigned I = 0; I != StageComps.size(); ++I) {
+    PipelineStage S;
+    S.Parallel = static_cast<int>(I) == ParallelStageIdx;
+    for (unsigned Cmp : StageComps[I]) {
+      S.Weight += C.Weight[Cmp];
+      for (unsigned V : C.Members[Cmp])
+        S.StmtLabels.push_back(G.StmtLabels[V]);
+    }
+    std::sort(S.StmtLabels.begin(), S.StmtLabels.end());
+    Plan.Stages.push_back(std::move(S));
+  }
+
+  // Bottleneck and speedup estimate.
+  uint64_t Bottleneck = 1;
+  for (const PipelineStage &S : Plan.Stages) {
+    uint64_t W = S.Parallel ? std::max<uint64_t>(1, (S.Weight + Repl - 1) /
+                                                        Repl)
+                            : S.Weight;
+    Bottleneck = std::max(Bottleneck, W);
+  }
+  Plan.EstimatedSpeedup =
+      static_cast<double>(std::max<uint64_t>(1, Plan.TotalWeight)) /
+      static_cast<double>(Bottleneck);
+
+  // Which kills/removals enabled the parallel stage: a dead or removable
+  // edge is enabling when restoring it would serialize a parallel stage
+  // (an internal loop-carried edge) or merge a parallel-stage SCC into a
+  // larger cycle.
+  if (Plan.hasParallelStage() && !Opts.IncludeDead) {
+    std::set<unsigned> ParallelLabels;
+    for (const PipelineStage &S : Plan.Stages)
+      if (S.Parallel)
+        ParallelLabels.insert(S.StmtLabels.begin(), S.StmtLabels.end());
+    unsigned N = G.StmtLabels.size();
+    std::vector<std::vector<unsigned>> LiveAdj(N);
+    for (const PdgEdge &E : G.Edges)
+      if (G.planningEdge(E))
+        LiveAdj[E.Src].push_back(E.Dst);
+    for (const PdgEdge &E : G.Edges) {
+      if (G.planningEdge(E))
+        continue;
+      bool SrcPar = ParallelLabels.count(G.StmtLabels[E.Src]) != 0;
+      bool DstPar = ParallelLabels.count(G.StmtLabels[E.Dst]) != 0;
+      bool Enabling = E.LoopCarried && SrcPar && DstPar;
+      if (!Enabling && (SrcPar || DstPar)) {
+        // Would the edge merge a parallel statement into a larger SCC?
+        std::vector<std::vector<unsigned>> Adj = LiveAdj;
+        Adj[E.Src].push_back(E.Dst);
+        SCCFinder SCC(Adj);
+        for (unsigned V = 0; V != N && !Enabling; ++V) {
+          if (!ParallelLabels.count(G.StmtLabels[V]))
+            continue;
+          for (unsigned W = 0; W != N; ++W)
+            if (W != V && SCC.Comp[W] == SCC.Comp[V] &&
+                C.CompOf[W] != C.CompOf[V]) {
+              Enabling = true;
+              break;
+            }
+        }
+      }
+      if (Enabling) {
+        EnablingKill K;
+        K.SrcLabel = G.StmtLabels[E.Src];
+        K.DstLabel = G.StmtLabels[E.Dst];
+        K.Kind = E.Kind;
+        K.Reason = E.Removable ? 'p' : (E.DeadReason ? E.DeadReason : 'k');
+        bool Dup = false;
+        for (const EnablingKill &Prev : Plan.EnablingKills)
+          Dup = Dup || (Prev.SrcLabel == K.SrcLabel &&
+                        Prev.DstLabel == K.DstLabel && Prev.Kind == K.Kind &&
+                        Prev.Reason == K.Reason);
+        if (!Dup)
+          Plan.EnablingKills.push_back(K);
+      }
+    }
+  }
+  return Plan;
+}
+
+std::vector<PipelineFacts>
+transform::analyzePipelines(const ir::AnalyzedProgram &AP,
+                            const analysis::AnalysisResult &R,
+                            const PipelineOptions &Opts) {
+  std::vector<PipelineFacts> Out;
+  for (const std::unique_ptr<ir::LoopInfo> &L : AP.Loops) {
+    Pdg G = buildPdg(AP, R, L.get());
+    PipelineFacts F;
+    F.Loop = L.get();
+    F.Statements = G.StmtLabels.size();
+    F.Plan = planPipeline(AP, G, Opts);
+    // SCC count of the live planning graph == stage comp total; recompute
+    // cheaply from the plan's stages only when the plan exists.
+    F.Sccs = 0;
+    {
+      unsigned N = G.StmtLabels.size();
+      std::vector<std::vector<unsigned>> Adj(N);
+      for (const PdgEdge &E : G.Edges)
+        if (G.planningEdge(E))
+          Adj[E.Src].push_back(E.Dst);
+      SCCFinder SCC(Adj);
+      F.Sccs = SCC.NextComp;
+    }
+    Out.push_back(std::move(F));
+  }
+  return Out;
+}
+
+std::string transform::pipelineReport(const ir::AnalyzedProgram &AP,
+                                      const analysis::AnalysisResult &R) {
+  std::string Out;
+  for (const PipelineFacts &F : analyzePipelines(AP, R)) {
+    Out += "loop " + F.Loop->SourceVar + " (depth " +
+           std::to_string(F.Loop->Depth + 1) + "): ";
+    if (!F.Plan.valid()) {
+      Out += std::to_string(F.Statements) + " statement" +
+             (F.Statements == 1 ? "" : "s") + ", " +
+             std::to_string(F.Sccs) + " scc" + (F.Sccs == 1 ? "" : "s") +
+             ": no pipeline\n";
+      continue;
+    }
+    Out += std::to_string(F.Plan.Stages.size()) + " stages";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.2f", F.Plan.EstimatedSpeedup);
+    Out += ", est speedup " + std::string(Buf) + ":";
+    for (const PipelineStage &S : F.Plan.Stages) {
+      Out += " {";
+      for (unsigned I = 0; I != S.StmtLabels.size(); ++I)
+        Out += (I ? "," : "") + std::to_string(S.StmtLabels[I]);
+      Out += "}";
+      if (S.Parallel)
+        Out += "*";
+    }
+    if (!F.Plan.PrivatizedArrays.empty()) {
+      Out += " privatized:";
+      for (const std::string &A : F.Plan.PrivatizedArrays)
+        Out += " " + A;
+    }
+    if (!F.Plan.EnablingKills.empty()) {
+      Out += " enabled by:";
+      for (const EnablingKill &K : F.Plan.EnablingKills) {
+        Out += " " + std::to_string(K.SrcLabel) + "->" +
+               std::to_string(K.DstLabel) + "(";
+        Out += K.Reason == 'p' ? "privatization" : "kill";
+        Out += ")";
+      }
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -349,3 +349,26 @@ TEST(Section4, LiveDeadTablesRender) {
   EXPECT_NE(Dead.find("1: a(n)"), std::string::npos);
   EXPECT_NE(Dead.find("[k]"), std::string::npos);
 }
+
+TEST(Section4, StridedNestRefinementKeepsBackwardFlow) {
+  // Regression: both loops strided, write subscript with a negative outer
+  // coefficient, so the flow's distance vector is (+, -). The refinement
+  // snapshot used to drive mod-hat equality elimination into a cycle over
+  // the stride wildcards (they never reach a unit coefficient because the
+  // protected distance variables stay in the rows), saturate, and then
+  // read a bogus unsat off the clamped rows -- silently deleting the
+  // dependence. The trace oracle disagrees: b(0) written at (i=1,j=2) is
+  // read at (i=3,j=0).
+  AnalyzedProgram AP = analyzeSource("for i := 1 to 5 step 2 do\n"
+                                     "  for j := 0 to 6 step 2 do\n"
+                                     "    b(-i+j-1) := 5;\n"
+                                     "    c(0) := b(j);\n"
+                                     "  endfor\n"
+                                     "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  AnalysisResult R = analyzeProgram(AP);
+  const Dependence *Dep = findFlow(R, 1, 2);
+  ASSERT_NE(Dep, nullptr) << "strided backward flow missed entirely";
+  EXPECT_FALSE(Dep->allDead());
+  EXPECT_EQ(refinedDir(*Dep), "(2:4,-4:-2)");
+}

@@ -5,7 +5,7 @@
 //
 // The api layer's contract: one option table drives the CLI parser, the
 // JSON request parser, and the help text (spellings can never drift); the
-// response document is schema 3 with a deterministic "result" section.
+// response document is schema 4 with a deterministic "result" section.
 //
 //===----------------------------------------------------------------------===//
 
@@ -128,6 +128,38 @@ TEST(ApiOptions, MalformedValuesAreRejected) {
   EXPECT_FALSE(parseArgs({"--all=yes"}, ToolAnalyze, Out, Err));
 }
 
+TEST(ApiOptions, PipelineFlagAndJsonKeyAgree) {
+  EXPECT_FALSE(AnalysisOptions().Pipeline);
+  EXPECT_TRUE(parsed({"--pipeline"}, ToolAnalyze).Options.Pipeline);
+
+  AnalysisOptions FromJson;
+  std::string Err;
+  json::Value V;
+  ASSERT_TRUE(json::parse("{\"pipeline\": true}", V, Err)) << Err;
+  ASSERT_TRUE(optionsFromJson(V, FromJson, Err)) << Err;
+  EXPECT_TRUE(FromJson.Pipeline);
+}
+
+TEST(ApiOptions, LatencyBucketsParseAndValidate) {
+  ParsedArgs P =
+      parsed({"--latency-buckets-us", "50,500,5000"}, ToolServe);
+  EXPECT_EQ(P.Options.LatencyBucketsUs,
+            (std::vector<uint64_t>{50, 500, 5000}));
+  EXPECT_TRUE(parsed({}, ToolServe).Options.LatencyBucketsUs.empty());
+
+  ParsedArgs Out;
+  std::string Err;
+  EXPECT_FALSE(
+      parseArgs({"--latency-buckets-us", "100,100"}, ToolServe, Out, Err));
+  EXPECT_NE(Err.find("strictly increasing"), std::string::npos);
+  EXPECT_FALSE(
+      parseArgs({"--latency-buckets-us", "500,100"}, ToolServe, Out, Err));
+  EXPECT_FALSE(
+      parseArgs({"--latency-buckets-us", "1,,2"}, ToolServe, Out, Err));
+  EXPECT_FALSE(
+      parseArgs({"--latency-buckets-us", "abc"}, ToolServe, Out, Err));
+}
+
 TEST(ApiOptions, HelpTextCoversEveryToolFlag) {
   for (unsigned Tool : {unsigned(ToolAnalyze), unsigned(ToolCalc),
                         unsigned(ToolServe)}) {
@@ -233,7 +265,7 @@ TEST(ApiResponse, DocumentsAreSchema3AndParse) {
   std::string Err;
   ASSERT_TRUE(json::parse(Doc, V, Err)) << Err;
   EXPECT_EQ(V.get("schema")->asInt(), SchemaVersion);
-  EXPECT_EQ(SchemaVersion, 3);
+  EXPECT_EQ(SchemaVersion, 4);
   EXPECT_TRUE(V.get("ok")->asBool());
   ASSERT_NE(V.get("result"), nullptr);
   ASSERT_NE(V.get("metrics"), nullptr);
@@ -270,7 +302,7 @@ TEST(ApiResponse, ResultIsDeterministicAcrossJobsAndCache) {
 
 TEST(ApiResponse, ServerVariantsCarryIdAndTypedErrors) {
   std::string Ok = renderServerOk(7, "{}", "{}");
-  EXPECT_NE(Ok.find("\"schema\": 3"), std::string::npos);
+  EXPECT_NE(Ok.find("\"schema\": 4"), std::string::npos);
   EXPECT_NE(Ok.find("\"id\": 7"), std::string::npos);
   EXPECT_NE(Ok.find("\"ok\": true"), std::string::npos);
 

@@ -12,6 +12,7 @@
 #include "analysis/Transforms.h"
 #include "ir/Interp.h"
 #include "ir/Parser.h"
+#include "transform/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -192,4 +193,133 @@ TEST(Apply, ParallelScheduleDistinguishesSameNameLoops) {
   ASSERT_NE(Second, std::string::npos);
   EXPECT_NE(Schedule.find("parallel for i := 1"), std::string::npos);
   EXPECT_EQ(Schedule.find("parallel for i := 2"), std::string::npos);
+}
+
+namespace {
+
+/// Final memory minus the "@p" scratch arrays privatization introduces.
+std::map<std::string, std::map<std::vector<int64_t>, int64_t>>
+visibleState(const ir::ExecResult &R) {
+  std::map<std::string, std::map<std::vector<int64_t>, int64_t>> Out;
+  for (const auto &[Array, Cells] : R.FinalState)
+    if (!isPipelineTempArray(Array))
+      Out[Array] = Cells;
+  return Out;
+}
+
+/// Applies every valid pipeline plan of \p Src and interprets original
+/// vs staged, requiring identical visible final state. Returns the number
+/// of plans executed.
+unsigned checkPipelinedExecution(const std::string &Src,
+                                 std::map<std::string, int64_t> Symbols,
+                                 const analysis::DriverOptions &DOpts =
+                                     analysis::DriverOptions()) {
+  ir::AnalyzedProgram AP = ir::analyzeSource(Src);
+  EXPECT_TRUE(AP.ok()) << Src;
+  if (!AP.ok())
+    return 0;
+  analysis::AnalysisResult R = analysis::analyzeProgram(AP, DOpts);
+  ir::ExecResult Base = runProgram(AP.Source, Symbols);
+  EXPECT_FALSE(Base.Failed) << Base.Error;
+  unsigned Applied = 0;
+  for (const PipelineFacts &F : analyzePipelines(AP, R)) {
+    if (!F.Plan.valid())
+      continue;
+    ir::Program Staged = AP.Source;
+    EXPECT_EQ(applyPipeline(Staged, F.Plan), ApplyResult::Applied) << Src;
+    ir::ExecResult After = runProgram(Staged, Symbols);
+    EXPECT_FALSE(After.Failed) << After.Error;
+    EXPECT_EQ(visibleState(Base), visibleState(After))
+        << "staged schedule for loop " << F.Plan.Loop->SourceVar
+        << " diverges:\n"
+        << Src;
+    ++Applied;
+  }
+  return Applied;
+}
+
+} // namespace
+
+TEST(Apply, PipelineSchedulePreservesSemantics) {
+  unsigned Plans =
+      checkPipelinedExecution("symbolic n;\n"
+                              "for i := 1 to n do\n"
+                              "  s(0) := s(0) + a(i);\n"
+                              "  t(0) := a(i-1) + a(i+1);\n"
+                              "  b(i) := t(0) * t(0);\n"
+                              "  d(0) := d(0) + b(i);\n"
+                              "endfor\n",
+                              {{"n", 6}});
+  EXPECT_EQ(Plans, 1u);
+}
+
+TEST(Apply, PipelineLegalOnlyAfterKills) {
+  // The staged schedule fissions reads of t away from its writes: legal
+  // only because the Section 4 cover analysis proves the carried flow on
+  // t dead and licenses privatization. The applied plan must both carry a
+  // parallel stage and preserve semantics; the --no-cover world plans no
+  // parallel stage at all.
+  const char *Src = "symbolic n;\n"
+                    "for i := 1 to n do\n"
+                    "  t(0) := a(i-1) + a(i+1);\n"
+                    "  b(i) := t(0) * t(0);\n"
+                    "  d(0) := d(0) + b(i);\n"
+                    "endfor\n";
+  ir::AnalyzedProgram AP = ir::analyzeSource(Src);
+  ASSERT_TRUE(AP.ok());
+  analysis::AnalysisResult R = analysis::analyzeProgram(AP);
+  std::vector<PipelineFacts> Facts = analyzePipelines(AP, R);
+  ASSERT_EQ(Facts.size(), 1u);
+  ASSERT_TRUE(Facts[0].Plan.valid());
+  EXPECT_TRUE(Facts[0].Plan.hasParallelStage());
+  EXPECT_EQ(Facts[0].Plan.PrivatizedArrays, std::vector<std::string>{"t"});
+  EXPECT_EQ(checkPipelinedExecution(Src, {{"n", 5}}), 1u);
+
+  analysis::DriverOptions NoCover;
+  NoCover.Cover = false;
+  NoCover.Kill = false;
+  analysis::AnalysisResult RNC = analysis::analyzeProgram(AP, NoCover);
+  for (const PipelineFacts &F : analyzePipelines(AP, RNC))
+    EXPECT_FALSE(F.Plan.hasParallelStage());
+  // Whatever the ablated world still plans must also execute correctly.
+  checkPipelinedExecution(Src, {{"n", 5}}, NoCover);
+}
+
+TEST(Apply, PipelineStagedProgramUsesScratchArrays) {
+  const char *Src = "symbolic n;\n"
+                    "for i := 1 to n do\n"
+                    "  t(0) := a(i-1) + a(i+1);\n"
+                    "  b(i) := t(0) * t(0);\n"
+                    "endfor\n";
+  ir::AnalyzedProgram AP = ir::analyzeSource(Src);
+  ASSERT_TRUE(AP.ok());
+  analysis::AnalysisResult R = analysis::analyzeProgram(AP);
+  std::vector<PipelineFacts> Facts = analyzePipelines(AP, R);
+  ASSERT_EQ(Facts.size(), 1u);
+  ASSERT_TRUE(Facts[0].Plan.valid());
+  ir::Program Staged = AP.Source;
+  ASSERT_EQ(applyPipeline(Staged, Facts[0].Plan), ApplyResult::Applied);
+  std::string Text = Staged.toString();
+  // The producer writes the renamed copy AND keeps the original store;
+  // the consumer reads the renamed copy, indexed by the loop variable.
+  EXPECT_NE(Text.find(std::string("t") + PipelineTempSuffix + "(i,0) :="),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("t(0) :="), std::string::npos) << Text;
+  EXPECT_NE(Text.find(std::string("t") + PipelineTempSuffix + "(i,0)*"),
+            std::string::npos)
+      << Text;
+  EXPECT_TRUE(isPipelineTempArray(std::string("t") + PipelineTempSuffix));
+  EXPECT_FALSE(isPipelineTempArray("t"));
+}
+
+TEST(Apply, PipelineRejectsBadPlans) {
+  ir::AnalyzedProgram AP = ir::analyzeSource("symbolic n;\n"
+                                             "for i := 1 to n do\n"
+                                             "  a(i) := a(i-1);\n"
+                                             "endfor\n");
+  ASSERT_TRUE(AP.ok());
+  PipelinePlan Empty;
+  ir::Program P = AP.Source;
+  EXPECT_EQ(applyPipeline(P, Empty), ApplyResult::BadPlan);
 }

@@ -127,3 +127,46 @@ TEST(Interp, ScalarAccumulation) {
   ASSERT_FALSE(R.Failed);
   EXPECT_EQ(R.Trace.size(), 6u);
 }
+
+TEST(Interp, PipelineScratchArraysExecute) {
+  // The "@p" arrays applyPipeline introduces are unparseable from source
+  // ('@' is not an identifier character) but must interpret like any
+  // other array: build the staged shape by hand and check values flow
+  // through the renamed storage.
+  //   for i := 1 to 3 do t@p(i,0) := i; endfor
+  //   for i := 1 to 3 do b(i) := t@p(i,0); endfor
+  Program P;
+  ForStmt Produce;
+  Produce.Var = "i";
+  Produce.Lo = Expr::intLit(1);
+  Produce.Hi = Expr::intLit(3);
+  AssignStmt Write;
+  Write.Array = "t@p";
+  Write.Subscripts = {Expr::varRef("i"), Expr::intLit(0)};
+  Write.RHS = Expr::varRef("i");
+  Write.Label = 1;
+  Produce.Body.push_back(Stmt{Write});
+
+  ForStmt Consume;
+  Consume.Var = "i";
+  Consume.Lo = Expr::intLit(1);
+  Consume.Hi = Expr::intLit(3);
+  AssignStmt Read;
+  Read.Array = "b";
+  Read.Subscripts = {Expr::varRef("i")};
+  Read.RHS = Expr::read("t@p", {Expr::varRef("i"), Expr::intLit(0)});
+  Read.Label = 2;
+  Consume.Body.push_back(Stmt{Read});
+
+  P.Body.push_back(Stmt{Produce});
+  P.Body.push_back(Stmt{Consume});
+
+  ExecConfig Config;
+  ExecResult R = interpret(P, Config);
+  ASSERT_FALSE(R.Failed) << R.Error;
+  ASSERT_EQ(R.FinalState.count("t@p"), 1u);
+  ASSERT_EQ(R.FinalState.count("b"), 1u);
+  const auto &B = R.FinalState.at("b");
+  for (int64_t I = 1; I <= 3; ++I)
+    EXPECT_EQ(B.at({I}), I);
+}

@@ -103,7 +103,7 @@ std::string errorCode(const std::string &Response) {
 }
 
 /// One-shot reference: a fresh engine run rendered through the same
-/// schema-3 result renderer (what `omega-analyze --json` emits).
+/// schema-4 result renderer (what `omega-analyze --json` emits).
 std::string oneShotResult(const ir::AnalyzedProgram &AP, unsigned Jobs,
                           bool Cache) {
   engine::AnalysisRequest Req;

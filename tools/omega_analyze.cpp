@@ -11,7 +11,7 @@
 // Options are the shared api::AnalysisOptions surface (see --help; the
 // same table drives omega-calc and omega-serve), plus two tool-specific
 // arguments: the input file positional and `--sym name=value` symbol
-// bindings for --run. Machine-readable output (--json) is the schema-3
+// bindings for --run. Machine-readable output (--json) is the schema-4
 // response document of api/Response.h, byte-identical in its "result"
 // section to an omega-serve response for the same program.
 //
@@ -271,7 +271,8 @@ int main(int Argc, char **Argv) {
     std::string Explain;
     if (Opts.Explain)
       Explain = Tracer->explainLog();
-    std::fputs(api::renderDocument(api::renderResult(R),
+    std::fputs(api::renderDocument(api::renderResult(
+                                       R, Opts.Pipeline ? &AP : nullptr),
                                    api::renderMetrics(R, Engine.jobs(), WallMs,
                                                       ProfileJson, Explain))
                    .c_str(),
@@ -295,6 +296,10 @@ int main(int Argc, char **Argv) {
   if (Opts.Schedule)
     std::printf("\nparallel schedule:\n%s",
                 transform::renderParallelSchedule(AP, R).c_str());
+
+  if (Opts.Pipeline)
+    std::printf("\npipeline partition:\n%s",
+                transform::renderPipelineSchedule(AP, R).c_str());
 
   if (Opts.Restraints) {
     std::printf("\nrestraint vectors (Section 2.1.2):\n");

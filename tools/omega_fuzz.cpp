@@ -31,6 +31,7 @@
 #include "oracle/Generate.h"
 #include "oracle/Metamorphic.h"
 #include "oracle/ModelOracle.h"
+#include "oracle/ScheduleOracle.h"
 #include "oracle/Shrink.h"
 #include "oracle/TraceOracle.h"
 
@@ -51,11 +52,13 @@ struct Options {
   unsigned Problems = 2000;
   unsigned Programs = 100;
   unsigned Formulas = 500;
+  unsigned Pipelines = 0;
   unsigned Seed = 0;
   bool SeedSet = false;
   std::string OutDir = "tests/corpus/regressions";
   double MaxSeconds = 0; // 0 == unlimited
   bool InjectKillBug = false;
+  bool InjectPipelineBug = false;
 };
 
 void usage() {
@@ -71,9 +74,15 @@ void usage() {
       "  --out DIR        directory for shrunk reproducers\n"
       "                   (default tests/corpus/regressions)\n"
       "  --max-seconds S  stop generating new inputs after S seconds\n"
+      "  --pipelines N    random tiny programs whose pipelined schedules to\n"
+      "                   execute against the original (default 0)\n"
       "  --inject-kill-bug  demonstrate the oracle: simulate a kill-analysis\n"
       "                   bug, require the trace oracle to catch it and\n"
-      "                   shrink it to a <=10-line reproducer\n");
+      "                   shrink it to a <=10-line reproducer\n"
+      "  --inject-pipeline-bug  demonstrate the schedule oracle: drop one\n"
+      "                   loop-carried dependence before pipeline planning,\n"
+      "                   require the interpreter-backed oracle to catch the\n"
+      "                   unsound schedule and shrink it to <=10 lines\n");
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opt) {
@@ -113,8 +122,15 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       if (!V)
         return false;
       Opt.MaxSeconds = std::strtod(V, nullptr);
+    } else if (A == "--pipelines") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opt.Pipelines = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
     } else if (A == "--inject-kill-bug") {
       Opt.InjectKillBug = true;
+    } else if (A == "--inject-pipeline-bug") {
+      Opt.InjectPipelineBug = true;
     } else if (A == "-h" || A == "--help") {
       usage();
       std::exit(0);
@@ -261,6 +277,38 @@ unsigned fuzzPrograms(const Options &Opt, const Clock &Clock,
 }
 
 //===----------------------------------------------------------------------===//
+// Pipeline-schedule fuzzing
+//===----------------------------------------------------------------------===//
+
+unsigned fuzzPipelines(const Options &Opt, const Clock &Clock,
+                       unsigned &Checked) {
+  unsigned Failures = 0;
+  for (unsigned I = 0; I != Opt.Pipelines && !Clock.expired(); ++I) {
+    oracle::ProgramGenerator Gen(Opt.Seed + 4000000 + I);
+    std::string Source = Gen.generate();
+    oracle::ScheduleReport Report = oracle::checkPipelineSchedules(Source);
+    Checked += Report.PlansChecked;
+    if (Report.ok())
+      continue;
+
+    ++Failures;
+    std::fprintf(stderr, "omega-fuzz: pipeline %u FAILED (%s):\n%s\n", I,
+                 oracle::seedMessage(Opt.Seed).c_str(), Source.c_str());
+    for (const std::string &M : Report.Mismatches)
+      std::fprintf(stderr, "  %s\n", M.c_str());
+    std::string Small =
+        oracle::shrinkProgramSource(Source, [](const std::string &Cand) {
+          return !oracle::checkPipelineSchedules(Cand).ok();
+        });
+    writeReproducer(Opt.OutDir,
+                    "pipeline_seed" + std::to_string(Opt.Seed) + "_" +
+                        std::to_string(I) + ".tiny",
+                    Small);
+  }
+  return Failures;
+}
+
+//===----------------------------------------------------------------------===//
 // Injected-bug demonstration
 //===----------------------------------------------------------------------===//
 
@@ -318,6 +366,52 @@ int demonstrateInjectedKillBug(const Options &Opt) {
   return 1;
 }
 
+/// True when dropping some live loop-carried PDG edge of \p Source yields
+/// a pipeline plan the interpreter refutes. The shrink predicate for the
+/// pipeline canary.
+bool injectedPipelineBugCaught(const std::string &Source) {
+  std::vector<std::string> Mismatches;
+  return oracle::injectPipelineBug(Source, oracle::TraceOracleOptions(),
+                                   Mismatches);
+}
+
+int demonstrateInjectedPipelineBug(const Options &Opt) {
+  // Find a random program where deleting one carried edge actually reorders
+  // dependent statements (not every program pipelines, and dropping a
+  // forward edge that fission preserves anyway is harmless).
+  for (unsigned I = 0; I != 200; ++I) {
+    oracle::ProgramGenerator Gen(Opt.Seed + 5000000 + I);
+    std::string Source = Gen.generate();
+    std::vector<std::string> Mismatches;
+    if (!oracle::injectPipelineBug(Source, oracle::TraceOracleOptions(),
+                                   Mismatches))
+      continue;
+
+    std::fprintf(
+        stderr,
+        "omega-fuzz: injected pipeline bug caught on program %u (%s)\n", I,
+        oracle::seedMessage(Opt.Seed).c_str());
+    for (const std::string &M : Mismatches)
+      std::fprintf(stderr, "  %s\n", M.c_str());
+    std::string Small =
+        oracle::shrinkProgramSource(Source, injectedPipelineBugCaught);
+    unsigned Lines = oracle::lineCount(Small);
+    std::fprintf(stderr, "omega-fuzz: shrunk reproducer (%u lines):\n%s",
+                 Lines, Small.c_str());
+    if (Lines > 10) {
+      std::fprintf(stderr,
+                   "omega-fuzz: FAILED: reproducer larger than 10 lines\n");
+      return 1;
+    }
+    std::printf("injected pipeline bug: caught and shrunk to %u lines\n",
+                Lines);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "omega-fuzz: FAILED: no program exposed the injected bug\n");
+  return 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -331,6 +425,8 @@ int main(int Argc, char **Argv) {
 
   if (Opt.InjectKillBug)
     return demonstrateInjectedKillBug(Opt);
+  if (Opt.InjectPipelineBug)
+    return demonstrateInjectedPipelineBug(Opt);
 
   Clock Clock(Opt.MaxSeconds);
   unsigned Checked = 0;
@@ -338,6 +434,7 @@ int main(int Argc, char **Argv) {
   Failures += fuzzProblems(Opt, Clock, Checked);
   Failures += fuzzFormulas(Opt, Clock, Checked);
   Failures += fuzzPrograms(Opt, Clock, Checked);
+  Failures += fuzzPipelines(Opt, Clock, Checked);
 
   std::printf("omega-fuzz: %s: %u checks, %u failures%s\n",
               oracle::seedMessage(Opt.Seed).c_str(), Checked, Failures,

@@ -9,7 +9,7 @@
 //
 //   $ omega-serve --workers 4 --cache-file /tmp/omega.qc
 //   {"id": 1, "source": "for i = 1 to n { a[i] = a[i-1]; }"}
-//   {"schema": 3, "id": 1, "ok": true, "result": {...}, "metrics": {...}}
+//   {"schema": 4, "id": 1, "ok": true, "result": {...}, "metrics": {...}}
 //
 // Every response's "result" section is byte-identical to a one-shot
 // `omega-analyze --json` run of the same program: the engine's structural
@@ -83,6 +83,7 @@ int main(int Argc, char **Argv) {
   Cfg.SlowMs = Parsed.Options.SlowMs;
   Cfg.SlowTraceDir = Parsed.Options.SlowTraceDir;
   Cfg.AccessLogMaxMB = Parsed.Options.AccessLogMaxMB;
+  Cfg.LatencyBoundsUs = Parsed.Options.LatencyBucketsUs;
 
   api::Server Server(Cfg);
   if (!Server.startupNote().empty())
